@@ -1,0 +1,131 @@
+// Ablation A2: the design choices inside the dark pipeline (§III-B).
+//   1. chroma+luma threshold vs luma-only (does the chroma gate matter?)
+//   2. morphological closing vs none
+//   3. sliding DBN vs a direct blob-size heuristic (no learning)
+//   4. DBN confidence threshold sweep
+// Each variant is scored with the frame-level protocol of fig5_dark_accuracy.
+#include <cstdio>
+
+#include "avd/detect/dark_training.hpp"
+
+namespace {
+
+using namespace avd;
+
+// Blob-heuristic baseline: replaces the DBN with the geometric size rule.
+// Uses the library's stages directly — preprocess, blobs, size rule, pairing.
+ml::BinaryCounts evaluate_blob_heuristic(const det::DarkVehicleDetector& ref,
+                                         int n_pos, int n_neg,
+                                         std::uint64_t seed) {
+  ml::BinaryCounts counts;
+  data::SceneGenerator gen(data::LightingCondition::Dark, seed);
+  for (int i = 0; i < n_pos + n_neg; ++i) {
+    const bool truth = i < n_pos;
+    const data::SceneSpec scene =
+        gen.random_scene({480, 270}, truth ? gen.rng().uniform_int(1, 2) : 0);
+    const img::RgbImage frame = data::render_scene(scene);
+    const img::ImageU8 mask = ref.preprocess(frame);
+
+    std::vector<det::TaillightDetection> lights;
+    for (const img::Blob& blob : img::find_blobs(mask)) {
+      det::TaillightDetection t;
+      t.center = {static_cast<int>(blob.centroid_x),
+                  static_cast<int>(blob.centroid_y)};
+      t.blob_box = blob.bbox;
+      t.blob_area = blob.area;
+      t.cls = det::taillight_class_for_size(blob.bbox.width, blob.bbox.height);
+      t.confidence = 1.0;  // the heuristic is always "sure"
+      lights.push_back(t);
+    }
+    const bool predicted = !ref.pair_taillights(lights).empty();
+    counts.record(truth, predicted);
+  }
+  return counts;
+}
+
+void report(const char* name, const ml::BinaryCounts& c) {
+  std::printf("%-34s acc %6.1f%%  TP %4llu  TN %4llu  FP %4llu  FN %4llu\n",
+              name, 100.0 * c.accuracy(),
+              static_cast<unsigned long long>(c.tp),
+              static_cast<unsigned long long>(c.tn),
+              static_cast<unsigned long long>(c.fp),
+              static_cast<unsigned long long>(c.fn));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== bench: ablation_dark_variants ===\n\n");
+
+  det::DarkTrainingSpec base_spec;
+  base_spec.windows.per_class = 200;
+  base_spec.dbn.pretrain.epochs = 15;
+  base_spec.dbn.finetune_epochs = 40;
+  base_spec.pairing_scenes = 80;
+
+  constexpr int kPos = 120, kNeg = 120;
+  constexpr std::uint64_t kSeed = 97531;
+
+  // Full pipeline (reference).
+  const det::DarkVehicleDetector full = det::train_dark_detector(base_spec);
+  report("full pipeline (paper design)",
+         det::evaluate_dark_frames(full, kPos, kNeg, {480, 270}, kSeed));
+
+  // 1. Luma-only threshold: chroma gates disabled. Red distractors and
+  //    head-/street-lights now enter the candidate mask.
+  {
+    det::DarkTrainingSpec spec = base_spec;
+    spec.config.threshold.cr_min = 0;
+    spec.config.threshold.cb_max = 255;
+    const auto variant = det::train_dark_detector(spec);
+    report("luma-only threshold (no chroma)",
+           det::evaluate_dark_frames(variant, kPos, kNeg, {480, 270}, kSeed));
+  }
+
+  // 2. No morphological closing.
+  {
+    det::DarkTrainingSpec spec = base_spec;
+    spec.config.closing = {1, 1};  // identity
+    const auto variant = det::train_dark_detector(spec);
+    report("no closing",
+           det::evaluate_dark_frames(variant, kPos, kNeg, {480, 270}, kSeed));
+  }
+
+  // 2b. Median despeckle prefilter enabled (Fig. 3 noise-reduction block).
+  {
+    det::DarkTrainingSpec spec = base_spec;
+    spec.config.median_prefilter = true;
+    const auto variant = det::train_dark_detector(spec);
+    report("with median despeckle prefilter",
+           det::evaluate_dark_frames(variant, kPos, kNeg, {480, 270}, kSeed));
+  }
+
+  // 3. Blob-size heuristic instead of the DBN.
+  report("blob heuristic instead of DBN",
+         evaluate_blob_heuristic(full, kPos, kNeg, kSeed));
+
+  // 4. DBN confidence threshold sweep.
+  std::printf("\nDBN confidence threshold sweep:\n");
+  for (double conf : {0.3, 0.45, 0.55, 0.7, 0.85, 0.95}) {
+    det::DarkDetectorConfig cfg = full.config();
+    cfg.dbn_min_confidence = conf;
+    const det::DarkVehicleDetector variant(full.dbn(), full.pairing_svm(), cfg);
+    char label[64];
+    std::snprintf(label, sizeof label, "  min confidence %.2f", conf);
+    report(label,
+           det::evaluate_dark_frames(variant, kPos, kNeg, {480, 270}, kSeed));
+  }
+
+  // 5. Downsample factor sweep (Fig. 4 fixes 3; what if?).
+  std::printf("\nDownsample factor sweep:\n");
+  for (int f : {1, 2, 3, 5}) {
+    det::DarkTrainingSpec spec = base_spec;
+    spec.config.downsample_factor = f;
+    const auto variant = det::train_dark_detector(spec);
+    char label[64];
+    std::snprintf(label, sizeof label, "  downsample x%d", f);
+    report(label,
+           det::evaluate_dark_frames(variant, kPos, kNeg, {480, 270}, kSeed));
+  }
+  return 0;
+}

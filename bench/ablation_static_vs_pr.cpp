@@ -1,0 +1,86 @@
+// Ablation A4: what does partial reconfiguration actually buy over simply
+// configuring *both* vehicle pipelines statically?
+//
+// The paper's claim (§V): PR keeps utilisation flat so "more free resources
+// [are] available ... for the other complex features of ADS". This bench
+// quantifies that claim per resource, and adds the first-order power view —
+// plus the honest counterpoint the resource model exposes: the PR partition
+// must reserve for the *largest* configuration, so for resources where the
+// two configurations are unbalanced (DSPs) the reservation can exceed the
+// sum of both.
+#include <cstdio>
+
+#include "avd/soc/power.hpp"
+
+int main() {
+  using namespace avd::soc;
+  std::printf("=== bench: ablation_static_vs_pr ===\n\n");
+
+  const DeviceResources device;
+  const ModuleResources static_part = sum_modules(static_design_blocks());
+  const ModuleResources day_dusk = sum_modules(day_dusk_blocks());
+  const ModuleResources dark = sum_modules(dark_blocks());
+  const ModuleResources partition =
+      floorplan_partition(dark_blocks(), device, {});
+
+  const ModuleResources pr_total = static_part + partition;
+  const ModuleResources all_static = static_part + day_dusk + dark;
+
+  auto pct = [&](long used, long avail) {
+    return 100.0 * static_cast<double>(used) / static_cast<double>(avail);
+  };
+
+  std::printf("%-28s %8s %8s %8s %8s\n", "design", "LUT", "FF", "BRAM", "DSP");
+  auto row = [&](const char* name, const ModuleResources& r) {
+    std::printf("%-28s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", name,
+                pct(r.lut, device.lut), pct(r.ff, device.ff),
+                pct(r.bram, device.bram), pct(r.dsp, device.dsp));
+  };
+  row("PR design (paper)", pr_total);
+  row("all-static alternative", all_static);
+
+  std::printf("\nfreed by PR (all-static minus PR), percentage points:\n");
+  std::printf("  LUT %+.1f  FF %+.1f  BRAM %+.1f  DSP %+.1f\n",
+              pct(all_static.lut - pr_total.lut, device.lut),
+              pct(all_static.ff - pr_total.ff, device.ff),
+              pct(all_static.bram - pr_total.bram, device.bram),
+              pct(all_static.dsp - pr_total.dsp, device.dsp));
+  std::printf(
+      "  (negative = the PR reservation exceeds the sum of both configs:\n"
+      "   the partition must cover the largest configuration per resource,\n"
+      "   so unbalanced resources like DSP can be cheaper all-static.)\n");
+
+  // Power view: only the loaded configuration toggles in the PR design;
+  // all-static clock-gates the idle pipeline but pays leakage + clock tree.
+  std::printf("\nfirst-order power (day operating mode):\n");
+  std::printf("%-32s %10s %9s %10s %9s\n", "scenario", "dynamic", "clock",
+              "leakage", "total");
+  for (const DesignPower& d :
+       {pr_design_power("day-dusk"), static_design_power("day-dusk")}) {
+    std::printf("%-32s %7.1f mW %6.1f mW %7.1f mW %6.1f mW\n",
+                d.scenario.c_str(), d.power.dynamic_mw, d.power.clock_mw,
+                d.power.leakage_mw, d.power.total_mw());
+  }
+  std::printf("\nfirst-order power (dark operating mode):\n");
+  std::printf("%-32s %10s %9s %10s %9s\n", "scenario", "dynamic", "clock",
+              "leakage", "total");
+  for (const DesignPower& d :
+       {pr_design_power("dark"), static_design_power("dark")}) {
+    std::printf("%-32s %7.1f mW %6.1f mW %7.1f mW %6.1f mW\n",
+                d.scenario.c_str(), d.power.dynamic_mw, d.power.clock_mw,
+                d.power.leakage_mw, d.power.total_mw());
+  }
+
+  const double pr_day = pr_design_power("day-dusk").power.total_mw();
+  const double st_day = static_design_power("day-dusk").power.total_mw();
+  std::printf("\nPR saves %.1f%% total fabric power in day mode "
+              "(the common case)\n",
+              100.0 * (st_day - pr_day) / st_day);
+
+  // And the PR tax: 2 reconfigurations per day/night cycle at ~21.5 ms each
+  // of ICAP activity — utterly negligible energy against continuous
+  // operation; printed for completeness.
+  std::printf("PR tax: ~21.5 ms of configuration traffic per lighting "
+              "transition (a few per day)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figs. 1-2 reproduction: the HOG+SVM pipeline, stage by stage.
+//
+// Prints the hardware model's per-stage structure (fill latency / line
+// buffers — the "intermediate temporary storage" of Fig. 2), then measures
+// the software model of each stage with google-benchmark: gradient + cell
+// histogram generation, block normalisation (window descriptor assembly) and
+// SVM classification.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "avd/detect/hog_svm_detector.hpp"
+#include "avd/image/color.hpp"
+#include "avd/soc/hw_pipeline.hpp"
+
+namespace {
+
+void print_stage_table() {
+  using namespace avd::soc;
+  std::printf("=== bench: fig2_hog_pipeline ===\n\n");
+  const HwPipelineModel m = day_dusk_pipeline_model();
+  std::printf("Pipeline stages (Fig. 2), fabric %llu MHz:\n",
+              static_cast<unsigned long long>(m.fabric_mhz));
+  std::printf("%-26s %16s %14s\n", "stage", "fill latency", "line buffers");
+  for (const PipelineStage& s : m.stages) {
+    std::printf("%-26s %10llu cyc %14d\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.fill_latency_cycles),
+                s.line_buffers);
+  }
+  std::printf("total fill latency: %llu cycles (%.2f us)\n",
+              static_cast<unsigned long long>(m.fill_latency_cycles()),
+              Duration::cycles(m.fill_latency_cycles(), m.fabric_mhz).as_us());
+  std::printf("HDTV frame time: %.2f ms -> %.1f fps\n\n",
+              m.frame_time(kHdtvFrame).as_ms(), m.max_fps(kHdtvFrame));
+}
+
+const avd::img::ImageU8& frame() {
+  static const avd::img::ImageU8 f = [] {
+    avd::data::SceneGenerator gen(avd::data::LightingCondition::Day, 3);
+    return avd::img::rgb_to_gray(
+        avd::data::render_scene(gen.random_scene({640, 360}, 2)));
+  }();
+  return f;
+}
+
+const avd::det::HogSvmModel& model() {
+  static const avd::det::HogSvmModel m = [] {
+    avd::data::VehiclePatchSpec spec;
+    spec.n_positive = spec.n_negative = 60;
+    return avd::det::train_hog_svm(avd::data::make_vehicle_patches(spec),
+                                   "day");
+  }();
+  return m;
+}
+
+void BM_Stage1_GradientAndHistogram(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avd::hog::compute_cell_grid(frame(), {}));
+  }
+}
+BENCHMARK(BM_Stage1_GradientAndHistogram)->Unit(benchmark::kMillisecond);
+
+void BM_Stage2_BlockNormalization(benchmark::State& state) {
+  const avd::hog::CellGrid grid = avd::hog::compute_cell_grid(frame(), {});
+  const avd::hog::HogParams params;
+  std::vector<float> desc;
+  for (auto _ : state) {
+    for (int cy = 0; cy + 8 <= grid.cells_y(); cy += 4)
+      for (int cx = 0; cx + 8 <= grid.cells_x(); cx += 4)
+        avd::hog::window_descriptor(grid, params, cx, cy, 8, 8, desc);
+    benchmark::DoNotOptimize(desc);
+  }
+}
+BENCHMARK(BM_Stage2_BlockNormalization)->Unit(benchmark::kMillisecond);
+
+void BM_Stage3_SvmClassification(benchmark::State& state) {
+  const avd::hog::CellGrid grid = avd::hog::compute_cell_grid(frame(), {});
+  const avd::hog::HogParams params;
+  std::vector<float> desc;
+  avd::hog::window_descriptor(grid, params, 0, 0, 8, 8, desc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model().svm.decision(desc));
+  }
+}
+BENCHMARK(BM_Stage3_SvmClassification);
+
+void BM_FullPipeline_SingleWindow(benchmark::State& state) {
+  const avd::img::ImageU8 patch = frame().crop({100, 100, 64, 64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model().decision(patch));
+  }
+}
+BENCHMARK(BM_FullPipeline_SingleWindow)->Unit(benchmark::kMicrosecond);
+
+void BM_FullPipeline_MultiscaleFrame(benchmark::State& state) {
+  avd::det::SlidingWindowParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        avd::det::detect_multiscale(frame(), model(), params));
+  }
+}
+BENCHMARK(BM_FullPipeline_MultiscaleFrame)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_stage_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 6 reproduction: the system-level control plane. What the ARM software
+// does per frame (DMA register programming, accelerator kicks, completion
+// interrupts), what it costs, and whether the high-performance ports can
+// carry the video traffic the figure routes through them.
+#include <cstdio>
+
+#include "avd/soc/zynq_system.hpp"
+
+int main() {
+  using namespace avd::soc;
+  std::printf("=== bench: fig6_control_plane ===\n\n");
+
+  ZynqSystem system;
+  const VideoFormat& video = system.video();
+  std::printf("video: %dx%d, %d B/px, %.0f fps -> %.1f MB/s per stream\n\n",
+              video.frame.width, video.frame.height, video.bytes_per_pixel,
+              video.fps, video.bandwidth_mbps());
+
+  // HP-port bandwidth budget.
+  const HpBudget budget = system.hp_budget();
+  std::printf("HP-port budget (capacity %.0f MB/s per port):\n",
+              budget.port_capacity_mbps);
+  for (const HpStream& s : budget.streams)
+    std::printf("  HP%d %-24s %8.1f MB/s (port load %.1f MB/s, %.1f%%)\n",
+                s.hp_port, s.name.c_str(), s.mbps, budget.port_load(s.hp_port),
+                100.0 * budget.port_load(s.hp_port) /
+                    budget.port_capacity_mbps);
+  std::printf("feasible: %s, worst port utilisation %.1f%%\n\n",
+              budget.feasible() ? "yes" : "NO",
+              100.0 * budget.worst_utilization());
+
+  // One software-driven frame cycle.
+  const FrameCycleReport report = system.process_frame({0});
+  std::printf("per-frame software cycle (both detectors):\n");
+  std::printf("  register accesses : %d (%.2f us of AXI-Lite time)\n",
+              report.register_accesses, report.control_time.as_us());
+  std::printf("  frame-in DMA      : %.2f ms\n", report.input_dma_time.as_ms());
+  std::printf("  detection         : %.2f ms\n", report.detect_time.as_ms());
+  std::printf("  results-out DMA   : %.3f ms\n",
+              report.output_dma_time.as_ms());
+  std::printf("  IRQs serviced     : %d\n", report.irqs_serviced);
+  std::printf("  end-to-end        : %.2f ms (budget: 2 frame periods = 40 "
+              "ms, pipelined)\n\n",
+              report.total_latency({0}).as_ms());
+
+  // Resolution sweep: where the control plane + streaming stops fitting.
+  std::printf("resolution sweep (50 fps):\n%12s %14s %12s %10s\n",
+              "resolution", "cycle latency", "HP worst", "fits");
+  for (const avd::img::Size res :
+       {avd::img::Size{640, 360}, avd::img::Size{1280, 720},
+        avd::img::Size{1920, 1080}, avd::img::Size{3840, 2160}}) {
+    ZynqSystem sys(default_platform(), VideoFormat{res, 2, 50.0});
+    const FrameCycleReport r = sys.process_frame({0});
+    const HpBudget b = sys.hp_budget();
+    std::printf("%6dx%-5d %11.2f ms %11.1f%% %10s\n", res.width, res.height,
+                r.total_latency({0}).as_ms(), 100.0 * b.worst_utilization(),
+                (sys.meets_frame_budget() && b.feasible()) ? "yes" : "NO");
+  }
+
+  // Model swap vs reconfiguration: the day<->dusk switch is one register
+  // write on the AXI-Lite bus.
+  ZynqSystem swap_sys;
+  swap_sys.select_vehicle_model(1, {0});
+  std::printf("\nday->dusk model swap: 1 register write (%.0f ns) — no "
+              "reconfiguration, no dropped frame\n",
+              swap_sys.bus().access_latency().as_ns());
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Experiment C4: the 50 fps / HDTV / 125 MHz claim (abstract, §V).
+//
+// Part 1 prints the hardware-model throughput of each accelerator (cycles
+// per frame at the fabric clock) across resolutions — the numbers the paper
+// reports. Part 2 measures the *software models* of the same pipelines with
+// google-benchmark, for users running this library on a CPU.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "avd/core/system_models.hpp"
+#include "avd/image/color.hpp"
+#include "avd/soc/hw_pipeline.hpp"
+
+namespace {
+
+void print_hw_table() {
+  using namespace avd::soc;
+  std::printf("=== bench: fps_throughput ===\n\n");
+  std::printf("Hardware-model throughput (fabric at 125 MHz, 1 px/cycle):\n");
+  std::printf("%-20s %12s %12s %10s %8s\n", "pipeline", "resolution",
+              "frame time", "max fps", ">=50fps");
+  for (const HwPipelineModel& model :
+       {day_dusk_pipeline_model(), dark_pipeline_model(),
+        pedestrian_pipeline_model()}) {
+    for (const avd::img::Size res :
+         {kHdtvFrame, avd::img::Size{1280, 720}, avd::img::Size{640, 360}}) {
+      std::printf("%-20s %6dx%-5d %9.2f ms %10.1f %8s\n", model.name.c_str(),
+                  res.width, res.height, model.frame_time(res).as_ms(),
+                  model.max_fps(res),
+                  model.meets_rate(res, kTargetFps) ? "yes" : "NO");
+    }
+  }
+
+  // Clock sweep: where the 50 fps target breaks.
+  std::printf("\nFabric-clock sweep (HDTV, day/dusk pipeline):\n");
+  std::printf("%10s %10s %8s\n", "clock MHz", "max fps", ">=50fps");
+  for (std::uint64_t mhz : {80, 100, 105, 110, 125, 150, 200}) {
+    HwPipelineModel m = day_dusk_pipeline_model();
+    m.fabric_mhz = mhz;
+    std::printf("%10llu %10.1f %8s\n", static_cast<unsigned long long>(mhz),
+                m.max_fps(kHdtvFrame),
+                m.meets_rate(kHdtvFrame, kTargetFps) ? "yes" : "NO");
+  }
+  std::printf("\npaper reference: 50 fps on 1080x1920 at 125 MHz\n\n");
+}
+
+// --- Software-model timings (the CPU reference implementation) ---
+
+const avd::core::SystemModels& models() {
+  static const avd::core::SystemModels m = [] {
+    avd::core::TrainingBudget b;
+    b.vehicle_pos = b.vehicle_neg = 50;
+    b.pedestrian_pos = b.pedestrian_neg = 35;
+    b.dbn_windows_per_class = 60;
+    b.pairing_scenes = 30;
+    return avd::core::build_system_models(b);
+  }();
+  return m;
+}
+
+const avd::img::RgbImage& day_frame() {
+  static const avd::img::RgbImage f = [] {
+    avd::data::SceneGenerator gen(avd::data::LightingCondition::Day, 1);
+    return avd::data::render_scene(gen.random_scene({640, 360}, 2));
+  }();
+  return f;
+}
+
+const avd::img::RgbImage& dark_frame() {
+  static const avd::img::RgbImage f = [] {
+    avd::data::SceneGenerator gen(avd::data::LightingCondition::Dark, 2);
+    return avd::data::render_scene(gen.random_scene({640, 360}, 2));
+  }();
+  return f;
+}
+
+void BM_SoftwareHogSvmFrame(benchmark::State& state) {
+  const avd::img::ImageU8 gray = avd::img::rgb_to_gray(day_frame());
+  avd::det::SlidingWindowParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        avd::det::detect_multiscale(gray, models().day, params));
+  }
+  state.counters["fps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SoftwareHogSvmFrame)->Unit(benchmark::kMillisecond);
+
+void BM_SoftwareDarkFrame(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models().dark.detect(dark_frame()));
+  }
+  state.counters["fps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SoftwareDarkFrame)->Unit(benchmark::kMillisecond);
+
+void BM_SoftwareDarkPreprocessOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models().dark.preprocess(dark_frame()));
+  }
+}
+BENCHMARK(BM_SoftwareDarkPreprocessOnly)->Unit(benchmark::kMillisecond);
+
+void BM_SoftwarePedestrianFrame(benchmark::State& state) {
+  const avd::img::ImageU8 gray = avd::img::rgb_to_gray(day_frame());
+  avd::det::SlidingWindowParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        avd::det::detect_multiscale(gray, models().pedestrian, params));
+  }
+}
+BENCHMARK(BM_SoftwarePedestrianFrame)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_hw_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

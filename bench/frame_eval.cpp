@@ -1,0 +1,103 @@
+// Frame-level detection quality across conditions and distance bins.
+//
+// Table I is a patch-classification experiment; this bench measures what a
+// deployment actually cares about: full-frame detection recall/precision,
+// broken down by target distance (the far bin is the hard tail — the same
+// physics behind the paper's "very dark subset" exclusion).
+#include <cstdio>
+
+#include "avd/datasets/patches.hpp"
+#include "avd/detect/bootstrap.hpp"
+#include "avd/detect/dark_training.hpp"
+#include "avd/detect/hog_svm_detector.hpp"
+#include "avd/detect/evaluation.hpp"
+#include "avd/image/color.hpp"
+
+namespace {
+
+using avd::data::LightingCondition;
+
+void report(const char* name, const avd::det::FrameEvalResult& r) {
+  std::printf(
+      "%-28s recall %5.1f%%  precision %5.1f%%  F1 %5.1f%%  FP/frame %.2f\n",
+      name, 100.0 * r.recall(), 100.0 * r.precision(), 100.0 * r.f1(),
+      static_cast<double>(r.false_positives) / std::max(1, r.frames));
+  const char* bins[] = {"near", "mid", "far"};
+  std::printf("  by distance:");
+  for (int b = 0; b < 3; ++b)
+    std::printf("  %s %4.0f%% (%d/%d)", bins[b], 100.0 * r.by_bin[b].recall(),
+                r.by_bin[b].hits, r.by_bin[b].truth);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== bench: frame_eval ===\n\n");
+
+  // HOG day detector on day frames.
+  avd::data::VehiclePatchSpec day_tr{LightingCondition::Day, {64, 64}, 150,
+                                     150, 0.0, 61001};
+  const auto day_model =
+      avd::det::train_hog_svm(avd::data::make_vehicle_patches(day_tr), "day");
+  avd::det::SlidingWindowParams scan;
+  scan.score_threshold = 0.3;
+
+  avd::det::FrameEvalSpec day_spec;
+  day_spec.condition = LightingCondition::Day;
+  day_spec.n_frames = 60;
+  report("HOG+SVM day, day frames",
+         avd::det::evaluate_frames(
+             [&](const avd::img::RgbImage& f) {
+               return avd::det::detect_multiscale(avd::img::rgb_to_gray(f),
+                                                  day_model, scan);
+             },
+             day_spec));
+
+  // Same model with two rounds of hard-negative mining (bootstrap.hpp):
+  // scanning-specific false positives the patch sampler never shows.
+  avd::det::BootstrapSpec mine;
+  mine.rounds = 2;
+  mine.scenes_per_round = 40;
+  mine.scan.score_threshold = 0.0;
+  const auto mined_model = avd::det::bootstrap_train_hog_svm(
+      avd::data::make_vehicle_patches(day_tr), "day-mined", mine);
+  report("  + hard-negative mining",
+         avd::det::evaluate_frames(
+             [&](const avd::img::RgbImage& f) {
+               return avd::det::detect_multiscale(avd::img::rgb_to_gray(f),
+                                                  mined_model, scan);
+             },
+             day_spec));
+
+  // Dark detector on dark frames.
+  avd::det::DarkTrainingSpec dark_spec;
+  dark_spec.windows.per_class = 150;
+  dark_spec.pairing_scenes = 80;
+  const auto dark_detector = avd::det::train_dark_detector(dark_spec);
+
+  avd::det::FrameEvalSpec dark_eval;
+  dark_eval.condition = LightingCondition::Dark;
+  dark_eval.n_frames = 60;
+  report("DBN dark pipeline, dark frames",
+         avd::det::evaluate_frames(
+             [&](const avd::img::RgbImage& f) { return dark_detector.detect(f); },
+             dark_eval));
+
+  // Cross-condition mismatch: the day model on dark frames — the failure
+  // the adaptive system exists to prevent.
+  avd::det::FrameEvalSpec mismatch = dark_eval;
+  report("HOG+SVM day, DARK frames",
+         avd::det::evaluate_frames(
+             [&](const avd::img::RgbImage& f) {
+               return avd::det::detect_multiscale(avd::img::rgb_to_gray(f),
+                                                  day_model, scan);
+             },
+             mismatch));
+
+  std::printf(
+      "\nreading: the far bin carries most of the misses in every row; the\n"
+      "day-model-on-dark row is the catastrophic mismatch the lighting-"
+      "adaptive\nreconfiguration eliminates.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// §IV-B reproduction (experiment C3): frame impact of partial
+// reconfiguration. Runs the full adaptive system (control plane) over the
+// canonical day->tunnel->day->dusk->dark->dusk drive and reports, per
+// delivery method: reconfiguration count, dropped vehicle frames, pedestrian
+// frames processed and vehicle-engine availability.
+//
+// Paper: a 20 ms reconfiguration at 50 fps is "equivalent to missing one
+// frame", while "the pedestrian detection module continues its work".
+#include <cstdio>
+
+#include "avd/core/adaptive_system.hpp"
+
+int main() {
+  using namespace avd;
+  std::printf("=== bench: reconfig_frame_impact ===\n\n");
+
+  core::TrainingBudget budget;
+  budget.vehicle_pos = budget.vehicle_neg = 60;
+  budget.pedestrian_pos = budget.pedestrian_neg = 40;
+  budget.dbn_windows_per_class = 80;
+  budget.pairing_scenes = 40;
+  const core::SystemModels models = core::build_system_models(budget);
+
+  const auto spec = data::DriveSequence::canonical_drive({480, 270}, 100);
+  const data::DriveSequence drive(spec);
+  std::printf(
+      "drive: %d frames at 50 fps (%.1f s), segments "
+      "day/tunnel/day/dusk/dark/dusk\n\n",
+      drive.frame_count(), drive.frame_count() / 50.0);
+
+  std::printf("%-14s %9s %9s %10s %13s %13s\n", "method", "reconfigs",
+              "dropped", "ped-frames", "availability", "reconfig-ms");
+  for (soc::ReconfigMethod method :
+       {soc::ReconfigMethod::AxiHwicap, soc::ReconfigMethod::Pcap,
+        soc::ReconfigMethod::ZyCap, soc::ReconfigMethod::PlDmaIcap}) {
+    core::AdaptiveSystemConfig cfg;
+    cfg.method = method;
+    cfg.run_detectors = false;  // control-plane simulation
+    core::AdaptiveSystem system(models, cfg);
+    const core::AdaptiveRunReport report = system.run(drive);
+
+    double reconfig_ms = 0.0;
+    for (const auto& r : report.reconfigs) reconfig_ms = r.duration().as_ms();
+    std::printf("%-14s %9d %9d %10d %12.4f%% %13.2f\n", to_string(method),
+                report.reconfig_count(), report.dropped_vehicle_frames(),
+                report.pedestrian_frames_processed(),
+                100.0 * report.vehicle_availability(), reconfig_ms);
+  }
+
+  std::printf(
+      "\npaper reference: pr-controller drops exactly 1 frame per "
+      "reconfiguration (20 ms at 50 fps);\n"
+      "pedestrian detection processes every frame regardless of method.\n");
+
+  // Per-event log of the paper's method.
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = false;
+  core::AdaptiveSystem system(models, cfg);
+  const auto report = system.run(drive);
+  std::printf("\npr-controller event log:\n%s",
+              report.log.to_string().c_str());
+
+  // Where the dropped frames sit relative to the lighting transitions.
+  std::printf("\ndropped frames: ");
+  for (const auto& f : report.frames)
+    if (!f.vehicle_processed) std::printf("%d ", f.index);
+  std::printf("\nreconfig triggers at frames: ");
+  for (const auto& f : report.frames)
+    if (f.reconfig_triggered) std::printf("%d ", f.index);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// ROC analysis of every classifier in the system: the full threshold
+// trade-off behind Table I's single operating points, plus the calibrated
+// operating-threshold suggestion each detection module would program into
+// its AXI-Lite parameter register.
+#include <cstdio>
+
+#include "avd/detect/hog_svm_detector.hpp"
+#include "avd/ml/roc.hpp"
+
+namespace {
+
+using avd::data::LightingCondition;
+
+struct Scored {
+  std::vector<double> decisions;
+  std::vector<int> labels;
+};
+
+Scored score(const avd::det::HogSvmModel& model,
+             const avd::data::PatchDataset& ds) {
+  Scored s;
+  for (const auto& p : ds.patches) {
+    s.decisions.push_back(model.decision(p.gray));
+    s.labels.push_back(p.label);
+  }
+  return s;
+}
+
+void report(const char* name, const Scored& s) {
+  const avd::ml::RocCurve curve = avd::ml::roc_curve(s.decisions, s.labels);
+  std::printf("%-22s AUC %.3f   best threshold %+.3f   (%zu points)\n", name,
+              curve.auc(), curve.best_threshold(), curve.points.size());
+  // A compact 5-point sketch of the curve for the log.
+  std::printf("    FPR/TPR:");
+  const std::size_t n = curve.points.size();
+  for (std::size_t k = 0; k < 5; ++k) {
+    const auto& p = curve.points[(k * (n - 1)) / 4];
+    std::printf("  %.2f/%.2f", p.false_positive_rate, p.true_positive_rate);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== bench: roc_analysis ===\n\n");
+
+  avd::data::VehiclePatchSpec day_tr{LightingCondition::Day, {64, 64}, 150,
+                                     150, 0.0, 51001};
+  avd::data::VehiclePatchSpec dusk_tr{LightingCondition::Dusk, {64, 64}, 150,
+                                      150, 0.0, 51002};
+  const auto day_train = avd::data::make_vehicle_patches(day_tr);
+  const auto dusk_train = avd::data::make_vehicle_patches(dusk_tr);
+  const auto m_day = avd::det::train_hog_svm(day_train, "day");
+  const auto m_dusk = avd::det::train_hog_svm(dusk_train, "dusk");
+  const auto m_comb = avd::det::train_hog_svm(
+      avd::data::PatchDataset::concat(day_train, dusk_train), "combined");
+
+  avd::data::VehiclePatchSpec day_te = day_tr;
+  day_te.seed = 51011;
+  avd::data::VehiclePatchSpec dusk_te = dusk_tr;
+  dusk_te.seed = 51012;
+  const auto day_test = avd::data::make_vehicle_patches(day_te);
+  const auto dusk_test = avd::data::make_vehicle_patches(dusk_te);
+
+  std::printf("on the DAY test set:\n");
+  report("day model", score(m_day, day_test));
+  report("dusk model", score(m_dusk, day_test));
+  report("combined model", score(m_comb, day_test));
+
+  std::printf("\non the DUSK test set:\n");
+  report("day model", score(m_day, dusk_test));
+  report("dusk model", score(m_dusk, dusk_test));
+  report("combined model", score(m_comb, dusk_test));
+
+  std::printf(
+      "\nreading: Table I fixes threshold 0; AUC shows how much of the\n"
+      "cross-condition loss is rank damage (low AUC: no threshold saves the\n"
+      "model) vs threshold misplacement (high AUC, bad accuracy at 0).\n");
+  return 0;
+}

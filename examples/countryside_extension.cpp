@@ -1,0 +1,74 @@
+// The paper's §I motivation, implemented: "animal detection on the road
+// could be a useful feature ... in some countryside roads ... However, this
+// feature might not be used most of the time when the driving area is
+// limited to urban roads."
+//
+// This example enables the third partial configuration ("countryside" =
+// vehicle pipeline + animal classifier), drives urban -> countryside ->
+// countryside night -> urban, and shows the partition swapping between all
+// three configurations while pedestrian detection never stops.
+//
+//   ./countryside_extension [frames-per-segment]
+#include <cstdio>
+#include <cstdlib>
+
+#include "avd/core/adaptive_system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace avd;
+  const int frames = argc > 1 ? std::max(10, std::atoi(argv[1])) : 60;
+
+  std::printf("training models (including the animal classifier)...\n");
+  core::TrainingBudget budget;
+  budget.vehicle_pos = budget.vehicle_neg = 70;
+  budget.pedestrian_pos = budget.pedestrian_neg = 45;
+  budget.dbn_windows_per_class = 90;
+  budget.pairing_scenes = 45;
+  budget.animal_pos = budget.animal_neg = 70;  // enables the extension
+
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = false;
+  core::AdaptiveSystem system(core::build_system_models(budget), cfg);
+
+  data::SequenceSpec spec;
+  spec.frame_size = {480, 270};
+  spec.animals_per_frame = 1;
+  using data::LightingCondition;
+  using data::RoadType;
+  spec.segments = {
+      {LightingCondition::Day, frames, -1.0, RoadType::Urban},
+      {LightingCondition::Day, frames, -1.0, RoadType::Countryside},
+      {LightingCondition::Dusk, frames, -1.0, RoadType::Countryside},
+      {LightingCondition::Dark, frames, -1.0, RoadType::Countryside},
+      {LightingCondition::Day, frames, -1.0, RoadType::Urban},
+  };
+  const data::DriveSequence drive(spec);
+  std::printf("driving %d frames: urban day -> countryside day -> "
+              "countryside dusk -> countryside night -> urban day\n\n",
+              drive.frame_count());
+
+  const core::AdaptiveRunReport report = system.run(drive);
+
+  std::string last;
+  for (const core::AdaptiveFrameReport& f : report.frames) {
+    if (f.active_config != last) {
+      std::printf("frame %4d: partition -> '%s'\n", f.index,
+                  f.active_config.c_str());
+      last = f.active_config;
+    }
+  }
+
+  std::printf("\nreconfigurations: %d\n", report.reconfig_count());
+  for (const soc::ReconfigResult& r : report.reconfigs)
+    std::printf("  -> %-12s %.2f ms at %.0f MB/s\n", r.config_name.c_str(),
+                r.duration().as_ms(), r.throughput_mbps());
+  std::printf("dropped vehicle frames: %d (one per reconfiguration)\n",
+              report.dropped_vehicle_frames());
+  std::printf("pedestrian frames:      %d of %zu\n",
+              report.pedestrian_frames_processed(), report.frames.size());
+  std::printf(
+      "\nNote the dusk->dark transition inside the countryside stretch: "
+      "darkness overrides\nthe road type (animals are invisible at night; "
+      "taillights are the only signal).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Interactive-ish exploration of the Zynq SoC model (paper §IV): build a
+// platform, floor-plan the reconfigurable partition, generate partial
+// bitstreams and compare the four bitstream-delivery methods — including a
+// what-if: how each number moves when the platform changes.
+//
+//   ./reconfig_explorer [icap-mhz]
+#include <cstdio>
+#include <cstdlib>
+
+#include "avd/soc/frame_scheduler.hpp"
+#include "avd/soc/reconfig.hpp"
+
+int main(int argc, char** argv) {
+  using namespace avd::soc;
+
+  ZynqClocks clocks;
+  if (argc > 1) {
+    const unsigned long long mhz = std::strtoull(argv[1], nullptr, 10);
+    if (mhz == 0) {
+      std::fprintf(stderr, "usage: %s [icap-mhz > 0]\n", argv[0]);
+      return 1;
+    }
+    clocks.icap_mhz = mhz;
+  }
+  const ZynqPlatform platform = default_platform(clocks);
+
+  std::printf("platform: ICAP/PCAP at %llu MHz (ceiling %.0f MB/s), fabric "
+              "%llu MHz, DDR3 %llu MHz\n",
+              static_cast<unsigned long long>(platform.clocks.icap_mhz),
+              config_port_ceiling_mbps(platform),
+              static_cast<unsigned long long>(platform.clocks.fabric_mhz),
+              static_cast<unsigned long long>(platform.clocks.ddr_mhz));
+
+  // Floor-plan the partition for the largest configuration (dark).
+  const DeviceResources device;
+  const ModuleResources partition =
+      floorplan_partition(dark_blocks(), device, {});
+  std::printf("\nreconfigurable partition: %ld LUT, %ld FF, %ld BRAM, %ld "
+              "DSP\n",
+              partition.lut, partition.ff, partition.bram, partition.dsp);
+  std::printf("fits day-dusk config: %s; fits dark config: %s\n",
+              fits(sum_modules(day_dusk_blocks()), partition) ? "yes" : "NO",
+              fits(sum_modules(dark_blocks()), partition) ? "yes" : "NO");
+
+  const PartialBitstream bits =
+      make_partial_bitstream("dark", partition, device, {});
+  std::printf("partial bitstream: %.2f MB\n\n", bits.megabytes());
+
+  // The §IV-A comparison, with the path anatomy spelled out.
+  for (ReconfigMethod method :
+       {ReconfigMethod::AxiHwicap, ReconfigMethod::Pcap, ReconfigMethod::ZyCap,
+        ReconfigMethod::PlDmaIcap}) {
+    const TransferPath path = reconfig_path(platform, method);
+    const TransferRecord rec = model_transfer(path, bits.bytes);
+    std::printf("%s:\n  path: ", to_string(method));
+    for (std::size_t i = 0; i < path.segments.size(); ++i)
+      std::printf("%s%s", i ? " -> " : "", path.segments[i].name.c_str());
+    std::printf("\n  burst %u B, per-burst overhead %.0f ns, bottleneck %.0f "
+                "MB/s\n",
+                path.burst_bytes, path.burst_overhead().as_ns(),
+                path.bottleneck_mbps());
+    std::printf("  -> %.1f MB/s, %.2f ms per reconfiguration, efficiency "
+                "%.1f%%\n\n",
+                rec.throughput(), rec.elapsed.as_ms(),
+                100.0 * rec.efficiency());
+  }
+
+  // Frame cost at 50 fps for each method.
+  std::printf("frame cost at 50 fps (one reconfiguration):\n");
+  for (ReconfigMethod method :
+       {ReconfigMethod::AxiHwicap, ReconfigMethod::Pcap, ReconfigMethod::ZyCap,
+        ReconfigMethod::PlDmaIcap}) {
+    ReconfigController ctrl(platform, method);
+    ctrl.stage(bits);
+    const ReconfigResult result =
+        ctrl.reconfigure(TimePoint{} + Duration::from_ms(17), bits);
+    FrameScheduler s;
+    s.add_reconfig_window(result.start, result.duration(), "dark");
+    const int dropped =
+        FrameScheduler::dropped_vehicle_frames(s.schedule(60, "day-dusk"));
+    std::printf("  %-14s %2d dropped frame(s)\n", to_string(method), dropped);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Offline training workflow (Fig. 1, left side): train the day/dusk/combined
+// vehicle SVMs, the pedestrian SVM and the taillight DBN, evaluate each on a
+// held-out set, and export every model artefact to disk — the files a
+// deployment would load into the accelerator block RAMs.
+//
+//   ./train_and_export_models <output-dir>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "avd/core/system_models.hpp"
+
+namespace {
+
+void export_svm(const avd::det::HogSvmModel& model, const std::string& dir) {
+  const std::string path = dir + "/" + model.name + ".hogsvm";
+  std::ofstream out(path);
+  model.save(out);
+  std::printf("  wrote %s (%zu weights)\n", path.c_str(),
+              model.svm.dimension());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace avd;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 1;
+  }
+  const std::string dir = argv[1];
+
+  std::printf("training the full model bundle...\n");
+  core::TrainingBudget budget;  // library defaults
+  const core::SystemModels models = core::build_system_models(budget);
+
+  std::printf("exporting:\n");
+  export_svm(models.day, dir);
+  export_svm(models.dusk, dir);
+  export_svm(models.combined, dir);
+  export_svm(models.pedestrian, dir);
+  {
+    const std::string path = dir + "/taillight.dbn";
+    std::ofstream out(path);
+    models.dark.dbn().save(out);
+    std::printf("  wrote %s (DBN 81-20-8-4)\n", path.c_str());
+  }
+  {
+    const std::string path = dir + "/pairing.svm";
+    std::ofstream out(path);
+    models.dark.pairing_svm().save(out);
+    std::printf("  wrote %s\n", path.c_str());
+  }
+
+  // Round-trip check: reload one SVM and verify predictions agree.
+  {
+    std::ifstream in(dir + "/day.hogsvm");
+    const det::HogSvmModel reloaded = det::HogSvmModel::load(in);
+    ml::Rng rng(42);
+    const img::ImageU8 patch = data::render_vehicle_patch(
+        data::LightingCondition::Day, reloaded.window, rng);
+    std::printf("\nround-trip check: original %.4f vs reloaded %.4f\n",
+                models.day.decision(patch), reloaded.decision(patch));
+  }
+
+  // Held-out evaluation of the exported models.
+  data::VehiclePatchSpec test{data::LightingCondition::Day, {64, 64}, 100, 100,
+                              0.0, 606060};
+  const auto counts =
+      det::evaluate_patches(models.day, data::make_vehicle_patches(test));
+  std::printf("day model held-out accuracy: %.1f%%\n",
+              100.0 * counts.accuracy());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Lighting-condition classification with hysteresis.
+//
+// The paper triggers reconfiguration from "an external signal which indicates
+// the light intensity changes" (§I). This classifier accepts either that
+// external sensor level or an image-derived estimate, and applies hysteresis
+// plus a debounce interval so that noise at a class boundary cannot cause
+// reconfiguration thrash (each spurious switch would cost a dropped frame).
+#pragma once
+
+#include <optional>
+
+#include "avd/datasets/lighting.hpp"
+#include "avd/image/image.hpp"
+
+namespace avd::core {
+
+struct LightingClassifierConfig {
+  // Decision thresholds on the 0..1 light level, with hysteresis bands: a
+  // transition in either direction must cross beyond the boundary by
+  // `hysteresis` before it is accepted.
+  double day_dusk_boundary = 0.55;
+  double dusk_dark_boundary = 0.18;
+  double hysteresis = 0.04;
+  /// Consecutive frames a new condition must persist before it is reported.
+  int debounce_frames = 3;
+};
+
+class LightingClassifier {
+ public:
+  explicit LightingClassifier(
+      LightingClassifierConfig config = {},
+      data::LightingCondition initial = data::LightingCondition::Day)
+      : config_(config), stable_(initial), candidate_(initial) {}
+
+  /// Feed one sensor reading; returns the (debounced) current condition.
+  data::LightingCondition update(double light_level);
+
+  /// Image-derived ambient light estimate in [0,1], usable in place of the
+  /// external sensor: combines mean luminance with a bright-pixel fraction
+  /// so that a dark frame full of light sources still reads as dark.
+  [[nodiscard]] static double estimate_light_level(const img::ImageU8& gray);
+
+  [[nodiscard]] data::LightingCondition current() const { return stable_; }
+  [[nodiscard]] const LightingClassifierConfig& config() const { return config_; }
+
+ private:
+  /// Raw (hysteresis-adjusted) classification of one reading.
+  [[nodiscard]] data::LightingCondition classify_raw(double level) const;
+
+  LightingClassifierConfig config_;
+  data::LightingCondition stable_;
+  data::LightingCondition candidate_;
+  int candidate_count_ = 0;
+};
+
+}  // namespace avd::core

@@ -1,0 +1,53 @@
+// The complete set of trained models the deployed system carries:
+// day / dusk / combined SVMs for the HOG pipeline, the pedestrian SVM for
+// the static partition, and the dark-condition detector (DBN + pairing SVM).
+#pragma once
+
+#include "avd/detect/dark_detector.hpp"
+#include "avd/detect/dark_training.hpp"
+#include "avd/detect/hog_svm_detector.hpp"
+
+namespace avd::core {
+
+struct SystemModels {
+  det::HogSvmModel day;
+  det::HogSvmModel dusk;
+  det::HogSvmModel combined;
+  det::HogSvmModel pedestrian;
+  det::DarkVehicleDetector dark;
+  /// Countryside extension (paper §I): animal classifier carried by the
+  /// third partial configuration. Untrained unless the budget enables it.
+  det::HogSvmModel animal;
+
+  [[nodiscard]] bool has_animal_model() const { return animal.svm.trained(); }
+
+  /// Vehicle model the day/dusk configuration selects for a condition
+  /// (a block-RAM model swap, not a reconfiguration — paper §III-A).
+  [[nodiscard]] const det::HogSvmModel& vehicle_model_for(
+      data::LightingCondition c) const {
+    return c == data::LightingCondition::Day ? day : dusk;
+  }
+};
+
+/// Training-set sizes for build_system_models. The defaults are sized for
+/// interactive examples; benches reproducing Table I use larger sets.
+struct TrainingBudget {
+  int vehicle_pos = 150;
+  int vehicle_neg = 150;
+  int pedestrian_pos = 120;
+  int pedestrian_neg = 120;
+  int dbn_windows_per_class = 200;
+  int pairing_scenes = 80;
+  img::Size vehicle_window{64, 64};
+  img::Size pedestrian_window{32, 64};
+  /// Train the countryside animal model too (0 disables the extension).
+  int animal_pos = 0;
+  int animal_neg = 0;
+  img::Size animal_window{64, 48};
+  std::uint64_t seed = 20190325;  // DATE'19 session date
+};
+
+/// Train every model from synthetic data. Deterministic in the budget seed.
+[[nodiscard]] SystemModels build_system_models(const TrainingBudget& budget = {});
+
+}  // namespace avd::core

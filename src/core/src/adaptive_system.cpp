@@ -1,0 +1,215 @@
+#include "avd/core/adaptive_system.hpp"
+
+#include <algorithm>
+
+#include "avd/detect/multi_model_scan.hpp"
+#include "avd/image/color.hpp"
+
+namespace avd::core {
+
+int AdaptiveRunReport::dropped_vehicle_frames() const {
+  return static_cast<int>(std::count_if(
+      frames.begin(), frames.end(),
+      [](const AdaptiveFrameReport& f) { return !f.vehicle_processed; }));
+}
+
+int AdaptiveRunReport::pedestrian_frames_processed() const {
+  return static_cast<int>(std::count_if(
+      frames.begin(), frames.end(),
+      [](const AdaptiveFrameReport& f) { return f.pedestrian_processed; }));
+}
+
+double AdaptiveRunReport::vehicle_availability() const {
+  if (frames.empty()) return 0.0;
+  return 1.0 - static_cast<double>(dropped_vehicle_frames()) /
+                   static_cast<double>(frames.size());
+}
+
+std::vector<ConditionSummary> AdaptiveRunReport::per_condition() const {
+  std::vector<ConditionSummary> out(3);
+  out[0].condition = data::LightingCondition::Day;
+  out[1].condition = data::LightingCondition::Dusk;
+  out[2].condition = data::LightingCondition::Dark;
+  for (const AdaptiveFrameReport& f : frames) {
+    ConditionSummary& s = out[static_cast<std::size_t>(f.sensed)];
+    ++s.frames;
+    s.dropped += !f.vehicle_processed;
+    s.vehicle_match.true_positives += f.vehicle_match.true_positives;
+    s.vehicle_match.false_negatives += f.vehicle_match.false_negatives;
+    s.vehicle_match.false_positives += f.vehicle_match.false_positives;
+  }
+  return out;
+}
+
+det::MatchResult AdaptiveRunReport::total_vehicle_match() const {
+  det::MatchResult total;
+  for (const AdaptiveFrameReport& f : frames) {
+    total.true_positives += f.vehicle_match.true_positives;
+    total.false_negatives += f.vehicle_match.false_negatives;
+    total.false_positives += f.vehicle_match.false_positives;
+  }
+  return total;
+}
+
+AdaptiveSystem::AdaptiveSystem(SystemModels models, AdaptiveSystemConfig config)
+    : models_(std::move(models)),
+      config_(config),
+      platform_(soc::default_platform()) {
+  const soc::DeviceResources device;
+  const soc::ModuleResources partition = soc::floorplan_partition(
+      soc::dark_blocks(), device, config_.floorplan);
+  day_dusk_bits_ = soc::make_partial_bitstream("day-dusk", partition, device,
+                                               config_.bitstream);
+  dark_bits_ =
+      soc::make_partial_bitstream("dark", partition, device, config_.bitstream);
+  countryside_bits_ = soc::make_partial_bitstream("countryside", partition,
+                                                  device, config_.bitstream);
+}
+
+std::vector<det::Detection> AdaptiveSystem::detect_vehicles(
+    const img::RgbImage& frame, data::LightingCondition condition) const {
+  if (condition == data::LightingCondition::Dark)
+    return models_.dark.detect(frame);
+  const img::ImageU8 gray = img::rgb_to_gray(frame);
+  return det::detect_multiscale(gray, models_.vehicle_model_for(condition),
+                                config_.sliding);
+}
+
+std::vector<det::Detection> AdaptiveSystem::detect_pedestrians(
+    const img::ImageU8& gray) const {
+  return det::detect_multiscale(gray, models_.pedestrian, config_.sliding);
+}
+
+AdaptiveRunReport AdaptiveSystem::run(const data::DriveSequence& sequence) {
+  AdaptiveRunReport report;
+  const int n = sequence.frame_count();
+
+  soc::ReconfigController controller(platform_, config_.method);
+  controller.stage(day_dusk_bits_);
+  controller.stage(dark_bits_);
+  if (models_.has_animal_model()) controller.stage(countryside_bits_);
+
+  soc::FrameScheduler scheduler(config_.scheduler);
+  const soc::Duration period = config_.scheduler.frame_period();
+  // The engine drains its in-flight frame before the partition is opened.
+  const soc::Duration drain =
+      soc::day_dusk_pipeline_model().frame_time(soc::kHdtvFrame);
+
+  LightingClassifier classifier(config_.classifier);
+
+  // Pass 1 — control plane: sensor trace -> condition -> reconfigurations.
+  std::string loaded = "day-dusk";  // boot configuration
+  soc::TimePoint busy_until{0};
+  std::vector<data::LightingCondition> sensed(static_cast<std::size_t>(n));
+  std::vector<bool> triggered(static_cast<std::size_t>(n), false);
+  std::vector<double> levels(static_cast<std::size_t>(n), 0.0);
+
+  for (int i = 0; i < n; ++i) {
+    const data::SequenceFrame meta = sequence.frame(i);
+    const double level =
+        config_.use_image_light_estimate
+            ? LightingClassifier::estimate_light_level(
+                  img::rgb_to_gray(data::render_scene(meta.scene)))
+            : meta.light_level;
+    levels[static_cast<std::size_t>(i)] = level;
+    const data::LightingCondition condition = classifier.update(level);
+    sensed[static_cast<std::size_t>(i)] = condition;
+
+    // Countryside selection only applies when the animal model exists.
+    const std::string wanted = models_.has_animal_model()
+                                   ? config_for(condition, meta.road)
+                                   : config_for(condition);
+    const soc::TimePoint now = scheduler.frame_time(i);
+    const soc::TimePoint dwell_until =
+        busy_until +
+        config_.scheduler.frame_period() *
+            static_cast<std::uint64_t>(std::max(0, config_.min_dwell_frames));
+    if (wanted != loaded && now >= busy_until &&
+        (busy_until.ps == 0 || now >= dwell_until)) {
+      const soc::TimePoint start = now + drain;
+      const soc::PartialBitstream& bits =
+          wanted == "dark"
+              ? dark_bits_
+              : (wanted == "countryside" ? countryside_bits_ : day_dusk_bits_);
+      const soc::ReconfigResult result = controller.reconfigure(start, bits);
+      scheduler.add_reconfig_window(start, result.duration(), wanted);
+      report.reconfigs.push_back(result);
+      busy_until = result.end;
+      loaded = wanted;
+      triggered[static_cast<std::size_t>(i)] = true;
+    }
+  }
+
+  // Pass 2 — frame schedule: which frames the vehicle engine processed and
+  // with which configuration.
+  const std::vector<soc::FrameRecord> schedule =
+      scheduler.schedule(n, "day-dusk");
+
+  // Pass 3 — (optional) pixel-level detection on processed frames.
+  report.frames.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    AdaptiveFrameReport fr;
+    fr.index = i;
+    fr.light_level = levels[ui];
+    fr.sensed = sensed[ui];
+    fr.active_config = schedule[ui].vehicle_config;
+    fr.vehicle_processed = schedule[ui].vehicle_processed;
+    fr.pedestrian_processed = schedule[ui].pedestrian_processed;
+    fr.reconfig_triggered = triggered[ui];
+
+    const data::SequenceFrame meta = sequence.frame(i);
+    fr.vehicles_truth = static_cast<int>(meta.scene.vehicles.size());
+    fr.animals_truth = static_cast<int>(meta.scene.animals.size());
+
+    if (config_.run_detectors && fr.vehicle_processed) {
+      // The detector that actually runs is determined by the *loaded*
+      // configuration, not by the sensed condition: frames between a
+      // condition change and the end of the reconfiguration still run the
+      // previous pipeline.
+      const img::RgbImage frame = data::render_scene(meta.scene);
+      std::vector<det::Detection> dets;
+      if (fr.active_config == "dark") {
+        dets = models_.dark.detect(frame);
+      } else if (fr.active_config == "countryside" &&
+                 models_.has_animal_model()) {
+        // The countryside configuration runs both classifiers behind one
+        // shared HOG front end — the software mirror of the hardware block
+        // sharing in soc::countryside_blocks().
+        const img::ImageU8 gray = img::rgb_to_gray(frame);
+        const det::HogSvmModel* shared_models[] = {
+            &models_.vehicle_model_for(fr.sensed), &models_.animal};
+        const auto all = det::detect_multiscale_multi(gray, shared_models,
+                                                      config_.sliding);
+        std::vector<det::Detection> animal_dets;
+        for (const det::Detection& d : all) {
+          if (d.class_id == det::kClassAnimal)
+            animal_dets.push_back(d);
+          else
+            dets.push_back(d);
+        }
+        std::vector<img::Rect> animal_truth;
+        for (const data::AnimalSpec& a : meta.scene.animals)
+          animal_truth.push_back(a.body);
+        fr.animal_match = det::match_detections(animal_dets, animal_truth,
+                                                config_.match_iou);
+      } else {
+        const img::ImageU8 gray = img::rgb_to_gray(frame);
+        dets = det::detect_multiscale(
+            gray, models_.vehicle_model_for(fr.sensed), config_.sliding);
+      }
+      std::vector<img::Rect> truth;
+      for (const data::VehicleSpec& v : meta.scene.vehicles)
+        truth.push_back(v.body);
+      fr.vehicle_match = det::match_detections(dets, truth, config_.match_iou);
+    }
+    report.frames.push_back(std::move(fr));
+
+    (void)period;
+  }
+
+  report.log = controller.log();
+  return report;
+}
+
+}  // namespace avd::core

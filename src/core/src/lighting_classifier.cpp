@@ -1,0 +1,66 @@
+#include "avd/core/lighting_classifier.hpp"
+
+#include <algorithm>
+
+#include "avd/image/stats.hpp"
+
+namespace avd::core {
+
+data::LightingCondition LightingClassifier::classify_raw(double level) const {
+  using data::LightingCondition;
+  // Hysteresis: moving away from the current stable condition requires
+  // crossing the boundary by the hysteresis margin.
+  const double h = config_.hysteresis;
+  switch (stable_) {
+    case LightingCondition::Day:
+      if (level < config_.dusk_dark_boundary - h) return LightingCondition::Dark;
+      if (level < config_.day_dusk_boundary - h) return LightingCondition::Dusk;
+      return LightingCondition::Day;
+    case LightingCondition::Dusk:
+      if (level > config_.day_dusk_boundary + h) return LightingCondition::Day;
+      if (level < config_.dusk_dark_boundary - h) return LightingCondition::Dark;
+      return LightingCondition::Dusk;
+    case LightingCondition::Dark:
+      if (level > config_.day_dusk_boundary + h) return LightingCondition::Day;
+      if (level > config_.dusk_dark_boundary + h) return LightingCondition::Dusk;
+      return LightingCondition::Dark;
+  }
+  return stable_;
+}
+
+data::LightingCondition LightingClassifier::update(double light_level) {
+  const data::LightingCondition raw = classify_raw(light_level);
+  if (raw == stable_) {
+    candidate_ = stable_;
+    candidate_count_ = 0;
+    return stable_;
+  }
+  if (raw == candidate_) {
+    if (++candidate_count_ >= config_.debounce_frames) {
+      stable_ = candidate_;
+      candidate_count_ = 0;
+    }
+  } else {
+    candidate_ = raw;
+    candidate_count_ = 1;
+    if (config_.debounce_frames <= 1) {
+      stable_ = candidate_;
+      candidate_count_ = 0;
+    }
+  }
+  return stable_;
+}
+
+double LightingClassifier::estimate_light_level(const img::ImageU8& gray) {
+  // Mean luminance normalised to [0,1], discounted by the fraction of
+  // saturated pixels: point light sources in a dark scene raise the mean but
+  // should not raise the ambient estimate.
+  const double mean = img::mean_intensity(gray) / 255.0;
+  const double bright = img::bright_fraction(gray, 240);
+  const double ambient = std::max(0.0, mean - 0.8 * bright);
+  // The scene generator's day frames average ~0.55, dusk ~0.25, dark ~0.04;
+  // rescale so the canonical conditions land at their nominal sensor levels.
+  return std::clamp(ambient * 1.55, 0.0, 1.0);
+}
+
+}  // namespace avd::core

@@ -1,0 +1,66 @@
+#include "avd/core/system_models.hpp"
+
+namespace avd::core {
+
+SystemModels build_system_models(const TrainingBudget& budget) {
+  using data::LightingCondition;
+
+  data::VehiclePatchSpec day_spec;
+  day_spec.condition = LightingCondition::Day;
+  day_spec.patch_size = budget.vehicle_window;
+  day_spec.n_positive = budget.vehicle_pos;
+  day_spec.n_negative = budget.vehicle_neg;
+  day_spec.seed = budget.seed + 1;
+
+  data::VehiclePatchSpec dusk_spec = day_spec;
+  dusk_spec.condition = LightingCondition::Dusk;
+  dusk_spec.seed = budget.seed + 2;
+
+  const data::PatchDataset day_train = data::make_vehicle_patches(day_spec);
+  const data::PatchDataset dusk_train = data::make_vehicle_patches(dusk_spec);
+  const data::PatchDataset combined_train =
+      data::PatchDataset::concat(day_train, dusk_train);
+
+  data::PedestrianPatchSpec ped_spec;
+  ped_spec.patch_size = budget.pedestrian_window;
+  ped_spec.n_positive = budget.pedestrian_pos;
+  ped_spec.n_negative = budget.pedestrian_neg;
+  ped_spec.seed = budget.seed + 3;
+  const data::PatchDataset ped_train = data::make_pedestrian_patches(ped_spec);
+
+  det::HogSvmTrainOptions vehicle_opts;
+  vehicle_opts.svm.seed = budget.seed + 4;
+  det::HogSvmTrainOptions ped_opts;
+  ped_opts.svm.seed = budget.seed + 5;
+  ped_opts.class_id = det::kClassPedestrian;
+
+  det::DarkTrainingSpec dark_spec;
+  dark_spec.windows.per_class = budget.dbn_windows_per_class;
+  dark_spec.pairing_scenes = budget.pairing_scenes;
+  dark_spec.seed = budget.seed + 6;
+
+  SystemModels models{
+      det::train_hog_svm(day_train, "day", vehicle_opts),
+      det::train_hog_svm(dusk_train, "dusk", vehicle_opts),
+      det::train_hog_svm(combined_train, "combined", vehicle_opts),
+      det::train_hog_svm(ped_train, "pedestrian", ped_opts),
+      det::train_dark_detector(dark_spec),
+      det::HogSvmModel{},
+  };
+
+  if (budget.animal_pos > 0 && budget.animal_neg > 0) {
+    data::AnimalPatchSpec animal_spec;
+    animal_spec.patch_size = budget.animal_window;
+    animal_spec.n_positive = budget.animal_pos;
+    animal_spec.n_negative = budget.animal_neg;
+    animal_spec.seed = budget.seed + 7;
+    det::HogSvmTrainOptions animal_opts;
+    animal_opts.svm.seed = budget.seed + 8;
+    animal_opts.class_id = det::kClassAnimal;
+    models.animal = det::train_hog_svm(
+        data::make_animal_patches(animal_spec), "animal", animal_opts);
+  }
+  return models;
+}
+
+}  // namespace avd::core

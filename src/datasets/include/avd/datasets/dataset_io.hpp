@@ -1,0 +1,27 @@
+// Dataset persistence: write a PatchDataset to a directory as PGM files plus
+// a text index, and read it back. The on-disk layout mirrors what the public
+// vehicle datasets (UPM/SYSU) look like after preprocessing — a folder of
+// fixed-size grayscale crops and a labels file — so users can swap in real
+// imagery without touching the training code.
+//
+// Layout:
+//   <dir>/index.txt      one line per patch: "<filename> <label> <very_dark>"
+//   <dir>/patch_00000.pgm ...
+#pragma once
+
+#include <string>
+
+#include "avd/datasets/patches.hpp"
+
+namespace avd::data {
+
+/// Write every patch and the index. Creates the directory if needed.
+/// Throws std::runtime_error on I/O failure.
+void save_dataset(const PatchDataset& dataset, const std::string& dir);
+
+/// Read a dataset previously written by save_dataset (or hand-assembled in
+/// the same layout). Throws on malformed indexes, missing files or
+/// inconsistent patch sizes.
+[[nodiscard]] PatchDataset load_dataset(const std::string& dir);
+
+}  // namespace avd::data

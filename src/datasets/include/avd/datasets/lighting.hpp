@@ -1,0 +1,42 @@
+// Lighting conditions and the ambient rendering parameters attached to them.
+//
+// The paper defines three environmental lighting categories — day, dusk,
+// dark (§III) — and switches the vehicle-detection algorithm between them.
+// The synthetic scene generator keys every appearance decision off these
+// parameters so the domain shift between conditions (which Table I measures)
+// is explicit and controllable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace avd::data {
+
+enum class LightingCondition : std::uint8_t { Day = 0, Dusk = 1, Dark = 2 };
+
+[[nodiscard]] std::string to_string(LightingCondition c);
+
+/// Ambient parameters controlling scene appearance in one condition.
+struct AmbientParams {
+  double ambient = 1.0;         ///< global illumination multiplier [0,1]
+  double noise_sigma = 3.0;     ///< Gaussian sensor noise (gray levels)
+  bool taillights_lit = false;  ///< rear lights of vehicles switched on
+  bool road_lights_on = false;  ///< street lighting present
+  double shadow_strength = 0.6; ///< darkness of shadow under the car (day cue)
+  double body_contrast = 1.0;   ///< vehicle-body vs road contrast multiplier
+  std::uint8_t sky_top = 150;
+  std::uint8_t sky_horizon = 210;
+};
+
+/// Canonical ambient parameters of each condition.
+[[nodiscard]] AmbientParams ambient_for(LightingCondition c);
+
+/// Continuous ambient light level (lux-like, 0..1) representative of a
+/// condition; used to script light-sensor traces for the adaptive runs.
+[[nodiscard]] double nominal_light_level(LightingCondition c);
+
+/// Inverse of nominal_light_level with the thresholds the paper's external
+/// light-intensity signal would use (>0.55 day, >0.18 dusk, else dark).
+[[nodiscard]] LightingCondition condition_for_light_level(double level);
+
+}  // namespace avd::data

@@ -1,0 +1,84 @@
+// Window-classification datasets: the synthetic stand-ins for the UPM (day)
+// and SYSU (dusk/dark) vehicle sets and for a pedestrian training set.
+//
+// Table I of the paper is an image-level classification experiment: positive
+// images contain a vehicle, negative images do not, and each SVM model is
+// scored by TP/TN/FP/FN over a held-out test set. These builders produce
+// exactly that: labelled grayscale patches rendered under a condition.
+#pragma once
+
+#include <vector>
+
+#include "avd/datasets/scene.hpp"
+
+namespace avd::data {
+
+/// One labelled example for the HOG+SVM classifiers.
+struct LabeledPatch {
+  img::ImageU8 gray;     ///< grayscale patch (HOG input)
+  int label = -1;        ///< +1 = contains target, -1 = background
+  bool very_dark = false;  ///< rendered in Dark condition (SYSU dark subset)
+};
+
+struct PatchDataset {
+  std::vector<LabeledPatch> patches;
+  LightingCondition condition = LightingCondition::Day;
+
+  [[nodiscard]] std::size_t size() const { return patches.size(); }
+  [[nodiscard]] std::size_t positives() const;
+  [[nodiscard]] std::size_t negatives() const;
+  /// Copy without the very_dark patches (the paper's "subset of SYSU").
+  [[nodiscard]] PatchDataset without_very_dark() const;
+  /// Concatenate (for the paper's "combined" training set).
+  [[nodiscard]] static PatchDataset concat(const PatchDataset& a,
+                                           const PatchDataset& b);
+};
+
+struct VehiclePatchSpec {
+  LightingCondition condition = LightingCondition::Day;
+  img::Size patch_size{64, 64};
+  int n_positive = 400;
+  int n_negative = 400;
+  /// Fraction of positives rendered under Dark instead of `condition`:
+  /// models the very-dark images embedded in the SYSU dusk test set.
+  double dark_fraction = 0.0;
+  std::uint64_t seed = 1234;
+};
+
+/// Vehicle/background patches under the given condition.
+[[nodiscard]] PatchDataset make_vehicle_patches(const VehiclePatchSpec& spec);
+
+struct PedestrianPatchSpec {
+  LightingCondition condition = LightingCondition::Day;
+  img::Size patch_size{32, 64};
+  int n_positive = 300;
+  int n_negative = 300;
+  std::uint64_t seed = 4321;
+};
+
+/// Pedestrian/background patches (for the static-partition detector).
+[[nodiscard]] PatchDataset make_pedestrian_patches(const PedestrianPatchSpec& spec);
+
+struct AnimalPatchSpec {
+  LightingCondition condition = LightingCondition::Day;
+  img::Size patch_size{64, 48};
+  int n_positive = 300;
+  int n_negative = 300;
+  std::uint64_t seed = 5678;
+};
+
+/// Animal/background patches for the countryside extension (paper §I: animal
+/// detection as a feature worth swapping in on countryside roads).
+[[nodiscard]] PatchDataset make_animal_patches(const AnimalPatchSpec& spec);
+
+/// Render a single positive vehicle patch (exposed for examples/tests).
+[[nodiscard]] img::ImageU8 render_vehicle_patch(LightingCondition condition,
+                                                img::Size patch_size,
+                                                ml::Rng& rng);
+
+/// Render a single negative (background/clutter) patch.
+[[nodiscard]] img::ImageU8 render_negative_patch(LightingCondition condition,
+                                                 img::Size patch_size,
+                                                 ml::Rng& rng);
+
+}  // namespace avd::data

@@ -1,0 +1,128 @@
+// Procedural road-scene renderer.
+//
+// Stands in for the UPM [15], SYSU [4] and iROADS [18] imagery the paper
+// evaluates on (DESIGN.md §2). The renderer draws rear views of vehicles on a
+// road under a given LightingCondition; ground-truth boxes and taillight
+// positions are carried alongside the pixels so detectors can be scored.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "avd/datasets/lighting.hpp"
+#include "avd/image/image.hpp"
+#include "avd/ml/rng.hpp"
+
+namespace avd::data {
+
+/// One vehicle, rear view. All geometry in frame pixels.
+struct VehicleSpec {
+  img::Rect body;            ///< bounding box of the car body
+  img::RgbPixel paint{120, 30, 30};  ///< daylight body color
+  bool taillights_lit = false;       ///< overrides ambient default when forced
+  bool force_lights = false;
+  double light_intensity = 1.0;      ///< taillight brightness (brake = ~1.3)
+  /// Extra body-contrast multiplier: how well this particular vehicle is lit
+  /// (under a street lamp vs in shadow). 1.0 in daylight.
+  double body_visibility = 1.0;
+  /// Defective left lamp: the vehicle shows a single taillight at night —
+  /// the pairing stage cannot confirm it (a deliberate hard case).
+  bool left_light_broken = false;
+
+  /// Taillight boxes derived from the body geometry (left, right).
+  [[nodiscard]] std::pair<img::Rect, img::Rect> taillight_boxes() const;
+};
+
+/// A light source that is NOT a vehicle taillight (distractor).
+struct DistractorLight {
+  img::Point position;
+  int radius = 6;
+  img::RgbPixel color{255, 240, 200};  ///< white-yellow: street/headlight
+};
+
+/// Simple upright pedestrian figure.
+struct PedestrianSpec {
+  img::Rect body;  ///< full-figure bounding box
+};
+
+/// Quadruped animal, side view (deer/livestock on countryside roads — the
+/// paper's §I motivation for swappable detection features).
+struct AnimalSpec {
+  img::Rect body;  ///< full-figure bounding box (body + legs + head)
+  img::RgbPixel coat{110, 85, 60};
+};
+
+/// Static rectangular clutter (buildings, signs, parked trailers).
+struct ClutterSpec {
+  img::Rect box;
+  img::RgbPixel color{90, 90, 95};
+};
+
+/// Wet-road reflection streak of a red light source: passes the chroma
+/// threshold like a taillight but has the wrong shape. A size heuristic is
+/// fooled; the shape-aware DBN is not (ablation A2).
+struct StreakSpec {
+  img::Rect box;                      ///< tall, thin
+  img::RgbPixel color{220, 50, 35};   ///< bright enough for the luma gate
+};
+
+/// Full description of one frame.
+struct SceneSpec {
+  LightingCondition condition = LightingCondition::Day;
+  img::Size frame_size{640, 360};
+  int horizon_y = 150;  ///< sky/road boundary
+  std::vector<VehicleSpec> vehicles;
+  std::vector<DistractorLight> distractors;
+  std::vector<StreakSpec> streaks;  ///< drawn only when road lights are on
+  std::vector<PedestrianSpec> pedestrians;
+  std::vector<AnimalSpec> animals;
+  std::vector<ClutterSpec> clutter;             ///< drawn behind vehicles
+  std::vector<ClutterSpec> foreground_clutter;  ///< drawn over vehicles (occluders)
+  std::uint64_t noise_seed = 42;
+  /// When set, replaces ambient_for(condition) — for intermediate lighting
+  /// levels and ablation sweeps.
+  std::optional<AmbientParams> ambient_override;
+};
+
+/// Render the scene to an RGB frame.
+[[nodiscard]] img::RgbImage render_scene(const SceneSpec& spec);
+
+/// Randomised scene construction with plausible geometry.
+class SceneGenerator {
+ public:
+  SceneGenerator(LightingCondition condition, std::uint64_t seed)
+      : condition_(condition), rng_(seed) {}
+
+  /// Random scene with `n_vehicles` vehicles and condition-appropriate
+  /// distractors/clutter.
+  [[nodiscard]] SceneSpec random_scene(img::Size frame, int n_vehicles,
+                                       int n_pedestrians = 0);
+
+  /// A random vehicle whose apparent size corresponds to a distance draw.
+  [[nodiscard]] VehicleSpec random_vehicle(img::Size frame, int horizon_y);
+
+  /// A random roadside/on-road animal (countryside scenes).
+  [[nodiscard]] AnimalSpec random_animal(img::Size frame, int horizon_y);
+
+  [[nodiscard]] ml::Rng& rng() { return rng_; }
+  [[nodiscard]] LightingCondition condition() const { return condition_; }
+
+ private:
+  LightingCondition condition_;
+  ml::Rng rng_;
+};
+
+/// Named scenario presets for quick experiment setup.
+enum class ScenarioPreset {
+  EmptyRoad,       ///< no traffic — false-positive testing
+  LightTraffic,    ///< 1-2 vehicles
+  DenseTraffic,    ///< 4-6 vehicles, pedestrians
+  CountrysideRoad, ///< 1-2 vehicles, animals, no street clutter
+};
+
+/// Build a scene for a preset at the given condition/seed.
+[[nodiscard]] SceneSpec make_scenario(ScenarioPreset preset,
+                                      LightingCondition condition,
+                                      img::Size frame, std::uint64_t seed);
+
+}  // namespace avd::data

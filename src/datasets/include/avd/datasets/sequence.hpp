@@ -1,0 +1,70 @@
+// Scripted driving sequences: frames plus an ambient-light trace.
+//
+// Used by the adaptive-system experiments (C3 in DESIGN.md): a drive that
+// passes from day through dusk into dark (and through a tunnel) triggers the
+// partial reconfigurations whose cost the paper measures.
+#pragma once
+
+#include <vector>
+
+#include "avd/datasets/scene.hpp"
+
+namespace avd::data {
+
+/// Driving environment of a segment (paper §I: features like animal
+/// detection matter on countryside roads, not in urban driving).
+enum class RoadType : std::uint8_t { Urban = 0, Countryside = 1 };
+
+/// One segment of a scripted drive.
+struct DriveSegment {
+  LightingCondition condition = LightingCondition::Day;
+  int n_frames = 50;
+  /// Optional override of the sensor reading; negative = use
+  /// nominal_light_level(condition).
+  double light_level = -1.0;
+  RoadType road = RoadType::Urban;
+};
+
+struct SequenceSpec {
+  img::Size frame_size{640, 360};
+  std::vector<DriveSegment> segments;
+  int vehicles_per_frame = 2;
+  int pedestrians_per_frame = 1;
+  int animals_per_frame = 1;  ///< only on Countryside segments
+  std::uint64_t seed = 2024;
+  /// Coherent motion: within a segment the same vehicles persist and drift
+  /// smoothly frame to frame (for tracking experiments). Off by default:
+  /// each frame is an independent draw (for detection statistics).
+  bool coherent_motion = false;
+};
+
+/// One generated frame with ground truth.
+struct SequenceFrame {
+  SceneSpec scene;             ///< full ground truth (boxes, lights)
+  double light_level = 0.0;    ///< simulated ambient light sensor reading
+  LightingCondition condition = LightingCondition::Day;
+  RoadType road = RoadType::Urban;  ///< navigation-derived signal
+};
+
+/// Generates frames lazily; frame contents are deterministic in (seed, index).
+class DriveSequence {
+ public:
+  explicit DriveSequence(SequenceSpec spec);
+
+  [[nodiscard]] int frame_count() const;
+  /// Ground truth + sensor reading of frame `index` (no pixels rendered).
+  [[nodiscard]] SequenceFrame frame(int index) const;
+  /// Rendered pixels of frame `index`.
+  [[nodiscard]] img::RgbImage render(int index) const;
+
+  /// A canonical day->dusk->dark->dusk script with a tunnel passage, the
+  /// scenario discussed at the end of paper §IV-B.
+  [[nodiscard]] static SequenceSpec canonical_drive(img::Size frame_size,
+                                                    int frames_per_segment);
+
+ private:
+  SequenceSpec spec_;
+  std::vector<int> segment_start_;  // prefix sums of segment lengths
+};
+
+}  // namespace avd::data

@@ -1,0 +1,55 @@
+// Training data for the taillight DBN: 9x9 binary windows labelled with the
+// taillight size/shape class (paper §III-B: 81 visible inputs, 4 output
+// nodes "which determine the size and shape class of taillights").
+//
+// Class semantics used throughout the library:
+//   0 = NotTaillight : noise specks, streaks, fragments of street lights
+//   1 = SmallRound   : distant taillight (1-2 px blob)
+//   2 = LargeRound   : mid-distance round lamp
+//   3 = WideBar      : near full-width light bar / large lamp cluster
+#pragma once
+
+#include <vector>
+
+#include "avd/image/image.hpp"
+#include "avd/ml/rng.hpp"
+
+namespace avd::data {
+
+inline constexpr int kTaillightWindow = 9;           ///< window side (paper: 9x9)
+inline constexpr int kTaillightInputs = 81;          ///< DBN visible units
+inline constexpr int kTaillightClasses = 4;          ///< DBN output nodes
+
+enum class TaillightClass : int {
+  NotTaillight = 0,
+  SmallRound = 1,
+  LargeRound = 2,
+  WideBar = 3,
+};
+
+[[nodiscard]] const char* to_string(TaillightClass c);
+
+/// One training window, flattened row-major into 81 binary (0/1) floats.
+struct TaillightWindow {
+  std::vector<float> pixels;  ///< 81 values in {0,1}
+  int label = 0;              ///< TaillightClass as int
+};
+
+struct TaillightWindowSpec {
+  int per_class = 250;
+  double flip_noise = 0.03;   ///< probability of flipping each pixel
+  std::uint64_t seed = 99;
+};
+
+/// Balanced, shuffled dataset of all four classes.
+[[nodiscard]] std::vector<TaillightWindow> make_taillight_windows(
+    const TaillightWindowSpec& spec);
+
+/// Draw one window of class `cls` into a 9x9 binary image (no noise applied);
+/// exposed so tests can verify the class geometry invariants.
+[[nodiscard]] img::ImageU8 render_taillight_shape(TaillightClass cls, ml::Rng& rng);
+
+/// Flatten a binary 9x9 image into 81 floats in {0,1}.
+[[nodiscard]] std::vector<float> flatten_window(const img::ImageU8& window);
+
+}  // namespace avd::data

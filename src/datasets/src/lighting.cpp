@@ -1,0 +1,72 @@
+#include "avd/datasets/lighting.hpp"
+
+#include <stdexcept>
+
+namespace avd::data {
+
+std::string to_string(LightingCondition c) {
+  switch (c) {
+    case LightingCondition::Day:
+      return "day";
+    case LightingCondition::Dusk:
+      return "dusk";
+    case LightingCondition::Dark:
+      return "dark";
+  }
+  throw std::invalid_argument("to_string: bad LightingCondition");
+}
+
+AmbientParams ambient_for(LightingCondition c) {
+  switch (c) {
+    case LightingCondition::Day:
+      return {.ambient = 1.0,
+              .noise_sigma = 5.0,
+              .taillights_lit = false,
+              .road_lights_on = false,
+              .shadow_strength = 0.55,
+              .body_contrast = 1.0,
+              .sky_top = 150,
+              .sky_horizon = 215};
+    case LightingCondition::Dusk:
+      // Modelled on the SYSU night-urban imagery the paper files under
+      // "dusk": lights dominate, vehicle bodies are faint but present.
+      return {.ambient = 0.32,
+              .noise_sigma = 6.0,
+              .taillights_lit = true,
+              .road_lights_on = true,
+              .shadow_strength = 0.05,
+              .body_contrast = 0.45,
+              .sky_top = 25,
+              .sky_horizon = 55};
+    case LightingCondition::Dark:
+      return {.ambient = 0.08,
+              .noise_sigma = 7.0,
+              .taillights_lit = true,
+              .road_lights_on = true,
+              .shadow_strength = 0.0,
+              .body_contrast = 0.12,
+              .sky_top = 6,
+              .sky_horizon = 12};
+  }
+  throw std::invalid_argument("ambient_for: bad LightingCondition");
+}
+
+double nominal_light_level(LightingCondition c) {
+  switch (c) {
+    case LightingCondition::Day:
+      return 0.85;
+    case LightingCondition::Dusk:
+      return 0.35;
+    case LightingCondition::Dark:
+      return 0.05;
+  }
+  throw std::invalid_argument("nominal_light_level: bad LightingCondition");
+}
+
+LightingCondition condition_for_light_level(double level) {
+  if (level > 0.55) return LightingCondition::Day;
+  if (level > 0.18) return LightingCondition::Dusk;
+  return LightingCondition::Dark;
+}
+
+}  // namespace avd::data

@@ -1,0 +1,106 @@
+#include "avd/datasets/sequence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace avd::data {
+
+DriveSequence::DriveSequence(SequenceSpec spec) : spec_(std::move(spec)) {
+  if (spec_.segments.empty())
+    throw std::invalid_argument("DriveSequence: no segments");
+  int total = 0;
+  for (const DriveSegment& s : spec_.segments) {
+    if (s.n_frames <= 0)
+      throw std::invalid_argument("DriveSequence: segment with no frames");
+    segment_start_.push_back(total);
+    total += s.n_frames;
+  }
+  segment_start_.push_back(total);
+}
+
+int DriveSequence::frame_count() const { return segment_start_.back(); }
+
+SequenceFrame DriveSequence::frame(int index) const {
+  if (index < 0 || index >= frame_count())
+    throw std::out_of_range("DriveSequence::frame");
+  std::size_t seg = 0;
+  while (index >= segment_start_[seg + 1]) ++seg;
+  const DriveSegment& segment = spec_.segments[seg];
+
+  SequenceFrame out;
+  out.condition = segment.condition;
+  out.road = segment.road;
+  out.light_level = segment.light_level >= 0.0
+                        ? segment.light_level
+                        : nominal_light_level(segment.condition);
+
+  const auto add_animals = [&](SceneSpec& scene, SceneGenerator& gen) {
+    if (segment.road != RoadType::Countryside) return;
+    for (int i = 0; i < spec_.animals_per_frame; ++i)
+      scene.animals.push_back(
+          gen.random_animal(spec_.frame_size, scene.horizon_y));
+  };
+
+  if (!spec_.coherent_motion) {
+    // Deterministic per-frame seed: frames are independent of how many
+    // frames were queried before them.
+    SceneGenerator gen(
+        segment.condition,
+        spec_.seed * 1000003ULL + static_cast<std::uint64_t>(index));
+    out.scene = gen.random_scene(spec_.frame_size, spec_.vehicles_per_frame,
+                                 spec_.pedestrians_per_frame);
+    add_animals(out.scene, gen);
+    return out;
+  }
+
+  // Coherent mode: the segment's scene is drawn once (seeded by the segment
+  // index), then every vehicle drifts with a constant per-vehicle velocity;
+  // approaching vehicles also grow slightly. Noise stays per-frame.
+  SceneGenerator gen(segment.condition,
+                     spec_.seed * 1000003ULL + static_cast<std::uint64_t>(seg));
+  out.scene = gen.random_scene(spec_.frame_size, spec_.vehicles_per_frame,
+                               spec_.pedestrians_per_frame);
+  add_animals(out.scene, gen);
+  const int t = index - segment_start_[seg];
+  for (data::VehicleSpec& v : out.scene.vehicles) {
+    // Velocity derived from the generator stream: [-3, +3] px/frame lateral,
+    // [-1, +1] px/frame vertical, growth every few frames when approaching.
+    const int vx = gen.rng().uniform_int(-3, 3);
+    const int vy = gen.rng().uniform_int(-1, 1);
+    const int grow_period = gen.rng().uniform_int(4, 10);
+    v.body.x += vx * t;
+    v.body.y += vy * t;
+    const int growth = vy > 0 ? t / grow_period : 0;
+    v.body = img::inflated(v.body, growth);
+    // Keep the body inside the frame horizontally.
+    v.body.x = std::clamp(v.body.x, -v.body.width / 3,
+                          spec_.frame_size.width - (2 * v.body.width) / 3);
+  }
+  out.scene.noise_seed =
+      spec_.seed * 7919ULL + static_cast<std::uint64_t>(index);
+  return out;
+}
+
+img::RgbImage DriveSequence::render(int index) const {
+  return render_scene(frame(index).scene);
+}
+
+SequenceSpec DriveSequence::canonical_drive(img::Size frame_size,
+                                            int frames_per_segment) {
+  SequenceSpec spec;
+  spec.frame_size = frame_size;
+  // Day driving, tunnel entry (lit tunnel = dusk, per paper §IV-B: "the
+  // tunnel environment is well lighted and is categorized as dusk"), back to
+  // day, evening dusk, full night, then a lit urban stretch again.
+  spec.segments = {
+      {LightingCondition::Day, frames_per_segment, -1.0},
+      {LightingCondition::Dusk, frames_per_segment, 0.30},  // tunnel
+      {LightingCondition::Day, frames_per_segment, -1.0},
+      {LightingCondition::Dusk, frames_per_segment, -1.0},
+      {LightingCondition::Dark, frames_per_segment, -1.0},
+      {LightingCondition::Dusk, frames_per_segment, -1.0},
+  };
+  return spec;
+}
+
+}  // namespace avd::data

@@ -1,0 +1,114 @@
+#include "avd/datasets/taillight_windows.hpp"
+
+#include <stdexcept>
+
+#include "avd/image/draw.hpp"
+
+namespace avd::data {
+
+const char* to_string(TaillightClass c) {
+  switch (c) {
+    case TaillightClass::NotTaillight:
+      return "not-taillight";
+    case TaillightClass::SmallRound:
+      return "small-round";
+    case TaillightClass::LargeRound:
+      return "large-round";
+    case TaillightClass::WideBar:
+      return "wide-bar";
+  }
+  throw std::invalid_argument("to_string: bad TaillightClass");
+}
+
+img::ImageU8 render_taillight_shape(TaillightClass cls, ml::Rng& rng) {
+  img::ImageU8 win(kTaillightWindow, kTaillightWindow, 0);
+  const int cx = kTaillightWindow / 2 + rng.uniform_int(-1, 1);
+  const int cy = kTaillightWindow / 2 + rng.uniform_int(-1, 1);
+
+  switch (cls) {
+    case TaillightClass::SmallRound: {
+      // 1-2 px distant lamp.
+      const int d = rng.uniform_int(1, 2);
+      img::fill_ellipse(win, {cx - d / 2, cy - d / 2, d, d}, 255);
+      break;
+    }
+    case TaillightClass::LargeRound: {
+      // 3-5 px round lamp.
+      const int d = rng.uniform_int(3, 5);
+      img::fill_ellipse(win, {cx - d / 2, cy - d / 2, d, d}, 255);
+      break;
+    }
+    case TaillightClass::WideBar: {
+      // Wide, short bar: near light cluster.
+      const int w = rng.uniform_int(6, 9);
+      const int h = rng.uniform_int(2, 4);
+      img::fill_rect(win, {cx - w / 2, cy - h / 2, w, h}, 255);
+      break;
+    }
+    case TaillightClass::NotTaillight: {
+      // Distractors the threshold stage lets through: thin vertical/diagonal
+      // streaks (pole reflections), scattered specks, or window corners of a
+      // larger non-lamp region.
+      switch (rng.uniform_int(0, 2)) {
+        case 0: {  // streak
+          const int x = rng.uniform_int(1, kTaillightWindow - 2);
+          for (int y = 0; y < kTaillightWindow; ++y)
+            if (rng.bernoulli(0.8))
+              win(std::clamp(x + rng.uniform_int(-1, 1), 0,
+                             kTaillightWindow - 1),
+                  y) = 255;
+          break;
+        }
+        case 1: {  // scattered specks
+          const int n = rng.uniform_int(2, 6);
+          for (int i = 0; i < n; ++i)
+            win(rng.uniform_int(0, kTaillightWindow - 1),
+                rng.uniform_int(0, kTaillightWindow - 1)) = 255;
+          break;
+        }
+        default: {  // corner of a large region entering from one side
+          const int w = rng.uniform_int(3, 6);
+          const int h = rng.uniform_int(5, 9);
+          const bool left = rng.bernoulli(0.5);
+          img::fill_rect(win, {left ? -1 : kTaillightWindow - w + 1,
+                               rng.uniform_int(-2, 2), w, h},
+                         255);
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return win;
+}
+
+std::vector<float> flatten_window(const img::ImageU8& window) {
+  if (window.width() != kTaillightWindow || window.height() != kTaillightWindow)
+    throw std::invalid_argument("flatten_window: expected 9x9 window");
+  std::vector<float> out;
+  out.reserve(kTaillightInputs);
+  for (auto v : window.pixels()) out.push_back(v != 0 ? 1.0f : 0.0f);
+  return out;
+}
+
+std::vector<TaillightWindow> make_taillight_windows(
+    const TaillightWindowSpec& spec) {
+  ml::Rng rng(spec.seed);
+  std::vector<TaillightWindow> out;
+  out.reserve(static_cast<std::size_t>(spec.per_class) * kTaillightClasses);
+
+  for (int cls = 0; cls < kTaillightClasses; ++cls) {
+    for (int i = 0; i < spec.per_class; ++i) {
+      img::ImageU8 win =
+          render_taillight_shape(static_cast<TaillightClass>(cls), rng);
+      // Sensor/threshold noise: independent pixel flips.
+      for (auto& v : win.pixels())
+        if (rng.bernoulli(spec.flip_noise)) v = v != 0 ? 0 : 255;
+      out.push_back({flatten_window(win), cls});
+    }
+  }
+  rng.shuffle(out);
+  return out;
+}
+
+}  // namespace avd::data

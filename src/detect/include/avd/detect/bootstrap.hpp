@@ -1,0 +1,38 @@
+// Hard-negative mining ("bootstrapping", Dalal & Triggs [12] §4).
+//
+// Train an initial model, scan vehicle-free frames with the sliding-window
+// detector, harvest the false positives as additional negative examples, and
+// retrain. One or two rounds typically remove the structured false alarms
+// (horizon crossings, box-shaped clutter) that random negative sampling
+// misses.
+#pragma once
+
+#include "avd/detect/hog_svm_detector.hpp"
+
+namespace avd::det {
+
+struct BootstrapSpec {
+  int rounds = 2;                 ///< mining rounds after the initial fit
+  int scenes_per_round = 40;      ///< vehicle-free frames scanned per round
+  img::Size scene_size{256, 160};
+  int max_new_negatives_per_round = 200;
+  SlidingWindowParams scan;       ///< scan used for mining (threshold matters)
+  std::uint64_t seed = 1789;
+};
+
+struct BootstrapReport {
+  /// False positives harvested in each round (size == rounds actually run;
+  /// mining stops early when a round yields nothing).
+  std::vector<int> mined_per_round;
+  std::size_t final_training_size = 0;
+};
+
+/// Train with hard-negative mining. `dataset` supplies the initial positives
+/// and negatives; mined windows are appended as negatives between rounds.
+/// Mining scenes are rendered under the dataset's lighting condition.
+[[nodiscard]] HogSvmModel bootstrap_train_hog_svm(
+    const data::PatchDataset& dataset, std::string name,
+    const BootstrapSpec& spec = {}, const HogSvmTrainOptions& opts = {},
+    BootstrapReport* report = nullptr);
+
+}  // namespace avd::det

@@ -1,0 +1,94 @@
+// Vehicle detection in the dark (paper §III-B, Figs. 3-4).
+//
+// Pipeline:
+//   1. split chroma & luminance, threshold both, AND-merge   (image module)
+//   2. downsample 1920x1080 -> 640x360, morphological closing
+//   3. sliding 9x9 DBN (stride 2) over candidate blobs: detect taillights
+//      and classify their size/shape (4 classes)
+//   4. spatial correlation: pair taillights with an SVM over geometric
+//      features, emit one vehicle box per accepted pair
+#pragma once
+
+#include <vector>
+
+#include "avd/datasets/taillight_windows.hpp"
+#include "avd/detect/detection.hpp"
+#include "avd/image/blobs.hpp"
+#include "avd/image/morphology.hpp"
+#include "avd/image/threshold.hpp"
+#include "avd/ml/dbn.hpp"
+#include "avd/ml/svm.hpp"
+
+namespace avd::det {
+
+struct DarkDetectorConfig {
+  img::TaillightThresholdParams threshold;
+  int downsample_factor = 3;  ///< 1920x1080 -> 640x360 (paper Fig. 4)
+  /// Fig. 3's "Noise Reduction" block: 3x3 median despeckle on the binary
+  /// mask before closing (majority vote; removes isolated noise pixels).
+  bool median_prefilter = false;
+  img::StructuringElement closing{3, 3};
+  int window_stride = 2;      ///< DBN slide stride (paper: "stride of 2")
+  long long min_blob_area = 1;
+  double dbn_min_confidence = 0.30;  ///< min mean posterior of a taillight class
+
+  // Spatial-correlation search region: "only a particular region around each
+  // detected taillight is processed for matching" (§III-B).
+  int pair_min_dx = 4;     ///< min horizontal light separation (downsampled px)
+  int pair_max_dx = 120;   ///< max horizontal light separation
+  int pair_max_dy = 10;    ///< max vertical misalignment
+  double pair_svm_threshold = 0.0;
+  double nms_iou = 0.3;
+};
+
+/// One detected taillight candidate (coordinates in the downsampled frame).
+struct TaillightDetection {
+  img::Point center;
+  data::TaillightClass cls = data::TaillightClass::NotTaillight;
+  double confidence = 0.0;   ///< DBN posterior of `cls`
+  img::Rect blob_box;
+  long long blob_area = 0;
+};
+
+/// The dark-condition vehicle detector. Owns its two trained models: the
+/// taillight DBN and the pairing SVM.
+class DarkVehicleDetector {
+ public:
+  DarkVehicleDetector(ml::Dbn taillight_dbn, ml::LinearSvm pairing_svm,
+                      DarkDetectorConfig config = {});
+
+  /// Full pipeline on an RGB frame; boxes in original frame coordinates.
+  [[nodiscard]] std::vector<Detection> detect(const img::RgbImage& frame) const;
+
+  // --- Individual stages, exposed for tests, ablations and stage benches ---
+
+  /// Stages 1-2: binary candidate mask in downsampled coordinates.
+  [[nodiscard]] img::ImageU8 preprocess(const img::RgbImage& frame) const;
+
+  /// Stage 3: sliding-DBN taillight detection on the binary mask.
+  [[nodiscard]] std::vector<TaillightDetection> detect_taillights(
+      const img::ImageU8& binary) const;
+
+  /// Stage 4: pair taillights, returning vehicle boxes in *downsampled*
+  /// coordinates (detect() rescales them).
+  [[nodiscard]] std::vector<Detection> pair_taillights(
+      const std::vector<TaillightDetection>& lights) const;
+
+  /// Geometric feature vector of a candidate pair (a = left light).
+  /// Layout: {dx, |dy|, size_a, size_b, size_ratio, class_agreement} with all
+  /// entries scaled to O(1).
+  [[nodiscard]] static std::vector<float> pair_features(
+      const TaillightDetection& a, const TaillightDetection& b);
+  static constexpr std::size_t kPairFeatureCount = 6;
+
+  [[nodiscard]] const DarkDetectorConfig& config() const { return config_; }
+  [[nodiscard]] const ml::Dbn& dbn() const { return dbn_; }
+  [[nodiscard]] const ml::LinearSvm& pairing_svm() const { return pairing_svm_; }
+
+ private:
+  ml::Dbn dbn_;
+  ml::LinearSvm pairing_svm_;
+  DarkDetectorConfig config_;
+};
+
+}  // namespace avd::det

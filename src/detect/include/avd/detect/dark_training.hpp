@@ -1,0 +1,52 @@
+// Training and evaluation harness for the dark-condition detector.
+//
+// The paper trains the DBN on cropped taillights of the SYSU training images
+// and the pairing SVM on "a selection of detected taillights based on their
+// obtained size features and their distance". We train on the synthetic
+// equivalents: generated 9x9 windows and geometric pair features derived from
+// rendered dark scenes' ground truth.
+#pragma once
+
+#include "avd/datasets/scene.hpp"
+#include "avd/detect/dark_detector.hpp"
+#include "avd/ml/metrics.hpp"
+
+namespace avd::det {
+
+struct DarkTrainingSpec {
+  data::TaillightWindowSpec windows;   ///< DBN training windows
+  ml::DbnTrainParams dbn;
+  int pairing_scenes = 120;            ///< scenes mined for pair features
+  img::Size pairing_frame{480, 270};   ///< must divide by downsample factor
+  ml::SvmTrainParams pairing_svm;
+  DarkDetectorConfig config;
+  std::uint64_t seed = 7777;
+};
+
+/// Phase 1: train the taillight DBN (81 -> 20 -> 8 -> softmax-4, §III-B).
+[[nodiscard]] ml::Dbn train_taillight_dbn(const DarkTrainingSpec& spec);
+
+/// Taillight size/shape class implied by a blob of the given downsampled
+/// dimensions; the generator and the pairing miner share this rule.
+[[nodiscard]] data::TaillightClass taillight_class_for_size(int width,
+                                                            int height);
+
+/// Phase 2: mine geometric pair features (positives = same-vehicle taillight
+/// pairs, negatives = cross-vehicle and light-distractor pairs) from rendered
+/// dark scenes and train the pairing SVM.
+[[nodiscard]] ml::LinearSvm train_pairing_svm(const DarkTrainingSpec& spec);
+
+/// Convenience: both phases, assembled into a detector.
+[[nodiscard]] DarkVehicleDetector train_dark_detector(
+    const DarkTrainingSpec& spec = {});
+
+/// Frame-level evaluation (the protocol behind the paper's "accuracy of 95%"
+/// on the SYSU dark subset): a positive frame contains >= 1 vehicle and
+/// counts as TP when the detector reports >= 1 vehicle; a negative frame
+/// contains only distractor lights and counts as TN when the detector stays
+/// silent.
+[[nodiscard]] ml::BinaryCounts evaluate_dark_frames(
+    const DarkVehicleDetector& detector, int n_positive, int n_negative,
+    img::Size frame_size, std::uint64_t seed);
+
+}  // namespace avd::det

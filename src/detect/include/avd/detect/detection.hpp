@@ -1,0 +1,39 @@
+// Detection results and non-maximum suppression.
+#pragma once
+
+#include <vector>
+
+#include "avd/image/geometry.hpp"
+
+namespace avd::det {
+
+/// One detected object.
+struct Detection {
+  img::Rect box;
+  double score = 0.0;  ///< classifier decision value (higher = more confident)
+  int class_id = 0;    ///< semantic class (0 = vehicle, 1 = pedestrian, ...)
+};
+
+inline constexpr int kClassVehicle = 0;
+inline constexpr int kClassPedestrian = 1;
+inline constexpr int kClassAnimal = 2;  ///< countryside extension (paper §I)
+
+/// Greedy non-maximum suppression: keep the highest-scoring detection, drop
+/// everything of the same class overlapping it by more than `iou_threshold`,
+/// repeat. Input order is irrelevant; output is sorted by descending score.
+[[nodiscard]] std::vector<Detection> non_max_suppression(
+    std::vector<Detection> detections, double iou_threshold = 0.4);
+
+/// Match detections to ground-truth boxes: a GT box counts as found when some
+/// detection overlaps it with IoU >= `iou_threshold`; each detection may match
+/// at most one GT box.
+struct MatchResult {
+  int true_positives = 0;   ///< GT boxes matched
+  int false_negatives = 0;  ///< GT boxes missed
+  int false_positives = 0;  ///< detections matching no GT box
+};
+[[nodiscard]] MatchResult match_detections(const std::vector<Detection>& dets,
+                                           const std::vector<img::Rect>& truth,
+                                           double iou_threshold = 0.3);
+
+}  // namespace avd::det

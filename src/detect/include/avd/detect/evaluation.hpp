@@ -1,0 +1,69 @@
+// Full-frame detection evaluation: run a detector over generated scenes and
+// report precision/recall/F1 overall and binned by target distance (distant
+// vehicles are the hard tail — the paper's "very dark subset" is exactly the
+// far bin of the dusk set).
+#pragma once
+
+#include <functional>
+
+#include "avd/datasets/scene.hpp"
+#include "avd/detect/detection.hpp"
+
+namespace avd::det {
+
+/// Distance bin of a ground-truth box, by apparent width relative to the
+/// frame: Near >= 25%, Mid >= 12%, Far below.
+enum class DistanceBin : int { Near = 0, Mid = 1, Far = 2 };
+
+[[nodiscard]] DistanceBin distance_bin(const img::Rect& truth_box,
+                                       img::Size frame);
+
+struct BinStats {
+  int truth = 0;
+  int hits = 0;
+
+  [[nodiscard]] double recall() const {
+    return truth > 0 ? static_cast<double>(hits) / truth : 0.0;
+  }
+};
+
+struct FrameEvalResult {
+  int frames = 0;
+  int truth_total = 0;
+  int hits = 0;            ///< matched ground-truth boxes
+  int false_positives = 0;
+  BinStats by_bin[3];      ///< indexed by DistanceBin
+
+  [[nodiscard]] double recall() const {
+    return truth_total > 0 ? static_cast<double>(hits) / truth_total : 0.0;
+  }
+  [[nodiscard]] double precision() const {
+    const int det_total = hits + false_positives;
+    return det_total > 0 ? static_cast<double>(hits) / det_total : 0.0;
+  }
+  [[nodiscard]] double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+};
+
+struct FrameEvalSpec {
+  data::LightingCondition condition = data::LightingCondition::Day;
+  img::Size frame_size{480, 270};
+  int n_frames = 50;
+  int vehicles_per_frame = 2;
+  double match_iou = 0.25;
+  std::uint64_t seed = 86420;
+};
+
+/// A detector is anything mapping an RGB frame to detections.
+using FrameDetector =
+    std::function<std::vector<Detection>(const img::RgbImage&)>;
+
+/// Render `n_frames` scenes under the spec and score `detector` against the
+/// vehicle ground truth.
+[[nodiscard]] FrameEvalResult evaluate_frames(const FrameDetector& detector,
+                                              const FrameEvalSpec& spec);
+
+}  // namespace avd::det

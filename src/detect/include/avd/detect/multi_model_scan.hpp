@@ -1,0 +1,22 @@
+// Multi-model sliding-window scan over a shared HOG front end.
+//
+// The countryside configuration (DESIGN.md, extension) runs two classifiers
+// — vehicle and animal — behind ONE gradient/histogram pipeline, exactly as
+// the hardware shares those stages (resources.cpp: the animal blocks add
+// only a normaliser and an SVM). This scanner is the software equivalent:
+// the image pyramid and the per-level cell grids are computed once and every
+// model classifies from them.
+#pragma once
+
+#include "avd/detect/hog_svm_detector.hpp"
+
+namespace avd::det {
+
+/// Scan `frame` with every model in `models` (all must share HogParams with
+/// identical cell size/bins/block geometry). Returns NMS-filtered detections
+/// of all classes merged (NMS is per-class).
+[[nodiscard]] std::vector<Detection> detect_multiscale_multi(
+    const img::ImageU8& frame, std::span<const HogSvmModel* const> models,
+    const SlidingWindowParams& params = {});
+
+}  // namespace avd::det

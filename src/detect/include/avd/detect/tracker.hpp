@@ -1,0 +1,65 @@
+// Multi-object tracking by IoU association.
+//
+// The paper's related work (§II, [3]-[5]) repeatedly pairs night-time
+// detection with tracking "for efficient detection"; this tracker is the
+// standard greedy-IoU baseline those systems build on. Detections from any
+// of the library's detectors can be fed frame by frame; tracks smooth over
+// single-frame misses (including the one frame dropped during a partial
+// reconfiguration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "avd/detect/detection.hpp"
+
+namespace avd::det {
+
+struct TrackerConfig {
+  double match_iou = 0.3;   ///< min IoU to associate a detection to a track
+  int max_misses = 3;       ///< consecutive missed frames before a track dies
+  int min_hits = 2;         ///< hits before a track is reported as confirmed
+};
+
+/// One tracked object.
+struct Track {
+  std::uint64_t id = 0;
+  img::Rect box;            ///< latest (or coasted) position
+  int class_id = 0;
+  int hits = 0;             ///< total associated detections
+  int misses = 0;           ///< consecutive frames without a detection
+  int age = 0;              ///< frames since creation
+  double last_score = 0.0;
+
+  [[nodiscard]] bool confirmed(const TrackerConfig& cfg) const {
+    return hits >= cfg.min_hits;
+  }
+};
+
+/// Greedy-IoU tracker with linear motion coasting.
+class IouTracker {
+ public:
+  explicit IouTracker(TrackerConfig config = {}) : config_(config) {}
+
+  /// Advance one frame: associate `detections`, update/create/retire tracks.
+  /// Returns the confirmed tracks after the update.
+  std::vector<Track> update(const std::vector<Detection>& detections);
+
+  [[nodiscard]] const std::vector<Track>& tracks() const { return tracks_; }
+  [[nodiscard]] std::vector<Track> confirmed_tracks() const;
+  [[nodiscard]] std::uint64_t total_tracks_created() const { return next_id_; }
+  [[nodiscard]] const TrackerConfig& config() const { return config_; }
+
+ private:
+  struct Motion {
+    int dx = 0;
+    int dy = 0;
+  };
+
+  TrackerConfig config_;
+  std::vector<Track> tracks_;
+  std::vector<Motion> motions_;  // parallel to tracks_
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace avd::det

@@ -1,0 +1,49 @@
+#include "avd/detect/bootstrap.hpp"
+
+#include "avd/image/color.hpp"
+#include "avd/image/resize.hpp"
+
+namespace avd::det {
+
+HogSvmModel bootstrap_train_hog_svm(const data::PatchDataset& dataset,
+                                    std::string name, const BootstrapSpec& spec,
+                                    const HogSvmTrainOptions& opts,
+                                    BootstrapReport* report) {
+  data::PatchDataset working = dataset;
+  HogSvmModel model = train_hog_svm(working, name, opts);
+  if (report) *report = {};
+
+  ml::Rng rng(spec.seed);
+  for (int round = 0; round < spec.rounds; ++round) {
+    int mined = 0;
+    data::SceneGenerator gen(dataset.condition, rng.engine()());
+
+    for (int s = 0;
+         s < spec.scenes_per_round && mined < spec.max_new_negatives_per_round;
+         ++s) {
+      // Vehicle-free frame: every detection is a false positive.
+      const data::SceneSpec scene =
+          gen.random_scene(spec.scene_size, /*n_vehicles=*/0);
+      const img::ImageU8 gray =
+          img::rgb_to_gray(data::render_scene(scene));
+
+      for (const Detection& fp : detect_multiscale(gray, model, spec.scan)) {
+        if (mined >= spec.max_new_negatives_per_round) break;
+        const img::Rect roi = img::intersect(fp.box, gray.bounds());
+        if (roi.width < 8 || roi.height < 8) continue;
+        working.patches.push_back(
+            {img::resize_bilinear(gray.crop(roi), model.window), -1, false});
+        ++mined;
+      }
+    }
+
+    if (report) report->mined_per_round.push_back(mined);
+    if (mined == 0) break;  // converged: nothing left to mine
+    model = train_hog_svm(working, name, opts);
+  }
+
+  if (report) report->final_training_size = working.size();
+  return model;
+}
+
+}  // namespace avd::det

@@ -1,0 +1,164 @@
+#include "avd/detect/dark_detector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "avd/image/color.hpp"
+#include "avd/image/filter.hpp"
+#include "avd/image/resize.hpp"
+
+namespace avd::det {
+
+DarkVehicleDetector::DarkVehicleDetector(ml::Dbn taillight_dbn,
+                                         ml::LinearSvm pairing_svm,
+                                         DarkDetectorConfig config)
+    : dbn_(std::move(taillight_dbn)),
+      pairing_svm_(std::move(pairing_svm)),
+      config_(config) {
+  if (dbn_.input_size() != data::kTaillightInputs ||
+      dbn_.classes() != data::kTaillightClasses)
+    throw std::invalid_argument("DarkVehicleDetector: DBN shape mismatch");
+  if (pairing_svm_.dimension() != kPairFeatureCount)
+    throw std::invalid_argument("DarkVehicleDetector: pairing SVM dimension");
+  if (config_.downsample_factor <= 0)
+    throw std::invalid_argument("DarkVehicleDetector: bad downsample factor");
+}
+
+img::ImageU8 DarkVehicleDetector::preprocess(const img::RgbImage& frame) const {
+  // Fig. 4: split chroma & luminance, threshold each, AND.
+  const img::YcbcrImage ycc = img::rgb_to_ycbcr(frame);
+  img::ImageU8 mask = img::taillight_roi_mask(ycc, config_.threshold);
+
+  // Downsample with OR pooling: a lit pixel anywhere in the block keeps the
+  // block lit, so distant 1-2 px taillights survive the resolution drop.
+  if (config_.downsample_factor > 1 &&
+      mask.width() % config_.downsample_factor == 0 &&
+      mask.height() % config_.downsample_factor == 0) {
+    mask = img::downsample_or(mask, config_.downsample_factor);
+  } else if (config_.downsample_factor > 1) {
+    // Non-divisible frames: nearest-neighbour fallback keeps binary values.
+    mask = img::resize_nearest(
+        mask, {std::max(1, mask.width() / config_.downsample_factor),
+               std::max(1, mask.height() / config_.downsample_factor)});
+  }
+
+  if (config_.median_prefilter) mask = img::median3x3(mask);
+  return img::close(mask, config_.closing);
+}
+
+std::vector<TaillightDetection> DarkVehicleDetector::detect_taillights(
+    const img::ImageU8& binary) const {
+  std::vector<TaillightDetection> out;
+  const std::vector<img::Blob> blobs =
+      img::find_blobs(binary, img::Connectivity::Eight, config_.min_blob_area);
+
+  constexpr int kWin = data::kTaillightWindow;
+  std::vector<float> input(data::kTaillightInputs);
+
+  for (const img::Blob& blob : blobs) {
+    // Slide the 9x9 window (stride 2) over the blob's neighbourhood and
+    // aggregate the posteriors over all covering windows. Averaging (rather
+    // than taking the single most confident window) is what lets the DBN
+    // reject elongated streaks: a window clipping the *end* of a streak looks
+    // like a small lamp, but most windows along the streak see the streak.
+    const img::Rect region = img::inflated(blob.bbox, kWin / 2);
+    TaillightDetection det;
+    det.blob_box = blob.bbox;
+    det.blob_area = blob.area;
+    det.center = {static_cast<int>(std::lround(blob.centroid_x)),
+                  static_cast<int>(std::lround(blob.centroid_y))};
+
+    std::vector<double> posterior_sum(data::kTaillightClasses, 0.0);
+    int windows = 0;
+    for (int wy = region.y; wy + kWin <= region.bottom();
+         wy += config_.window_stride) {
+      for (int wx = region.x; wx + kWin <= region.right();
+           wx += config_.window_stride) {
+        for (int dy = 0; dy < kWin; ++dy)
+          for (int dx = 0; dx < kWin; ++dx)
+            input[static_cast<std::size_t>(dy) * kWin + dx] =
+                binary.at_clamped(wx + dx, wy + dy) != 0 ? 1.0f : 0.0f;
+
+        const std::vector<float> post = dbn_.posterior(input);
+        for (int cls = 0; cls < data::kTaillightClasses; ++cls)
+          posterior_sum[cls] += post[cls];
+        ++windows;
+      }
+    }
+    if (windows == 0) continue;
+
+    for (int cls = 1; cls < data::kTaillightClasses; ++cls) {
+      const double mean = posterior_sum[cls] / windows;
+      if (mean > det.confidence) {
+        det.confidence = mean;
+        det.cls = static_cast<data::TaillightClass>(cls);
+      }
+    }
+    // Background must not dominate the aggregate.
+    const double background = posterior_sum[0] / windows;
+    if (det.cls != data::TaillightClass::NotTaillight &&
+        det.confidence >= config_.dbn_min_confidence &&
+        det.confidence > background)
+      out.push_back(det);
+  }
+  return out;
+}
+
+std::vector<float> DarkVehicleDetector::pair_features(
+    const TaillightDetection& a, const TaillightDetection& b) {
+  const double dx = static_cast<double>(b.center.x) - a.center.x;
+  const double dy = std::abs(static_cast<double>(b.center.y) - a.center.y);
+  const double size_a = std::sqrt(static_cast<double>(std::max<long long>(a.blob_area, 1)));
+  const double size_b = std::sqrt(static_cast<double>(std::max<long long>(b.blob_area, 1)));
+  const double ratio = std::min(size_a, size_b) / std::max(size_a, size_b);
+  const double same_class = a.cls == b.cls ? 1.0 : 0.0;
+  return {static_cast<float>(dx / 100.0), static_cast<float>(dy / 10.0),
+          static_cast<float>(size_a / 10.0), static_cast<float>(size_b / 10.0),
+          static_cast<float>(ratio), static_cast<float>(same_class)};
+}
+
+std::vector<Detection> DarkVehicleDetector::pair_taillights(
+    const std::vector<TaillightDetection>& lights) const {
+  std::vector<Detection> pairs;
+  for (std::size_t i = 0; i < lights.size(); ++i) {
+    for (std::size_t j = 0; j < lights.size(); ++j) {
+      if (i == j) continue;
+      const TaillightDetection& left = lights[i];
+      const TaillightDetection& right = lights[j];
+      const int dx = right.center.x - left.center.x;
+      const int dy = std::abs(right.center.y - left.center.y);
+      // Geometric gate: the paper restricts matching to "a particular region
+      // around each detected taillight".
+      if (dx < config_.pair_min_dx || dx > config_.pair_max_dx ||
+          dy > config_.pair_max_dy)
+        continue;
+
+      const std::vector<float> feat = pair_features(left, right);
+      const double score = pairing_svm_.decision(feat);
+      if (score < config_.pair_svm_threshold) continue;
+
+      // Vehicle box inferred from taillight geometry: lights sit at about
+      // 2/3 of the body height, inset ~10% from each side.
+      const int width = static_cast<int>(std::lround(dx * 1.3));
+      const int height = static_cast<int>(std::lround(width * 0.8));
+      const int cx = (left.center.x + right.center.x) / 2;
+      const int light_y = (left.center.y + right.center.y) / 2;
+      const img::Rect box{cx - width / 2,
+                          light_y - (2 * height) / 3, width, height};
+      pairs.push_back({box, score, kClassVehicle});
+    }
+  }
+  return non_max_suppression(std::move(pairs), config_.nms_iou);
+}
+
+std::vector<Detection> DarkVehicleDetector::detect(
+    const img::RgbImage& frame) const {
+  const img::ImageU8 mask = preprocess(frame);
+  const std::vector<TaillightDetection> lights = detect_taillights(mask);
+  std::vector<Detection> dets = pair_taillights(lights);
+  const double f = config_.downsample_factor;
+  for (Detection& d : dets) d.box = img::scaled(d.box, f, f);
+  return dets;
+}
+
+}  // namespace avd::det

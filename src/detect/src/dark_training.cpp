@@ -1,0 +1,136 @@
+#include "avd/detect/dark_training.hpp"
+
+#include <cmath>
+
+namespace avd::det {
+namespace {
+
+// Builds a TaillightDetection as the pairing miner would see it, from a
+// ground-truth taillight box in downsampled coordinates.
+TaillightDetection detection_from_box(const img::Rect& box_ds) {
+  TaillightDetection d;
+  d.center = box_ds.center();
+  d.blob_box = box_ds;
+  // The rendered lamp is an ellipse inscribed in the box; its pixel count is
+  // ~pi/4 of the box area.
+  d.blob_area = std::max<long long>(1, (box_ds.area() * 785) / 1000);
+  d.cls = taillight_class_for_size(box_ds.width, box_ds.height);
+  d.confidence = 1.0;
+  return d;
+}
+
+}  // namespace
+
+data::TaillightClass taillight_class_for_size(int width, int height) {
+  const int larger = std::max(width, height);
+  if (width >= 6 && width >= 2 * height) return data::TaillightClass::WideBar;
+  if (larger <= 2) return data::TaillightClass::SmallRound;
+  if (larger <= 6) return data::TaillightClass::LargeRound;
+  return data::TaillightClass::WideBar;
+}
+
+ml::Dbn train_taillight_dbn(const DarkTrainingSpec& spec) {
+  const std::vector<data::TaillightWindow> windows =
+      data::make_taillight_windows(spec.windows);
+
+  std::vector<std::vector<float>> inputs;
+  std::vector<int> labels;
+  inputs.reserve(windows.size());
+  labels.reserve(windows.size());
+  for (const auto& w : windows) {
+    inputs.push_back(w.pixels);
+    labels.push_back(w.label);
+  }
+
+  // Paper §III-B: 81 visible, hidden layers of 20 and 8, 4 output nodes.
+  ml::Dbn dbn({data::kTaillightInputs, 20, 8}, data::kTaillightClasses,
+              spec.seed);
+  ml::DbnTrainParams params = spec.dbn;
+  params.seed = spec.seed + 1;
+  dbn.train(inputs, labels, params);
+  return dbn;
+}
+
+ml::LinearSvm train_pairing_svm(const DarkTrainingSpec& spec) {
+  const int f = spec.config.downsample_factor;
+  ml::SvmProblem problem;
+  data::SceneGenerator gen(data::LightingCondition::Dark, spec.seed + 2);
+
+  auto add_pair = [&](const TaillightDetection& a, const TaillightDetection& b,
+                      int label) {
+    // Only pairs that pass the geometric gate ever reach the SVM at run time,
+    // so train only on those.
+    const int dx = b.center.x - a.center.x;
+    const int dy = std::abs(b.center.y - a.center.y);
+    if (dx < spec.config.pair_min_dx || dx > spec.config.pair_max_dx ||
+        dy > spec.config.pair_max_dy)
+      return;
+    problem.add(DarkVehicleDetector::pair_features(a, b), label);
+  };
+
+  for (int s = 0; s < spec.pairing_scenes; ++s) {
+    const data::SceneSpec scene =
+        gen.random_scene(spec.pairing_frame, /*n_vehicles=*/2);
+
+    std::vector<std::vector<TaillightDetection>> per_vehicle;
+    for (const data::VehicleSpec& v : scene.vehicles) {
+      const auto [lb, rb] = v.taillight_boxes();
+      per_vehicle.push_back(
+          {detection_from_box(img::scaled(lb, 1.0 / f, 1.0 / f)),
+           detection_from_box(img::scaled(rb, 1.0 / f, 1.0 / f))});
+    }
+    std::vector<TaillightDetection> distractors;
+    for (const data::DistractorLight& d : scene.distractors) {
+      const img::Rect box{d.position.x - d.radius / 2,
+                          d.position.y - d.radius / 2, std::max(1, d.radius),
+                          std::max(1, d.radius)};
+      distractors.push_back(
+          detection_from_box(img::scaled(box, 1.0 / f, 1.0 / f)));
+    }
+
+    // Positives: left-right lights of the same vehicle.
+    for (const auto& lights : per_vehicle) add_pair(lights[0], lights[1], +1);
+
+    // Negatives: cross-vehicle pairs and vehicle/distractor pairs.
+    for (std::size_t i = 0; i < per_vehicle.size(); ++i) {
+      for (std::size_t j = 0; j < per_vehicle.size(); ++j) {
+        if (i == j) continue;
+        add_pair(per_vehicle[i][0], per_vehicle[j][1], -1);
+        add_pair(per_vehicle[i][1], per_vehicle[j][0], -1);
+      }
+      for (const auto& d : distractors) {
+        add_pair(per_vehicle[i][0], d, -1);
+        add_pair(d, per_vehicle[i][1], -1);
+      }
+    }
+    for (std::size_t i = 0; i < distractors.size(); ++i)
+      for (std::size_t j = 0; j < distractors.size(); ++j)
+        if (i != j) add_pair(distractors[i], distractors[j], -1);
+  }
+
+  ml::SvmTrainParams params = spec.pairing_svm;
+  params.seed = spec.seed + 3;
+  return ml::SvmTrainer(params).train(problem);
+}
+
+DarkVehicleDetector train_dark_detector(const DarkTrainingSpec& spec) {
+  return {train_taillight_dbn(spec), train_pairing_svm(spec), spec.config};
+}
+
+ml::BinaryCounts evaluate_dark_frames(const DarkVehicleDetector& detector,
+                                      int n_positive, int n_negative,
+                                      img::Size frame_size, std::uint64_t seed) {
+  ml::BinaryCounts counts;
+  data::SceneGenerator gen(data::LightingCondition::Dark, seed);
+  for (int i = 0; i < n_positive + n_negative; ++i) {
+    const bool truth_positive = i < n_positive;
+    const data::SceneSpec scene =
+        gen.random_scene(frame_size, truth_positive ? gen.rng().uniform_int(1, 2) : 0);
+    const img::RgbImage frame = data::render_scene(scene);
+    const bool predicted = !detector.detect(frame).empty();
+    counts.record(truth_positive, predicted);
+  }
+  return counts;
+}
+
+}  // namespace avd::det

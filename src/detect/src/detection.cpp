@@ -1,0 +1,54 @@
+#include "avd/detect/detection.hpp"
+
+#include <algorithm>
+
+namespace avd::det {
+
+std::vector<Detection> non_max_suppression(std::vector<Detection> detections,
+                                           double iou_threshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  std::vector<Detection> kept;
+  std::vector<bool> suppressed(detections.size(), false);
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    if (suppressed[i]) continue;
+    kept.push_back(detections[i]);
+    for (std::size_t j = i + 1; j < detections.size(); ++j) {
+      if (suppressed[j] || detections[j].class_id != detections[i].class_id)
+        continue;
+      if (img::iou(detections[i].box, detections[j].box) > iou_threshold)
+        suppressed[j] = true;
+    }
+  }
+  return kept;
+}
+
+MatchResult match_detections(const std::vector<Detection>& dets,
+                             const std::vector<img::Rect>& truth,
+                             double iou_threshold) {
+  MatchResult r;
+  std::vector<bool> det_used(dets.size(), false);
+  for (const img::Rect& gt : truth) {
+    double best = 0.0;
+    std::size_t best_i = dets.size();
+    for (std::size_t i = 0; i < dets.size(); ++i) {
+      if (det_used[i]) continue;
+      const double v = img::iou(dets[i].box, gt);
+      if (v > best) {
+        best = v;
+        best_i = i;
+      }
+    }
+    if (best >= iou_threshold && best_i < dets.size()) {
+      det_used[best_i] = true;
+      ++r.true_positives;
+    } else {
+      ++r.false_negatives;
+    }
+  }
+  for (bool used : det_used)
+    if (!used) ++r.false_positives;
+  return r;
+}
+
+}  // namespace avd::det

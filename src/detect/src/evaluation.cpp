@@ -1,0 +1,55 @@
+#include "avd/detect/evaluation.hpp"
+
+namespace avd::det {
+
+DistanceBin distance_bin(const img::Rect& truth_box, img::Size frame) {
+  const double rel =
+      static_cast<double>(truth_box.width) / static_cast<double>(frame.width);
+  if (rel >= 0.25) return DistanceBin::Near;
+  if (rel >= 0.12) return DistanceBin::Mid;
+  return DistanceBin::Far;
+}
+
+FrameEvalResult evaluate_frames(const FrameDetector& detector,
+                                const FrameEvalSpec& spec) {
+  FrameEvalResult result;
+  data::SceneGenerator gen(spec.condition, spec.seed);
+
+  for (int f = 0; f < spec.n_frames; ++f) {
+    const data::SceneSpec scene =
+        gen.random_scene(spec.frame_size, spec.vehicles_per_frame);
+    const std::vector<Detection> dets =
+        detector(data::render_scene(scene));
+
+    // Match greedily per truth box (same convention as match_detections,
+    // but we need per-box hit attribution for the distance bins).
+    std::vector<bool> det_used(dets.size(), false);
+    for (const data::VehicleSpec& v : scene.vehicles) {
+      ++result.truth_total;
+      const auto bin = static_cast<int>(distance_bin(v.body, spec.frame_size));
+      ++result.by_bin[bin].truth;
+
+      double best = 0.0;
+      std::size_t best_i = dets.size();
+      for (std::size_t i = 0; i < dets.size(); ++i) {
+        if (det_used[i]) continue;
+        const double v_iou = img::iou(dets[i].box, v.body);
+        if (v_iou > best) {
+          best = v_iou;
+          best_i = i;
+        }
+      }
+      if (best >= spec.match_iou && best_i < dets.size()) {
+        det_used[best_i] = true;
+        ++result.hits;
+        ++result.by_bin[bin].hits;
+      }
+    }
+    for (bool used : det_used)
+      if (!used) ++result.false_positives;
+    ++result.frames;
+  }
+  return result;
+}
+
+}  // namespace avd::det

@@ -1,0 +1,82 @@
+#include "avd/detect/hog_svm_detector.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "avd/detect/multi_model_scan.hpp"
+#include "avd/image/resize.hpp"
+
+namespace avd::det {
+
+double HogSvmModel::decision(const img::ImageU8& patch) const {
+  if (patch.size() != window)
+    throw std::invalid_argument("HogSvmModel: patch size != window size");
+  const std::vector<float> desc = hog::compute_descriptor(patch, hog);
+  return svm.decision(desc);
+}
+
+bool HogSvmModel::classify(const img::ImageU8& patch) const {
+  return decision(patch) >= 0.0;
+}
+
+void HogSvmModel::save(std::ostream& out) const {
+  out << "hogsvm " << name << ' ' << window.width << ' ' << window.height << ' '
+      << class_id << ' ' << hog.cell_size << ' ' << hog.bins << ' '
+      << hog.block_cells << ' ' << hog.block_stride_cells << ' '
+      << hog.l2hys_clip << '\n';
+  svm.save(out);
+}
+
+HogSvmModel HogSvmModel::load(std::istream& in) {
+  std::string magic;
+  HogSvmModel m;
+  if (!(in >> magic >> m.name >> m.window.width >> m.window.height >>
+        m.class_id >> m.hog.cell_size >> m.hog.bins >> m.hog.block_cells >>
+        m.hog.block_stride_cells >> m.hog.l2hys_clip) ||
+      magic != "hogsvm")
+    throw std::runtime_error("HogSvmModel::load: bad header");
+  m.svm = ml::LinearSvm::load(in);
+  return m;
+}
+
+HogSvmModel train_hog_svm(const data::PatchDataset& dataset, std::string name,
+                          const HogSvmTrainOptions& opts) {
+  if (dataset.patches.empty())
+    throw std::invalid_argument("train_hog_svm: empty dataset");
+
+  HogSvmModel model;
+  model.name = std::move(name);
+  model.hog = opts.hog;
+  model.window = dataset.patches.front().gray.size();
+  model.class_id = opts.class_id;
+
+  ml::SvmProblem problem;
+  for (const data::LabeledPatch& p : dataset.patches) {
+    if (p.gray.size() != model.window)
+      throw std::invalid_argument("train_hog_svm: inconsistent patch sizes");
+    problem.add(hog::compute_descriptor(p.gray, model.hog), p.label);
+  }
+  model.svm = ml::SvmTrainer(opts.svm).train(problem);
+  return model;
+}
+
+ml::BinaryCounts evaluate_patches(const HogSvmModel& model,
+                                  const data::PatchDataset& dataset) {
+  ml::BinaryCounts counts;
+  for (const data::LabeledPatch& p : dataset.patches)
+    counts.record(p.label > 0, model.classify(p.gray));
+  return counts;
+}
+
+std::vector<Detection> detect_multiscale(const img::ImageU8& frame,
+                                         const HogSvmModel& model,
+                                         const SlidingWindowParams& params) {
+  // The single-model scan is the one-element case of the shared-front-end
+  // scanner (multi_model_scan.hpp).
+  const HogSvmModel* models[] = {&model};
+  return detect_multiscale_multi(frame, models, params);
+}
+
+}  // namespace avd::det

@@ -1,0 +1,67 @@
+#include "avd/detect/multi_model_scan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "avd/image/resize.hpp"
+
+namespace avd::det {
+
+std::vector<Detection> detect_multiscale_multi(
+    const img::ImageU8& frame, std::span<const HogSvmModel* const> models,
+    const SlidingWindowParams& params) {
+  if (models.empty())
+    throw std::invalid_argument("detect_multiscale_multi: no models");
+  const hog::HogParams& shared = models.front()->hog;
+  for (const HogSvmModel* m : models) {
+    if (m == nullptr || !m->svm.trained())
+      throw std::invalid_argument("detect_multiscale_multi: untrained model");
+    if (m->hog.cell_size != shared.cell_size || m->hog.bins != shared.bins ||
+        m->hog.block_cells != shared.block_cells ||
+        m->hog.block_stride_cells != shared.block_stride_cells)
+      throw std::invalid_argument(
+          "detect_multiscale_multi: models must share HOG geometry");
+  }
+
+  std::vector<Detection> raw;
+  std::vector<float> desc;
+  double scale = 1.0;
+  for (int level = 0; level < params.max_levels;
+       ++level, scale *= params.scale_step) {
+    const img::Size scaled{
+        static_cast<int>(std::lround(frame.width() / scale)),
+        static_cast<int>(std::lround(frame.height() / scale))};
+    // Stop once no model's window fits.
+    bool any_fits = false;
+    for (const HogSvmModel* m : models)
+      any_fits |= scaled.width >= m->window.width &&
+                  scaled.height >= m->window.height;
+    if (!any_fits) break;
+
+    const img::ImageU8 level_img =
+        level == 0 ? frame : img::resize_bilinear(frame, scaled);
+    // The shared front end: one cell grid per pyramid level.
+    const hog::CellGrid grid = hog::compute_cell_grid(level_img, shared);
+
+    for (const HogSvmModel* m : models) {
+      const int cells_w = m->window.width / shared.cell_size;
+      const int cells_h = m->window.height / shared.cell_size;
+      if (cells_w > grid.cells_x() || cells_h > grid.cells_y()) continue;
+      for (int cy = 0; cy + cells_h <= grid.cells_y();
+           cy += params.stride_cells) {
+        for (int cx = 0; cx + cells_w <= grid.cells_x();
+             cx += params.stride_cells) {
+          hog::window_descriptor(grid, shared, cx, cy, cells_w, cells_h, desc);
+          const double score = m->svm.decision(desc);
+          if (score < params.score_threshold) continue;
+          const img::Rect box{cx * shared.cell_size, cy * shared.cell_size,
+                              m->window.width, m->window.height};
+          raw.push_back({img::scaled(box, scale, scale), score, m->class_id});
+        }
+      }
+    }
+  }
+  return non_max_suppression(std::move(raw), params.nms_iou);
+}
+
+}  // namespace avd::det

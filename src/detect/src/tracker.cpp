@@ -1,0 +1,81 @@
+#include "avd/detect/tracker.hpp"
+
+#include <algorithm>
+
+namespace avd::det {
+
+std::vector<Track> IouTracker::update(const std::vector<Detection>& detections) {
+  // Coast every track by its last motion estimate before matching.
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    tracks_[i].box.x += motions_[i].dx;
+    tracks_[i].box.y += motions_[i].dy;
+    ++tracks_[i].age;
+  }
+
+  // Greedy association: best IoU pair first, one detection per track.
+  struct Pair {
+    double iou;
+    std::size_t track;
+    std::size_t det;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    for (std::size_t d = 0; d < detections.size(); ++d) {
+      if (tracks_[t].class_id != detections[d].class_id) continue;
+      const double v = img::iou(tracks_[t].box, detections[d].box);
+      if (v >= config_.match_iou) pairs.push_back({v, t, d});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.iou > b.iou; });
+
+  std::vector<bool> track_used(tracks_.size(), false);
+  std::vector<bool> det_used(detections.size(), false);
+  for (const Pair& p : pairs) {
+    if (track_used[p.track] || det_used[p.det]) continue;
+    track_used[p.track] = true;
+    det_used[p.det] = true;
+
+    Track& tr = tracks_[p.track];
+    const Detection& det = detections[p.det];
+    motions_[p.track] = {det.box.x - tr.box.x, det.box.y - tr.box.y};
+    tr.box = det.box;
+    tr.last_score = det.score;
+    ++tr.hits;
+    tr.misses = 0;
+  }
+
+  // Unmatched tracks miss a frame; retire the stale ones.
+  for (std::size_t t = 0; t < tracks_.size(); ++t)
+    if (!track_used[t]) ++tracks_[t].misses;
+  for (std::size_t t = tracks_.size(); t-- > 0;) {
+    if (tracks_[t].misses > config_.max_misses) {
+      tracks_.erase(tracks_.begin() + static_cast<std::ptrdiff_t>(t));
+      motions_.erase(motions_.begin() + static_cast<std::ptrdiff_t>(t));
+    }
+  }
+
+  // Unmatched detections start new tracks.
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    if (det_used[d]) continue;
+    Track tr;
+    tr.id = next_id_++;
+    tr.box = detections[d].box;
+    tr.class_id = detections[d].class_id;
+    tr.hits = 1;
+    tr.last_score = detections[d].score;
+    tracks_.push_back(tr);
+    motions_.push_back({});
+  }
+
+  return confirmed_tracks();
+}
+
+std::vector<Track> IouTracker::confirmed_tracks() const {
+  std::vector<Track> out;
+  for (const Track& t : tracks_)
+    if (t.confirmed(config_)) out.push_back(t);
+  return out;
+}
+
+}  // namespace avd::det

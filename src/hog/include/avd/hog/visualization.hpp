@@ -1,0 +1,27 @@
+// HOG descriptor visualisation: the classic "glyph" rendering where each
+// cell draws its orientation histogram as a star of oriented strokes whose
+// brightness encodes bin weight. Invaluable for debugging what a trained
+// model actually sees; used by the model-inspection example.
+#pragma once
+
+#include "avd/hog/hog.hpp"
+
+namespace avd::hog {
+
+struct GlyphParams {
+  int cell_pixels = 16;     ///< rendered size of one cell
+  float gain = 2.0f;        ///< brightness multiplier before clamping
+};
+
+/// Render a cell grid as a glyph image of size
+/// (cells_x * cell_pixels) x (cells_y * cell_pixels).
+/// Cell histograms are max-normalised over the whole grid first.
+[[nodiscard]] img::ImageU8 render_hog_glyphs(const CellGrid& grid,
+                                             const GlyphParams& params = {});
+
+/// Convenience: compute the grid of `image` and render it.
+[[nodiscard]] img::ImageU8 visualize_hog(const img::ImageU8& image,
+                                         const HogParams& hog = {},
+                                         const GlyphParams& params = {});
+
+}  // namespace avd::hog

@@ -1,0 +1,148 @@
+#include "avd/hog/hog.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace avd::hog {
+
+std::size_t HogParams::descriptor_length(img::Size size) const {
+  if (size.width % cell_size != 0 || size.height % cell_size != 0)
+    throw std::invalid_argument("HOG: window not aligned to cell size");
+  const int cx = size.width / cell_size;
+  const int cy = size.height / cell_size;
+  if (cx < block_cells || cy < block_cells)
+    throw std::invalid_argument("HOG: window smaller than one block");
+  return static_cast<std::size_t>(blocks_along(cx)) * blocks_along(cy) *
+         block_cells * block_cells * bins;
+}
+
+CellGrid::CellGrid(int cells_x, int cells_y, int bins)
+    : cells_x_(cells_x),
+      cells_y_(cells_y),
+      bins_(bins),
+      data_(static_cast<std::size_t>(cells_x) * cells_y * bins, 0.0f) {}
+
+std::span<float> CellGrid::cell(int cx, int cy) {
+  return {data_.data() +
+              (static_cast<std::size_t>(cy) * cells_x_ + cx) * bins_,
+          static_cast<std::size_t>(bins_)};
+}
+
+std::span<const float> CellGrid::cell(int cx, int cy) const {
+  return {data_.data() +
+              (static_cast<std::size_t>(cy) * cells_x_ + cx) * bins_,
+          static_cast<std::size_t>(bins_)};
+}
+
+GradientField compute_gradients(const img::ImageU8& image) {
+  GradientField field{img::ImageF32(image.size()), img::ImageF32(image.size())};
+  constexpr float kRadToDeg = 180.0f / std::numbers::pi_v<float>;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const float gx = static_cast<float>(image.at_clamped(x + 1, y)) -
+                       static_cast<float>(image.at_clamped(x - 1, y));
+      const float gy = static_cast<float>(image.at_clamped(x, y + 1)) -
+                       static_cast<float>(image.at_clamped(x, y - 1));
+      field.magnitude(x, y) = std::sqrt(gx * gx + gy * gy);
+      float deg = std::atan2(gy, gx) * kRadToDeg;  // [-180, 180]
+      if (deg < 0.0f) deg += 180.0f;               // unsigned orientation
+      if (deg >= 180.0f) deg -= 180.0f;
+      field.orientation_deg(x, y) = deg;
+    }
+  }
+  return field;
+}
+
+CellGrid compute_cell_grid(const img::ImageU8& image, const HogParams& params) {
+  if (params.cell_size <= 0 || params.bins <= 0)
+    throw std::invalid_argument("HOG: bad params");
+  const int cells_x = image.width() / params.cell_size;
+  const int cells_y = image.height() / params.cell_size;
+  CellGrid grid(cells_x, cells_y, params.bins);
+  if (cells_x == 0 || cells_y == 0) return grid;
+
+  const GradientField grad = compute_gradients(image);
+  const float bin_width = 180.0f / static_cast<float>(params.bins);
+
+  const int usable_w = cells_x * params.cell_size;
+  const int usable_h = cells_y * params.cell_size;
+  for (int y = 0; y < usable_h; ++y) {
+    const int cy = y / params.cell_size;
+    for (int x = 0; x < usable_w; ++x) {
+      const int cx = x / params.cell_size;
+      const float mag = grad.magnitude(x, y);
+      if (mag == 0.0f) continue;
+      // Linear interpolation between the two nearest orientation bins.
+      const float pos = grad.orientation_deg(x, y) / bin_width - 0.5f;
+      int b0 = static_cast<int>(std::floor(pos));
+      const float w1 = pos - static_cast<float>(b0);
+      int b1 = b0 + 1;
+      if (b0 < 0) b0 += params.bins;
+      if (b1 >= params.bins) b1 -= params.bins;
+      auto hist = grid.cell(cx, cy);
+      hist[b0] += mag * (1.0f - w1);
+      hist[b1] += mag * w1;
+    }
+  }
+  return grid;
+}
+
+namespace {
+
+// L2-hys: L2-normalise, clip at `clip`, renormalise.
+void l2hys(std::span<float> v, float clip) {
+  constexpr float kEps = 1e-6f;
+  float norm2 = 0.0f;
+  for (float x : v) norm2 += x * x;
+  float inv = 1.0f / std::sqrt(norm2 + kEps);
+  for (float& x : v) x = std::min(x * inv, clip);
+  norm2 = 0.0f;
+  for (float x : v) norm2 += x * x;
+  inv = 1.0f / std::sqrt(norm2 + kEps);
+  for (float& x : v) x *= inv;
+}
+
+}  // namespace
+
+void window_descriptor(const CellGrid& grid, const HogParams& params, int cell_x,
+                       int cell_y, int cells_w, int cells_h,
+                       std::vector<float>& out) {
+  if (cell_x < 0 || cell_y < 0 || cell_x + cells_w > grid.cells_x() ||
+      cell_y + cells_h > grid.cells_y())
+    throw std::out_of_range("HOG: window outside cell grid");
+
+  const int blocks_x = params.blocks_along(cells_w);
+  const int blocks_y = params.blocks_along(cells_h);
+  const std::size_t block_len =
+      static_cast<std::size_t>(params.block_cells) * params.block_cells *
+      params.bins;
+  out.resize(static_cast<std::size_t>(blocks_x) * blocks_y * block_len);
+
+  std::size_t offset = 0;
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      const std::size_t block_start = offset;
+      for (int cy = 0; cy < params.block_cells; ++cy) {
+        for (int cx = 0; cx < params.block_cells; ++cx) {
+          auto hist = grid.cell(cell_x + bx * params.block_stride_cells + cx,
+                                cell_y + by * params.block_stride_cells + cy);
+          std::copy(hist.begin(), hist.end(), out.begin() + offset);
+          offset += hist.size();
+        }
+      }
+      l2hys({out.data() + block_start, block_len}, params.l2hys_clip);
+    }
+  }
+}
+
+std::vector<float> compute_descriptor(const img::ImageU8& image,
+                                      const HogParams& params) {
+  (void)params.descriptor_length(image.size());  // validates alignment
+  const CellGrid grid = compute_cell_grid(image, params);
+  std::vector<float> out;
+  window_descriptor(grid, params, 0, 0, grid.cells_x(), grid.cells_y(), out);
+  return out;
+}
+
+}  // namespace avd::hog

@@ -1,0 +1,63 @@
+#include "avd/hog/visualization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace avd::hog {
+namespace {
+
+// Draw a brightness-`v` stroke through the cell centre at angle `deg`
+// (edge direction = gradient direction + 90°, the convention HOG glyph
+// renderings use so edges look like edges).
+void draw_stroke(img::ImageU8& out, int cx, int cy, int half_len, float deg,
+                 std::uint8_t v) {
+  const float rad =
+      (deg + 90.0f) * std::numbers::pi_v<float> / 180.0f;
+  const float dx = std::cos(rad);
+  const float dy = std::sin(rad);
+  for (int s = -half_len; s <= half_len; ++s) {
+    const int x = cx + static_cast<int>(std::lround(dx * static_cast<float>(s)));
+    const int y = cy + static_cast<int>(std::lround(dy * static_cast<float>(s)));
+    if (out.in_bounds(x, y)) out(x, y) = std::max(out(x, y), v);
+  }
+}
+
+}  // namespace
+
+img::ImageU8 render_hog_glyphs(const CellGrid& grid, const GlyphParams& params) {
+  img::ImageU8 out(grid.cells_x() * params.cell_pixels,
+                   grid.cells_y() * params.cell_pixels, 0);
+  if (grid.cells_x() == 0 || grid.cells_y() == 0) return out;
+
+  float max_bin = 1e-6f;
+  for (int cy = 0; cy < grid.cells_y(); ++cy)
+    for (int cx = 0; cx < grid.cells_x(); ++cx)
+      for (float v : grid.cell(cx, cy)) max_bin = std::max(max_bin, v);
+
+  const float bin_width = 180.0f / static_cast<float>(grid.bins());
+  const int half_len = params.cell_pixels / 2 - 1;
+  for (int cy = 0; cy < grid.cells_y(); ++cy) {
+    for (int cx = 0; cx < grid.cells_x(); ++cx) {
+      const int px = cx * params.cell_pixels + params.cell_pixels / 2;
+      const int py = cy * params.cell_pixels + params.cell_pixels / 2;
+      auto hist = grid.cell(cx, cy);
+      for (int b = 0; b < grid.bins(); ++b) {
+        const float norm = hist[b] / max_bin;
+        const auto v = static_cast<std::uint8_t>(std::clamp(
+            std::lround(255.0f * norm * params.gain), 0L, 255L));
+        if (v == 0) continue;
+        const float deg = (static_cast<float>(b) + 0.5f) * bin_width;
+        draw_stroke(out, px, py, half_len, deg, v);
+      }
+    }
+  }
+  return out;
+}
+
+img::ImageU8 visualize_hog(const img::ImageU8& image, const HogParams& hog,
+                           const GlyphParams& params) {
+  return render_hog_glyphs(compute_cell_grid(image, hog), params);
+}
+
+}  // namespace avd::hog

@@ -1,0 +1,54 @@
+// Connected-component extraction on binary masks.
+//
+// The dark pipeline uses blobs twice: to seed candidate taillight windows for
+// the sliding DBN, and (in the ablation baseline) as a direct heuristic
+// taillight detector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "avd/image/image.hpp"
+
+namespace avd::img {
+
+/// A connected component of non-zero pixels.
+struct Blob {
+  Rect bbox;             ///< tight bounding box
+  long long area = 0;    ///< number of pixels
+  double centroid_x = 0;  ///< pixel-weighted centroid
+  double centroid_y = 0;
+
+  /// bbox fill ratio: area / bbox area. Circular/square lights score high,
+  /// elongated streaks and lane reflections score low.
+  [[nodiscard]] double extent() const {
+    const long long box = bbox.area();
+    return box > 0 ? static_cast<double>(area) / static_cast<double>(box) : 0.0;
+  }
+  /// bbox aspect ratio (width / height).
+  [[nodiscard]] double aspect() const {
+    return bbox.height > 0 ? static_cast<double>(bbox.width) / bbox.height : 0.0;
+  }
+};
+
+/// Pixel connectivity used by the labelling pass.
+enum class Connectivity { Four, Eight };
+
+/// Labels connected components of the binary mask and returns one Blob per
+/// component, ordered by label (scan order of first pixel). Components smaller
+/// than `min_area` pixels are discarded.
+[[nodiscard]] std::vector<Blob> find_blobs(const ImageU8& mask,
+                                           Connectivity conn = Connectivity::Eight,
+                                           long long min_area = 1);
+
+/// Full labelling: returns a label image (0 = background, 1..N = components)
+/// along with the blobs. Blob i has label i+1.
+struct LabelResult {
+  Image<std::int32_t> labels;
+  std::vector<Blob> blobs;
+};
+[[nodiscard]] LabelResult label_components(const ImageU8& mask,
+                                           Connectivity conn = Connectivity::Eight,
+                                           long long min_area = 1);
+
+}  // namespace avd::img

@@ -1,0 +1,42 @@
+// Color-space conversion: RGB <-> YCbCr (BT.601 full-range).
+//
+// The dark-condition pipeline (paper Fig. 4, "Split Chroma & Luminance")
+// thresholds the luminance channel for brightness and the Cr channel for the
+// red hue of taillights; these conversions feed that stage.
+#pragma once
+
+#include <cstdint>
+
+#include "avd/image/image.hpp"
+
+namespace avd::img {
+
+/// Planar YCbCr image. Y in [0,255]; Cb/Cr offset-binary with 128 = neutral.
+struct YcbcrImage {
+  ImageU8 y;
+  ImageU8 cb;
+  ImageU8 cr;
+
+  [[nodiscard]] int width() const { return y.width(); }
+  [[nodiscard]] int height() const { return y.height(); }
+  [[nodiscard]] Size size() const { return y.size(); }
+};
+
+/// Per-pixel BT.601 full-range forward conversion.
+[[nodiscard]] YcbcrImage rgb_to_ycbcr(const RgbImage& rgb);
+
+/// Per-pixel BT.601 full-range inverse conversion (values clamped to [0,255]).
+[[nodiscard]] RgbImage ycbcr_to_rgb(const YcbcrImage& ycc);
+
+/// Luminance-only conversion (Y plane of rgb_to_ycbcr, cheaper).
+[[nodiscard]] ImageU8 rgb_to_gray(const RgbImage& rgb);
+
+/// Replicate a grayscale image into three identical RGB planes.
+[[nodiscard]] RgbImage gray_to_rgb(const ImageU8& gray);
+
+/// Scalar conversions (used by the image ops and by tests as ground truth).
+[[nodiscard]] std::uint8_t luma_of(std::uint8_t r, std::uint8_t g, std::uint8_t b);
+[[nodiscard]] std::uint8_t cb_of(std::uint8_t r, std::uint8_t g, std::uint8_t b);
+[[nodiscard]] std::uint8_t cr_of(std::uint8_t r, std::uint8_t g, std::uint8_t b);
+
+}  // namespace avd::img

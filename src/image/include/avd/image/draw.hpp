@@ -1,0 +1,37 @@
+// Simple rasterisation used by the scene generator and by examples that dump
+// annotated detection results (Fig. 5-style imagery).
+#pragma once
+
+#include "avd/image/image.hpp"
+
+namespace avd::img {
+
+/// Fill a rectangle (clipped to bounds) with a solid color.
+void fill_rect(RgbImage& image, const Rect& r, RgbPixel color);
+void fill_rect(ImageU8& image, const Rect& r, std::uint8_t value);
+
+/// 1-pixel-wide rectangle outline with configurable thickness (grows inward).
+void draw_rect(RgbImage& image, const Rect& r, RgbPixel color, int thickness = 1);
+void draw_rect(ImageU8& image, const Rect& r, std::uint8_t value, int thickness = 1);
+
+/// Bresenham line segment.
+void draw_line(RgbImage& image, Point a, Point b, RgbPixel color);
+
+/// Filled axis-aligned ellipse inscribed in `r` (used for lights/blobs).
+void fill_ellipse(RgbImage& image, const Rect& r, RgbPixel color);
+void fill_ellipse(ImageU8& image, const Rect& r, std::uint8_t value);
+
+/// Additively blend a radial light glow centred at `center`: intensity falls
+/// off quadratically to zero at `radius`. Saturating arithmetic.
+void add_glow(RgbImage& image, Point center, int radius, RgbPixel color);
+
+/// Alpha-blend a solid rect: dst = dst*(1-alpha) + color*alpha, alpha in [0,1].
+void blend_rect(RgbImage& image, const Rect& r, RgbPixel color, float alpha);
+
+/// Render an unsigned number with a built-in 3x5 bitmap digit font, each
+/// glyph scaled by `scale` pixels per font pixel. Used to stamp track ids
+/// and frame numbers into dumped frames. Returns the width drawn in pixels.
+int draw_number(RgbImage& image, Point top_left, std::uint64_t value,
+                RgbPixel color, int scale = 2);
+
+}  // namespace avd::img

@@ -1,0 +1,22 @@
+// Spatial filters: median despeckle and separable Gaussian blur.
+//
+// Fig. 3 of the paper places a "Noise Reduction & Contour Smoothing" block
+// ahead of the DBN; the morphological closing covers contour smoothing, and
+// the 3x3 median here is the classic despeckle companion (exposed as an
+// optional pre-filter in DarkDetectorConfig and exercised by ablation A2).
+#pragma once
+
+#include "avd/image/image.hpp"
+
+namespace avd::img {
+
+/// 3x3 median filter. Border pixels use clamped neighbourhoods. On binary
+/// masks this is a majority vote: isolated specks vanish, solid blobs keep
+/// their shape.
+[[nodiscard]] ImageU8 median3x3(const ImageU8& src);
+
+/// Separable Gaussian blur with the given sigma (kernel radius = ceil(3
+/// sigma), clamped borders). sigma <= 0 returns the input unchanged.
+[[nodiscard]] ImageU8 gaussian_blur(const ImageU8& src, double sigma);
+
+}  // namespace avd::img

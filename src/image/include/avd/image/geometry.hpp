@@ -1,0 +1,114 @@
+// Basic integer geometry primitives shared across the library.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+
+namespace avd::img {
+
+/// 2-D integer point (pixel coordinates; origin top-left, y grows down).
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+/// Width/height pair.
+struct Size {
+  int width = 0;
+  int height = 0;
+
+  [[nodiscard]] constexpr long long area() const {
+    return static_cast<long long>(width) * height;
+  }
+  [[nodiscard]] constexpr bool empty() const { return width <= 0 || height <= 0; }
+
+  friend constexpr bool operator==(const Size&, const Size&) = default;
+};
+
+/// Axis-aligned rectangle: [x, x+width) x [y, y+height).
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  [[nodiscard]] constexpr int left() const { return x; }
+  [[nodiscard]] constexpr int top() const { return y; }
+  [[nodiscard]] constexpr int right() const { return x + width; }    // exclusive
+  [[nodiscard]] constexpr int bottom() const { return y + height; }  // exclusive
+  [[nodiscard]] constexpr long long area() const {
+    return static_cast<long long>(width) * height;
+  }
+  [[nodiscard]] constexpr bool empty() const { return width <= 0 || height <= 0; }
+  [[nodiscard]] constexpr Point center() const {
+    return {x + width / 2, y + height / 2};
+  }
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& r) const {
+    return r.x >= x && r.y >= y && r.right() <= right() && r.bottom() <= bottom();
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Intersection of two rectangles (empty rect if disjoint).
+[[nodiscard]] constexpr Rect intersect(const Rect& a, const Rect& b) {
+  const int x0 = std::max(a.x, b.x);
+  const int y0 = std::max(a.y, b.y);
+  const int x1 = std::min(a.right(), b.right());
+  const int y1 = std::min(a.bottom(), b.bottom());
+  if (x1 <= x0 || y1 <= y0) return {};
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+/// Smallest rectangle covering both inputs (empty inputs are ignored).
+[[nodiscard]] constexpr Rect bounding_union(const Rect& a, const Rect& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const int x0 = std::min(a.x, b.x);
+  const int y0 = std::min(a.y, b.y);
+  const int x1 = std::max(a.right(), b.right());
+  const int y1 = std::max(a.bottom(), b.bottom());
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+/// Intersection-over-union; 0 when either rect is empty.
+[[nodiscard]] constexpr double iou(const Rect& a, const Rect& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const long long inter = intersect(a, b).area();
+  const long long uni = a.area() + b.area() - inter;
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+}
+
+/// Clip `r` to lie within `bounds`.
+[[nodiscard]] constexpr Rect clip(const Rect& r, const Rect& bounds) {
+  return intersect(r, bounds);
+}
+
+/// Scale a rectangle's coordinates by (sx, sy), rounding toward zero.
+[[nodiscard]] constexpr Rect scaled(const Rect& r, double sx, double sy) {
+  return {static_cast<int>(r.x * sx), static_cast<int>(r.y * sy),
+          static_cast<int>(r.width * sx), static_cast<int>(r.height * sy)};
+}
+
+/// Grow (or shrink, with negative margin) a rect by `margin` on every side.
+[[nodiscard]] constexpr Rect inflated(const Rect& r, int margin) {
+  return {r.x - margin, r.y - margin, r.width + 2 * margin, r.height + 2 * margin};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+inline std::ostream& operator<<(std::ostream& os, const Size& s) {
+  return os << s.width << 'x' << s.height;
+}
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.x << ',' << r.y << ' ' << r.width << 'x' << r.height << ']';
+}
+
+}  // namespace avd::img

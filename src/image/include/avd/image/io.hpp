@@ -1,0 +1,26 @@
+// Minimal binary PGM (P5) / PPM (P6) reading and writing.
+//
+// These formats keep the library dependency-free while letting examples dump
+// viewable frames (Fig. 5-style qualitative results).
+#pragma once
+
+#include <string>
+
+#include "avd/image/image.hpp"
+
+namespace avd::img {
+
+/// Write an 8-bit grayscale image as binary PGM. Throws std::runtime_error on
+/// I/O failure.
+void write_pgm(const ImageU8& image, const std::string& path);
+
+/// Write an RGB image as binary PPM. Throws std::runtime_error on I/O failure.
+void write_ppm(const RgbImage& image, const std::string& path);
+
+/// Read a binary PGM file. Throws std::runtime_error on malformed input.
+[[nodiscard]] ImageU8 read_pgm(const std::string& path);
+
+/// Read a binary PPM file. Throws std::runtime_error on malformed input.
+[[nodiscard]] RgbImage read_ppm(const std::string& path);
+
+}  // namespace avd::img

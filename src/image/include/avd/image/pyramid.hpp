@@ -1,0 +1,46 @@
+// Image scale pyramid.
+//
+// Both multi-scale detectors resize the frame level by level; this type
+// computes the levels once so several consumers (the multi-model scanner,
+// visualisation, benchmarking) can share them.
+#pragma once
+
+#include <vector>
+
+#include "avd/image/image.hpp"
+
+namespace avd::img {
+
+struct PyramidParams {
+  double scale_step = 1.25;  ///< ratio between consecutive levels (> 1)
+  int max_levels = 6;
+  Size min_size{16, 16};     ///< stop before a level falls below this
+};
+
+struct PyramidLevel {
+  ImageU8 image;
+  double scale = 1.0;  ///< original = level * scale
+};
+
+class Pyramid {
+ public:
+  Pyramid() = default;
+  /// Build by repeated bilinear resampling of `base`. Level 0 shares the
+  /// base image unscaled. Throws for scale_step <= 1 or empty base.
+  Pyramid(const ImageU8& base, const PyramidParams& params = {});
+
+  [[nodiscard]] std::size_t levels() const { return levels_.size(); }
+  [[nodiscard]] const PyramidLevel& level(std::size_t i) const {
+    return levels_.at(i);
+  }
+  [[nodiscard]] auto begin() const { return levels_.begin(); }
+  [[nodiscard]] auto end() const { return levels_.end(); }
+
+  /// Map a rectangle in level `i` coordinates back to base coordinates.
+  [[nodiscard]] Rect to_base(std::size_t i, const Rect& r) const;
+
+ private:
+  std::vector<PyramidLevel> levels_;
+};
+
+}  // namespace avd::img

@@ -1,0 +1,29 @@
+// Image resampling.
+//
+// The dark pipeline downsamples the 1920x1080 binary frame to 640x360
+// (paper Fig. 4) before morphology and the sliding DBN; the multi-scale HOG
+// scan resizes the frame to a pyramid of scales.
+#pragma once
+
+#include "avd/image/image.hpp"
+
+namespace avd::img {
+
+/// Bilinear resize to exactly `out_size`. Degenerate sizes throw.
+[[nodiscard]] ImageU8 resize_bilinear(const ImageU8& src, Size out_size);
+[[nodiscard]] RgbImage resize_bilinear(const RgbImage& src, Size out_size);
+
+/// Nearest-neighbour resize (used for binary masks, where interpolation would
+/// invent gray values).
+[[nodiscard]] ImageU8 resize_nearest(const ImageU8& src, Size out_size);
+
+/// Integer-factor box downsample: each output pixel is the mean of a
+/// `factor` x `factor` source block. Source dims must divide evenly.
+[[nodiscard]] ImageU8 downsample_box(const ImageU8& src, int factor);
+
+/// Binary-aware downsample: output pixel is 255 if any source pixel in the
+/// block is non-zero ("OR pooling"). Preserves small blobs such as distant
+/// taillights that a mean filter would wash out.
+[[nodiscard]] ImageU8 downsample_or(const ImageU8& src, int factor);
+
+}  // namespace avd::img

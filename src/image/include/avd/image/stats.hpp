@@ -1,0 +1,55 @@
+// Image statistics: histograms, moments, percentiles, integral images.
+//
+// The lighting classifier (core module) decides day/dusk/dark from luminance
+// statistics of the incoming frame; these helpers provide them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "avd/image/image.hpp"
+
+namespace avd::img {
+
+/// 256-bin intensity histogram.
+[[nodiscard]] std::array<std::uint64_t, 256> histogram(const ImageU8& image);
+
+/// Mean intensity (0 for empty images).
+[[nodiscard]] double mean_intensity(const ImageU8& image);
+
+/// Population standard deviation of intensity.
+[[nodiscard]] double stddev_intensity(const ImageU8& image);
+
+/// Intensity value below which `fraction` (in [0,1]) of pixels fall.
+/// fraction=0.5 gives the median.
+[[nodiscard]] std::uint8_t percentile(const ImageU8& image, double fraction);
+
+/// Fraction of pixels with intensity >= threshold.
+[[nodiscard]] double bright_fraction(const ImageU8& image, std::uint8_t threshold);
+
+/// Summed-area table: S(x,y) = sum of pixels in [0,x) x [0,y).
+/// Table is (w+1) x (h+1); box sums are O(1) via box_sum().
+class IntegralImage {
+ public:
+  IntegralImage() = default;
+  explicit IntegralImage(const ImageU8& image);
+
+  /// Sum of pixels inside `r` (clipped to the source bounds).
+  [[nodiscard]] std::uint64_t box_sum(const Rect& r) const;
+  /// Mean of pixels inside `r`; 0 if the clipped rect is empty.
+  [[nodiscard]] double box_mean(const Rect& r) const;
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+ private:
+  [[nodiscard]] std::uint64_t tab(int x, int y) const {
+    return table_[static_cast<std::size_t>(y) * (width_ + 1) + x];
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint64_t> table_;
+};
+
+}  // namespace avd::img

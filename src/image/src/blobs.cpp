@@ -1,0 +1,98 @@
+#include "avd/image/blobs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace avd::img {
+namespace {
+
+// BFS flood fill from each unvisited foreground pixel. Iterative with an
+// explicit queue so deep components cannot overflow the stack.
+struct Accumulator {
+  int min_x, min_y, max_x, max_y;
+  long long area = 0;
+  long long sum_x = 0;
+  long long sum_y = 0;
+
+  explicit Accumulator(Point seed)
+      : min_x(seed.x), min_y(seed.y), max_x(seed.x), max_y(seed.y) {}
+
+  void add(int x, int y) {
+    min_x = std::min(min_x, x);
+    min_y = std::min(min_y, y);
+    max_x = std::max(max_x, x);
+    max_y = std::max(max_y, y);
+    ++area;
+    sum_x += x;
+    sum_y += y;
+  }
+
+  [[nodiscard]] Blob to_blob() const {
+    Blob b;
+    b.bbox = {min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+    b.area = area;
+    b.centroid_x = static_cast<double>(sum_x) / static_cast<double>(area);
+    b.centroid_y = static_cast<double>(sum_y) / static_cast<double>(area);
+    return b;
+  }
+};
+
+}  // namespace
+
+LabelResult label_components(const ImageU8& mask, Connectivity conn,
+                             long long min_area) {
+  LabelResult result;
+  result.labels = Image<std::int32_t>(mask.width(), mask.height(), 0);
+  if (mask.empty()) return result;
+
+  static constexpr Point kN4[] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  static constexpr Point kN8[] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
+                                  {1, 1},  {1, -1}, {-1, 1}, {-1, -1}};
+  const std::span<const Point> neighbours =
+      conn == Connectivity::Four ? std::span<const Point>(kN4)
+                                 : std::span<const Point>(kN8);
+
+  std::vector<Point> queue;
+  std::int32_t next_label = 1;
+
+  for (int sy = 0; sy < mask.height(); ++sy) {
+    for (int sx = 0; sx < mask.width(); ++sx) {
+      if (mask(sx, sy) == 0 || result.labels(sx, sy) != 0) continue;
+
+      Accumulator acc({sx, sy});
+      queue.clear();
+      queue.push_back({sx, sy});
+      result.labels(sx, sy) = next_label;
+      std::size_t head = 0;
+      while (head < queue.size()) {
+        const Point p = queue[head++];
+        acc.add(p.x, p.y);
+        for (const Point d : neighbours) {
+          const int nx = p.x + d.x;
+          const int ny = p.y + d.y;
+          if (!mask.in_bounds(nx, ny)) continue;
+          if (mask(nx, ny) == 0 || result.labels(nx, ny) != 0) continue;
+          result.labels(nx, ny) = next_label;
+          queue.push_back({nx, ny});
+        }
+      }
+
+      if (acc.area >= min_area) {
+        result.blobs.push_back(acc.to_blob());
+        ++next_label;
+      } else {
+        // Erase the labels of the rejected component so the label image stays
+        // consistent with the blob list (blob i <-> label i+1).
+        for (const Point p : queue) result.labels(p.x, p.y) = 0;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Blob> find_blobs(const ImageU8& mask, Connectivity conn,
+                             long long min_area) {
+  return label_components(mask, conn, min_area).blobs;
+}
+
+}  // namespace avd::img

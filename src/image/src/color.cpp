@@ -1,0 +1,82 @@
+#include "avd/image/color.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avd::img {
+namespace {
+
+std::uint8_t clamp_u8(float v) {
+  return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0L, 255L));
+}
+
+}  // namespace
+
+std::uint8_t luma_of(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  return clamp_u8(0.299f * r + 0.587f * g + 0.114f * b);
+}
+
+std::uint8_t cb_of(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  return clamp_u8(128.0f - 0.168736f * r - 0.331264f * g + 0.5f * b);
+}
+
+std::uint8_t cr_of(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  return clamp_u8(128.0f + 0.5f * r - 0.418688f * g - 0.081312f * b);
+}
+
+YcbcrImage rgb_to_ycbcr(const RgbImage& rgb) {
+  YcbcrImage out{ImageU8(rgb.size()), ImageU8(rgb.size()), ImageU8(rgb.size())};
+  for (int yy = 0; yy < rgb.height(); ++yy) {
+    auto r = rgb.r().row(yy);
+    auto g = rgb.g().row(yy);
+    auto b = rgb.b().row(yy);
+    auto oy = out.y.row(yy);
+    auto ocb = out.cb.row(yy);
+    auto ocr = out.cr.row(yy);
+    for (int x = 0; x < rgb.width(); ++x) {
+      oy[x] = luma_of(r[x], g[x], b[x]);
+      ocb[x] = cb_of(r[x], g[x], b[x]);
+      ocr[x] = cr_of(r[x], g[x], b[x]);
+    }
+  }
+  return out;
+}
+
+RgbImage ycbcr_to_rgb(const YcbcrImage& ycc) {
+  RgbImage out(ycc.size());
+  for (int yy = 0; yy < ycc.height(); ++yy) {
+    auto iy = ycc.y.row(yy);
+    auto icb = ycc.cb.row(yy);
+    auto icr = ycc.cr.row(yy);
+    auto r = out.r().row(yy);
+    auto g = out.g().row(yy);
+    auto b = out.b().row(yy);
+    for (int x = 0; x < ycc.width(); ++x) {
+      const float y = iy[x];
+      const float cb = static_cast<float>(icb[x]) - 128.0f;
+      const float cr = static_cast<float>(icr[x]) - 128.0f;
+      r[x] = clamp_u8(y + 1.402f * cr);
+      g[x] = clamp_u8(y - 0.344136f * cb - 0.714136f * cr);
+      b[x] = clamp_u8(y + 1.772f * cb);
+    }
+  }
+  return out;
+}
+
+ImageU8 rgb_to_gray(const RgbImage& rgb) {
+  ImageU8 out(rgb.size());
+  for (int yy = 0; yy < rgb.height(); ++yy) {
+    auto r = rgb.r().row(yy);
+    auto g = rgb.g().row(yy);
+    auto b = rgb.b().row(yy);
+    auto o = out.row(yy);
+    for (int x = 0; x < rgb.width(); ++x) o[x] = luma_of(r[x], g[x], b[x]);
+  }
+  return out;
+}
+
+RgbImage gray_to_rgb(const ImageU8& gray) {
+  return {gray, gray, gray};
+}
+
+}  // namespace avd::img

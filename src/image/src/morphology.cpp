@@ -1,0 +1,94 @@
+#include "avd/image/morphology.hpp"
+
+#include <stdexcept>
+
+namespace avd::img {
+namespace {
+
+void check_se(StructuringElement se) {
+  if (se.width <= 0 || se.height <= 0 || se.width % 2 == 0 || se.height % 2 == 0)
+    throw std::invalid_argument("morphology: SE dimensions must be positive odd");
+}
+
+// Rectangular SEs are separable: a horizontal 1xW pass followed by a vertical
+// Hx1 pass. `Any` selects dilation (true = any set) vs erosion (false = all set).
+template <bool Any>
+ImageU8 horizontal_pass(const ImageU8& src, int rx) {
+  ImageU8 out(src.size());
+  for (int y = 0; y < src.height(); ++y) {
+    auto s = src.row(y);
+    auto o = out.row(y);
+    for (int x = 0; x < src.width(); ++x) {
+      bool hit = !Any;
+      for (int dx = -rx; dx <= rx; ++dx) {
+        const int xx = x + dx;
+        const bool set = xx >= 0 && xx < src.width() && s[xx] != 0;
+        if constexpr (Any) {
+          if (set) {
+            hit = true;
+            break;
+          }
+        } else {
+          if (!set) {
+            hit = false;
+            break;
+          }
+        }
+      }
+      o[x] = hit ? 255 : 0;
+    }
+  }
+  return out;
+}
+
+template <bool Any>
+ImageU8 vertical_pass(const ImageU8& src, int ry) {
+  ImageU8 out(src.size());
+  for (int y = 0; y < src.height(); ++y) {
+    auto o = out.row(y);
+    for (int x = 0; x < src.width(); ++x) {
+      bool hit = !Any;
+      for (int dy = -ry; dy <= ry; ++dy) {
+        const int yy = y + dy;
+        const bool set = yy >= 0 && yy < src.height() && src(x, yy) != 0;
+        if constexpr (Any) {
+          if (set) {
+            hit = true;
+            break;
+          }
+        } else {
+          if (!set) {
+            hit = false;
+            break;
+          }
+        }
+      }
+      o[x] = hit ? 255 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageU8 dilate(const ImageU8& mask, StructuringElement se) {
+  check_se(se);
+  return vertical_pass<true>(horizontal_pass<true>(mask, se.radius_x()),
+                             se.radius_y());
+}
+
+ImageU8 erode(const ImageU8& mask, StructuringElement se) {
+  check_se(se);
+  return vertical_pass<false>(horizontal_pass<false>(mask, se.radius_x()),
+                              se.radius_y());
+}
+
+ImageU8 close(const ImageU8& mask, StructuringElement se) {
+  return erode(dilate(mask, se), se);
+}
+
+ImageU8 open(const ImageU8& mask, StructuringElement se) {
+  return dilate(erode(mask, se), se);
+}
+
+}  // namespace avd::img

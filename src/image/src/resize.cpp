@@ -1,0 +1,123 @@
+#include "avd/image/resize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace avd::img {
+namespace {
+
+void check_out_size(Size out) {
+  if (out.width <= 0 || out.height <= 0)
+    throw std::invalid_argument("resize: non-positive output size");
+}
+
+// Maps output pixel centre to source coordinates (align-centres convention).
+struct LinearMap {
+  float scale;
+  [[nodiscard]] float operator()(int out_coord) const {
+    return (static_cast<float>(out_coord) + 0.5f) * scale - 0.5f;
+  }
+};
+
+}  // namespace
+
+ImageU8 resize_bilinear(const ImageU8& src, Size out_size) {
+  check_out_size(out_size);
+  if (src.empty()) throw std::invalid_argument("resize: empty source");
+  if (src.size() == out_size) return src;
+
+  ImageU8 out(out_size);
+  const LinearMap mx{static_cast<float>(src.width()) / out_size.width};
+  const LinearMap my{static_cast<float>(src.height()) / out_size.height};
+
+  for (int oy = 0; oy < out_size.height; ++oy) {
+    const float fy = my(oy);
+    const int y0 = static_cast<int>(std::floor(fy));
+    const float wy = fy - static_cast<float>(y0);
+    auto orow = out.row(oy);
+    for (int ox = 0; ox < out_size.width; ++ox) {
+      const float fx = mx(ox);
+      const int x0 = static_cast<int>(std::floor(fx));
+      const float wx = fx - static_cast<float>(x0);
+      const float p00 = src.at_clamped(x0, y0);
+      const float p10 = src.at_clamped(x0 + 1, y0);
+      const float p01 = src.at_clamped(x0, y0 + 1);
+      const float p11 = src.at_clamped(x0 + 1, y0 + 1);
+      const float top = p00 + (p10 - p00) * wx;
+      const float bot = p01 + (p11 - p01) * wx;
+      orow[ox] = static_cast<std::uint8_t>(std::lround(top + (bot - top) * wy));
+    }
+  }
+  return out;
+}
+
+RgbImage resize_bilinear(const RgbImage& src, Size out_size) {
+  return {resize_bilinear(src.r(), out_size), resize_bilinear(src.g(), out_size),
+          resize_bilinear(src.b(), out_size)};
+}
+
+ImageU8 resize_nearest(const ImageU8& src, Size out_size) {
+  check_out_size(out_size);
+  if (src.empty()) throw std::invalid_argument("resize: empty source");
+  ImageU8 out(out_size);
+  for (int oy = 0; oy < out_size.height; ++oy) {
+    const int sy = std::min(
+        src.height() - 1,
+        static_cast<int>((static_cast<long long>(oy) * src.height()) / out_size.height));
+    auto srow = src.row(sy);
+    auto orow = out.row(oy);
+    for (int ox = 0; ox < out_size.width; ++ox) {
+      const int sx = std::min(
+          src.width() - 1,
+          static_cast<int>((static_cast<long long>(ox) * src.width()) / out_size.width));
+      orow[ox] = srow[sx];
+    }
+  }
+  return out;
+}
+
+ImageU8 downsample_box(const ImageU8& src, int factor) {
+  if (factor <= 0) throw std::invalid_argument("downsample: factor must be positive");
+  if (src.width() % factor != 0 || src.height() % factor != 0)
+    throw std::invalid_argument("downsample: dimensions not divisible by factor");
+  ImageU8 out(src.width() / factor, src.height() / factor);
+  const int area = factor * factor;
+  for (int oy = 0; oy < out.height(); ++oy) {
+    auto orow = out.row(oy);
+    for (int ox = 0; ox < out.width(); ++ox) {
+      int sum = 0;
+      for (int dy = 0; dy < factor; ++dy) {
+        auto srow = src.row(oy * factor + dy);
+        for (int dx = 0; dx < factor; ++dx) sum += srow[ox * factor + dx];
+      }
+      orow[ox] = static_cast<std::uint8_t>((sum + area / 2) / area);
+    }
+  }
+  return out;
+}
+
+ImageU8 downsample_or(const ImageU8& src, int factor) {
+  if (factor <= 0) throw std::invalid_argument("downsample: factor must be positive");
+  if (src.width() % factor != 0 || src.height() % factor != 0)
+    throw std::invalid_argument("downsample: dimensions not divisible by factor");
+  ImageU8 out(src.width() / factor, src.height() / factor);
+  for (int oy = 0; oy < out.height(); ++oy) {
+    auto orow = out.row(oy);
+    for (int ox = 0; ox < out.width(); ++ox) {
+      std::uint8_t v = 0;
+      for (int dy = 0; dy < factor && v == 0; ++dy) {
+        auto srow = src.row(oy * factor + dy);
+        for (int dx = 0; dx < factor; ++dx) {
+          if (srow[ox * factor + dx] != 0) {
+            v = 255;
+            break;
+          }
+        }
+      }
+      orow[ox] = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace avd::img

@@ -1,0 +1,80 @@
+#include "avd/image/stats.hpp"
+
+#include <cmath>
+
+namespace avd::img {
+
+std::array<std::uint64_t, 256> histogram(const ImageU8& image) {
+  std::array<std::uint64_t, 256> h{};
+  for (auto v : image.pixels()) ++h[v];
+  return h;
+}
+
+double mean_intensity(const ImageU8& image) {
+  if (image.empty()) return 0.0;
+  std::uint64_t sum = 0;
+  for (auto v : image.pixels()) sum += v;
+  return static_cast<double>(sum) / static_cast<double>(image.pixel_count());
+}
+
+double stddev_intensity(const ImageU8& image) {
+  if (image.empty()) return 0.0;
+  const double mean = mean_intensity(image);
+  double acc = 0.0;
+  for (auto v : image.pixels()) {
+    const double d = static_cast<double>(v) - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(image.pixel_count()));
+}
+
+std::uint8_t percentile(const ImageU8& image, double fraction) {
+  if (image.empty()) return 0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto h = histogram(image);
+  const auto target = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(image.pixel_count()));
+  std::uint64_t cum = 0;
+  for (int v = 0; v < 256; ++v) {
+    cum += h[v];
+    if (cum >= target && cum > 0) return static_cast<std::uint8_t>(v);
+  }
+  return 255;
+}
+
+double bright_fraction(const ImageU8& image, std::uint8_t threshold) {
+  if (image.empty()) return 0.0;
+  std::size_t n = 0;
+  for (auto v : image.pixels()) n += v >= threshold;
+  return static_cast<double>(n) / static_cast<double>(image.pixel_count());
+}
+
+IntegralImage::IntegralImage(const ImageU8& image)
+    : width_(image.width()),
+      height_(image.height()),
+      table_(static_cast<std::size_t>(width_ + 1) * (height_ + 1), 0) {
+  for (int y = 0; y < height_; ++y) {
+    auto src = image.row(y);
+    std::uint64_t row_sum = 0;
+    for (int x = 0; x < width_; ++x) {
+      row_sum += src[x];
+      table_[static_cast<std::size_t>(y + 1) * (width_ + 1) + (x + 1)] =
+          tab(x + 1, y) + row_sum;
+    }
+  }
+}
+
+std::uint64_t IntegralImage::box_sum(const Rect& r) const {
+  const Rect c = intersect(r, {0, 0, width_, height_});
+  if (c.empty()) return 0;
+  return tab(c.right(), c.bottom()) - tab(c.x, c.bottom()) -
+         tab(c.right(), c.y) + tab(c.x, c.y);
+}
+
+double IntegralImage::box_mean(const Rect& r) const {
+  const Rect c = intersect(r, {0, 0, width_, height_});
+  if (c.empty()) return 0.0;
+  return static_cast<double>(box_sum(c)) / static_cast<double>(c.area());
+}
+
+}  // namespace avd::img

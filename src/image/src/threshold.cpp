@@ -1,0 +1,85 @@
+#include "avd/image/threshold.hpp"
+
+#include <stdexcept>
+
+namespace avd::img {
+namespace {
+
+void check_same_size(const ImageU8& a, const ImageU8& b, const char* what) {
+  if (a.size() != b.size())
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+
+}  // namespace
+
+ImageU8 threshold_binary(const ImageU8& src, std::uint8_t threshold) {
+  ImageU8 out(src.size());
+  auto s = src.pixels();
+  auto o = out.pixels();
+  for (std::size_t i = 0; i < s.size(); ++i) o[i] = s[i] >= threshold ? 255 : 0;
+  return out;
+}
+
+ImageU8 threshold_band(const ImageU8& src, std::uint8_t lo, std::uint8_t hi) {
+  if (lo > hi) throw std::invalid_argument("threshold_band: lo > hi");
+  ImageU8 out(src.size());
+  auto s = src.pixels();
+  auto o = out.pixels();
+  for (std::size_t i = 0; i < s.size(); ++i)
+    o[i] = (s[i] >= lo && s[i] <= hi) ? 255 : 0;
+  return out;
+}
+
+ImageU8 mask_and(const ImageU8& a, const ImageU8& b) {
+  check_same_size(a, b, "mask_and");
+  ImageU8 out(a.size());
+  auto pa = a.pixels();
+  auto pb = b.pixels();
+  auto o = out.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    o[i] = (pa[i] != 0 && pb[i] != 0) ? 255 : 0;
+  return out;
+}
+
+ImageU8 mask_or(const ImageU8& a, const ImageU8& b) {
+  check_same_size(a, b, "mask_or");
+  ImageU8 out(a.size());
+  auto pa = a.pixels();
+  auto pb = b.pixels();
+  auto o = out.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    o[i] = (pa[i] != 0 || pb[i] != 0) ? 255 : 0;
+  return out;
+}
+
+ImageU8 mask_not(const ImageU8& a) {
+  ImageU8 out(a.size());
+  auto pa = a.pixels();
+  auto o = out.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) o[i] = pa[i] != 0 ? 0 : 255;
+  return out;
+}
+
+std::size_t count_nonzero(const ImageU8& mask) {
+  std::size_t n = 0;
+  for (auto v : mask.pixels()) n += v != 0;
+  return n;
+}
+
+ImageU8 taillight_roi_mask(const YcbcrImage& ycc, const TaillightThresholdParams& p) {
+  ImageU8 out(ycc.size());
+  for (int y = 0; y < ycc.height(); ++y) {
+    auto ly = ycc.y.row(y);
+    auto cb = ycc.cb.row(y);
+    auto cr = ycc.cr.row(y);
+    auto o = out.row(y);
+    for (int x = 0; x < ycc.width(); ++x) {
+      const bool bright = ly[x] >= p.luma_min;
+      const bool red = cr[x] >= p.cr_min && cb[x] <= p.cb_max;
+      o[x] = (bright && red) ? 255 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace avd::img

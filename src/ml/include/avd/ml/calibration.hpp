@@ -1,0 +1,51 @@
+// Platt scaling: map raw SVM decision values to calibrated probabilities
+// P(y=+1 | f) = 1 / (1 + exp(A f + B)).
+//
+// Why the system needs it: the adaptive detector hands off between models
+// (day SVM, dusk SVM, pairing SVM) whose raw margins are not comparable —
+// a 0.7 from the day model and a 0.7 from the dusk model mean different
+// things. Calibrated probabilities put downstream consumers (tracking,
+// fusion, planners) on one scale across configurations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "avd/ml/svm.hpp"
+
+namespace avd::ml {
+
+/// The fitted sigmoid.
+struct PlattScaler {
+  double a = -1.0;
+  double b = 0.0;
+
+  /// Calibrated P(positive | decision).
+  [[nodiscard]] double probability(double decision) const;
+};
+
+struct PlattFitParams {
+  int max_iterations = 100;
+  double min_step = 1e-10;
+  double sigma = 1e-12;  ///< Hessian regulariser
+};
+
+/// Fit A, B by regularised maximum likelihood on (decision, label) pairs
+/// (labels +1/-1), using Lin/Weng/Keerthi's Newton method with backtracking.
+/// Throws if either class is missing.
+[[nodiscard]] PlattScaler fit_platt(std::span<const double> decisions,
+                                    std::span<const int> labels,
+                                    const PlattFitParams& params = {});
+
+/// Convenience: score a trained SVM on a labelled set and fit the scaler.
+[[nodiscard]] PlattScaler calibrate_svm(const LinearSvm& svm,
+                                        const SvmProblem& holdout,
+                                        const PlattFitParams& params = {});
+
+/// Brier score (mean squared probability error) of a scaler on a labelled
+/// set: lower is better; 0.25 is the score of always answering 0.5.
+[[nodiscard]] double brier_score(const PlattScaler& scaler,
+                                 std::span<const double> decisions,
+                                 std::span<const int> labels);
+
+}  // namespace avd::ml

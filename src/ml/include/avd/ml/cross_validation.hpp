@@ -1,0 +1,41 @@
+// K-fold cross-validation and C-grid search for the linear SVM.
+//
+// The paper trains its models once per dataset with LibLINEAR defaults; this
+// utility is the standard companion for choosing the soft-margin cost and
+// for reporting variance across folds, used by the model-selection example
+// and the HOG-parameter ablation bench.
+#pragma once
+
+#include "avd/ml/metrics.hpp"
+#include "avd/ml/svm.hpp"
+
+namespace avd::ml {
+
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;
+  BinaryCounts pooled;  ///< confusion counts pooled over all folds
+
+  [[nodiscard]] double mean_accuracy() const;
+  [[nodiscard]] double stddev_accuracy() const;
+};
+
+/// Stratified k-fold CV: every fold receives the same positive/negative
+/// ratio as the full problem (up to rounding). Deterministic in `seed`.
+/// Throws for k < 2 or k larger than the size of either class.
+[[nodiscard]] CrossValidationResult cross_validate(
+    const SvmProblem& problem, int folds, const SvmTrainParams& params = {},
+    std::uint64_t seed = 303);
+
+struct GridSearchResult {
+  double best_c = 1.0;
+  double best_accuracy = 0.0;
+  std::vector<std::pair<double, double>> tried;  ///< (C, mean accuracy)
+};
+
+/// Pick the best soft-margin cost from `candidates` by k-fold CV accuracy.
+/// Ties resolve to the smaller C (stronger regularisation).
+[[nodiscard]] GridSearchResult grid_search_c(
+    const SvmProblem& problem, const std::vector<double>& candidates,
+    int folds = 5, SvmTrainParams base = {}, std::uint64_t seed = 304);
+
+}  // namespace avd::ml

@@ -1,0 +1,81 @@
+// Minimal dense vector helpers shared by the SVM / RBM / DBN code.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace avd::ml {
+
+[[nodiscard]] inline double dot(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  return acc;
+}
+
+/// y += alpha * x
+inline void axpy(double alpha, std::span<const float> x, std::span<float> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y[i] += static_cast<float>(alpha * static_cast<double>(x[i]));
+}
+
+[[nodiscard]] inline double squared_norm(std::span<const float> v) {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  return acc;
+}
+
+[[nodiscard]] inline float sigmoidf(float x) {
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+/// In-place numerically stable softmax.
+inline void softmax(std::span<float> v) {
+  if (v.empty()) return;
+  float maxv = v[0];
+  for (float x : v) maxv = std::max(maxv, x);
+  double sum = 0.0;
+  for (float& x : v) {
+    x = std::exp(x - maxv);
+    sum += x;
+  }
+  const auto inv = static_cast<float>(1.0 / sum);
+  for (float& x : v) x *= inv;
+}
+
+/// Row-major dense matrix of floats with (rows x cols) shape.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::span<float> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace avd::ml

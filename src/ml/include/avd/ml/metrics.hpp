@@ -1,0 +1,74 @@
+// Classification metrics matching the paper's Table I quantities:
+// TP / TN / FP / FN and Accuracy = (TP+TN)/(TP+TN+FP+FN)  (Eq. 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace avd::ml {
+
+/// Binary confusion counts. "Positive" = vehicle present.
+struct BinaryCounts {
+  std::uint64_t tp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t fn = 0;
+
+  void record(bool truth_positive, bool predicted_positive) {
+    if (truth_positive)
+      predicted_positive ? ++tp : ++fn;
+    else
+      predicted_positive ? ++fp : ++tn;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return tp + tn + fp + fn; }
+  /// Eq. (1) of the paper.
+  [[nodiscard]] double accuracy() const {
+    const auto t = total();
+    return t ? static_cast<double>(tp + tn) / static_cast<double>(t) : 0.0;
+  }
+  [[nodiscard]] double precision() const {
+    const auto d = tp + fp;
+    return d ? static_cast<double>(tp) / static_cast<double>(d) : 0.0;
+  }
+  [[nodiscard]] double recall() const {
+    const auto d = tp + fn;
+    return d ? static_cast<double>(tp) / static_cast<double>(d) : 0.0;
+  }
+  [[nodiscard]] double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+
+  BinaryCounts& operator+=(const BinaryCounts& o) {
+    tp += o.tp;
+    tn += o.tn;
+    fp += o.fp;
+    fn += o.fn;
+    return *this;
+  }
+};
+
+/// K-class confusion matrix (rows = truth, cols = prediction).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int classes);
+
+  void record(int truth, int predicted);
+  [[nodiscard]] std::uint64_t at(int truth, int predicted) const;
+  [[nodiscard]] int classes() const { return classes_; }
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] double accuracy() const;
+  /// One-vs-rest binary counts for class `c`.
+  [[nodiscard]] BinaryCounts one_vs_rest(int c) const;
+  /// Pretty multi-line table for logs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int classes_;
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace avd::ml

@@ -1,0 +1,71 @@
+// Restricted Boltzmann Machine with contrastive-divergence training.
+//
+// The dark-condition detector (paper §III-B) stacks RBMs into a deep belief
+// network: "These layers are separately trained restricted Boltzmann machines
+// (RBM) which are stacked on top of each other to extract the hidden features."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "avd/ml/linalg.hpp"
+#include "avd/ml/rng.hpp"
+
+namespace avd::ml {
+
+struct RbmTrainParams {
+  int epochs = 30;
+  double learning_rate = 0.1;
+  int cd_steps = 1;        ///< CD-k Gibbs steps
+  int batch_size = 16;
+  double weight_decay = 1e-4;
+  double momentum = 0.5;
+  std::uint64_t seed = 7;
+};
+
+/// Bernoulli-Bernoulli RBM.
+class Rbm {
+ public:
+  Rbm() = default;
+  /// Weights initialised N(0, 0.01), biases zero.
+  Rbm(int visible, int hidden, std::uint64_t seed = 7);
+
+  [[nodiscard]] int visible() const { return static_cast<int>(vbias_.size()); }
+  [[nodiscard]] int hidden() const { return static_cast<int>(hbias_.size()); }
+
+  /// P(h_j = 1 | v) for all hidden units.
+  void hidden_probs(std::span<const float> v, std::span<float> h_out) const;
+  /// P(v_i = 1 | h) for all visible units.
+  void visible_probs(std::span<const float> h, std::span<float> v_out) const;
+
+  /// Deterministic up-pass used when stacking into a DBN.
+  [[nodiscard]] std::vector<float> transform(std::span<const float> v) const;
+
+  /// One CD-k parameter update over a mini-batch; returns mean reconstruction
+  /// error (mean squared difference between data and reconstruction).
+  double train_batch(std::span<const std::vector<float>> batch,
+                     const RbmTrainParams& params, Rng& rng);
+
+  /// Full training loop over `data`; returns per-epoch reconstruction error.
+  std::vector<double> train(std::span<const std::vector<float>> data,
+                            const RbmTrainParams& params);
+
+  /// Reconstruction error of a single vector (squared error of one up-down
+  /// deterministic pass). Useful as an anomaly score.
+  [[nodiscard]] double reconstruction_error(std::span<const float> v) const;
+
+  [[nodiscard]] const Matrix& weights() const { return w_; }
+  [[nodiscard]] Matrix& weights() { return w_; }
+  [[nodiscard]] std::span<const float> visible_bias() const { return vbias_; }
+  [[nodiscard]] std::span<const float> hidden_bias() const { return hbias_; }
+  [[nodiscard]] std::span<float> visible_bias() { return vbias_; }
+  [[nodiscard]] std::span<float> hidden_bias() { return hbias_; }
+
+ private:
+  Matrix w_;  // hidden x visible
+  std::vector<float> vbias_;
+  std::vector<float> hbias_;
+  Matrix w_velocity_;  // momentum buffer
+};
+
+}  // namespace avd::ml

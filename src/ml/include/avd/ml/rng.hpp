@@ -1,0 +1,50 @@
+// Seeded random number generation.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Rng so datasets, training runs and benchmarks are bit-reproducible (see
+// DESIGN.md §6).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+namespace avd::ml {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+  /// Gaussian with the given mean/stddev.
+  [[nodiscard]] double gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  /// Bernoulli draw with success probability p.
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+  /// Derive an independent child stream (stable function of parent state).
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    std::shuffle(c.begin(), c.end(), engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace avd::ml

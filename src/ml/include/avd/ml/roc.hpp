@@ -1,0 +1,37 @@
+// ROC analysis over raw decision values.
+//
+// The paper reports single-operating-point accuracy (Table I); ROC curves
+// show the whole trade-off and let the operating threshold of each
+// configuration be chosen deliberately (the detection modules expose that
+// threshold as an AXI-Lite parameter register).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace avd::ml {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;   ///< recall
+  double false_positive_rate = 0.0;
+};
+
+struct RocCurve {
+  /// Points ordered by descending threshold: (0,0) first, (1,1) last.
+  std::vector<RocPoint> points;
+
+  /// Area under the curve by trapezoid rule. 0.5 = chance, 1.0 = perfect.
+  [[nodiscard]] double auc() const;
+
+  /// The threshold whose point lies closest to the perfect corner (0,1)
+  /// (Youden-style operating point).
+  [[nodiscard]] double best_threshold() const;
+};
+
+/// Build the ROC curve of (decision, label) pairs; labels are +1/-1.
+/// Throws if either class is absent.
+[[nodiscard]] RocCurve roc_curve(std::span<const double> decisions,
+                                 std::span<const int> labels);
+
+}  // namespace avd::ml

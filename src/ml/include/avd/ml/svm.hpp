@@ -1,0 +1,89 @@
+// Linear support-vector machine: model, inference, and a LibLINEAR-style
+// trainer (dual coordinate descent for L2-regularised L2-loss SVC [16]).
+//
+// The paper trains its day/dusk/combined vehicle models and the taillight
+// pairing classifier with LibLINEAR; this is the same algorithm family,
+// implemented from scratch and deterministic under a fixed seed.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "avd/ml/rng.hpp"
+
+namespace avd::ml {
+
+/// Trained linear model: f(x) = w.x + b, predicted label = sign(f).
+class LinearSvm {
+ public:
+  LinearSvm() = default;
+  LinearSvm(std::vector<float> weights, float bias);
+
+  /// Raw decision value w.x + b.
+  [[nodiscard]] double decision(std::span<const float> x) const;
+  /// +1 / -1 prediction.
+  [[nodiscard]] int predict(std::span<const float> x) const {
+    return decision(x) >= 0.0 ? +1 : -1;
+  }
+
+  [[nodiscard]] std::span<const float> weights() const { return weights_; }
+  [[nodiscard]] float bias() const { return bias_; }
+  [[nodiscard]] std::size_t dimension() const { return weights_.size(); }
+  [[nodiscard]] bool trained() const { return !weights_.empty(); }
+
+  /// Text (de)serialisation: "svm <dim> <bias> w0 w1 ...".
+  void save(std::ostream& out) const;
+  static LinearSvm load(std::istream& in);
+
+ private:
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+/// A labelled training set. Labels are +1 / -1. All feature vectors must have
+/// equal length.
+struct SvmProblem {
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+
+  void add(std::vector<float> x, int label);
+  [[nodiscard]] std::size_t size() const { return features.size(); }
+  [[nodiscard]] std::size_t dimension() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+};
+
+struct SvmTrainParams {
+  double c = 1.0;            ///< soft-margin cost
+  int max_epochs = 200;      ///< passes over the data
+  double epsilon = 1e-3;     ///< stop when max projected gradient < epsilon
+  std::uint64_t seed = 1;    ///< shuffling seed (determinism)
+  double positive_weight = 1.0;  ///< class-imbalance reweighting of C for +1
+};
+
+struct SvmTrainReport {
+  int epochs_run = 0;
+  double final_pg_max = 0.0;  ///< largest projected gradient at termination
+  bool converged = false;
+};
+
+/// Dual coordinate descent for L2-regularised L2-loss SVC (the LibLINEAR
+/// L2R_L2LOSS_SVC_DUAL solver). A constant bias feature is appended
+/// internally, matching LibLINEAR's -B 1 option.
+class SvmTrainer {
+ public:
+  explicit SvmTrainer(SvmTrainParams params = {}) : params_(params) {}
+
+  [[nodiscard]] LinearSvm train(const SvmProblem& problem) const {
+    SvmTrainReport report;
+    return train(problem, report);
+  }
+  [[nodiscard]] LinearSvm train(const SvmProblem& problem,
+                                SvmTrainReport& report) const;
+
+ private:
+  SvmTrainParams params_;
+};
+
+}  // namespace avd::ml

@@ -1,0 +1,128 @@
+#include "avd/ml/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace avd::ml {
+
+double PlattScaler::probability(double decision) const {
+  const double z = a * decision + b;
+  // Numerically stable logistic.
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return e / (1.0 + e);
+  }
+  return 1.0 / (1.0 + std::exp(z));
+}
+
+PlattScaler fit_platt(std::span<const double> decisions,
+                      std::span<const int> labels,
+                      const PlattFitParams& params) {
+  if (decisions.size() != labels.size() || decisions.empty())
+    throw std::invalid_argument("fit_platt: bad input sizes");
+
+  std::size_t n_pos = 0, n_neg = 0;
+  for (int y : labels) {
+    if (y == 1)
+      ++n_pos;
+    else if (y == -1)
+      ++n_neg;
+    else
+      throw std::invalid_argument("fit_platt: labels must be +1/-1");
+  }
+  if (n_pos == 0 || n_neg == 0)
+    throw std::invalid_argument("fit_platt: need both classes");
+
+  // Target probabilities with the Platt prior correction.
+  const double hi = (static_cast<double>(n_pos) + 1.0) /
+                    (static_cast<double>(n_pos) + 2.0);
+  const double lo = 1.0 / (static_cast<double>(n_neg) + 2.0);
+  const std::size_t n = decisions.size();
+  std::vector<double> t(n);
+  for (std::size_t i = 0; i < n; ++i) t[i] = labels[i] == 1 ? hi : lo;
+
+  double a = 0.0;
+  double b = std::log((static_cast<double>(n_neg) + 1.0) /
+                      (static_cast<double>(n_pos) + 1.0));
+
+  // Negative log likelihood with p = P(+1|f) = 1 / (1 + exp(a f + b)).
+  auto objective = [&](double aa, double bb) {
+    double obj = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z = aa * decisions[i] + bb;
+      const double p = 1.0 / (1.0 + std::exp(z));
+      const double pc = std::min(std::max(p, 1e-15), 1.0 - 1e-15);
+      obj -= t[i] * std::log(pc) + (1.0 - t[i]) * std::log(1.0 - pc);
+    }
+    return obj;
+  };
+
+  double best_obj = objective(a, b);
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    // Gradient and Hessian of the negative log likelihood.
+    double g_a = 0.0, g_b = 0.0, h_aa = params.sigma, h_ab = 0.0,
+           h_bb = params.sigma;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z = a * decisions[i] + b;
+      const double p = 1.0 / (1.0 + std::exp(z));  // P(+1)
+      // dNLL/dz = t - p (p falls as z grows); d2NLL/dz2 = p(1-p).
+      const double d1 = t[i] - p;
+      const double d2 = p * (1.0 - p);
+      g_a += decisions[i] * d1;
+      g_b += d1;
+      h_aa += decisions[i] * decisions[i] * d2;
+      h_ab += decisions[i] * d2;
+      h_bb += d2;
+    }
+    // Newton step: solve H dx = -g.
+    const double det = h_aa * h_bb - h_ab * h_ab;
+    if (std::abs(det) < 1e-30) break;
+    const double da = -(h_bb * g_a - h_ab * g_b) / det;
+    const double db = -(h_aa * g_b - h_ab * g_a) / det;
+    if (std::abs(da) < params.min_step && std::abs(db) < params.min_step)
+      break;
+
+    // Backtracking line search.
+    double step = 1.0;
+    bool improved = false;
+    while (step >= params.min_step) {
+      const double na = a + step * da;
+      const double nb = b + step * db;
+      const double obj = objective(na, nb);
+      if (obj < best_obj - 1e-12) {
+        a = na;
+        b = nb;
+        best_obj = obj;
+        improved = true;
+        break;
+      }
+      step /= 2.0;
+    }
+    if (!improved) break;
+  }
+  return {a, b};
+}
+
+PlattScaler calibrate_svm(const LinearSvm& svm, const SvmProblem& holdout,
+                          const PlattFitParams& params) {
+  std::vector<double> decisions;
+  decisions.reserve(holdout.size());
+  for (const auto& x : holdout.features) decisions.push_back(svm.decision(x));
+  return fit_platt(decisions, holdout.labels, params);
+}
+
+double brier_score(const PlattScaler& scaler,
+                   std::span<const double> decisions,
+                   std::span<const int> labels) {
+  if (decisions.size() != labels.size() || decisions.empty())
+    throw std::invalid_argument("brier_score: bad input sizes");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const double target = labels[i] == 1 ? 1.0 : 0.0;
+    const double p = scaler.probability(decisions[i]);
+    sum += (p - target) * (p - target);
+  }
+  return sum / static_cast<double>(decisions.size());
+}
+
+}  // namespace avd::ml

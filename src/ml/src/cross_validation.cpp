@@ -1,0 +1,96 @@
+#include "avd/ml/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "avd/ml/rng.hpp"
+
+namespace avd::ml {
+
+double CrossValidationResult::mean_accuracy() const {
+  if (fold_accuracies.empty()) return 0.0;
+  double sum = 0.0;
+  for (double a : fold_accuracies) sum += a;
+  return sum / static_cast<double>(fold_accuracies.size());
+}
+
+double CrossValidationResult::stddev_accuracy() const {
+  if (fold_accuracies.size() < 2) return 0.0;
+  const double mean = mean_accuracy();
+  double acc = 0.0;
+  for (double a : fold_accuracies) acc += (a - mean) * (a - mean);
+  return std::sqrt(acc / static_cast<double>(fold_accuracies.size()));
+}
+
+CrossValidationResult cross_validate(const SvmProblem& problem, int folds,
+                                     const SvmTrainParams& params,
+                                     std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("cross_validate: folds < 2");
+  if (problem.size() == 0)
+    throw std::invalid_argument("cross_validate: empty problem");
+
+  // Stratify: shuffle each class separately, then deal round-robin.
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < problem.size(); ++i)
+    (problem.labels[i] > 0 ? pos : neg).push_back(i);
+  if (static_cast<int>(pos.size()) < folds ||
+      static_cast<int>(neg.size()) < folds)
+    throw std::invalid_argument(
+        "cross_validate: a class has fewer examples than folds");
+
+  Rng rng(seed);
+  rng.shuffle(pos);
+  rng.shuffle(neg);
+  std::vector<int> fold_of(problem.size());
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    fold_of[pos[i]] = static_cast<int>(i % static_cast<std::size_t>(folds));
+  for (std::size_t i = 0; i < neg.size(); ++i)
+    fold_of[neg[i]] = static_cast<int>(i % static_cast<std::size_t>(folds));
+
+  CrossValidationResult result;
+  for (int f = 0; f < folds; ++f) {
+    SvmProblem train;
+    std::vector<std::size_t> test_idx;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      if (fold_of[i] == f)
+        test_idx.push_back(i);
+      else
+        train.add(problem.features[i], problem.labels[i]);
+    }
+
+    const LinearSvm model = SvmTrainer(params).train(train);
+    BinaryCounts fold_counts;
+    for (std::size_t i : test_idx)
+      fold_counts.record(problem.labels[i] > 0,
+                         model.predict(problem.features[i]) > 0);
+    result.fold_accuracies.push_back(fold_counts.accuracy());
+    result.pooled += fold_counts;
+  }
+  return result;
+}
+
+GridSearchResult grid_search_c(const SvmProblem& problem,
+                               const std::vector<double>& candidates,
+                               int folds, SvmTrainParams base,
+                               std::uint64_t seed) {
+  if (candidates.empty())
+    throw std::invalid_argument("grid_search_c: no candidates");
+  GridSearchResult result;
+  result.best_accuracy = -1.0;
+  for (double c : candidates) {
+    SvmTrainParams params = base;
+    params.c = c;
+    const CrossValidationResult cv =
+        cross_validate(problem, folds, params, seed);
+    const double acc = cv.mean_accuracy();
+    result.tried.emplace_back(c, acc);
+    if (acc > result.best_accuracy ||
+        (acc == result.best_accuracy && c < result.best_c)) {
+      result.best_accuracy = acc;
+      result.best_c = c;
+    }
+  }
+  return result;
+}
+
+}  // namespace avd::ml

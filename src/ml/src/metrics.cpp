@@ -1,0 +1,72 @@
+#include "avd/ml/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace avd::ml {
+
+ConfusionMatrix::ConfusionMatrix(int classes)
+    : classes_(classes),
+      cells_(static_cast<std::size_t>(classes) * classes, 0) {
+  if (classes < 2) throw std::invalid_argument("ConfusionMatrix: classes < 2");
+}
+
+void ConfusionMatrix::record(int truth, int predicted) {
+  if (truth < 0 || truth >= classes_ || predicted < 0 || predicted >= classes_)
+    throw std::out_of_range("ConfusionMatrix::record");
+  ++cells_[static_cast<std::size_t>(truth) * classes_ + predicted];
+}
+
+std::uint64_t ConfusionMatrix::at(int truth, int predicted) const {
+  if (truth < 0 || truth >= classes_ || predicted < 0 || predicted >= classes_)
+    throw std::out_of_range("ConfusionMatrix::at");
+  return cells_[static_cast<std::size_t>(truth) * classes_ + predicted];
+}
+
+std::uint64_t ConfusionMatrix::total() const {
+  std::uint64_t t = 0;
+  for (auto v : cells_) t += v;
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  std::uint64_t diag = 0;
+  for (int c = 0; c < classes_; ++c) diag += at(c, c);
+  return static_cast<double>(diag) / static_cast<double>(t);
+}
+
+BinaryCounts ConfusionMatrix::one_vs_rest(int c) const {
+  if (c < 0 || c >= classes_) throw std::out_of_range("one_vs_rest");
+  BinaryCounts b;
+  for (int t = 0; t < classes_; ++t) {
+    for (int p = 0; p < classes_; ++p) {
+      const auto n = at(t, p);
+      if (t == c && p == c)
+        b.tp += n;
+      else if (t == c)
+        b.fn += n;
+      else if (p == c)
+        b.fp += n;
+      else
+        b.tn += n;
+    }
+  }
+  return b;
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (int p = 0; p < classes_; ++p) os << '\t' << p;
+  os << '\n';
+  for (int t = 0; t < classes_; ++t) {
+    os << t;
+    for (int p = 0; p < classes_; ++p) os << '\t' << at(t, p);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace avd::ml

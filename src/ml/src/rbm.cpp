@@ -1,0 +1,162 @@
+#include "avd/ml/rbm.hpp"
+
+#include <stdexcept>
+
+namespace avd::ml {
+
+namespace {
+
+// Validates unit counts before any allocation can misbehave on negatives.
+std::size_t checked_units(int n) {
+  if (n <= 0) throw std::invalid_argument("Rbm: unit counts must be positive");
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+Rbm::Rbm(int visible, int hidden, std::uint64_t seed)
+    : w_(checked_units(hidden), checked_units(visible)),
+      vbias_(static_cast<std::size_t>(visible), 0.0f),
+      hbias_(static_cast<std::size_t>(hidden), 0.0f),
+      w_velocity_(static_cast<std::size_t>(hidden),
+                  static_cast<std::size_t>(visible)) {
+  Rng rng(seed);
+  for (float& x : w_.data()) x = static_cast<float>(rng.gaussian(0.0, 0.01));
+}
+
+void Rbm::hidden_probs(std::span<const float> v, std::span<float> h_out) const {
+  if (v.size() != vbias_.size() || h_out.size() != hbias_.size())
+    throw std::invalid_argument("Rbm::hidden_probs: dimension mismatch");
+  for (std::size_t j = 0; j < hbias_.size(); ++j) {
+    float act = hbias_[j];
+    auto wrow = w_.row(j);
+    for (std::size_t i = 0; i < v.size(); ++i) act += wrow[i] * v[i];
+    h_out[j] = sigmoidf(act);
+  }
+}
+
+void Rbm::visible_probs(std::span<const float> h, std::span<float> v_out) const {
+  if (h.size() != hbias_.size() || v_out.size() != vbias_.size())
+    throw std::invalid_argument("Rbm::visible_probs: dimension mismatch");
+  for (std::size_t i = 0; i < vbias_.size(); ++i) v_out[i] = vbias_[i];
+  for (std::size_t j = 0; j < hbias_.size(); ++j) {
+    const float hj = h[j];
+    if (hj == 0.0f) continue;
+    auto wrow = w_.row(j);
+    for (std::size_t i = 0; i < v_out.size(); ++i) v_out[i] += wrow[i] * hj;
+  }
+  for (float& x : v_out) x = sigmoidf(x);
+}
+
+std::vector<float> Rbm::transform(std::span<const float> v) const {
+  std::vector<float> h(hbias_.size());
+  hidden_probs(v, h);
+  return h;
+}
+
+double Rbm::train_batch(std::span<const std::vector<float>> batch,
+                        const RbmTrainParams& params, Rng& rng) {
+  if (batch.empty()) return 0.0;
+  const std::size_t nv = vbias_.size();
+  const std::size_t nh = hbias_.size();
+
+  Matrix dw(nh, nv);
+  std::vector<double> dvb(nv, 0.0);
+  std::vector<double> dhb(nh, 0.0);
+
+  std::vector<float> h0(nh), h0_sample(nh), vk(nv), hk(nh);
+  double recon_err = 0.0;
+
+  for (const auto& v0 : batch) {
+    if (v0.size() != nv)
+      throw std::invalid_argument("Rbm::train_batch: bad input dimension");
+
+    hidden_probs(v0, h0);
+    // Positive phase statistics use probabilities; the Gibbs chain samples.
+    for (std::size_t j = 0; j < nh; ++j)
+      h0_sample[j] = rng.bernoulli(h0[j]) ? 1.0f : 0.0f;
+
+    std::vector<float>* h_prev = &h0_sample;
+    for (int k = 0; k < params.cd_steps; ++k) {
+      visible_probs(*h_prev, vk);
+      hidden_probs(vk, hk);
+      if (k + 1 < params.cd_steps) {
+        for (std::size_t j = 0; j < nh; ++j)
+          h0_sample[j] = rng.bernoulli(hk[j]) ? 1.0f : 0.0f;
+        h_prev = &h0_sample;
+      }
+    }
+
+    for (std::size_t j = 0; j < nh; ++j) {
+      auto drow = dw.row(j);
+      const float pj = h0[j];
+      const float nj = hk[j];
+      for (std::size_t i = 0; i < nv; ++i)
+        drow[i] += pj * v0[i] - nj * vk[i];
+      dhb[j] += pj - nj;
+    }
+    for (std::size_t i = 0; i < nv; ++i) {
+      dvb[i] += v0[i] - vk[i];
+      const double d = static_cast<double>(v0[i]) - vk[i];
+      recon_err += d * d;
+    }
+  }
+
+  const double scale = params.learning_rate / static_cast<double>(batch.size());
+  auto vel = w_velocity_.data();
+  auto grad = dw.data();
+  auto wts = w_.data();
+  for (std::size_t i = 0; i < wts.size(); ++i) {
+    vel[i] = static_cast<float>(
+        params.momentum * vel[i] + scale * grad[i] -
+        params.learning_rate * params.weight_decay * wts[i]);
+    wts[i] += vel[i];
+  }
+  for (std::size_t i = 0; i < nv; ++i)
+    vbias_[i] += static_cast<float>(scale * dvb[i]);
+  for (std::size_t j = 0; j < nh; ++j)
+    hbias_[j] += static_cast<float>(scale * dhb[j]);
+
+  return recon_err / (static_cast<double>(batch.size()) * static_cast<double>(nv));
+}
+
+std::vector<double> Rbm::train(std::span<const std::vector<float>> data,
+                               const RbmTrainParams& params) {
+  if (data.empty()) throw std::invalid_argument("Rbm::train: empty data");
+  Rng rng(params.seed);
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<double> epoch_errors;
+  std::vector<std::vector<float>> batch;
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    rng.shuffle(order);
+    double err_sum = 0.0;
+    int batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(params.batch_size)) {
+      batch.clear();
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(params.batch_size));
+      for (std::size_t k = start; k < end; ++k) batch.push_back(data[order[k]]);
+      err_sum += train_batch(batch, params, rng);
+      ++batches;
+    }
+    epoch_errors.push_back(batches > 0 ? err_sum / batches : 0.0);
+  }
+  return epoch_errors;
+}
+
+double Rbm::reconstruction_error(std::span<const float> v) const {
+  std::vector<float> h(hbias_.size()), vr(vbias_.size());
+  hidden_probs(v, h);
+  visible_probs(h, vr);
+  double err = 0.0;
+  for (std::size_t i = 0; i < vr.size(); ++i) {
+    const double d = static_cast<double>(v[i]) - vr[i];
+    err += d * d;
+  }
+  return err / static_cast<double>(vr.size());
+}
+
+}  // namespace avd::ml

@@ -1,0 +1,80 @@
+#include "avd/ml/roc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace avd::ml {
+
+double RocCurve::auc() const {
+  double area = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dx =
+        points[i].false_positive_rate - points[i - 1].false_positive_rate;
+    area += dx * 0.5 *
+            (points[i].true_positive_rate + points[i - 1].true_positive_rate);
+  }
+  return area;
+}
+
+double RocCurve::best_threshold() const {
+  double best_d2 = std::numeric_limits<double>::infinity();
+  double best_t = 0.0;
+  for (const RocPoint& p : points) {
+    const double d2 = p.false_positive_rate * p.false_positive_rate +
+                      (1.0 - p.true_positive_rate) * (1.0 - p.true_positive_rate);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best_t = p.threshold;
+    }
+  }
+  return best_t;
+}
+
+RocCurve roc_curve(std::span<const double> decisions,
+                   std::span<const int> labels) {
+  if (decisions.size() != labels.size() || decisions.empty())
+    throw std::invalid_argument("roc_curve: bad input sizes");
+  std::size_t n_pos = 0, n_neg = 0;
+  for (int y : labels) {
+    if (y == 1)
+      ++n_pos;
+    else if (y == -1)
+      ++n_neg;
+    else
+      throw std::invalid_argument("roc_curve: labels must be +1/-1");
+  }
+  if (n_pos == 0 || n_neg == 0)
+    throw std::invalid_argument("roc_curve: need both classes");
+
+  std::vector<std::size_t> order(decisions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return decisions[a] > decisions[b];
+  });
+
+  RocCurve curve;
+  curve.points.push_back(
+      {std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    if (labels[i] == 1)
+      ++tp;
+    else
+      ++fp;
+    // Emit a point only when the next decision value differs (ties share a
+    // single point, keeping the curve well-defined).
+    if (k + 1 < order.size() &&
+        decisions[order[k + 1]] == decisions[i])
+      continue;
+    curve.points.push_back(
+        {decisions[i], static_cast<double>(tp) / static_cast<double>(n_pos),
+         static_cast<double>(fp) / static_cast<double>(n_neg)});
+  }
+  return curve;
+}
+
+}  // namespace avd::ml

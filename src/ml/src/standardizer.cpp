@@ -1,0 +1,66 @@
+#include "avd/ml/standardizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace avd::ml {
+
+Standardizer Standardizer::fit(std::span<const std::vector<float>> data) {
+  if (data.empty()) throw std::invalid_argument("Standardizer: empty data");
+  const std::size_t dim = data.front().size();
+  if (dim == 0) throw std::invalid_argument("Standardizer: zero dimension");
+
+  Standardizer s;
+  s.means_.assign(dim, 0.0f);
+  s.stds_.assign(dim, 0.0f);
+
+  std::vector<double> sum(dim, 0.0), sum2(dim, 0.0);
+  for (const auto& x : data) {
+    if (x.size() != dim)
+      throw std::invalid_argument("Standardizer: inconsistent dimensions");
+    for (std::size_t i = 0; i < dim; ++i) {
+      sum[i] += x[i];
+      sum2[i] += static_cast<double>(x[i]) * x[i];
+    }
+  }
+  const double n = static_cast<double>(data.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double mean = sum[i] / n;
+    const double var = std::max(0.0, sum2[i] / n - mean * mean);
+    s.means_[i] = static_cast<float>(mean);
+    const double sd = std::sqrt(var);
+    s.stds_[i] = sd > 1e-12 ? static_cast<float>(sd) : 1.0f;
+  }
+  return s;
+}
+
+std::vector<float> Standardizer::transform(std::span<const float> x) const {
+  if (x.size() != means_.size())
+    throw std::invalid_argument("Standardizer: dimension mismatch");
+  std::vector<float> z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    z[i] = (x[i] - means_[i]) / stds_[i];
+  return z;
+}
+
+SvmProblem Standardizer::transform(const SvmProblem& problem) const {
+  SvmProblem out;
+  for (std::size_t i = 0; i < problem.size(); ++i)
+    out.add(transform(problem.features[i]), problem.labels[i]);
+  return out;
+}
+
+LinearSvm Standardizer::fold_into(const LinearSvm& standardized_model) const {
+  if (standardized_model.dimension() != means_.size())
+    throw std::invalid_argument("Standardizer: model dimension mismatch");
+  std::vector<float> w(means_.size());
+  double bias = standardized_model.bias();
+  const auto sw = standardized_model.weights();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = sw[i] / stds_[i];
+    bias -= static_cast<double>(sw[i]) * means_[i] / stds_[i];
+  }
+  return {std::move(w), static_cast<float>(bias)};
+}
+
+}  // namespace avd::ml

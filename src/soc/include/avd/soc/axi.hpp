@@ -1,0 +1,64 @@
+// AXI transfer-path model.
+//
+// The four reconfiguration methods the paper compares (§IV-A) differ only in
+// *topology*: which bus segments a configuration word traverses between its
+// staging memory and the configuration port. Each segment contributes a
+// per-transaction (per-burst) latency and a bandwidth ceiling; a path's
+// throughput emerges from the composition, not from a tuned constant
+// (DESIGN.md §7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "avd/soc/sim_time.hpp"
+
+namespace avd::soc {
+
+/// One hop in a transfer path: a port, interconnect, bridge or memory
+/// controller.
+struct BusSegment {
+  std::string name;
+  Duration txn_latency;      ///< arbitration/decode latency per burst
+  double bandwidth_mbps = 0; ///< sustained payload bandwidth ceiling
+};
+
+/// A complete path from staging memory to sink, traversed by bursts.
+struct TransferPath {
+  std::string name;
+  std::vector<BusSegment> segments;
+  std::uint32_t burst_bytes = 256;  ///< payload per burst transaction
+  Duration setup;                   ///< one-time driver/descriptor setup
+
+  /// Slowest segment bandwidth along the path (MB/s).
+  [[nodiscard]] double bottleneck_mbps() const;
+  /// Sum of per-burst segment latencies.
+  [[nodiscard]] Duration burst_overhead() const;
+};
+
+/// Result of one modelled transfer.
+struct TransferRecord {
+  std::string path_name;
+  std::uint64_t bytes = 0;
+  std::uint64_t bursts = 0;
+  Duration elapsed;        ///< includes setup
+  Duration payload_time;   ///< bytes / bottleneck bandwidth
+  Duration overhead_time;  ///< setup + per-burst latencies
+
+  [[nodiscard]] double throughput() const {  // MB/s
+    return throughput_mbps(bytes, elapsed);
+  }
+  /// Fraction of the elapsed time spent moving payload (path efficiency).
+  [[nodiscard]] double efficiency() const {
+    return elapsed.ps ? static_cast<double>(payload_time.ps) / elapsed.ps : 0.0;
+  }
+};
+
+/// Non-overlapped burst model: each burst pays every segment's transaction
+/// latency plus payload time at the bottleneck bandwidth. This matches the
+/// store-and-forward behaviour of the Zynq PS interconnect for configuration
+/// traffic (bursts are not pipelined across the PCAP bridge).
+[[nodiscard]] TransferRecord model_transfer(const TransferPath& path,
+                                            std::uint64_t bytes);
+
+}  // namespace avd::soc

@@ -1,0 +1,77 @@
+// AXI-Lite control plane (paper Fig. 6).
+//
+// "All AXI DMA cores and detection modules are controlled by the PS through
+// their AXI-Lite interfaces which is connected to PS general-purpose port of
+// AXI-GP-0. Processing system initiates the DMA data transfer by writing to
+// its registers and defining the size of data."
+//
+// This header models that register fabric: devices expose 32-bit registers
+// at word-aligned offsets; an interconnect decodes addresses and routes
+// accesses, charging the GP-port transaction latency per access.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "avd/soc/event_log.hpp"
+
+namespace avd::soc {
+
+/// A memory-mapped peripheral with 32-bit registers.
+class AxiLiteDevice {
+ public:
+  virtual ~AxiLiteDevice() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Size of the register window in bytes.
+  [[nodiscard]] virtual std::uint32_t window_bytes() const = 0;
+
+  /// Word-aligned register read/write. `offset` is in bytes relative to the
+  /// device base. Implementations throw std::out_of_range for bad offsets.
+  virtual std::uint32_t read(std::uint32_t offset, TimePoint now) = 0;
+  virtual void write(std::uint32_t offset, std::uint32_t value,
+                     TimePoint now) = 0;
+};
+
+/// Simple address decoder: devices are mapped at fixed base addresses.
+/// Every access pays the GP-port + peripheral-interconnect latency, which is
+/// what the model returns so callers can advance simulated time.
+class AxiLiteInterconnect {
+ public:
+  /// `access_latency`: time one register access occupies the GP port
+  /// (default matches the calibrated platform: 150 ns port + 50 ns fabric).
+  explicit AxiLiteInterconnect(Duration access_latency = Duration::from_ns(200))
+      : access_latency_(access_latency) {}
+
+  /// Map a device at `base`. Windows must not overlap. The interconnect
+  /// does not own the device.
+  void attach(std::uint32_t base, AxiLiteDevice* device);
+
+  struct AccessResult {
+    std::uint32_t value = 0;   ///< read data (0 for writes)
+    Duration latency;          ///< bus time consumed
+  };
+
+  /// Routed read/write; throws std::out_of_range when no device is mapped
+  /// at the address.
+  AccessResult read(std::uint32_t address, TimePoint now);
+  AccessResult write(std::uint32_t address, std::uint32_t value, TimePoint now);
+
+  [[nodiscard]] std::size_t device_count() const { return map_.size(); }
+  [[nodiscard]] Duration access_latency() const { return access_latency_; }
+
+ private:
+  struct Mapping {
+    std::uint32_t base;
+    AxiLiteDevice* device;
+  };
+  /// Device whose window contains `address`; throws if none.
+  [[nodiscard]] const Mapping& resolve(std::uint32_t address) const;
+
+  Duration access_latency_;
+  std::map<std::uint32_t, Mapping> map_;  // keyed by base
+};
+
+}  // namespace avd::soc

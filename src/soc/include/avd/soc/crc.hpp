@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Real partial-reconfiguration flows verify bitstream integrity before
+// letting a single frame reach the ICAP — a corrupted configuration can
+// physically damage the fabric. The reconfiguration controller uses this to
+// model that check.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace avd::soc {
+
+/// CRC-32 of a byte span (init 0xFFFFFFFF, final xor 0xFFFFFFFF).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental interface: feed chunks, then finalize.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace avd::soc

@@ -1,0 +1,103 @@
+// AXI DMA core model (paper Fig. 6: "AXI DMA cores are required to manage
+// the conversion between the memory mapped and stream data").
+//
+// Register layout follows the Xilinx AXI DMA programming model (subset):
+//   0x00 MM2S_DMACR   control   (bit0 RS, bit2 soft reset, bit12 IOC IrqEn)
+//   0x04 MM2S_DMASR   status    (bit0 halted, bit1 idle, bit12 IOC Irq, W1C)
+//   0x18 MM2S_SA      source address
+//   0x28 MM2S_LENGTH  length in bytes; the write starts the transfer
+//   0x30 S2MM_DMACR / 0x34 S2MM_DMASR / 0x48 S2MM_DA / 0x58 S2MM_LENGTH
+//
+// Transfer duration comes from the platform TransferPath the core is bound
+// to; completion raises the core's IRQ line at the modelled finish time.
+#pragma once
+
+#include <optional>
+
+#include "avd/soc/axi.hpp"
+#include "avd/soc/axi_lite.hpp"
+#include "avd/soc/interrupts.hpp"
+
+namespace avd::soc {
+
+/// Register offsets (byte).
+namespace dma_reg {
+inline constexpr std::uint32_t kMm2sCr = 0x00;
+inline constexpr std::uint32_t kMm2sSr = 0x04;
+inline constexpr std::uint32_t kMm2sSa = 0x18;
+inline constexpr std::uint32_t kMm2sLength = 0x28;
+inline constexpr std::uint32_t kS2mmCr = 0x30;
+inline constexpr std::uint32_t kS2mmSr = 0x34;
+inline constexpr std::uint32_t kS2mmDa = 0x48;
+inline constexpr std::uint32_t kS2mmLength = 0x58;
+}  // namespace dma_reg
+
+/// Control/status bits.
+namespace dma_bit {
+inline constexpr std::uint32_t kRunStop = 1u << 0;    // DMACR.RS
+inline constexpr std::uint32_t kReset = 1u << 2;      // DMACR.Reset
+inline constexpr std::uint32_t kIocIrqEn = 1u << 12;  // DMACR.IOC_IrqEn
+inline constexpr std::uint32_t kHalted = 1u << 0;     // DMASR.Halted
+inline constexpr std::uint32_t kIdle = 1u << 1;       // DMASR.Idle
+inline constexpr std::uint32_t kIocIrq = 1u << 12;    // DMASR.IOC_Irq (W1C)
+}  // namespace dma_bit
+
+/// One completed or in-flight transfer.
+struct DmaTransfer {
+  bool mm2s = true;  ///< direction: memory->stream (read) vs stream->memory
+  std::uint32_t address = 0;
+  std::uint32_t bytes = 0;
+  TimePoint started;
+  TimePoint completes;
+};
+
+class DmaCore final : public AxiLiteDevice {
+ public:
+  /// `path`: the AXI route this core's bursts take (e.g. HP port -> DDR).
+  /// `irq_line`: line id in `irq` raised at each transfer completion; pass
+  /// a negative id to disable interrupts entirely.
+  DmaCore(std::string name, TransferPath path, InterruptController* irq,
+          int irq_line, EventLog* log = nullptr);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::uint32_t window_bytes() const override { return 0x60; }
+
+  std::uint32_t read(std::uint32_t offset, TimePoint now) override;
+  void write(std::uint32_t offset, std::uint32_t value, TimePoint now) override;
+
+  /// Last transfer issued on either channel (empty before the first).
+  [[nodiscard]] const std::optional<DmaTransfer>& last_transfer() const {
+    return last_;
+  }
+  /// Whether the given channel is idle at `now`.
+  [[nodiscard]] bool idle(bool mm2s, TimePoint now) const;
+
+  [[nodiscard]] const TransferPath& path() const { return path_; }
+
+ private:
+  struct Channel {
+    std::uint32_t cr = 0;
+    std::uint32_t sr = dma_bit::kHalted;
+    std::uint32_t addr = 0;
+    std::optional<DmaTransfer> active;
+  };
+
+  void start_transfer(Channel& ch, bool mm2s, std::uint32_t bytes,
+                      TimePoint now);
+  void refresh(Channel& ch, TimePoint now);
+  [[nodiscard]] Channel& channel(bool mm2s) { return mm2s ? mm2s_ : s2mm_; }
+  [[nodiscard]] const Channel& channel(bool mm2s) const {
+    return mm2s ? mm2s_ : s2mm_;
+  }
+
+  std::string name_;
+  TransferPath path_;
+  InterruptController* irq_;
+  int irq_line_;
+  EventLog* log_;
+  Channel mm2s_;
+  Channel s2mm_;
+  std::optional<DmaTransfer> last_;
+};
+
+}  // namespace avd::soc

@@ -1,0 +1,38 @@
+// Timestamped event log: the simulation's equivalent of the paper's ARM
+// performance counters + Vivado ILA traces used to measure reconfiguration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "avd/soc/sim_time.hpp"
+
+namespace avd::soc {
+
+struct Event {
+  TimePoint time;
+  std::string source;   ///< component that emitted the event
+  std::string message;
+};
+
+class EventLog {
+ public:
+  void record(TimePoint t, std::string source, std::string message) {
+    events_.push_back({t, std::move(source), std::move(message)});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// All events from a given source, in order.
+  [[nodiscard]] std::vector<Event> from(const std::string& source) const;
+
+  /// Multi-line human-readable dump.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace avd::soc

@@ -1,0 +1,53 @@
+// Hardware-throughput model of the streaming detection pipelines.
+//
+// The paper's accelerators are fully pipelined line-scanning engines: one
+// pixel per fabric clock after an initial pipeline-fill latency. At 125 MHz
+// this sustains 50 fps on 1080x1920 frames (paper §V) with headroom.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "avd/image/geometry.hpp"
+#include "avd/soc/sim_time.hpp"
+
+namespace avd::soc {
+
+/// One pipeline stage: initiation interval 1, some fill latency, and line
+/// buffers that occupy BRAM (the "intermediate temporary storage" of Fig. 2).
+struct PipelineStage {
+  std::string name;
+  std::uint64_t fill_latency_cycles = 0;  ///< cycles before first output
+  int line_buffers = 0;                   ///< full-width line buffers required
+};
+
+/// A streaming accelerator processing `pixels_per_cycle` px per fabric clock.
+struct HwPipelineModel {
+  std::string name;
+  std::uint64_t fabric_mhz = 125;
+  int pixels_per_cycle = 1;
+  std::vector<PipelineStage> stages;
+  /// Per-frame software/DMA overhead (descriptor setup, interrupt service).
+  Duration per_frame_overhead = Duration::from_us(30);
+
+  /// Total pipeline-fill latency (sum over stages).
+  [[nodiscard]] std::uint64_t fill_latency_cycles() const;
+  /// Wall-clock to process one frame of `size` pixels.
+  [[nodiscard]] Duration frame_time(img::Size size) const;
+  /// Sustained frames per second on frames of `size`.
+  [[nodiscard]] double max_fps(img::Size size) const;
+  /// Whether the pipeline meets `fps` on `size` frames.
+  [[nodiscard]] bool meets_rate(img::Size size, double fps) const;
+};
+
+/// The three vehicle pipelines plus the pedestrian pipeline, with stage
+/// structure mirroring Figs. 2 and 4.
+[[nodiscard]] HwPipelineModel day_dusk_pipeline_model();
+[[nodiscard]] HwPipelineModel dark_pipeline_model();
+[[nodiscard]] HwPipelineModel pedestrian_pipeline_model();
+
+/// HDTV frame size used throughout the paper.
+inline constexpr img::Size kHdtvFrame{1920, 1080};
+inline constexpr double kTargetFps = 50.0;
+
+}  // namespace avd::soc

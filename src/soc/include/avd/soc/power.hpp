@@ -1,0 +1,65 @@
+// First-order FPGA power model.
+//
+// The paper's argument for partial reconfiguration is resource headroom:
+// "the adaptive detection could be done at no extra cost of resource
+// utilization, resulting in more free resources available on the hardware
+// for the other complex features of ADS" (§V). This model quantifies the
+// companion power story: only the loaded configuration toggles, so the PR
+// design's dynamic power follows the *active* configuration, while an
+// everything-static alternative pays for both pipelines (or needs clock
+// gating, which still pays leakage + clock-tree power).
+//
+// Coefficients are first-order 28 nm-class numbers; the bench reports
+// ratios, not absolute watts.
+#pragma once
+
+#include "avd/soc/resources.hpp"
+
+namespace avd::soc {
+
+struct PowerCoefficients {
+  double mw_per_klut = 1.8;        ///< dynamic, at full activity
+  double mw_per_kff = 0.6;
+  double mw_per_bram = 2.2;
+  double mw_per_dsp = 1.4;
+  double clock_tree_mw_per_klut = 0.25;  ///< paid even when clock-gated data is idle
+  double leakage_mw_per_klut = 0.55;     ///< paid for any configured logic
+  double activity = 0.25;          ///< average toggle rate of active logic
+};
+
+/// Power of a set of configured blocks.
+/// `active_fraction` in [0,1]: 1 = processing every cycle, 0 = clock-gated.
+struct PowerEstimate {
+  double dynamic_mw = 0.0;
+  double clock_mw = 0.0;
+  double leakage_mw = 0.0;
+
+  [[nodiscard]] double total_mw() const {
+    return dynamic_mw + clock_mw + leakage_mw;
+  }
+};
+
+[[nodiscard]] PowerEstimate estimate_power(const ModuleResources& configured,
+                                           double active_fraction,
+                                           const PowerCoefficients& k = {});
+
+/// Scenario comparison for the A4 ablation: the PR design (static partition
+/// + one loaded configuration) vs an everything-static design carrying both
+/// pipelines, in a given operating mode.
+struct DesignPower {
+  std::string scenario;
+  PowerEstimate power;
+  ModuleResources configured;  ///< logic configured on the fabric
+};
+
+/// Power of the paper's PR design with `active_config` loaded
+/// ("day-dusk" or "dark").
+[[nodiscard]] DesignPower pr_design_power(const std::string& active_config,
+                                          const PowerCoefficients& k = {});
+
+/// Power of the all-static alternative (both pipelines always configured);
+/// the idle pipeline is clock-gated but keeps leakage + clock tree.
+[[nodiscard]] DesignPower static_design_power(const std::string& active_config,
+                                              const PowerCoefficients& k = {});
+
+}  // namespace avd::soc

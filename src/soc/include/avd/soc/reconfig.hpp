@@ -1,0 +1,77 @@
+// Reconfiguration controllers (paper §IV-A, Fig. 7).
+//
+// All four methods share one interface; they differ in the transfer path the
+// bitstream takes. The paper's PR controller additionally requires the
+// partial bitstreams to be staged in the PL-side DDR before the first
+// reconfiguration (done once, off the critical path).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "avd/soc/bitstream.hpp"
+#include "avd/soc/event_log.hpp"
+#include "avd/soc/zynq.hpp"
+
+namespace avd::soc {
+
+/// Outcome of one reconfiguration.
+struct ReconfigResult {
+  ReconfigMethod method;
+  std::string config_name;
+  TimePoint start;
+  TimePoint end;               ///< interrupt raised to the PS at this time
+  TransferRecord transfer;
+
+  [[nodiscard]] Duration duration() const { return end - start; }
+  [[nodiscard]] double throughput_mbps() const { return transfer.throughput(); }
+};
+
+/// A reconfiguration controller bound to one delivery method on a platform.
+class ReconfigController {
+ public:
+  ReconfigController(ZynqPlatform platform, ReconfigMethod method);
+
+  /// Stage a partial bitstream into the method's source memory. For the
+  /// PL-DMA method this models the one-time PS-DDR -> PL-DDR copy (via an HP
+  /// port); for the others staging is free (bitstreams already live in PS
+  /// DDR). Staging must happen before reconfigure() of that config.
+  /// Returns the staging transfer time.
+  Duration stage(const PartialBitstream& bitstream);
+
+  /// Perform a partial reconfiguration starting at `now`. Throws if the
+  /// bitstream was never staged. Records events in the log.
+  ReconfigResult reconfigure(TimePoint now, const PartialBitstream& bitstream);
+
+  [[nodiscard]] ReconfigMethod method() const { return method_; }
+  [[nodiscard]] const ZynqPlatform& platform() const { return platform_; }
+  [[nodiscard]] const EventLog& log() const { return log_; }
+  [[nodiscard]] EventLog& log() { return log_; }
+  [[nodiscard]] bool staged(const std::string& config_name) const {
+    return staged_.count(config_name) != 0;
+  }
+  /// Name of the configuration currently loaded in the partition (empty
+  /// before the first reconfiguration).
+  [[nodiscard]] const std::string& active_config() const { return active_; }
+
+ private:
+  ZynqPlatform platform_;
+  ReconfigMethod method_;
+  TransferPath path_;
+  std::map<std::string, PartialBitstream> staged_;
+  std::string active_;
+  EventLog log_;
+};
+
+/// Model every method on the same bitstream: the §IV-A comparison table
+/// (HWICAP 19 / PCAP 145 / ZyCAP 382 / ours 390 MB/s).
+struct MethodComparisonRow {
+  ReconfigMethod method;
+  double throughput_mbps = 0.0;
+  Duration reconfig_time;
+  double pct_of_ceiling = 0.0;
+};
+[[nodiscard]] std::vector<MethodComparisonRow> compare_methods(
+    const ZynqPlatform& platform, const PartialBitstream& bitstream);
+
+}  // namespace avd::soc

@@ -1,0 +1,105 @@
+// FPGA resource accounting and reconfigurable-partition floor-planning
+// (paper Table II).
+//
+// The device totals match the paper's "Available Resources" row (277400 LUT,
+// 554800 FF, 755 BRAM, 2020 DSP48 — a Zynq-7100-class part). Per-block
+// estimates are chosen so the static design, the two partial configurations
+// and the floor-planned reconfigurable partition reproduce Table II's
+// utilisation percentages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace avd::soc {
+
+/// LUT/FF/BRAM/DSP requirement of one hardware block.
+struct ModuleResources {
+  std::string name;
+  long lut = 0;
+  long ff = 0;
+  long bram = 0;
+  long dsp = 0;
+
+  ModuleResources& operator+=(const ModuleResources& o) {
+    lut += o.lut;
+    ff += o.ff;
+    bram += o.bram;
+    dsp += o.dsp;
+    return *this;
+  }
+  [[nodiscard]] friend ModuleResources operator+(ModuleResources a,
+                                                 const ModuleResources& b) {
+    a += b;
+    return a;
+  }
+};
+
+/// Whole-device capacity.
+struct DeviceResources {
+  long lut = 277400;
+  long ff = 554800;
+  long bram = 755;
+  long dsp = 2020;
+};
+
+/// Utilisation of one design/row, as integer percentages (Table II format).
+struct UtilizationRow {
+  std::string name;
+  int lut_pct = 0;
+  int ff_pct = 0;
+  int bram_pct = 0;
+  int dsp_pct = 0;
+};
+
+[[nodiscard]] UtilizationRow utilization(const std::string& name,
+                                         const ModuleResources& used,
+                                         const DeviceResources& device);
+
+/// Aggregate of a list of blocks.
+[[nodiscard]] ModuleResources sum_modules(
+    const std::vector<ModuleResources>& blocks);
+
+// --- Canonical block inventories of the implemented system (paper §IV) ---
+
+/// Static partition: data capture, pedestrian detection, PR controller,
+/// PS interface / interconnect.
+[[nodiscard]] std::vector<ModuleResources> static_design_blocks();
+
+/// Reconfigurable configuration 1: HOG+SVM vehicle detection (day & dusk).
+[[nodiscard]] std::vector<ModuleResources> day_dusk_blocks();
+
+/// Reconfigurable configuration 2: dark-condition detection
+/// (threshold/morphology, DBN engine, pairing SVM).
+[[nodiscard]] std::vector<ModuleResources> dark_blocks();
+
+/// Extension configuration 3 (paper §I motivation): countryside driving —
+/// the day/dusk HOG engine plus a second HOG+SVM classifier for animals,
+/// sharing the gradient front-end. Must fit the same partition.
+[[nodiscard]] std::vector<ModuleResources> countryside_blocks();
+
+/// Floor-planning of the reconfigurable partition.
+struct FloorplanParams {
+  /// Logic margin over the largest configuration ("about 1.2 times of its
+  /// required resources", §IV-B; the realised LUT margin is 45%/40%).
+  double logic_margin = 1.125;
+  /// BRAM/DSP columns are sparser than logic columns; a region claiming X%
+  /// of the device's logic captures about this fraction of X% in BRAM/DSP.
+  double bram_dsp_density = 8.0 / 9.0;
+};
+
+/// Resources fenced off for the reconfigurable partition, sized for the
+/// largest configuration.
+[[nodiscard]] ModuleResources floorplan_partition(
+    const std::vector<ModuleResources>& largest_config,
+    const DeviceResources& device, const FloorplanParams& params = {});
+
+/// Whether a configuration fits inside a floor-planned partition.
+[[nodiscard]] bool fits(const ModuleResources& config,
+                        const ModuleResources& partition);
+
+/// The full Table II: static, partition, each configuration, total.
+[[nodiscard]] std::vector<UtilizationRow> table2_rows(
+    const DeviceResources& device = {}, const FloorplanParams& params = {});
+
+}  // namespace avd::soc

@@ -1,0 +1,91 @@
+// Simulated time for the Zynq SoC model.
+//
+// All timing is integer picoseconds: every clock of interest on the platform
+// (100 MHz ICAP/PCAP, 125 MHz detection fabric, 533 MHz DDR) has an integral
+// period in ps, so simulated timestamps are exact and platform-independent.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace avd::soc {
+
+/// A span of simulated time, in picoseconds.
+struct Duration {
+  std::uint64_t ps = 0;
+
+  [[nodiscard]] static constexpr Duration from_ps(std::uint64_t v) { return {v}; }
+  [[nodiscard]] static constexpr Duration from_ns(std::uint64_t v) {
+    return {v * 1000ULL};
+  }
+  [[nodiscard]] static constexpr Duration from_us(std::uint64_t v) {
+    return {v * 1000000ULL};
+  }
+  [[nodiscard]] static constexpr Duration from_ms(std::uint64_t v) {
+    return {v * 1000000000ULL};
+  }
+  /// `n` cycles of a clock given in MHz (period must divide 1e6 ps evenly for
+  /// exactness; non-divisible clocks round the period down to the ps).
+  [[nodiscard]] static constexpr Duration cycles(std::uint64_t n,
+                                                 std::uint64_t mhz) {
+    return {n * (1000000ULL / mhz)};
+  }
+
+  [[nodiscard]] constexpr double as_ns() const { return static_cast<double>(ps) / 1e3; }
+  [[nodiscard]] constexpr double as_us() const { return static_cast<double>(ps) / 1e6; }
+  [[nodiscard]] constexpr double as_ms() const { return static_cast<double>(ps) / 1e9; }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(ps) / 1e12;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return {a.ps + b.ps};
+  }
+  friend constexpr Duration operator*(Duration a, std::uint64_t k) {
+    return {a.ps * k};
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ps += o.ps;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+};
+
+/// An absolute simulated timestamp (ps since simulation start).
+struct TimePoint {
+  std::uint64_t ps = 0;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return {t.ps + d.ps};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return {a.ps - b.ps};
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    ps += d.ps;
+    return *this;
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  [[nodiscard]] constexpr double as_ms() const {
+    return static_cast<double>(ps) / 1e9;
+  }
+};
+
+/// Throughput in MB/s of `bytes` moved in `elapsed` (0 if elapsed is zero).
+[[nodiscard]] constexpr double throughput_mbps(std::uint64_t bytes,
+                                               Duration elapsed) {
+  if (elapsed.ps == 0) return 0.0;
+  return static_cast<double>(bytes) / (static_cast<double>(elapsed.ps) / 1e12) /
+         1e6;
+}
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.as_us() << "us";
+}
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << t.as_ms() << "ms";
+}
+
+}  // namespace avd::soc

@@ -1,0 +1,19 @@
+// Event-log export to the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto). Each event-log source becomes a "thread"
+// row; events become instants. The simulation's equivalent of dumping an
+// ILA capture into a waveform viewer.
+#pragma once
+
+#include <string>
+
+#include "avd/soc/event_log.hpp"
+
+namespace avd::soc {
+
+/// Serialise `log` as a Chrome trace JSON document (returned, not written).
+[[nodiscard]] std::string to_chrome_trace(const EventLog& log);
+
+/// Write the trace to `path`. Throws std::runtime_error on I/O failure.
+void write_chrome_trace(const EventLog& log, const std::string& path);
+
+}  // namespace avd::soc

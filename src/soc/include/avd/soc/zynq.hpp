@@ -1,0 +1,69 @@
+// Canonical Zynq-7000 platform description: the bus segments of the PS and
+// PL sides, and the four bitstream-delivery topologies of paper §IV-A.
+//
+// Segment parameters come from public Zynq-7000 characteristics:
+//  * ICAPE2 and PCAP are both 32-bit at 100 MHz -> 400 MB/s ceiling [1].
+//  * The PS central interconnect adds heavy per-burst arbitration (the reason
+//    PCAP saturates at ~145 MB/s instead of 400 [1]).
+//  * AXI-Lite register writes through a PS general-purpose port are
+//    single-word, non-burst transactions (the reason AXI HWICAP manages only
+//    ~19 MB/s [1]).
+//  * AXI HP ports bypass the central interconnect into the DDR controller
+//    (ZyCAP's 382 MB/s [19]).
+//  * A PL-side DDR controller is dedicated — no sharing with the PS at all
+//    (the paper's PR controller, 390 MB/s).
+#pragma once
+
+#include "avd/soc/axi.hpp"
+
+namespace avd::soc {
+
+/// Clock frequencies of the modelled platform (MHz).
+struct ZynqClocks {
+  std::uint64_t icap_mhz = 100;    ///< ICAPE2 / PCAP configuration clock
+  std::uint64_t fabric_mhz = 125;  ///< detection pipelines (paper §V)
+  std::uint64_t ddr_mhz = 533;     ///< DDR3 data clock
+};
+
+/// Named bus segments of the platform. All four reconfiguration paths are
+/// assembled from these shared pieces.
+struct ZynqPlatform {
+  ZynqClocks clocks;
+
+  BusSegment ps_gp_port;             ///< PS general-purpose master port
+  BusSegment axi_lite_peripheral;    ///< AXI-Lite peripheral interconnect
+  BusSegment ps_central_interconnect;
+  BusSegment ps_ddr_controller;      ///< shared PS DDR3 controller
+  BusSegment pl_ddr_controller;      ///< dedicated PL DDR3 controller
+  BusSegment axi_hp_port;            ///< high-performance slave port
+  BusSegment pl_axi_interconnect;    ///< PL-side memory interconnect
+  BusSegment pcap_bridge;            ///< PCAP DMA bridge
+  BusSegment icap_primitive;         ///< ICAPE2 primitive + ICAP manager
+};
+
+/// Platform with the calibrated default segment parameters (DESIGN.md §7).
+[[nodiscard]] ZynqPlatform default_platform();
+
+/// Same calibration, but bandwidth ceilings derived from the given clocks
+/// (e.g. an overclocked ICAP). Clock frequencies must be positive.
+[[nodiscard]] ZynqPlatform default_platform(const ZynqClocks& clocks);
+
+/// Which delivery mechanism a reconfiguration uses.
+enum class ReconfigMethod {
+  AxiHwicap,      ///< Xilinx AXI HWICAP: PS GP port, word-by-word (~19 MB/s)
+  Pcap,           ///< PS PCAP DMA through the central interconnect (~145 MB/s)
+  ZyCap,          ///< ZyCAP [19]: PL DMA reading PS DDR via an HP port (~382 MB/s)
+  PlDmaIcap,      ///< the paper's PR controller: PL DMA from PL DDR (~390 MB/s)
+};
+
+[[nodiscard]] const char* to_string(ReconfigMethod m);
+
+/// The transfer path of a method on a platform.
+[[nodiscard]] TransferPath reconfig_path(const ZynqPlatform& platform,
+                                         ReconfigMethod method);
+
+/// Theoretical configuration-port ceiling: 32 bit x icap clock (400 MB/s at
+/// the default 100 MHz).
+[[nodiscard]] double config_port_ceiling_mbps(const ZynqPlatform& platform);
+
+}  // namespace avd::soc

@@ -1,0 +1,47 @@
+#include "avd/soc/axi.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace avd::soc {
+
+double TransferPath::bottleneck_mbps() const {
+  double bw = 0.0;
+  for (const BusSegment& s : segments) {
+    if (s.bandwidth_mbps <= 0.0) continue;
+    bw = bw == 0.0 ? s.bandwidth_mbps : std::min(bw, s.bandwidth_mbps);
+  }
+  return bw;
+}
+
+Duration TransferPath::burst_overhead() const {
+  Duration d;
+  for (const BusSegment& s : segments) d += s.txn_latency;
+  return d;
+}
+
+TransferRecord model_transfer(const TransferPath& path, std::uint64_t bytes) {
+  if (path.burst_bytes == 0)
+    throw std::invalid_argument("model_transfer: zero burst size");
+  if (path.segments.empty())
+    throw std::invalid_argument("model_transfer: empty path");
+  const double bw = path.bottleneck_mbps();
+  if (bw <= 0.0)
+    throw std::invalid_argument("model_transfer: no bandwidth ceiling on path");
+
+  TransferRecord rec;
+  rec.path_name = path.name;
+  rec.bytes = bytes;
+  rec.bursts = (bytes + path.burst_bytes - 1) / path.burst_bytes;
+
+  // Payload time at the bottleneck: bytes / (bw MB/s) seconds -> ps.
+  // bw MB/s == bw bytes/us, so time_ps = bytes / bw * 1e6.
+  rec.payload_time =
+      Duration::from_ps(static_cast<std::uint64_t>(
+          static_cast<double>(bytes) / bw * 1e6));
+  rec.overhead_time = path.setup + path.burst_overhead() * rec.bursts;
+  rec.elapsed = rec.payload_time + rec.overhead_time;
+  return rec;
+}
+
+}  // namespace avd::soc

@@ -1,0 +1,48 @@
+#include "avd/soc/axi_lite.hpp"
+
+#include <stdexcept>
+
+namespace avd::soc {
+
+void AxiLiteInterconnect::attach(std::uint32_t base, AxiLiteDevice* device) {
+  if (device == nullptr)
+    throw std::invalid_argument("AxiLiteInterconnect: null device");
+  if (base % 4 != 0)
+    throw std::invalid_argument("AxiLiteInterconnect: unaligned base");
+  const std::uint32_t end = base + device->window_bytes();
+  for (const auto& [b, m] : map_) {
+    const std::uint32_t m_end = b + m.device->window_bytes();
+    if (base < m_end && b < end)
+      throw std::invalid_argument(
+          "AxiLiteInterconnect: window overlaps device '" +
+          m.device->name() + "'");
+  }
+  map_[base] = {base, device};
+}
+
+const AxiLiteInterconnect::Mapping& AxiLiteInterconnect::resolve(
+    std::uint32_t address) const {
+  auto it = map_.upper_bound(address);
+  if (it == map_.begin())
+    throw std::out_of_range("AxiLiteInterconnect: unmapped address");
+  --it;
+  const Mapping& m = it->second;
+  if (address >= m.base + m.device->window_bytes())
+    throw std::out_of_range("AxiLiteInterconnect: unmapped address");
+  return m;
+}
+
+AxiLiteInterconnect::AccessResult AxiLiteInterconnect::read(
+    std::uint32_t address, TimePoint now) {
+  const Mapping& m = resolve(address);
+  return {m.device->read(address - m.base, now), access_latency_};
+}
+
+AxiLiteInterconnect::AccessResult AxiLiteInterconnect::write(
+    std::uint32_t address, std::uint32_t value, TimePoint now) {
+  const Mapping& m = resolve(address);
+  m.device->write(address - m.base, value, now);
+  return {0, access_latency_};
+}
+
+}  // namespace avd::soc

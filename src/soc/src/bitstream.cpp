@@ -1,0 +1,39 @@
+#include "avd/soc/bitstream.hpp"
+
+#include <cmath>
+
+#include "avd/soc/crc.hpp"
+
+namespace avd::soc {
+
+void PartialBitstream::attach_payload(std::uint64_t seed) {
+  payload.resize(bytes);
+  // xorshift64* stream: fast, deterministic, no <random> allocation churn.
+  std::uint64_t state = seed | 1ull;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    payload[i] = static_cast<std::uint8_t>((state * 0x2545F4914F6CDD1Dull) >> 56);
+  }
+  crc = crc32(payload);
+}
+
+bool PartialBitstream::verify_integrity() const {
+  if (!has_payload()) return true;  // size-only model: nothing to check
+  return crc32(payload) == crc;
+}
+
+PartialBitstream make_partial_bitstream(const std::string& config_name,
+                                        const ModuleResources& partition,
+                                        const DeviceResources& device,
+                                        const BitstreamParams& params) {
+  // Configuration frames scale with the region's logic share of the device.
+  const double region_fraction =
+      static_cast<double>(partition.lut) / static_cast<double>(device.lut);
+  const auto bytes = static_cast<std::uint64_t>(
+      std::llround(region_fraction * static_cast<double>(params.full_device_bytes)));
+  return {config_name, bytes};
+}
+
+}  // namespace avd::soc

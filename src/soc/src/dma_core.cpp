@@ -1,0 +1,120 @@
+#include "avd/soc/dma_core.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace avd::soc {
+
+DmaCore::DmaCore(std::string name, TransferPath path, InterruptController* irq,
+                 int irq_line, EventLog* log)
+    : name_(std::move(name)),
+      path_(std::move(path)),
+      irq_(irq),
+      irq_line_(irq_line),
+      log_(log) {}
+
+void DmaCore::refresh(Channel& ch, TimePoint now) {
+  if (ch.active && now >= ch.active->completes) {
+    ch.sr |= dma_bit::kIdle;
+    ch.sr |= dma_bit::kIocIrq;
+    ch.active.reset();
+  }
+}
+
+bool DmaCore::idle(bool mm2s, TimePoint now) const {
+  const Channel& ch = channel(mm2s);
+  return !ch.active || now >= ch.active->completes;
+}
+
+void DmaCore::start_transfer(Channel& ch, bool mm2s, std::uint32_t bytes,
+                             TimePoint now) {
+  if ((ch.cr & dma_bit::kRunStop) == 0)
+    throw std::logic_error(name_ + ": LENGTH written while channel stopped");
+  if (ch.active && now < ch.active->completes)
+    throw std::logic_error(name_ + ": LENGTH written while transfer active");
+  if (bytes == 0) throw std::invalid_argument(name_ + ": zero-length DMA");
+
+  const TransferRecord rec = model_transfer(path_, bytes);
+  DmaTransfer t;
+  t.mm2s = mm2s;
+  t.address = ch.addr;
+  t.bytes = bytes;
+  t.started = now;
+  t.completes = now + rec.elapsed;
+  ch.active = t;
+  ch.sr &= ~dma_bit::kIdle;
+  last_ = t;
+
+  if (log_) {
+    std::ostringstream msg;
+    msg << (mm2s ? "MM2S" : "S2MM") << " transfer of " << bytes
+        << " B started (" << rec.throughput() << " MB/s, done at "
+        << t.completes.as_ms() << " ms)";
+    log_->record(now, name_, msg.str());
+  }
+  // Completion interrupt, delivered at the modelled finish time.
+  if (irq_ && irq_line_ >= 0 && (ch.cr & dma_bit::kIocIrqEn))
+    irq_->raise(irq_line_, t.completes, log_);
+}
+
+std::uint32_t DmaCore::read(std::uint32_t offset, TimePoint now) {
+  using namespace dma_reg;
+  const bool mm2s = offset < kS2mmCr;
+  Channel& ch = channel(mm2s);
+  refresh(ch, now);
+  switch (offset) {
+    case kMm2sCr:
+    case kS2mmCr:
+      return ch.cr;
+    case kMm2sSr:
+    case kS2mmSr: {
+      std::uint32_t sr = ch.sr;
+      if (!ch.active) sr |= dma_bit::kIdle;
+      if ((ch.cr & dma_bit::kRunStop) == 0) sr |= dma_bit::kHalted;
+      else sr &= ~dma_bit::kHalted;
+      return sr;
+    }
+    case kMm2sSa:
+    case kS2mmDa:
+      return ch.addr;
+    case kMm2sLength:
+    case kS2mmLength:
+      return last_ && last_->mm2s == mm2s ? last_->bytes : 0;
+    default:
+      throw std::out_of_range(name_ + ": bad register offset");
+  }
+}
+
+void DmaCore::write(std::uint32_t offset, std::uint32_t value, TimePoint now) {
+  using namespace dma_reg;
+  const bool mm2s = offset < kS2mmCr;
+  Channel& ch = channel(mm2s);
+  refresh(ch, now);
+  switch (offset) {
+    case kMm2sCr:
+    case kS2mmCr:
+      if (value & dma_bit::kReset) {
+        ch = Channel{};
+        return;
+      }
+      ch.cr = value;
+      return;
+    case kMm2sSr:
+    case kS2mmSr:
+      // Write-1-to-clear interrupt bits.
+      ch.sr &= ~(value & dma_bit::kIocIrq);
+      return;
+    case kMm2sSa:
+    case kS2mmDa:
+      ch.addr = value;
+      return;
+    case kMm2sLength:
+    case kS2mmLength:
+      start_transfer(ch, mm2s, value, now);
+      return;
+    default:
+      throw std::out_of_range(name_ + ": bad register offset");
+  }
+}
+
+}  // namespace avd::soc

@@ -1,0 +1,22 @@
+#include "avd/soc/event_log.hpp"
+
+#include <sstream>
+
+namespace avd::soc {
+
+std::vector<Event> EventLog::from(const std::string& source) const {
+  std::vector<Event> out;
+  for (const Event& e : events_)
+    if (e.source == source) out.push_back(e);
+  return out;
+}
+
+std::string EventLog::to_string() const {
+  std::ostringstream os;
+  for (const Event& e : events_)
+    os << '[' << e.time.as_ms() << " ms] " << e.source << ": " << e.message
+       << '\n';
+  return os.str();
+}
+
+}  // namespace avd::soc

@@ -1,0 +1,65 @@
+#include "avd/soc/frame_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace avd::soc {
+
+void FrameScheduler::add_reconfig_window(TimePoint start, Duration duration,
+                                         std::string new_config) {
+  if (duration.ps == 0)
+    throw std::invalid_argument("FrameScheduler: zero-length window");
+  const Window w{start, start + duration, std::move(new_config)};
+  for (const Window& other : windows_) {
+    if (w.start < other.end && other.start < w.end)
+      throw std::invalid_argument(
+          "FrameScheduler: overlapping reconfiguration windows");
+  }
+  windows_.push_back(w);
+  std::sort(windows_.begin(), windows_.end(),
+            [](const Window& a, const Window& b) { return a.start < b.start; });
+}
+
+std::vector<FrameRecord> FrameScheduler::schedule(
+    int n_frames, const std::string& initial_config) const {
+  std::vector<FrameRecord> records;
+  records.reserve(static_cast<std::size_t>(std::max(0, n_frames)));
+  const Duration period = config_.frame_period();
+
+  for (int i = 0; i < n_frames; ++i) {
+    FrameRecord rec;
+    rec.index = i;
+    rec.capture_time = frame_time(i);
+    rec.pedestrian_processed = true;  // static partition never stalls
+
+    const TimePoint frame_start = rec.capture_time;
+    (void)period;
+
+    // Configuration active at this frame: the newest window that completed
+    // before the frame started. A frame is dropped iff a reconfiguration is
+    // in progress at its capture instant — the engine drains the previous
+    // frame before the window opens, so a 20 ms window costs exactly the one
+    // frame captured inside it (paper §IV-B).
+    rec.vehicle_config = initial_config;
+    bool busy_at_capture = false;
+    for (const Window& w : windows_) {
+      if (w.end <= frame_start) {
+        rec.vehicle_config = w.new_config;
+      } else if (w.start <= frame_start && frame_start < w.end) {
+        busy_at_capture = true;
+      }
+    }
+    rec.vehicle_processed = !busy_at_capture;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+int FrameScheduler::dropped_vehicle_frames(
+    const std::vector<FrameRecord>& records) {
+  return static_cast<int>(
+      std::count_if(records.begin(), records.end(),
+                    [](const FrameRecord& r) { return !r.vehicle_processed; }));
+}
+
+}  // namespace avd::soc

@@ -1,0 +1,78 @@
+#include "avd/soc/hw_pipeline.hpp"
+
+namespace avd::soc {
+
+std::uint64_t HwPipelineModel::fill_latency_cycles() const {
+  std::uint64_t total = 0;
+  for (const PipelineStage& s : stages) total += s.fill_latency_cycles;
+  return total;
+}
+
+Duration HwPipelineModel::frame_time(img::Size size) const {
+  const auto pixels = static_cast<std::uint64_t>(size.area());
+  const std::uint64_t cycles =
+      pixels / static_cast<std::uint64_t>(pixels_per_cycle) +
+      fill_latency_cycles();
+  return Duration::cycles(cycles, fabric_mhz) + per_frame_overhead;
+}
+
+double HwPipelineModel::max_fps(img::Size size) const {
+  const Duration t = frame_time(size);
+  return t.ps ? 1e12 / static_cast<double>(t.ps) : 0.0;
+}
+
+bool HwPipelineModel::meets_rate(img::Size size, double fps) const {
+  return max_fps(size) >= fps;
+}
+
+HwPipelineModel day_dusk_pipeline_model() {
+  HwPipelineModel m;
+  m.name = "hog-svm-vehicle";
+  // Fig. 2: gradient/histogram generation, HOG memory, block normaliser,
+  // normalised-HOG memory, SVM classifier. Fill latencies reflect the line
+  // buffers each stage must accumulate before producing output (a HOG cell
+  // needs 8 lines; a block needs one extra cell row).
+  m.stages = {
+      {"gradient", 2 * 1920 + 4, 2},          // 3x3 centred masks
+      {"cell-histogram", 8 * 1920, 8},        // one cell row
+      {"hog-memory", 1920, 1},
+      {"block-normalizer", 8 * 1920 + 32, 8}, // one extra cell row + divider
+      {"normalized-hog-memory", 1920, 1},
+      {"svm-classifier", 64, 0},              // dot-product tree
+  };
+  return m;
+}
+
+HwPipelineModel dark_pipeline_model() {
+  HwPipelineModel m;
+  m.name = "dark-vehicle";
+  // Fig. 4: threshold (per-pixel), downsample, closing (3x3 dilate + erode
+  // on the 640-wide downsampled stream), sliding DBN, matching.
+  m.stages = {
+      {"split-threshold", 8, 0},
+      {"downsample", 3 * 1920, 3},
+      {"closing-dilate", 640 + 2, 1},
+      {"closing-erode", 640 + 2, 1},
+      {"dbn-l1", 9 * 640, 9},   // 9x9 window
+      {"dbn-l2", 24, 0},
+      {"dbn-l3", 12, 0},
+      {"merge-compare", 640, 1},
+  };
+  return m;
+}
+
+HwPipelineModel pedestrian_pipeline_model() {
+  HwPipelineModel m;
+  m.name = "hog-svm-pedestrian";
+  m.stages = {
+      {"gradient", 2 * 1920 + 4, 2},
+      {"cell-histogram", 8 * 1920, 8},
+      {"hog-memory", 1920, 1},
+      {"block-normalizer", 8 * 1920 + 32, 8},
+      {"normalized-hog-memory", 1920, 1},
+      {"svm-classifier", 64, 0},
+  };
+  return m;
+}
+
+}  // namespace avd::soc

@@ -1,0 +1,62 @@
+#include "avd/soc/interrupts.hpp"
+
+#include <stdexcept>
+
+namespace avd::soc {
+
+int InterruptController::add_line(std::string source) {
+  IrqLine l;
+  l.id = static_cast<int>(lines_.size());
+  l.source = std::move(source);
+  lines_.push_back(std::move(l));
+  return lines_.back().id;
+}
+
+const IrqLine& InterruptController::line(int id) const {
+  if (id < 0 || id >= static_cast<int>(lines_.size()))
+    throw std::out_of_range("InterruptController: bad line id");
+  return lines_[static_cast<std::size_t>(id)];
+}
+
+IrqLine& InterruptController::line(int id) {
+  return const_cast<IrqLine&>(
+      static_cast<const InterruptController*>(this)->line(id));
+}
+
+void InterruptController::mask(int id, bool masked) {
+  line(id).masked = masked;
+}
+
+void InterruptController::raise(int id, TimePoint now, EventLog* log) {
+  IrqLine& l = line(id);
+  ++l.total_raised;
+  if (l.masked) return;
+  if (!l.pending) {
+    l.pending = true;
+    l.raised_at = now;
+  }
+  if (log) log->record(now, l.source, "IRQ raised");
+}
+
+InterruptController::Service InterruptController::service_next(TimePoint now) {
+  // Lowest id wins (fixed priority), matching a GIC with static priorities.
+  for (IrqLine& l : lines_) {
+    if (!l.pending) continue;
+    l.pending = false;
+    Service s;
+    s.handled = true;
+    s.id = l.id;
+    s.source = l.source;
+    s.handler_entry = std::max(now, l.raised_at) + service_latency_;
+    return s;
+  }
+  return {};
+}
+
+int InterruptController::pending_count() const {
+  int n = 0;
+  for (const IrqLine& l : lines_) n += l.pending;
+  return n;
+}
+
+}  // namespace avd::soc

@@ -1,0 +1,66 @@
+#include "avd/soc/power.hpp"
+
+#include <stdexcept>
+
+namespace avd::soc {
+
+PowerEstimate estimate_power(const ModuleResources& configured,
+                             double active_fraction,
+                             const PowerCoefficients& k) {
+  if (active_fraction < 0.0 || active_fraction > 1.0)
+    throw std::invalid_argument("estimate_power: active_fraction out of range");
+  const double klut = static_cast<double>(configured.lut) / 1000.0;
+  const double kff = static_cast<double>(configured.ff) / 1000.0;
+
+  PowerEstimate p;
+  p.dynamic_mw = active_fraction * k.activity *
+                 (klut * k.mw_per_klut + kff * k.mw_per_kff +
+                  configured.bram * k.mw_per_bram +
+                  configured.dsp * k.mw_per_dsp);
+  p.clock_mw = klut * k.clock_tree_mw_per_klut;
+  p.leakage_mw = klut * k.leakage_mw_per_klut;
+  return p;
+}
+
+namespace {
+
+ModuleResources config_blocks(const std::string& name) {
+  if (name == "day-dusk") return sum_modules(day_dusk_blocks());
+  if (name == "dark") return sum_modules(dark_blocks());
+  throw std::invalid_argument("unknown configuration '" + name + "'");
+}
+
+}  // namespace
+
+DesignPower pr_design_power(const std::string& active_config,
+                            const PowerCoefficients& k) {
+  DesignPower d;
+  d.scenario = "pr-design(" + active_config + ")";
+  // Configured fabric = static partition + the one loaded configuration.
+  d.configured = sum_modules(static_design_blocks()) +
+                 config_blocks(active_config);
+  d.power = estimate_power(d.configured, 1.0, k);
+  return d;
+}
+
+DesignPower static_design_power(const std::string& active_config,
+                                const PowerCoefficients& k) {
+  DesignPower d;
+  d.scenario = "all-static(" + active_config + " active)";
+  const ModuleResources active_blocks =
+      sum_modules(static_design_blocks()) + config_blocks(active_config);
+  const ModuleResources idle_blocks =
+      config_blocks(active_config == "dark" ? "day-dusk" : "dark");
+  d.configured = active_blocks + idle_blocks;
+
+  const PowerEstimate active = estimate_power(active_blocks, 1.0, k);
+  // The idle pipeline is clock-gated: no dynamic power, full clock tree and
+  // leakage.
+  const PowerEstimate idle = estimate_power(idle_blocks, 0.0, k);
+  d.power.dynamic_mw = active.dynamic_mw + idle.dynamic_mw;
+  d.power.clock_mw = active.clock_mw + idle.clock_mw;
+  d.power.leakage_mw = active.leakage_mw + idle.leakage_mw;
+  return d;
+}
+
+}  // namespace avd::soc

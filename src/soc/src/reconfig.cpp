@@ -1,0 +1,81 @@
+#include "avd/soc/reconfig.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace avd::soc {
+
+ReconfigController::ReconfigController(ZynqPlatform platform,
+                                       ReconfigMethod method)
+    : platform_(std::move(platform)),
+      method_(method),
+      path_(reconfig_path(platform_, method)) {}
+
+Duration ReconfigController::stage(const PartialBitstream& bitstream) {
+  staged_[bitstream.config_name] = bitstream;
+  if (method_ != ReconfigMethod::PlDmaIcap) return Duration{};
+
+  // One-time PS DDR -> PL DDR copy through an HP port. This is the price of
+  // keeping the PS and its interconnect out of the reconfiguration itself.
+  TransferPath staging;
+  staging.name = "bitstream-staging";
+  staging.segments = {platform_.axi_hp_port, platform_.ps_ddr_controller,
+                      platform_.pl_ddr_controller};
+  staging.burst_bytes = 1024;
+  staging.setup = Duration::from_us(1);
+  const TransferRecord rec = model_transfer(staging, bitstream.bytes);
+  log_.record({0}, "pr-controller",
+              "staged '" + bitstream.config_name + "' to PL DDR (" +
+                  std::to_string(rec.elapsed.as_ms()) + " ms)");
+  return rec.elapsed;
+}
+
+ReconfigResult ReconfigController::reconfigure(TimePoint now,
+                                               const PartialBitstream& bitstream) {
+  const auto it = staged_.find(bitstream.config_name);
+  if (it == staged_.end())
+    throw std::logic_error("ReconfigController: bitstream '" +
+                           bitstream.config_name + "' not staged");
+  // Integrity gate: a corrupted partial bitstream must never reach the
+  // ICAP (it could physically damage the fabric).
+  if (!bitstream.verify_integrity()) {
+    log_.record(now, "pr-controller",
+                "REJECTED '" + bitstream.config_name +
+                    "': bitstream CRC mismatch");
+    throw std::runtime_error("ReconfigController: CRC mismatch in '" +
+                             bitstream.config_name + "'");
+  }
+
+  ReconfigResult result;
+  result.method = method_;
+  result.config_name = bitstream.config_name;
+  result.start = now;
+  result.transfer = model_transfer(path_, bitstream.bytes);
+  result.end = now + result.transfer.elapsed;
+  active_ = bitstream.config_name;
+
+  std::ostringstream msg;
+  msg << "reconfigured to '" << bitstream.config_name << "' via "
+      << to_string(method_) << " in " << result.transfer.elapsed.as_ms()
+      << " ms (" << result.transfer.throughput() << " MB/s); IRQ to PS";
+  log_.record(result.end, "pr-controller", msg.str());
+  return result;
+}
+
+std::vector<MethodComparisonRow> compare_methods(
+    const ZynqPlatform& platform, const PartialBitstream& bitstream) {
+  std::vector<MethodComparisonRow> rows;
+  const double ceiling = config_port_ceiling_mbps(platform);
+  for (ReconfigMethod m :
+       {ReconfigMethod::AxiHwicap, ReconfigMethod::Pcap, ReconfigMethod::ZyCap,
+        ReconfigMethod::PlDmaIcap}) {
+    ReconfigController ctrl(platform, m);
+    ctrl.stage(bitstream);
+    const ReconfigResult r = ctrl.reconfigure({0}, bitstream);
+    rows.push_back({m, r.throughput_mbps(), r.duration(),
+                    100.0 * r.throughput_mbps() / ceiling});
+  }
+  return rows;
+}
+
+}  // namespace avd::soc

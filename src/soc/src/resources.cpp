@@ -1,0 +1,118 @@
+#include "avd/soc/resources.hpp"
+
+#include <cmath>
+
+namespace avd::soc {
+namespace {
+
+int pct(long used, long available) {
+  return static_cast<int>(
+      std::lround(100.0 * static_cast<double>(used) / available));
+}
+
+}  // namespace
+
+UtilizationRow utilization(const std::string& name, const ModuleResources& used,
+                           const DeviceResources& device) {
+  return {name, pct(used.lut, device.lut), pct(used.ff, device.ff),
+          pct(used.bram, device.bram), pct(used.dsp, device.dsp)};
+}
+
+ModuleResources sum_modules(const std::vector<ModuleResources>& blocks) {
+  ModuleResources total;
+  total.name = "total";
+  for (const ModuleResources& b : blocks) total += b;
+  return total;
+}
+
+std::vector<ModuleResources> static_design_blocks() {
+  return {
+      {"data-capture", 9000, 9000, 12, 2},
+      {"pedestrian-detection", 40000, 36000, 66, 16},
+      {"pr-controller", 3500, 4800, 4, 0},
+      {"ps-interface", 5754, 5680, 9, 2},
+  };
+}
+
+std::vector<ModuleResources> day_dusk_blocks() {
+  return {
+      {"hog-gradient", 9000, 8500, 6, 4},
+      {"hog-histogram", 14000, 13500, 18, 0},
+      {"block-normalizer", 12000, 11000, 12, 8},
+      {"svm-classifier", 11706, 10932, 31, 8},  // incl. two model BRAMs
+      {"stream-dma-interface", 6000, 6000, 16, 0},
+  };
+}
+
+std::vector<ModuleResources> dark_blocks() {
+  return {
+      {"threshold-split", 8000, 9000, 6, 0},
+      {"downsample-morphology", 12000, 14000, 14, 0},
+      {"dbn-engine", 64960, 72604, 95, 490},
+      {"pairing-svm", 14000, 18000, 18, 64},
+      {"stream-dma-interface", 12000, 14000, 10, 32},
+  };
+}
+
+std::vector<ModuleResources> countryside_blocks() {
+  // The day/dusk pipeline plus an animal classifier head. The gradient and
+  // histogram stages are shared; only block normalisation windows and a
+  // second SVM (with its model BRAMs) are added.
+  auto blocks = day_dusk_blocks();
+  blocks.push_back({"animal-svm-classifier", 14500, 13800, 34, 10});
+  blocks.push_back({"animal-window-normalizer", 9000, 8600, 8, 6});
+  return blocks;
+}
+
+ModuleResources floorplan_partition(
+    const std::vector<ModuleResources>& largest_config,
+    const DeviceResources& device, const FloorplanParams& params) {
+  const ModuleResources need = sum_modules(largest_config);
+
+  // The partition is a rectangular region of configuration columns. Its size
+  // is driven by the scarcest logic resource of the largest configuration;
+  // FFs come packaged with LUTs in the same slices, and BRAM/DSP columns are
+  // captured at the region's (lower) hard-block density.
+  const double lut_frac = static_cast<double>(need.lut) / device.lut;
+  const double ff_frac = static_cast<double>(need.ff) / device.ff;
+  const double logic_frac =
+      params.logic_margin * std::max(lut_frac, ff_frac);
+  const double hard_frac = logic_frac * params.bram_dsp_density;
+
+  ModuleResources region;
+  region.name = "reconfigurable-partition";
+  region.lut = std::lround(logic_frac * device.lut);
+  region.ff = std::lround(logic_frac * device.ff);
+  region.bram = std::lround(hard_frac * device.bram);
+  region.dsp = std::lround(hard_frac * device.dsp);
+  return region;
+}
+
+bool fits(const ModuleResources& config, const ModuleResources& partition) {
+  return config.lut <= partition.lut && config.ff <= partition.ff &&
+         config.bram <= partition.bram && config.dsp <= partition.dsp;
+}
+
+std::vector<UtilizationRow> table2_rows(const DeviceResources& device,
+                                        const FloorplanParams& params) {
+  const ModuleResources static_total = sum_modules(static_design_blocks());
+  const ModuleResources day_dusk = sum_modules(day_dusk_blocks());
+  const ModuleResources dark = sum_modules(dark_blocks());
+  const ModuleResources partition =
+      floorplan_partition(dark_blocks(), device, params);
+
+  // "Total resource utilization is the summation of resources used for the
+  // static design and the resources considered for the reconfigurable
+  // partition."
+  const ModuleResources total = static_total + partition;
+
+  return {
+      utilization("Static Design", static_total, device),
+      utilization("Reconfigurable Partition", partition, device),
+      utilization("Day and Dusk Design", day_dusk, device),
+      utilization("Dark Design", dark, device),
+      utilization("Total Usage", total, device),
+  };
+}
+
+}  // namespace avd::soc

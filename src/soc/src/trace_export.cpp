@@ -1,0 +1,78 @@
+#include "avd/soc/trace_export.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace avd::soc {
+namespace {
+
+// Minimal JSON string escaping for the fields we emit.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const EventLog& log) {
+  // Stable thread ids per source, in order of first appearance.
+  std::map<std::string, int> tid_of;
+  int next_tid = 1;
+  for (const Event& e : log.events())
+    if (tid_of.emplace(e.source, next_tid).second) ++next_tid;
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata rows.
+  for (const auto& [source, tid] : tid_of) {
+    if (!first) os << ',';
+    first = false;
+    os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << tid
+       << R"(,"args":{"name":")" << escape(source) << "\"}}";
+  }
+  // Instant events; Chrome trace timestamps are microseconds.
+  for (const Event& e : log.events()) {
+    if (!first) os << ',';
+    first = false;
+    os << R"({"name":")" << escape(e.message) << R"(","ph":"i","s":"t","pid":1,"tid":)"
+       << tid_of[e.source] << ",\"ts\":" << (e.time.ps / 1000000ull) << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_chrome_trace(const EventLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  out << to_chrome_trace(log);
+  if (!out) throw std::runtime_error("write_chrome_trace: write failed");
+}
+
+}  // namespace avd::soc

@@ -1,0 +1,92 @@
+#include "avd/soc/zynq.hpp"
+
+#include <stdexcept>
+
+namespace avd::soc {
+
+ZynqPlatform default_platform() { return default_platform(ZynqClocks{}); }
+
+ZynqPlatform default_platform(const ZynqClocks& clocks) {
+  if (clocks.icap_mhz == 0 || clocks.fabric_mhz == 0 || clocks.ddr_mhz == 0)
+    throw std::invalid_argument("default_platform: zero clock frequency");
+  ZynqPlatform p;
+  p.clocks = clocks;
+  const double icap_bw =
+      4.0 * static_cast<double>(p.clocks.icap_mhz);  // 32-bit port, MB/s
+  const double ddr_bw = 4.0 * static_cast<double>(p.clocks.ddr_mhz) * 2.0;
+
+  // Latencies are per burst transaction; bandwidths are payload ceilings.
+  p.ps_gp_port = {"ps-gp-port", Duration::from_ns(150), icap_bw};
+  p.axi_lite_peripheral = {"axi-lite-peripheral", Duration::from_ns(50),
+                           icap_bw};
+  p.ps_central_interconnect = {"ps-central-interconnect",
+                               Duration::from_ns(180), 1200.0};
+  p.ps_ddr_controller = {"ps-ddr-controller", Duration::from_ns(50), ddr_bw};
+  p.pl_ddr_controller = {"pl-ddr-controller", Duration::from_ns(30), ddr_bw};
+  p.axi_hp_port = {"axi-hp-port", Duration::from_ns(30), 1200.0};
+  p.pl_axi_interconnect = {"pl-axi-interconnect", Duration::from_ns(20),
+                           1600.0};
+  p.pcap_bridge = {"pcap-bridge", Duration::from_ns(40), icap_bw};
+  p.icap_primitive = {"icape2", Duration::from_ns(10), icap_bw};
+  return p;
+}
+
+const char* to_string(ReconfigMethod m) {
+  switch (m) {
+    case ReconfigMethod::AxiHwicap:
+      return "axi-hwicap";
+    case ReconfigMethod::Pcap:
+      return "pcap";
+    case ReconfigMethod::ZyCap:
+      return "zycap";
+    case ReconfigMethod::PlDmaIcap:
+      return "pr-controller";
+  }
+  throw std::invalid_argument("to_string: bad ReconfigMethod");
+}
+
+TransferPath reconfig_path(const ZynqPlatform& p, ReconfigMethod method) {
+  TransferPath path;
+  path.name = to_string(method);
+  switch (method) {
+    case ReconfigMethod::AxiHwicap:
+      // CPU register writes: one 32-bit word per AXI-Lite transaction, no
+      // DMA setup. The per-word port latency dominates completely.
+      path.segments = {p.ps_gp_port, p.axi_lite_peripheral, p.icap_primitive};
+      path.burst_bytes = 4;
+      path.setup = Duration::from_ns(0);
+      break;
+    case ReconfigMethod::Pcap:
+      // PCAP's internal DMA issues short bursts from PS DDR through the
+      // central interconnect to the PCAP bridge.
+      path.segments = {p.ps_central_interconnect, p.ps_ddr_controller,
+                       p.pcap_bridge};
+      path.burst_bytes = 64;
+      path.setup = Duration::from_us(2);  // devcfg driver + DMA programming
+      break;
+    case ReconfigMethod::ZyCap:
+      // PL DMA master reads PS DDR through an HP port (bypassing the central
+      // interconnect) and feeds the ICAP.
+      path.segments = {p.axi_hp_port, p.ps_ddr_controller,
+                       p.pl_axi_interconnect, p.icap_primitive};
+      path.burst_bytes = 1024;
+      path.setup = Duration::from_us(1);  // PL DMA descriptor
+      break;
+    case ReconfigMethod::PlDmaIcap:
+      // The paper's PR controller: bitstreams staged in the dedicated PL
+      // DDR; PL DMA streams them straight into the ICAP manager. No PS
+      // involvement after the trigger.
+      path.segments = {p.pl_ddr_controller, p.pl_axi_interconnect,
+                       p.icap_primitive};
+      path.burst_bytes = 1024;
+      path.setup = Duration::from_us(1);
+      break;
+  }
+  return path;
+}
+
+double config_port_ceiling_mbps(const ZynqPlatform& platform) {
+  return 4.0 * static_cast<double>(platform.clocks.icap_mhz);
+}
+
+}  // namespace avd::soc

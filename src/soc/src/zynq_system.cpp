@@ -1,0 +1,273 @@
+#include "avd/soc/zynq_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace avd::soc {
+
+// --- DetectionModuleRegs ---
+
+DetectionModuleRegs::DetectionModuleRegs(std::string name,
+                                         HwPipelineModel timing,
+                                         InterruptController* irq, int irq_line,
+                                         EventLog* log)
+    : name_(std::move(name)),
+      timing_(std::move(timing)),
+      irq_(irq),
+      irq_line_(irq_line),
+      log_(log) {}
+
+std::uint32_t DetectionModuleRegs::read(std::uint32_t offset, TimePoint now) {
+  switch (offset) {
+    case 0x00:
+      return enabled_ ? 0x2u : 0x0u;
+    case 0x04:
+      if (!done_ && done_at_.ps != 0 && now >= done_at_) done_ = true;
+      return done_ ? 0x1u : 0x0u;
+    case 0x08:
+      return model_;
+    case 0x0C:
+      return param_;
+    default:
+      throw std::out_of_range(name_ + ": bad register offset");
+  }
+}
+
+void DetectionModuleRegs::write(std::uint32_t offset, std::uint32_t value,
+                                TimePoint now) {
+  switch (offset) {
+    case 0x00:
+      enabled_ = (value & 0x2u) != 0;
+      if (value & 0x1u) {  // start
+        if (!enabled_)
+          throw std::logic_error(name_ + ": started while disabled");
+        done_ = false;
+        done_at_ = now + timing_.frame_time(frame_size_);
+        if (log_) log_->record(now, name_, "frame processing started");
+        if (irq_ && irq_line_ >= 0) irq_->raise(irq_line_, done_at_, log_);
+      }
+      return;
+    case 0x04:
+      if (value & 0x1u) done_ = false;  // W1C
+      return;
+    case 0x08:
+      if (value > 1)
+        throw std::invalid_argument(name_ + ": bad model select");
+      model_ = value;
+      if (log_)
+        log_->record(now, name_,
+                     std::string("model select -> ") +
+                         (value == 0 ? "day" : "dusk"));
+      return;
+    case 0x0C:
+      param_ = value;
+      return;
+    default:
+      throw std::out_of_range(name_ + ": bad register offset");
+  }
+}
+
+// --- HpBudget ---
+
+double HpBudget::port_load(int port) const {
+  double load = 0.0;
+  for (const HpStream& s : streams)
+    if (s.hp_port == port) load += s.mbps;
+  return load;
+}
+
+bool HpBudget::feasible() const {
+  for (const HpStream& s : streams)
+    if (port_load(s.hp_port) > port_capacity_mbps) return false;
+  return true;
+}
+
+double HpBudget::worst_utilization() const {
+  double worst = 0.0;
+  for (const HpStream& s : streams)
+    worst = std::max(worst, port_load(s.hp_port) / port_capacity_mbps);
+  return worst;
+}
+
+// --- ZynqSystem ---
+
+namespace {
+
+// Frame traffic rides an HP port into the shared PS DDR controller.
+TransferPath frame_dma_path(const ZynqPlatform& p, const char* name) {
+  TransferPath path;
+  path.name = name;
+  path.segments = {p.axi_hp_port, p.ps_ddr_controller};
+  path.burst_bytes = 1024;
+  path.setup = Duration::from_us(1);
+  return path;
+}
+
+}  // namespace
+
+ZynqSystem::ZynqSystem(ZynqPlatform platform, VideoFormat video)
+    : platform_(std::move(platform)), video_(video) {
+  const int ped_in_irq = irq_.add_line("pedestrian-in-dma");
+  const int ped_out_irq = irq_.add_line("pedestrian-out-dma");
+  const int veh_in_irq = irq_.add_line("vehicle-in-dma");
+  const int veh_out_irq = irq_.add_line("vehicle-out-dma");
+  const int pr_irq = irq_.add_line("pr-dma");
+  const int ped_mod_irq = irq_.add_line("pedestrian-detection");
+  const int veh_mod_irq = irq_.add_line("vehicle-detection");
+
+  ped_in_ = std::make_unique<DmaCore>(
+      "pedestrian-in-dma", frame_dma_path(platform_, "hp0-in"), &irq_,
+      ped_in_irq, &log_);
+  ped_out_ = std::make_unique<DmaCore>(
+      "pedestrian-out-dma", frame_dma_path(platform_, "hp2-out"), &irq_,
+      ped_out_irq, &log_);
+  veh_in_ = std::make_unique<DmaCore>(
+      "vehicle-in-dma", frame_dma_path(platform_, "hp1-in"), &irq_,
+      veh_in_irq, &log_);
+  veh_out_ = std::make_unique<DmaCore>(
+      "vehicle-out-dma", frame_dma_path(platform_, "hp2-out"), &irq_,
+      veh_out_irq, &log_);
+  pr_dma_ = std::make_unique<DmaCore>(
+      "pr-dma", reconfig_path(platform_, ReconfigMethod::PlDmaIcap), &irq_,
+      pr_irq, &log_);
+
+  pedestrian_mod_ = std::make_unique<DetectionModuleRegs>(
+      "pedestrian-detection", pedestrian_pipeline_model(), &irq_, ped_mod_irq,
+      &log_);
+  vehicle_mod_ = std::make_unique<DetectionModuleRegs>(
+      "vehicle-detection", day_dusk_pipeline_model(), &irq_, veh_mod_irq,
+      &log_);
+  pedestrian_mod_->set_frame_size(video_.frame);
+  vehicle_mod_->set_frame_size(video_.frame);
+
+  bus_.attach(sysmap::kPedestrianInDma, ped_in_.get());
+  bus_.attach(sysmap::kPedestrianOutDma, ped_out_.get());
+  bus_.attach(sysmap::kVehicleInDma, veh_in_.get());
+  bus_.attach(sysmap::kVehicleOutDma, veh_out_.get());
+  bus_.attach(sysmap::kPrDma, pr_dma_.get());
+  bus_.attach(sysmap::kPedestrianModule, pedestrian_mod_.get());
+  bus_.attach(sysmap::kVehicleModule, vehicle_mod_.get());
+}
+
+void ZynqSystem::ctrl_write(std::uint32_t address, std::uint32_t value,
+                            TimePoint& now, FrameCycleReport& report) {
+  const auto res = bus_.write(address, value, now);
+  now += res.latency;
+  report.control_time += res.latency;
+  ++report.register_accesses;
+}
+
+FrameCycleReport ZynqSystem::process_frame(TimePoint frame_start) {
+  using namespace dma_reg;
+  using namespace sysmap;
+  FrameCycleReport report;
+  TimePoint now = frame_start;
+
+  const auto frame_bytes = static_cast<std::uint32_t>(video_.bytes_per_frame());
+  // Detection results are compact: a few hundred candidate boxes.
+  constexpr std::uint32_t kResultBytes = 4096;
+
+  // 1. Program the two input DMAs (stream the captured frame into both
+  //    detection modules). Run/stop + IRQ enable, then address, then length
+  //    (the length write starts the engine).
+  for (std::uint32_t base : {kPedestrianInDma, kVehicleInDma}) {
+    ctrl_write(base + kMm2sCr, dma_bit::kRunStop | dma_bit::kIocIrqEn, now,
+               report);
+    ctrl_write(base + kMm2sSa, 0x1000'0000, now, report);
+    ctrl_write(base + kMm2sLength, frame_bytes, now, report);
+  }
+
+  // 2. Start both accelerators (they consume the stream as it arrives; the
+  //    model serialises conservatively: detect after input lands).
+  const TimePoint input_done =
+      std::max(ped_in_->last_transfer()->completes,
+               veh_in_->last_transfer()->completes);
+  report.input_dma_time = input_done - frame_start;
+  now = std::max(now, input_done);
+  for (std::uint32_t base : {kPedestrianModule, kVehicleModule})
+    ctrl_write(base + 0x00, 0x3, now, report);  // enable + start
+
+  const TimePoint detect_done =
+      std::max(pedestrian_mod_->done_at(), vehicle_mod_->done_at());
+  report.detect_time = detect_done - now;
+  now = std::max(now, detect_done);
+
+  // 3. Stream the results back to PS DDR.
+  for (std::uint32_t base : {kPedestrianOutDma, kVehicleOutDma}) {
+    ctrl_write(base + kS2mmCr, dma_bit::kRunStop | dma_bit::kIocIrqEn, now,
+               report);
+    ctrl_write(base + kS2mmDa, 0x2000'0000, now, report);
+    ctrl_write(base + kS2mmLength, kResultBytes, now, report);
+  }
+  const TimePoint out_done =
+      std::max(ped_out_->last_transfer()->completes,
+               veh_out_->last_transfer()->completes);
+  report.output_dma_time = out_done - now;
+  now = std::max(now, out_done);
+
+  // 4. Service every pending completion interrupt.
+  while (true) {
+    const auto svc = irq_.service_next(now);
+    if (!svc.handled) break;
+    now = std::max(now, svc.handler_entry);
+    ++report.irqs_serviced;
+  }
+
+  report.frame_done = now;
+  return report;
+}
+
+void ZynqSystem::select_vehicle_model(std::uint32_t model, TimePoint now) {
+  (void)bus_.write(sysmap::kVehicleModule + 0x08, model, now);
+}
+
+TimePoint ZynqSystem::reconfigure(std::uint32_t bitstream_bytes,
+                                  TimePoint now) {
+  using namespace dma_reg;
+  // The PS programs the PR DMA exactly like any other AXI DMA core: run +
+  // IRQ enable, source (the staged bitstream in PL DDR), then length.
+  (void)bus_.write(sysmap::kPrDma + kMm2sCr,
+                   dma_bit::kRunStop | dma_bit::kIocIrqEn, now);
+  (void)bus_.write(sysmap::kPrDma + kMm2sSa, 0x3000'0000, now);
+  (void)bus_.write(sysmap::kPrDma + kMm2sLength, bitstream_bytes, now);
+  log_.record(now, "pr-dma", "partial reconfiguration started");
+
+  // Wait for the completion interrupt; the PR DMA's line carries it.
+  while (true) {
+    const auto svc = irq_.service_next(now);
+    if (!svc.handled) break;
+    now = std::max(now, svc.handler_entry);
+    if (svc.source == "pr-dma") {
+      // Acknowledge in the status register (W1C).
+      (void)bus_.write(sysmap::kPrDma + kMm2sSr, dma_bit::kIocIrq, now);
+      log_.record(now, "pr-dma", "partial reconfiguration complete");
+      return now;
+    }
+  }
+  return now;
+}
+
+HpBudget ZynqSystem::hp_budget() const {
+  HpBudget budget;
+  budget.port_capacity_mbps = platform_.axi_hp_port.bandwidth_mbps;
+  const double in_mbps = video_.bandwidth_mbps();
+  // Results are negligible but accounted: 4 KiB per frame per module.
+  const double out_mbps = 2.0 * 4096.0 * video_.fps / 1e6;
+  budget.streams = {
+      {"pedestrian-frame-in", in_mbps, 0},
+      {"vehicle-frame-in", in_mbps, 1},
+      {"detection-results-out", out_mbps, 2},
+  };
+  return budget;
+}
+
+bool ZynqSystem::meets_frame_budget() {
+  // Probe far in the future so any in-flight transfers have drained.
+  const TimePoint probe{1'000'000'000'000'000ull};  // 1000 s
+  const FrameCycleReport report = process_frame(probe);
+  const Duration period =
+      Duration::from_ps(static_cast<std::uint64_t>(1e12 / video_.fps));
+  return report.total_latency(probe) <= period * 2;  // 2-frame pipeline depth
+}
+
+}  // namespace avd::soc

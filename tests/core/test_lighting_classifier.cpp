@@ -1,0 +1,116 @@
+#include "avd/core/lighting_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/datasets/scene.hpp"
+#include "avd/image/color.hpp"
+
+namespace avd::core {
+namespace {
+
+using data::LightingCondition;
+
+TEST(LightingClassifier, InitialConditionHeld) {
+  LightingClassifier c({}, LightingCondition::Dusk);
+  EXPECT_EQ(c.current(), LightingCondition::Dusk);
+}
+
+TEST(LightingClassifier, ImmediateClassWithinBand) {
+  LightingClassifier c;
+  EXPECT_EQ(c.update(0.9), LightingCondition::Day);
+}
+
+TEST(LightingClassifier, DebounceDelaysTransition) {
+  LightingClassifierConfig cfg;
+  cfg.debounce_frames = 3;
+  LightingClassifier c(cfg, LightingCondition::Day);
+  EXPECT_EQ(c.update(0.3), LightingCondition::Day);   // 1st dusk reading
+  EXPECT_EQ(c.update(0.3), LightingCondition::Day);   // 2nd
+  EXPECT_EQ(c.update(0.3), LightingCondition::Dusk);  // 3rd: switch
+}
+
+TEST(LightingClassifier, GlitchDoesNotSwitch) {
+  LightingClassifierConfig cfg;
+  cfg.debounce_frames = 3;
+  LightingClassifier c(cfg, LightingCondition::Day);
+  (void)c.update(0.3);
+  (void)c.update(0.3);
+  (void)c.update(0.9);  // back to day: candidate count resets
+  (void)c.update(0.3);
+  EXPECT_EQ(c.update(0.3), LightingCondition::Day);  // only 2 consecutive
+  EXPECT_EQ(c.update(0.3), LightingCondition::Dusk);
+}
+
+TEST(LightingClassifier, HysteresisBlocksBoundarySitting) {
+  LightingClassifierConfig cfg;
+  cfg.debounce_frames = 1;
+  LightingClassifier c(cfg, LightingCondition::Day);
+  // Just under the day/dusk boundary but inside the hysteresis band: stays
+  // day.
+  EXPECT_EQ(c.update(0.53), LightingCondition::Day);
+  // Clearly below the band: switches.
+  EXPECT_EQ(c.update(0.45), LightingCondition::Dusk);
+  // Climbing back to just above the boundary is not enough either.
+  EXPECT_EQ(c.update(0.57), LightingCondition::Dusk);
+  EXPECT_EQ(c.update(0.65), LightingCondition::Day);
+}
+
+TEST(LightingClassifier, DirectDayToDarkTransition) {
+  LightingClassifierConfig cfg;
+  cfg.debounce_frames = 1;
+  LightingClassifier c(cfg, LightingCondition::Day);
+  EXPECT_EQ(c.update(0.02), LightingCondition::Dark);  // tunnel of night
+}
+
+TEST(LightingClassifier, DarkToDayTransition) {
+  LightingClassifierConfig cfg;
+  cfg.debounce_frames = 1;
+  LightingClassifier c(cfg, LightingCondition::Dark);
+  EXPECT_EQ(c.update(0.9), LightingCondition::Day);
+}
+
+TEST(LightingClassifier, NoThrashAcrossNoisySensor) {
+  // Noisy readings around dusk nominal: the classifier must settle and stay.
+  LightingClassifier c({}, LightingCondition::Day);
+  ml::Rng rng(4);
+  int switches = 0;
+  data::LightingCondition prev = c.current();
+  for (int i = 0; i < 200; ++i) {
+    const double level = 0.35 + rng.gaussian(0.0, 0.02);
+    const data::LightingCondition now = c.update(level);
+    switches += now != prev;
+    prev = now;
+  }
+  EXPECT_EQ(switches, 1);  // exactly one day->dusk transition
+}
+
+TEST(LightingClassifier, EstimateSeparatesRenderedConditions) {
+  auto estimate = [](LightingCondition cond) {
+    data::SceneGenerator gen(cond, 77);
+    const img::RgbImage frame = render_scene(gen.random_scene({320, 180}, 2));
+    return LightingClassifier::estimate_light_level(
+        img::rgb_to_gray(frame));
+  };
+  const double day = estimate(LightingCondition::Day);
+  const double dusk = estimate(LightingCondition::Dusk);
+  const double dark = estimate(LightingCondition::Dark);
+  EXPECT_GT(day, dusk);
+  EXPECT_GT(dusk, dark);
+  // And the estimates classify back to their own conditions.
+  EXPECT_EQ(data::condition_for_light_level(day), LightingCondition::Day);
+  EXPECT_EQ(data::condition_for_light_level(dark), LightingCondition::Dark);
+}
+
+TEST(LightingClassifier, BrightPointSourcesDoNotFoolEstimate) {
+  // A dark frame dotted with saturated lamps must still read as dark.
+  img::ImageU8 gray(100, 100, 5);
+  for (int i = 0; i < 12; ++i)
+    for (int dy = 0; dy < 3; ++dy)
+      for (int dx = 0; dx < 3; ++dx) gray(i * 8 + dx, 50 + dy) = 255;
+  const double level = LightingClassifier::estimate_light_level(gray);
+  EXPECT_EQ(data::condition_for_light_level(level),
+            LightingCondition::Dark);
+}
+
+}  // namespace
+}  // namespace avd::core

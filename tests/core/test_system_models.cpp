@@ -1,0 +1,101 @@
+#include "avd/core/system_models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::core {
+namespace {
+
+// Train one small model bundle for the whole suite.
+class SystemModelsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TrainingBudget budget;
+    budget.vehicle_pos = 60;
+    budget.vehicle_neg = 60;
+    budget.pedestrian_pos = 40;
+    budget.pedestrian_neg = 40;
+    budget.dbn_windows_per_class = 80;
+    budget.pairing_scenes = 40;
+    models_ = new SystemModels(build_system_models(budget));
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    models_ = nullptr;
+  }
+  static const SystemModels& models() { return *models_; }
+
+ private:
+  static SystemModels* models_;
+};
+
+SystemModels* SystemModelsTest::models_ = nullptr;
+
+TEST_F(SystemModelsTest, AllModelsTrained) {
+  EXPECT_TRUE(models().day.svm.trained());
+  EXPECT_TRUE(models().dusk.svm.trained());
+  EXPECT_TRUE(models().combined.svm.trained());
+  EXPECT_TRUE(models().pedestrian.svm.trained());
+  EXPECT_TRUE(models().dark.pairing_svm().trained());
+}
+
+TEST_F(SystemModelsTest, ModelNames) {
+  EXPECT_EQ(models().day.name, "day");
+  EXPECT_EQ(models().dusk.name, "dusk");
+  EXPECT_EQ(models().combined.name, "combined");
+  EXPECT_EQ(models().pedestrian.name, "pedestrian");
+}
+
+TEST_F(SystemModelsTest, WindowsMatchBudget) {
+  EXPECT_EQ(models().day.window, (img::Size{64, 64}));
+  EXPECT_EQ(models().pedestrian.window, (img::Size{32, 64}));
+}
+
+TEST_F(SystemModelsTest, ClassIds) {
+  EXPECT_EQ(models().day.class_id, det::kClassVehicle);
+  EXPECT_EQ(models().pedestrian.class_id, det::kClassPedestrian);
+}
+
+TEST_F(SystemModelsTest, VehicleModelSelection) {
+  // Day and dusk select their own SVM; the switch is a model swap, not a
+  // reconfiguration (paper §III-A: two models in two block RAMs).
+  EXPECT_EQ(&models().vehicle_model_for(data::LightingCondition::Day),
+            &models().day);
+  EXPECT_EQ(&models().vehicle_model_for(data::LightingCondition::Dusk),
+            &models().dusk);
+}
+
+TEST_F(SystemModelsTest, DayAndDuskModelsDiffer) {
+  // The paper stresses "the trained model in these three cases look very
+  // different" — weights must not coincide.
+  const auto& wd = models().day.svm.weights();
+  const auto& wk = models().dusk.svm.weights();
+  ASSERT_EQ(wd.size(), wk.size());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < wd.size(); ++i)
+    diff += std::abs(static_cast<double>(wd[i]) - wk[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST_F(SystemModelsTest, DarkDetectorHasPaperShape) {
+  EXPECT_EQ(models().dark.dbn().input_size(), 81);
+  EXPECT_EQ(models().dark.dbn().classes(), 4);
+  EXPECT_EQ(models().dark.config().downsample_factor, 3);
+  EXPECT_EQ(models().dark.config().window_stride, 2);
+}
+
+TEST(SystemModelsBudget, Deterministic) {
+  TrainingBudget tiny;
+  tiny.vehicle_pos = tiny.vehicle_neg = 20;
+  tiny.pedestrian_pos = tiny.pedestrian_neg = 15;
+  tiny.dbn_windows_per_class = 30;
+  tiny.pairing_scenes = 10;
+  const SystemModels a = build_system_models(tiny);
+  const SystemModels b = build_system_models(tiny);
+  ASSERT_EQ(a.day.svm.dimension(), b.day.svm.dimension());
+  for (std::size_t i = 0; i < a.day.svm.dimension(); ++i)
+    EXPECT_FLOAT_EQ(a.day.svm.weights()[i], b.day.svm.weights()[i]);
+  EXPECT_FLOAT_EQ(a.pedestrian.svm.bias(), b.pedestrian.svm.bias());
+}
+
+}  // namespace
+}  // namespace avd::core

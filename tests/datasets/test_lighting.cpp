@@ -1,0 +1,60 @@
+#include "avd/datasets/lighting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::data {
+namespace {
+
+TEST(Lighting, ToStringNames) {
+  EXPECT_EQ(to_string(LightingCondition::Day), "day");
+  EXPECT_EQ(to_string(LightingCondition::Dusk), "dusk");
+  EXPECT_EQ(to_string(LightingCondition::Dark), "dark");
+}
+
+TEST(Lighting, AmbientMonotoneInLight) {
+  const AmbientParams day = ambient_for(LightingCondition::Day);
+  const AmbientParams dusk = ambient_for(LightingCondition::Dusk);
+  const AmbientParams dark = ambient_for(LightingCondition::Dark);
+  EXPECT_GT(day.ambient, dusk.ambient);
+  EXPECT_GT(dusk.ambient, dark.ambient);
+  EXPECT_GT(day.body_contrast, dusk.body_contrast);
+  EXPECT_GT(dusk.body_contrast, dark.body_contrast);
+}
+
+TEST(Lighting, NoiseGrowsAsLightFalls) {
+  EXPECT_LE(ambient_for(LightingCondition::Day).noise_sigma,
+            ambient_for(LightingCondition::Dusk).noise_sigma);
+  EXPECT_LE(ambient_for(LightingCondition::Dusk).noise_sigma,
+            ambient_for(LightingCondition::Dark).noise_sigma);
+}
+
+TEST(Lighting, TaillightsLitAtNightOnly) {
+  EXPECT_FALSE(ambient_for(LightingCondition::Day).taillights_lit);
+  EXPECT_TRUE(ambient_for(LightingCondition::Dusk).taillights_lit);
+  EXPECT_TRUE(ambient_for(LightingCondition::Dark).taillights_lit);
+}
+
+TEST(Lighting, ShadowOnlyMeaningfulInDaylight) {
+  EXPECT_GT(ambient_for(LightingCondition::Day).shadow_strength, 0.3);
+  EXPECT_LT(ambient_for(LightingCondition::Dark).shadow_strength, 0.01);
+}
+
+TEST(Lighting, NominalLevelsRoundTripThroughClassifier) {
+  for (auto c : {LightingCondition::Day, LightingCondition::Dusk,
+                 LightingCondition::Dark}) {
+    EXPECT_EQ(condition_for_light_level(nominal_light_level(c)), c)
+        << to_string(c);
+  }
+}
+
+TEST(Lighting, ConditionBoundaries) {
+  EXPECT_EQ(condition_for_light_level(1.0), LightingCondition::Day);
+  EXPECT_EQ(condition_for_light_level(0.56), LightingCondition::Day);
+  EXPECT_EQ(condition_for_light_level(0.55), LightingCondition::Dusk);
+  EXPECT_EQ(condition_for_light_level(0.19), LightingCondition::Dusk);
+  EXPECT_EQ(condition_for_light_level(0.18), LightingCondition::Dark);
+  EXPECT_EQ(condition_for_light_level(0.0), LightingCondition::Dark);
+}
+
+}  // namespace
+}  // namespace avd::data

@@ -1,0 +1,213 @@
+#include "avd/datasets/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/image/color.hpp"
+#include "avd/image/stats.hpp"
+#include "avd/image/threshold.hpp"
+
+namespace avd::data {
+namespace {
+
+TEST(VehicleSpec, TaillightBoxesInsideBody) {
+  VehicleSpec v;
+  v.body = {100, 50, 64, 48};
+  const auto [left, right] = v.taillight_boxes();
+  EXPECT_TRUE(v.body.contains(left));
+  EXPECT_TRUE(v.body.contains(right));
+  EXPECT_LT(left.right(), right.x);  // disjoint, left of right
+  EXPECT_EQ(left.y, right.y);        // level
+}
+
+TEST(VehicleSpec, TaillightBoxesScaleWithBody) {
+  VehicleSpec small, big;
+  small.body = {0, 0, 28, 22};
+  big.body = {0, 0, 280, 220};
+  EXPECT_LT(small.taillight_boxes().first.width,
+            big.taillight_boxes().first.width);
+}
+
+TEST(RenderScene, FrameSizeAndDeterminism) {
+  SceneGenerator gen(LightingCondition::Day, 42);
+  const SceneSpec spec = gen.random_scene({320, 180}, 2, 1);
+  const img::RgbImage a = render_scene(spec);
+  const img::RgbImage b = render_scene(spec);
+  EXPECT_EQ(a.size(), (img::Size{320, 180}));
+  EXPECT_EQ(a.r(), b.r());  // same spec -> identical pixels
+  EXPECT_EQ(a.g(), b.g());
+  EXPECT_EQ(a.b(), b.b());
+}
+
+TEST(RenderScene, BrightnessFollowsCondition) {
+  auto mean_of = [](LightingCondition c) {
+    SceneGenerator gen(c, 7);
+    const img::RgbImage frame = render_scene(gen.random_scene({160, 90}, 1));
+    return img::mean_intensity(img::rgb_to_gray(frame));
+  };
+  const double day = mean_of(LightingCondition::Day);
+  const double dusk = mean_of(LightingCondition::Dusk);
+  const double dark = mean_of(LightingCondition::Dark);
+  EXPECT_GT(day, dusk);
+  EXPECT_GT(dusk, dark);
+  EXPECT_LT(dark, 30.0);
+}
+
+TEST(RenderScene, DarkSceneTaillightsPassChromaGate) {
+  SceneGenerator gen(LightingCondition::Dark, 11);
+  SceneSpec spec = gen.random_scene({240, 135}, 1);
+  const img::RgbImage frame = render_scene(spec);
+  const img::ImageU8 mask =
+      img::taillight_roi_mask(img::rgb_to_ycbcr(frame));
+  // Both taillights of the vehicle must light up the ROI mask.
+  const auto [lb, rb] = spec.vehicles[0].taillight_boxes();
+  EXPECT_GT(img::count_nonzero(mask.crop(img::inflated(lb, 1))), 0u);
+  EXPECT_GT(img::count_nonzero(mask.crop(img::inflated(rb, 1))), 0u);
+}
+
+TEST(RenderScene, DayTaillightsDoNotPassChromaGate) {
+  SceneGenerator gen(LightingCondition::Day, 11);
+  SceneSpec spec = gen.random_scene({240, 135}, 1);
+  spec.distractors.clear();
+  const img::RgbImage frame = render_scene(spec);
+  const img::ImageU8 mask =
+      img::taillight_roi_mask(img::rgb_to_ycbcr(frame));
+  const auto [lb, rb] = spec.vehicles[0].taillight_boxes();
+  EXPECT_EQ(img::count_nonzero(mask.crop(lb)), 0u);
+  EXPECT_EQ(img::count_nonzero(mask.crop(rb)), 0u);
+}
+
+TEST(RenderScene, ForcedLightsOverrideAmbient) {
+  SceneSpec spec;
+  spec.condition = LightingCondition::Day;
+  spec.frame_size = {100, 100};
+  spec.horizon_y = 20;
+  VehicleSpec v;
+  v.body = {20, 40, 60, 45};
+  v.force_lights = true;
+  v.taillights_lit = true;
+  spec.vehicles.push_back(v);
+  const img::RgbImage frame = render_scene(spec);
+  const auto [lb, rb] = v.taillight_boxes();
+  // Lit lamp core is saturated red even in daylight.
+  EXPECT_GT(frame.pixel(lb.center().x, lb.center().y).r, 200);
+}
+
+TEST(RenderScene, AmbientOverrideRespected) {
+  SceneGenerator gen(LightingCondition::Day, 3);
+  SceneSpec spec = gen.random_scene({160, 90}, 1);
+  AmbientParams pitch_black = ambient_for(LightingCondition::Dark);
+  pitch_black.noise_sigma = 0.0;
+  spec.ambient_override = pitch_black;
+  const img::RgbImage frame = render_scene(spec);
+  EXPECT_LT(img::mean_intensity(img::rgb_to_gray(frame)), 25.0);
+}
+
+TEST(RenderScene, NoiseSeedChangesPixelsOnly) {
+  SceneGenerator gen(LightingCondition::Day, 9);
+  SceneSpec spec = gen.random_scene({120, 68}, 1);
+  const img::RgbImage a = render_scene(spec);
+  spec.noise_seed += 1;
+  const img::RgbImage b = render_scene(spec);
+  EXPECT_FALSE(a.r() == b.r());
+  // But the underlying structure is the same: means stay close.
+  EXPECT_NEAR(img::mean_intensity(a.r()), img::mean_intensity(b.r()), 1.0);
+}
+
+TEST(SceneGenerator, VehiclesInsideFrameMostly) {
+  SceneGenerator gen(LightingCondition::Day, 21);
+  for (int i = 0; i < 20; ++i) {
+    const SceneSpec spec = gen.random_scene({640, 360}, 3);
+    EXPECT_EQ(spec.vehicles.size(), 3u);
+    for (const VehicleSpec& v : spec.vehicles) {
+      EXPECT_GE(v.body.x, 0);
+      EXPECT_LE(v.body.right(), 640);
+      EXPECT_GT(v.body.width, 0);
+      // Vehicles sit on the road: bottom below the horizon.
+      EXPECT_GT(v.body.bottom(), spec.horizon_y);
+    }
+  }
+}
+
+TEST(SceneGenerator, NearVehiclesLowerAndLarger) {
+  // Statistically: bottom position correlates with width across draws.
+  SceneGenerator gen(LightingCondition::Day, 33);
+  double cov = 0.0, mw = 0.0, mb = 0.0;
+  std::vector<std::pair<int, int>> samples;
+  for (int i = 0; i < 60; ++i) {
+    const VehicleSpec v = gen.random_vehicle({640, 360}, 140);
+    samples.push_back({v.body.width, v.body.bottom()});
+    mw += v.body.width;
+    mb += v.body.bottom();
+  }
+  mw /= samples.size();
+  mb /= samples.size();
+  for (auto [w, b] : samples) cov += (w - mw) * (b - mb);
+  EXPECT_GT(cov, 0.0);
+}
+
+TEST(SceneGenerator, DistractorsOnlyWhenLightsOn) {
+  SceneGenerator day(LightingCondition::Day, 5);
+  EXPECT_TRUE(day.random_scene({320, 180}, 1).distractors.empty());
+  SceneGenerator dark(LightingCondition::Dark, 5);
+  bool any = false;
+  for (int i = 0; i < 10; ++i)
+    any |= !dark.random_scene({320, 180}, 1).distractors.empty();
+  EXPECT_TRUE(any);
+}
+
+TEST(SceneGenerator, PedestriansPlacedOnRoad) {
+  SceneGenerator gen(LightingCondition::Day, 17);
+  const SceneSpec spec = gen.random_scene({320, 180}, 0, 3);
+  EXPECT_EQ(spec.pedestrians.size(), 3u);
+  for (const PedestrianSpec& p : spec.pedestrians)
+    EXPECT_GT(p.body.bottom(), spec.horizon_y);
+}
+
+TEST(SceneGenerator, SeedReproducibility) {
+  SceneGenerator a(LightingCondition::Dusk, 99), b(LightingCondition::Dusk, 99);
+  const SceneSpec sa = a.random_scene({320, 180}, 2);
+  const SceneSpec sb = b.random_scene({320, 180}, 2);
+  ASSERT_EQ(sa.vehicles.size(), sb.vehicles.size());
+  for (std::size_t i = 0; i < sa.vehicles.size(); ++i)
+    EXPECT_EQ(sa.vehicles[i].body, sb.vehicles[i].body);
+}
+
+
+TEST(Scenario, EmptyRoadHasNoTargets) {
+  const SceneSpec s = make_scenario(ScenarioPreset::EmptyRoad,
+                                    LightingCondition::Day, {320, 180}, 1);
+  EXPECT_TRUE(s.vehicles.empty());
+  EXPECT_TRUE(s.pedestrians.empty());
+  EXPECT_TRUE(s.animals.empty());
+}
+
+TEST(Scenario, DenseTrafficIsDense) {
+  const SceneSpec s = make_scenario(ScenarioPreset::DenseTraffic,
+                                    LightingCondition::Dusk, {320, 180}, 2);
+  EXPECT_GE(s.vehicles.size(), 4u);
+  EXPECT_GE(s.pedestrians.size(), 1u);
+}
+
+TEST(Scenario, CountrysideHasAnimalsNoBuildings) {
+  const SceneSpec s = make_scenario(ScenarioPreset::CountrysideRoad,
+                                    LightingCondition::Day, {320, 180}, 3);
+  EXPECT_GE(s.animals.size(), 1u);
+  EXPECT_TRUE(s.clutter.empty());
+  for (const AnimalSpec& a : s.animals) {
+    EXPECT_GT(a.body.width, 0);
+    EXPECT_GT(a.body.bottom(), s.horizon_y);
+  }
+}
+
+TEST(Scenario, PresetsRenderable) {
+  for (auto preset :
+       {ScenarioPreset::EmptyRoad, ScenarioPreset::LightTraffic,
+        ScenarioPreset::DenseTraffic, ScenarioPreset::CountrysideRoad}) {
+    const SceneSpec s =
+        make_scenario(preset, LightingCondition::Dark, {160, 90}, 4);
+    EXPECT_NO_THROW((void)render_scene(s));
+  }
+}
+
+}  // namespace
+}  // namespace avd::data

@@ -1,0 +1,150 @@
+#include "avd/datasets/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::data {
+namespace {
+
+SequenceSpec small_spec() {
+  SequenceSpec spec;
+  spec.frame_size = {160, 90};
+  spec.segments = {{LightingCondition::Day, 5},
+                   {LightingCondition::Dusk, 3},
+                   {LightingCondition::Dark, 4}};
+  return spec;
+}
+
+TEST(DriveSequence, FrameCountIsSumOfSegments) {
+  EXPECT_EQ(DriveSequence(small_spec()).frame_count(), 12);
+}
+
+TEST(DriveSequence, EmptySegmentsThrow) {
+  SequenceSpec spec;
+  EXPECT_THROW(DriveSequence{spec}, std::invalid_argument);
+  spec.segments = {{LightingCondition::Day, 0}};
+  EXPECT_THROW(DriveSequence{spec}, std::invalid_argument);
+}
+
+TEST(DriveSequence, FrameIndexValidation) {
+  const DriveSequence seq(small_spec());
+  EXPECT_THROW((void)seq.frame(-1), std::out_of_range);
+  EXPECT_THROW((void)seq.frame(12), std::out_of_range);
+  EXPECT_NO_THROW((void)seq.frame(11));
+}
+
+TEST(DriveSequence, ConditionFollowsSegments) {
+  const DriveSequence seq(small_spec());
+  EXPECT_EQ(seq.frame(0).condition, LightingCondition::Day);
+  EXPECT_EQ(seq.frame(4).condition, LightingCondition::Day);
+  EXPECT_EQ(seq.frame(5).condition, LightingCondition::Dusk);
+  EXPECT_EQ(seq.frame(7).condition, LightingCondition::Dusk);
+  EXPECT_EQ(seq.frame(8).condition, LightingCondition::Dark);
+  EXPECT_EQ(seq.frame(11).condition, LightingCondition::Dark);
+}
+
+TEST(DriveSequence, LightLevelDefaultsToNominal) {
+  const DriveSequence seq(small_spec());
+  EXPECT_DOUBLE_EQ(seq.frame(0).light_level,
+                   nominal_light_level(LightingCondition::Day));
+  EXPECT_DOUBLE_EQ(seq.frame(9).light_level,
+                   nominal_light_level(LightingCondition::Dark));
+}
+
+TEST(DriveSequence, LightLevelOverride) {
+  SequenceSpec spec = small_spec();
+  spec.segments[1].light_level = 0.42;
+  const DriveSequence seq(spec);
+  EXPECT_DOUBLE_EQ(seq.frame(6).light_level, 0.42);
+}
+
+TEST(DriveSequence, FramesAreIndexDeterministic) {
+  const DriveSequence seq(small_spec());
+  // Querying out of order yields identical frames.
+  const SequenceFrame late = seq.frame(9);
+  const SequenceFrame early = seq.frame(2);
+  const SequenceFrame late_again = seq.frame(9);
+  ASSERT_EQ(late.scene.vehicles.size(), late_again.scene.vehicles.size());
+  for (std::size_t i = 0; i < late.scene.vehicles.size(); ++i)
+    EXPECT_EQ(late.scene.vehicles[i].body, late_again.scene.vehicles[i].body);
+  (void)early;
+}
+
+TEST(DriveSequence, AdjacentFramesDiffer) {
+  const DriveSequence seq(small_spec());
+  const SequenceFrame a = seq.frame(0);
+  const SequenceFrame b = seq.frame(1);
+  // Same segment, different random scenes.
+  EXPECT_NE(a.scene.noise_seed, b.scene.noise_seed);
+}
+
+TEST(DriveSequence, RenderMatchesSceneGroundTruth) {
+  const DriveSequence seq(small_spec());
+  const img::RgbImage frame = seq.render(0);
+  EXPECT_EQ(frame.size(), (img::Size{160, 90}));
+}
+
+TEST(DriveSequence, CanonicalDriveShape) {
+  const SequenceSpec spec = DriveSequence::canonical_drive({320, 180}, 25);
+  const DriveSequence seq(spec);
+  EXPECT_EQ(seq.frame_count(), 6 * 25);
+  // Starts in day, passes a dusk-classified tunnel, ends in dusk.
+  EXPECT_EQ(seq.frame(0).condition, LightingCondition::Day);
+  EXPECT_EQ(seq.frame(25).condition, LightingCondition::Dusk);   // tunnel
+  EXPECT_EQ(seq.frame(60).condition, LightingCondition::Day);
+  EXPECT_EQ(seq.frame(110).condition, LightingCondition::Dark);
+  EXPECT_EQ(seq.frame(130).condition, LightingCondition::Dusk);
+}
+
+TEST(DriveSequence, CoherentMotionDriftsSmoothly) {
+  SequenceSpec spec = small_spec();
+  spec.coherent_motion = true;
+  const DriveSequence seq(spec);
+  // Within a segment: same vehicle count, small per-frame displacement.
+  const auto f0 = seq.frame(0);
+  const auto f1 = seq.frame(1);
+  const auto f2 = seq.frame(2);
+  ASSERT_EQ(f0.scene.vehicles.size(), f1.scene.vehicles.size());
+  for (std::size_t i = 0; i < f0.scene.vehicles.size(); ++i) {
+    const int dx01 = f1.scene.vehicles[i].body.x - f0.scene.vehicles[i].body.x;
+    const int dx12 = f2.scene.vehicles[i].body.x - f1.scene.vehicles[i].body.x;
+    EXPECT_LE(std::abs(dx01), 3);
+    EXPECT_EQ(dx01, dx12);  // constant velocity (unless clamped at border)
+  }
+}
+
+TEST(DriveSequence, CoherentMotionDeterministic) {
+  SequenceSpec spec = small_spec();
+  spec.coherent_motion = true;
+  const DriveSequence a(spec), b(spec);
+  const auto fa = a.frame(3);
+  const auto fb = b.frame(3);
+  ASSERT_EQ(fa.scene.vehicles.size(), fb.scene.vehicles.size());
+  for (std::size_t i = 0; i < fa.scene.vehicles.size(); ++i)
+    EXPECT_EQ(fa.scene.vehicles[i].body, fb.scene.vehicles[i].body);
+}
+
+TEST(DriveSequence, CoherentMotionKeepsVehiclesNearFrame) {
+  SequenceSpec spec;
+  spec.frame_size = {160, 90};
+  spec.coherent_motion = true;
+  spec.segments = {{LightingCondition::Day, 60}};
+  const DriveSequence seq(spec);
+  for (int f = 0; f < 60; f += 10) {
+    for (const VehicleSpec& v : seq.frame(f).scene.vehicles) {
+      EXPECT_GT(v.body.right(), 0);
+      EXPECT_LT(v.body.x, 160);
+    }
+  }
+}
+
+TEST(DriveSequence, VehiclesPerFrameHonored) {
+  SequenceSpec spec = small_spec();
+  spec.vehicles_per_frame = 4;
+  spec.pedestrians_per_frame = 2;
+  const DriveSequence seq(spec);
+  EXPECT_EQ(seq.frame(3).scene.vehicles.size(), 4u);
+  EXPECT_EQ(seq.frame(3).scene.pedestrians.size(), 2u);
+}
+
+}  // namespace
+}  // namespace avd::data

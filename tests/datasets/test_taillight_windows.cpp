@@ -1,0 +1,126 @@
+#include "avd/datasets/taillight_windows.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/image/blobs.hpp"
+
+namespace avd::data {
+namespace {
+
+TEST(TaillightWindows, DatasetBalancedAndShuffled) {
+  TaillightWindowSpec spec;
+  spec.per_class = 50;
+  const auto ws = make_taillight_windows(spec);
+  EXPECT_EQ(ws.size(), 200u);
+  std::array<int, kTaillightClasses> counts{};
+  for (const auto& w : ws) {
+    ASSERT_GE(w.label, 0);
+    ASSERT_LT(w.label, kTaillightClasses);
+    ++counts[static_cast<std::size_t>(w.label)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 50);
+  // Shuffled: the first 50 are not all one class.
+  int first_label_run = 0;
+  for (int i = 0; i < 50; ++i) first_label_run += ws[i].label == ws[0].label;
+  EXPECT_LT(first_label_run, 50);
+}
+
+TEST(TaillightWindows, PixelsAreBinary) {
+  const auto ws = make_taillight_windows({.per_class = 20, .flip_noise = 0.1,
+                                          .seed = 5});
+  for (const auto& w : ws) {
+    EXPECT_EQ(w.pixels.size(), static_cast<std::size_t>(kTaillightInputs));
+    for (float v : w.pixels) EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+}
+
+TEST(TaillightWindows, Deterministic) {
+  TaillightWindowSpec spec;
+  spec.per_class = 10;
+  const auto a = make_taillight_windows(spec);
+  const auto b = make_taillight_windows(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].pixels, b[i].pixels);
+  }
+}
+
+TEST(TaillightWindows, ZeroNoiseShapesAreClean) {
+  ml::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const img::ImageU8 win =
+        render_taillight_shape(TaillightClass::LargeRound, rng);
+    const auto blobs = img::find_blobs(win);
+    ASSERT_EQ(blobs.size(), 1u) << "round lamp is one blob";
+    EXPECT_GE(blobs[0].area, 5);
+    EXPECT_LE(blobs[0].area, 25);
+  }
+}
+
+TEST(TaillightWindows, SmallRoundIsSmall) {
+  ml::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const img::ImageU8 win =
+        render_taillight_shape(TaillightClass::SmallRound, rng);
+    const auto blobs = img::find_blobs(win);
+    ASSERT_EQ(blobs.size(), 1u);
+    EXPECT_LE(blobs[0].area, 4);
+  }
+}
+
+TEST(TaillightWindows, WideBarIsWide) {
+  ml::Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const img::ImageU8 win = render_taillight_shape(TaillightClass::WideBar, rng);
+    const auto blobs = img::find_blobs(win);
+    ASSERT_EQ(blobs.size(), 1u);
+    EXPECT_GE(blobs[0].aspect(), 1.5);
+  }
+}
+
+TEST(TaillightWindows, ClassSizesAreOrdered) {
+  // Mean blob area: small < large < bar.
+  ml::Rng rng(13);
+  auto mean_area = [&](TaillightClass c) {
+    double sum = 0.0;
+    for (int i = 0; i < 20; ++i) {
+      const auto blobs = img::find_blobs(render_taillight_shape(c, rng));
+      for (const auto& b : blobs) sum += static_cast<double>(b.area);
+    }
+    return sum / 20.0;
+  };
+  const double small = mean_area(TaillightClass::SmallRound);
+  const double large = mean_area(TaillightClass::LargeRound);
+  const double bar = mean_area(TaillightClass::WideBar);
+  EXPECT_LT(small, large);
+  EXPECT_LT(large, bar);
+}
+
+TEST(TaillightWindows, FlattenValidatesSize) {
+  EXPECT_THROW(flatten_window(img::ImageU8(8, 9)), std::invalid_argument);
+  const auto flat = flatten_window(img::ImageU8(9, 9, 255));
+  EXPECT_EQ(flat.size(), 81u);
+  for (float v : flat) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(TaillightWindows, ToStringNames) {
+  EXPECT_STREQ(to_string(TaillightClass::NotTaillight), "not-taillight");
+  EXPECT_STREQ(to_string(TaillightClass::SmallRound), "small-round");
+  EXPECT_STREQ(to_string(TaillightClass::LargeRound), "large-round");
+  EXPECT_STREQ(to_string(TaillightClass::WideBar), "wide-bar");
+}
+
+TEST(TaillightWindows, FlipNoiseChangesPixels) {
+  TaillightWindowSpec clean{.per_class = 20, .flip_noise = 0.0, .seed = 17};
+  TaillightWindowSpec noisy{.per_class = 20, .flip_noise = 0.3, .seed = 17};
+  const auto a = make_taillight_windows(clean);
+  const auto b = make_taillight_windows(noisy);
+  int diffs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    diffs += a[i].pixels != b[i].pixels;
+  EXPECT_GT(diffs, 10);
+}
+
+}  // namespace
+}  // namespace avd::data

@@ -1,0 +1,102 @@
+#include "avd/detect/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/image/color.hpp"
+
+namespace avd::det {
+namespace {
+
+data::PatchDataset small_day_set(int n, std::uint64_t seed) {
+  data::VehiclePatchSpec spec;
+  spec.n_positive = n;
+  spec.n_negative = n;
+  spec.seed = seed;
+  return data::make_vehicle_patches(spec);
+}
+
+TEST(Bootstrap, ProducesTrainedModel) {
+  BootstrapSpec spec;
+  spec.rounds = 1;
+  spec.scenes_per_round = 10;
+  const HogSvmModel model =
+      bootstrap_train_hog_svm(small_day_set(60, 1), "day", spec);
+  EXPECT_TRUE(model.svm.trained());
+  EXPECT_EQ(model.name, "day");
+}
+
+TEST(Bootstrap, ReportsMiningProgress) {
+  BootstrapSpec spec;
+  spec.rounds = 2;
+  spec.scenes_per_round = 15;
+  spec.scan.score_threshold = -0.5;  // aggressive scan: plenty to mine
+  BootstrapReport report;
+  const data::PatchDataset train = small_day_set(50, 2);
+  (void)bootstrap_train_hog_svm(train, "day", spec, {}, &report);
+  ASSERT_GE(report.mined_per_round.size(), 1u);
+  EXPECT_GT(report.mined_per_round[0], 0);
+  EXPECT_GT(report.final_training_size, train.size());
+}
+
+TEST(Bootstrap, RespectsMiningCap) {
+  BootstrapSpec spec;
+  spec.rounds = 1;
+  spec.scenes_per_round = 20;
+  spec.max_new_negatives_per_round = 5;
+  spec.scan.score_threshold = -1.0;
+  BootstrapReport report;
+  (void)bootstrap_train_hog_svm(small_day_set(40, 3), "day", spec, {}, &report);
+  ASSERT_EQ(report.mined_per_round.size(), 1u);
+  EXPECT_LE(report.mined_per_round[0], 5);
+}
+
+TEST(Bootstrap, StopsEarlyWhenNothingMined) {
+  BootstrapSpec spec;
+  spec.rounds = 5;
+  spec.scenes_per_round = 5;
+  spec.scan.score_threshold = 100.0;  // nothing will ever fire
+  BootstrapReport report;
+  (void)bootstrap_train_hog_svm(small_day_set(40, 4), "day", spec, {}, &report);
+  ASSERT_EQ(report.mined_per_round.size(), 1u);
+  EXPECT_EQ(report.mined_per_round[0], 0);
+}
+
+TEST(Bootstrap, ReducesFalsePositivesOnEmptyScenes) {
+  const data::PatchDataset train = small_day_set(80, 5);
+
+  auto count_fps = [](const HogSvmModel& model, std::uint64_t seed) {
+    data::SceneGenerator gen(data::LightingCondition::Day, seed);
+    SlidingWindowParams scan;
+    scan.score_threshold = 0.2;
+    int fps = 0;
+    for (int i = 0; i < 8; ++i) {
+      const img::ImageU8 gray = img::rgb_to_gray(
+          data::render_scene(gen.random_scene({256, 160}, 0)));
+      fps += static_cast<int>(detect_multiscale(gray, model, scan).size());
+    }
+    return fps;
+  };
+
+  const HogSvmModel plain = train_hog_svm(train, "plain");
+  BootstrapSpec spec;
+  spec.rounds = 2;
+  spec.scenes_per_round = 25;
+  spec.scan.score_threshold = 0.0;
+  const HogSvmModel mined = bootstrap_train_hog_svm(train, "mined", spec);
+
+  EXPECT_LE(count_fps(mined, 909), count_fps(plain, 909));
+}
+
+TEST(Bootstrap, KeepsPositiveAccuracy) {
+  const data::PatchDataset train = small_day_set(80, 6);
+  BootstrapSpec spec;
+  spec.rounds = 2;
+  spec.scenes_per_round = 20;
+  const HogSvmModel model = bootstrap_train_hog_svm(train, "day", spec);
+  const ml::BinaryCounts counts =
+      evaluate_patches(model, small_day_set(40, 7070));
+  EXPECT_GT(counts.recall(), 0.85);  // mining must not destroy sensitivity
+}
+
+}  // namespace
+}  // namespace avd::det

@@ -1,0 +1,128 @@
+#include "avd/detect/detection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::det {
+namespace {
+
+TEST(Nms, EmptyInput) {
+  EXPECT_TRUE(non_max_suppression({}).empty());
+}
+
+TEST(Nms, KeepsHighestOfOverlappingPair) {
+  std::vector<Detection> dets{
+      {{0, 0, 10, 10}, 0.5, kClassVehicle},
+      {{1, 1, 10, 10}, 0.9, kClassVehicle},
+  };
+  const auto kept = non_max_suppression(dets, 0.4);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].score, 0.9);
+}
+
+TEST(Nms, KeepsDisjointDetections) {
+  std::vector<Detection> dets{
+      {{0, 0, 10, 10}, 0.5, kClassVehicle},
+      {{50, 50, 10, 10}, 0.9, kClassVehicle},
+  };
+  EXPECT_EQ(non_max_suppression(dets, 0.4).size(), 2u);
+}
+
+TEST(Nms, OutputSortedByScore) {
+  std::vector<Detection> dets{
+      {{0, 0, 5, 5}, 0.1, 0},
+      {{20, 0, 5, 5}, 0.9, 0},
+      {{40, 0, 5, 5}, 0.5, 0},
+  };
+  const auto kept = non_max_suppression(dets);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_GT(kept[0].score, kept[1].score);
+  EXPECT_GT(kept[1].score, kept[2].score);
+}
+
+TEST(Nms, DifferentClassesNeverSuppressEachOther) {
+  std::vector<Detection> dets{
+      {{0, 0, 10, 10}, 0.9, kClassVehicle},
+      {{0, 0, 10, 10}, 0.5, kClassPedestrian},
+  };
+  EXPECT_EQ(non_max_suppression(dets, 0.4).size(), 2u);
+}
+
+TEST(Nms, ThresholdBoundary) {
+  // IoU exactly at threshold: "more than" semantics keep the second box.
+  std::vector<Detection> dets{
+      {{0, 0, 10, 10}, 0.9, 0},
+      {{5, 0, 10, 10}, 0.5, 0},  // IoU = 50/150 = 1/3
+  };
+  EXPECT_EQ(non_max_suppression(dets, 1.0 / 3.0).size(), 2u);
+  EXPECT_EQ(non_max_suppression(dets, 0.3).size(), 1u);
+}
+
+TEST(Nms, ChainSuppression) {
+  // A suppresses B; C overlaps B but not A: C must survive (greedy NMS
+  // only suppresses against kept detections).
+  std::vector<Detection> dets{
+      {{0, 0, 10, 10}, 0.9, 0},   // A
+      {{6, 0, 10, 10}, 0.8, 0},   // B overlaps A heavily? IoU(A,B)=4*10/(200-40)=0.25
+      {{12, 0, 10, 10}, 0.7, 0},  // C overlaps B (0.25), not A
+  };
+  const auto kept = non_max_suppression(dets, 0.2);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].box.x, 0);
+  EXPECT_EQ(kept[1].box.x, 12);
+}
+
+TEST(Match, PerfectDetections) {
+  const std::vector<Detection> dets{{{10, 10, 20, 20}, 1.0, 0}};
+  const std::vector<img::Rect> truth{{10, 10, 20, 20}};
+  const MatchResult r = match_detections(dets, truth, 0.5);
+  EXPECT_EQ(r.true_positives, 1);
+  EXPECT_EQ(r.false_negatives, 0);
+  EXPECT_EQ(r.false_positives, 0);
+}
+
+TEST(Match, MissAndFalseAlarm) {
+  const std::vector<Detection> dets{{{100, 100, 20, 20}, 1.0, 0}};
+  const std::vector<img::Rect> truth{{10, 10, 20, 20}};
+  const MatchResult r = match_detections(dets, truth, 0.3);
+  EXPECT_EQ(r.true_positives, 0);
+  EXPECT_EQ(r.false_negatives, 1);
+  EXPECT_EQ(r.false_positives, 1);
+}
+
+TEST(Match, EachDetectionMatchesAtMostOneTruth) {
+  // One detection covering two ground-truth boxes can satisfy only one.
+  const std::vector<Detection> dets{{{0, 0, 30, 10}, 1.0, 0}};
+  const std::vector<img::Rect> truth{{0, 0, 30, 10}, {2, 0, 30, 10}};
+  const MatchResult r = match_detections(dets, truth, 0.3);
+  EXPECT_EQ(r.true_positives, 1);
+  EXPECT_EQ(r.false_negatives, 1);
+  EXPECT_EQ(r.false_positives, 0);
+}
+
+TEST(Match, EmptyInputs) {
+  const MatchResult none = match_detections({}, {});
+  EXPECT_EQ(none.true_positives, 0);
+  EXPECT_EQ(none.false_negatives, 0);
+  EXPECT_EQ(none.false_positives, 0);
+
+  const MatchResult misses = match_detections({}, {{0, 0, 5, 5}});
+  EXPECT_EQ(misses.false_negatives, 1);
+
+  const MatchResult alarms =
+      match_detections({{{0, 0, 5, 5}, 1.0, 0}}, {});
+  EXPECT_EQ(alarms.false_positives, 1);
+}
+
+TEST(Match, PrefersBestOverlap) {
+  const std::vector<Detection> dets{
+      {{0, 0, 10, 10}, 1.0, 0},
+      {{2, 2, 10, 10}, 0.9, 0},
+  };
+  const std::vector<img::Rect> truth{{2, 2, 10, 10}};
+  const MatchResult r = match_detections(dets, truth, 0.3);
+  EXPECT_EQ(r.true_positives, 1);
+  EXPECT_EQ(r.false_positives, 1);
+}
+
+}  // namespace
+}  // namespace avd::det

@@ -1,0 +1,160 @@
+#include "avd/detect/multi_model_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/image/color.hpp"
+
+namespace avd::det {
+namespace {
+
+std::vector<Detection> filter_class(const std::vector<Detection>& dets,
+                                    int class_id) {
+  std::vector<Detection> out;
+  for (const Detection& d : dets)
+    if (d.class_id == class_id) out.push_back(d);
+  return out;
+}
+
+class MultiModelScanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::VehiclePatchSpec vspec;
+    vspec.n_positive = vspec.n_negative = 80;
+    vspec.seed = 11;
+    vehicle_ = new HogSvmModel(
+        train_hog_svm(data::make_vehicle_patches(vspec), "vehicle"));
+
+    data::AnimalPatchSpec aspec;
+    aspec.n_positive = aspec.n_negative = 80;
+    aspec.seed = 12;
+    HogSvmTrainOptions opts;
+    opts.class_id = kClassAnimal;
+    animal_ = new HogSvmModel(
+        train_hog_svm(data::make_animal_patches(aspec), "animal", opts));
+  }
+  static void TearDownTestSuite() {
+    delete vehicle_;
+    delete animal_;
+    vehicle_ = nullptr;
+    animal_ = nullptr;
+  }
+  static const HogSvmModel& vehicle() { return *vehicle_; }
+  static const HogSvmModel& animal() { return *animal_; }
+
+  // A daylight countryside frame with one vehicle and one animal.
+  static data::SceneSpec mixed_scene() {
+    data::SceneSpec scene;
+    scene.condition = data::LightingCondition::Day;
+    scene.frame_size = {256, 160};
+    scene.horizon_y = 48;
+    data::VehicleSpec v;
+    v.body = {30, 70, 80, 62};
+    scene.vehicles.push_back(v);
+    data::AnimalSpec a;
+    a.body = {160, 80, 70, 52};
+    scene.animals.push_back(a);
+    scene.noise_seed = 9;
+    return scene;
+  }
+
+ private:
+  static HogSvmModel* vehicle_;
+  static HogSvmModel* animal_;
+};
+
+HogSvmModel* MultiModelScanTest::vehicle_ = nullptr;
+HogSvmModel* MultiModelScanTest::animal_ = nullptr;
+
+TEST_F(MultiModelScanTest, FindsBothClassesInOneScan) {
+  const data::SceneSpec scene = mixed_scene();
+  const img::ImageU8 gray = img::rgb_to_gray(data::render_scene(scene));
+  const HogSvmModel* models[] = {&vehicle(), &animal()};
+  SlidingWindowParams params;
+  params.score_threshold = 0.0;
+  const auto dets = detect_multiscale_multi(gray, models, params);
+
+  const MatchResult vmatch = match_detections(
+      filter_class(dets, kClassVehicle), {scene.vehicles[0].body}, 0.25);
+  const MatchResult amatch = match_detections(
+      filter_class(dets, kClassAnimal), {scene.animals[0].body}, 0.25);
+  EXPECT_EQ(vmatch.true_positives, 1);
+  EXPECT_EQ(amatch.true_positives, 1);
+}
+
+TEST_F(MultiModelScanTest, AgreesWithSingleModelScan) {
+  const img::ImageU8 gray =
+      img::rgb_to_gray(data::render_scene(mixed_scene()));
+  SlidingWindowParams params;
+  params.score_threshold = 0.3;
+
+  const HogSvmModel* solo[] = {&vehicle()};
+  const auto multi = detect_multiscale_multi(gray, solo, params);
+  const auto single = detect_multiscale(gray, vehicle(), params);
+  ASSERT_EQ(multi.size(), single.size());
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    EXPECT_EQ(multi[i].box, single[i].box);
+    EXPECT_DOUBLE_EQ(multi[i].score, single[i].score);
+  }
+}
+
+TEST_F(MultiModelScanTest, DifferentWindowSizesCoexist) {
+  // vehicle 64x64, animal 64x48: both scan from the same grids.
+  EXPECT_NE(vehicle().window, animal().window);
+  const img::ImageU8 gray =
+      img::rgb_to_gray(data::render_scene(mixed_scene()));
+  const HogSvmModel* models[] = {&vehicle(), &animal()};
+  EXPECT_NO_THROW((void)detect_multiscale_multi(gray, models, {}));
+}
+
+TEST_F(MultiModelScanTest, ThreeModelsOneFrontEnd) {
+  // Vehicle + animal + pedestrian behind one shared HOG front end — the
+  // richest configuration the fabric could carry.
+  data::PedestrianPatchSpec pspec;
+  pspec.n_positive = pspec.n_negative = 60;
+  HogSvmTrainOptions popts;
+  popts.class_id = kClassPedestrian;
+  const HogSvmModel ped = train_hog_svm(
+      data::make_pedestrian_patches(pspec), "pedestrian", popts);
+
+  data::SceneSpec scene = mixed_scene();
+  data::PedestrianSpec walker;
+  walker.body = {120, 84, 24, 52};
+  scene.pedestrians.push_back(walker);
+  const img::ImageU8 gray = img::rgb_to_gray(data::render_scene(scene));
+
+  const HogSvmModel* models[] = {&vehicle(), &animal(), &ped};
+  SlidingWindowParams params;
+  params.score_threshold = 0.0;
+  const auto dets = detect_multiscale_multi(gray, models, params);
+
+  bool saw_vehicle = false, saw_animal = false;
+  for (const Detection& d : dets) {
+    saw_vehicle |= d.class_id == kClassVehicle;
+    saw_animal |= d.class_id == kClassAnimal;
+  }
+  EXPECT_TRUE(saw_vehicle);
+  EXPECT_TRUE(saw_animal);
+}
+
+TEST_F(MultiModelScanTest, RejectsMismatchedHogGeometry) {
+  HogSvmModel odd = vehicle();
+  odd.hog.cell_size = 4;
+  const HogSvmModel* models[] = {&vehicle(), &odd};
+  EXPECT_THROW((void)detect_multiscale_multi(img::ImageU8(128, 128), models, {}),
+               std::invalid_argument);
+}
+
+TEST_F(MultiModelScanTest, RejectsEmptyAndUntrained) {
+  EXPECT_THROW(
+      (void)detect_multiscale_multi(img::ImageU8(128, 128), {}, {}),
+      std::invalid_argument);
+  HogSvmModel untrained;
+  untrained.window = {64, 64};
+  const HogSvmModel* models[] = {&untrained};
+  EXPECT_THROW(
+      (void)detect_multiscale_multi(img::ImageU8(128, 128), models, {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avd::det

@@ -1,0 +1,134 @@
+#include "avd/detect/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::det {
+namespace {
+
+Detection det(int x, int y, int w = 40, int h = 30, int cls = kClassVehicle,
+              double score = 1.0) {
+  return {{x, y, w, h}, score, cls};
+}
+
+TEST(IouTracker, NewDetectionStartsUnconfirmedTrack) {
+  IouTracker tracker;
+  const auto confirmed = tracker.update({det(10, 10)});
+  EXPECT_TRUE(confirmed.empty());  // min_hits = 2
+  EXPECT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].hits, 1);
+}
+
+TEST(IouTracker, TrackConfirmsAfterMinHits) {
+  IouTracker tracker;
+  (void)tracker.update({det(10, 10)});
+  const auto confirmed = tracker.update({det(12, 11)});
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].hits, 2);
+  EXPECT_EQ(confirmed[0].id, 0u);
+}
+
+TEST(IouTracker, IdStableAcrossFrames) {
+  IouTracker tracker;
+  (void)tracker.update({det(10, 10)});
+  (void)tracker.update({det(14, 10)});
+  const auto confirmed = tracker.update({det(18, 10)});
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].id, 0u);
+  EXPECT_EQ(tracker.total_tracks_created(), 1u);
+}
+
+TEST(IouTracker, TwoObjectsTwoTracks) {
+  IouTracker tracker;
+  (void)tracker.update({det(10, 10), det(200, 50)});
+  const auto confirmed = tracker.update({det(12, 10), det(204, 52)});
+  EXPECT_EQ(confirmed.size(), 2u);
+  EXPECT_EQ(tracker.total_tracks_created(), 2u);
+}
+
+TEST(IouTracker, CoastsThroughSingleMiss) {
+  // The reconfiguration-dropped-frame scenario: one frame without
+  // detections must not kill the track.
+  IouTracker tracker;
+  (void)tracker.update({det(10, 10)});
+  (void)tracker.update({det(14, 10)});
+  (void)tracker.update({});  // dropped frame
+  const auto confirmed = tracker.update({det(22, 10)});
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].id, 0u);
+  EXPECT_EQ(tracker.total_tracks_created(), 1u);
+}
+
+TEST(IouTracker, MotionCoastingFollowsVelocity) {
+  IouTracker tracker;
+  (void)tracker.update({det(10, 10)});
+  (void)tracker.update({det(20, 10)});  // dx = +10
+  (void)tracker.update({});             // coast: expect box near x=30
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_NEAR(tracker.tracks()[0].box.x, 30, 1);
+}
+
+TEST(IouTracker, TrackDiesAfterMaxMisses) {
+  TrackerConfig cfg;
+  cfg.max_misses = 2;
+  IouTracker tracker(cfg);
+  (void)tracker.update({det(10, 10)});
+  (void)tracker.update({det(10, 10)});
+  (void)tracker.update({});
+  (void)tracker.update({});
+  EXPECT_FALSE(tracker.tracks().empty());  // misses == max, still alive
+  (void)tracker.update({});
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(IouTracker, ClassesNeverAssociate) {
+  IouTracker tracker;
+  (void)tracker.update({det(10, 10, 40, 30, kClassVehicle)});
+  (void)tracker.update({det(10, 10, 40, 30, kClassPedestrian)});
+  EXPECT_EQ(tracker.total_tracks_created(), 2u);
+}
+
+TEST(IouTracker, GreedyPrefersBestOverlap) {
+  IouTracker tracker;
+  (void)tracker.update({det(10, 10)});
+  (void)tracker.update({det(10, 10)});
+  // Two candidates: the closer one must claim the track; the other spawns.
+  (void)tracker.update({det(11, 10), det(40, 12)});
+  EXPECT_EQ(tracker.total_tracks_created(), 2u);
+  // Track 0 stayed near x=11.
+  const Track& t0 = tracker.tracks()[0];
+  EXPECT_EQ(t0.id, 0u);
+  EXPECT_LT(t0.box.x, 20);
+}
+
+TEST(IouTracker, NoFalseAssociationAcrossDistance) {
+  IouTracker tracker;
+  (void)tracker.update({det(10, 10)});
+  (void)tracker.update({det(300, 200)});  // far away: a new track
+  EXPECT_EQ(tracker.total_tracks_created(), 2u);
+}
+
+TEST(IouTracker, AgeAndScoreBookkeeping) {
+  IouTracker tracker;
+  (void)tracker.update({det(10, 10, 40, 30, kClassVehicle, 0.5)});
+  (void)tracker.update({det(10, 10, 40, 30, kClassVehicle, 0.9)});
+  const Track& t = tracker.tracks()[0];
+  EXPECT_EQ(t.age, 1);
+  EXPECT_DOUBLE_EQ(t.last_score, 0.9);
+}
+
+TEST(IouTracker, LongSequenceStability) {
+  // A vehicle drifting right for 30 frames with 20% dropped detections:
+  // exactly one track survives the whole pass.
+  IouTracker tracker;
+  for (int f = 0; f < 30; ++f) {
+    std::vector<Detection> dets;
+    if (f % 5 != 4) dets.push_back(det(10 + 4 * f, 20));
+    (void)tracker.update(dets);
+  }
+  EXPECT_EQ(tracker.total_tracks_created(), 1u);
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_GT(tracker.tracks()[0].hits, 20);
+}
+
+}  // namespace
+}  // namespace avd::det

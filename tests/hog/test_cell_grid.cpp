@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "avd/hog/hog.hpp"
+
+namespace avd::hog {
+namespace {
+
+TEST(CellGrid, DimensionsFromImage) {
+  const CellGrid g = compute_cell_grid(img::ImageU8(64, 48), {});
+  EXPECT_EQ(g.cells_x(), 8);
+  EXPECT_EQ(g.cells_y(), 6);
+  EXPECT_EQ(g.bins(), 9);
+}
+
+TEST(CellGrid, PartialCellsAreDropped) {
+  const CellGrid g = compute_cell_grid(img::ImageU8(70, 50), {});
+  EXPECT_EQ(g.cells_x(), 8);  // 70/8
+  EXPECT_EQ(g.cells_y(), 6);  // 50/8
+}
+
+TEST(CellGrid, FlatImageGivesEmptyHistograms) {
+  const CellGrid g = compute_cell_grid(img::ImageU8(32, 32, 77), {});
+  for (int cy = 0; cy < g.cells_y(); ++cy)
+    for (int cx = 0; cx < g.cells_x(); ++cx)
+      for (float v : g.cell(cx, cy)) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(CellGrid, EdgeEnergyLandsInCorrectCells) {
+  // Vertical edge at x = 16: gradient energy in cell column 1-2 only.
+  img::ImageU8 im(32, 16, 0);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 16; x < 32; ++x) im(x, y) = 200;
+  const CellGrid g = compute_cell_grid(im, {});
+
+  auto cell_energy = [&](int cx, int cy) {
+    auto h = g.cell(cx, cy);
+    return std::accumulate(h.begin(), h.end(), 0.0f);
+  };
+  EXPECT_GT(cell_energy(1, 0) + cell_energy(2, 0), 100.0f);
+  EXPECT_FLOAT_EQ(cell_energy(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(cell_energy(3, 1), 0.0f);
+}
+
+TEST(CellGrid, VerticalEdgeEnergyInZeroBin) {
+  img::ImageU8 im(16, 16, 0);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 8; x < 16; ++x) im(x, y) = 200;
+  const CellGrid g = compute_cell_grid(im, {});
+  // Orientation 0 degrees falls halfway between the last and first bin
+  // centres under interpolation; the energy must be split between them.
+  auto h = g.cell(1, 1);
+  const float wrap_energy = h[0] + h[8];
+  float other = 0.0f;
+  for (int b = 1; b < 8; ++b) other += h[b];
+  EXPECT_GT(wrap_energy, 10.0f * other + 1.0f);
+}
+
+TEST(CellGrid, HistogramMassEqualsGradientMass) {
+  // Bin interpolation redistributes but conserves magnitude.
+  img::ImageU8 im(24, 24);
+  for (int y = 0; y < 24; ++y)
+    for (int x = 0; x < 24; ++x)
+      im(x, y) = static_cast<std::uint8_t>((x * 13 + y * 29) % 256);
+  const GradientField grad = compute_gradients(im);
+  const CellGrid g = compute_cell_grid(im, {});
+
+  double hist_mass = 0.0;
+  for (int cy = 0; cy < g.cells_y(); ++cy)
+    for (int cx = 0; cx < g.cells_x(); ++cx)
+      for (float v : g.cell(cx, cy)) hist_mass += v;
+
+  double grad_mass = 0.0;
+  for (auto v : grad.magnitude.pixels()) grad_mass += v;
+
+  EXPECT_NEAR(hist_mass, grad_mass, grad_mass * 1e-5);
+}
+
+TEST(CellGrid, CustomBinCount) {
+  HogParams p;
+  p.bins = 6;
+  const CellGrid g = compute_cell_grid(img::ImageU8(16, 16), p);
+  EXPECT_EQ(g.bins(), 6);
+  EXPECT_EQ(g.cell(0, 0).size(), 6u);
+}
+
+TEST(CellGrid, BadParamsThrow) {
+  HogParams p;
+  p.cell_size = 0;
+  EXPECT_THROW(compute_cell_grid(img::ImageU8(8, 8), p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avd::hog

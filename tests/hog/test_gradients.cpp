@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "avd/hog/hog.hpp"
+
+namespace avd::hog {
+namespace {
+
+TEST(Gradients, FlatImageHasZeroMagnitude) {
+  const GradientField g = compute_gradients(img::ImageU8(8, 8, 100));
+  for (auto v : g.magnitude.pixels()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Gradients, VerticalEdgeGivesHorizontalGradient) {
+  img::ImageU8 im(8, 8, 0);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 4; x < 8; ++x) im(x, y) = 200;
+  const GradientField g = compute_gradients(im);
+  // At x=3/4 the centred difference spans the edge: gx = 200, gy = 0.
+  EXPECT_FLOAT_EQ(g.magnitude(4, 4), 200.0f);
+  // atan2(0, 200) = 0 degrees: a horizontal gradient (vertical edge).
+  EXPECT_NEAR(g.orientation_deg(4, 4), 0.0f, 1e-4);
+}
+
+TEST(Gradients, HorizontalEdgeGivesNinetyDegrees) {
+  img::ImageU8 im(8, 8, 0);
+  for (int y = 4; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) im(x, y) = 200;
+  const GradientField g = compute_gradients(im);
+  EXPECT_NEAR(g.orientation_deg(4, 4), 90.0f, 1e-4);
+}
+
+TEST(Gradients, OrientationIsUnsigned) {
+  // Rising and falling edges of the same orientation must map to the same
+  // unsigned angle (mod 180).
+  img::ImageU8 rising(8, 8, 0), falling(8, 8, 200);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 4; x < 8; ++x) {
+      rising(x, y) = 200;
+      falling(x, y) = 0;
+    }
+  const GradientField gr = compute_gradients(rising);
+  const GradientField gf = compute_gradients(falling);
+  EXPECT_NEAR(gr.orientation_deg(4, 4), gf.orientation_deg(4, 4), 1e-4);
+}
+
+TEST(Gradients, RangeAlwaysWithinZeroTo180) {
+  img::ImageU8 im(16, 16);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      im(x, y) = static_cast<std::uint8_t>((x * x + 3 * y + x * y) % 256);
+  const GradientField g = compute_gradients(im);
+  for (auto v : g.orientation_deg.pixels()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 180.0f);
+  }
+}
+
+TEST(Gradients, DiagonalEdgeNear45) {
+  img::ImageU8 im(16, 16, 0);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      if (x + y > 16) im(x, y) = 200;
+  const GradientField g = compute_gradients(im);
+  // On the diagonal boundary both gx and gy are positive and equal.
+  EXPECT_NEAR(g.orientation_deg(8, 8), 45.0f, 1.0f);
+}
+
+TEST(Gradients, BorderUsesClampedNeighbours) {
+  // A 1-wide image: clamped reads make gx = 0 everywhere; must not crash.
+  img::ImageU8 im(1, 4);
+  im(0, 0) = 0;
+  im(0, 3) = 90;
+  const GradientField g = compute_gradients(im);
+  EXPECT_EQ(g.magnitude.size(), (img::Size{1, 4}));
+}
+
+}  // namespace
+}  // namespace avd::hog

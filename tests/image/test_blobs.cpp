@@ -1,0 +1,137 @@
+#include "avd/image/blobs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::img {
+namespace {
+
+TEST(Blobs, EmptyMaskHasNoBlobs) {
+  EXPECT_TRUE(find_blobs(ImageU8(8, 8, 0)).empty());
+  EXPECT_TRUE(find_blobs(ImageU8()).empty());
+}
+
+TEST(Blobs, SingleBlobGeometry) {
+  ImageU8 mask(10, 10, 0);
+  for (int y = 2; y <= 4; ++y)
+    for (int x = 3; x <= 6; ++x) mask(x, y) = 255;
+  const auto blobs = find_blobs(mask);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].bbox, (Rect{3, 2, 4, 3}));
+  EXPECT_EQ(blobs[0].area, 12);
+  EXPECT_DOUBLE_EQ(blobs[0].centroid_x, 4.5);
+  EXPECT_DOUBLE_EQ(blobs[0].centroid_y, 3.0);
+  EXPECT_DOUBLE_EQ(blobs[0].extent(), 1.0);
+}
+
+TEST(Blobs, TwoSeparateBlobs) {
+  ImageU8 mask(10, 10, 0);
+  mask(1, 1) = 255;
+  mask(8, 8) = 255;
+  const auto blobs = find_blobs(mask);
+  ASSERT_EQ(blobs.size(), 2u);
+  EXPECT_EQ(blobs[0].bbox, (Rect{1, 1, 1, 1}));  // scan order
+  EXPECT_EQ(blobs[1].bbox, (Rect{8, 8, 1, 1}));
+}
+
+TEST(Blobs, DiagonalConnectivityDiffers) {
+  ImageU8 mask(4, 4, 0);
+  mask(1, 1) = 255;
+  mask(2, 2) = 255;
+  EXPECT_EQ(find_blobs(mask, Connectivity::Eight).size(), 1u);
+  EXPECT_EQ(find_blobs(mask, Connectivity::Four).size(), 2u);
+}
+
+TEST(Blobs, MinAreaFiltersSmallComponents) {
+  ImageU8 mask(10, 10, 0);
+  mask(0, 0) = 255;  // area 1
+  for (int x = 4; x < 8; ++x) mask(x, 4) = 255;  // area 4
+  const auto blobs = find_blobs(mask, Connectivity::Eight, 2);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].area, 4);
+}
+
+TEST(Blobs, LabelsMatchBlobOrder) {
+  ImageU8 mask(6, 6, 0);
+  mask(0, 0) = 255;
+  mask(5, 5) = 255;
+  const LabelResult lr = label_components(mask);
+  ASSERT_EQ(lr.blobs.size(), 2u);
+  EXPECT_EQ(lr.labels(0, 0), 1);
+  EXPECT_EQ(lr.labels(5, 5), 2);
+  EXPECT_EQ(lr.labels(3, 3), 0);
+}
+
+TEST(Blobs, RejectedComponentsLeaveNoLabels) {
+  ImageU8 mask(6, 6, 0);
+  mask(0, 0) = 255;  // filtered by min_area=2
+  mask(3, 3) = 255;
+  mask(3, 4) = 255;
+  const LabelResult lr = label_components(mask, Connectivity::Eight, 2);
+  ASSERT_EQ(lr.blobs.size(), 1u);
+  EXPECT_EQ(lr.labels(0, 0), 0);  // erased
+  EXPECT_EQ(lr.labels(3, 3), 1);
+}
+
+TEST(Blobs, SnakeShapedComponentIsOne) {
+  // A winding 1-px path: exercises the BFS against deep recursion designs.
+  ImageU8 mask(20, 20, 0);
+  int x = 0, y = 0;
+  for (int i = 0; i < 19; ++i) mask(i, 0) = 255;
+  for (int i = 0; i < 19; ++i) mask(18, i) = 255;
+  for (int i = 18; i >= 0; --i) mask(i, 18) = 255;
+  (void)x;
+  (void)y;
+  EXPECT_EQ(find_blobs(mask).size(), 1u);
+}
+
+TEST(Blobs, FullFrameBlob) {
+  const auto blobs = find_blobs(ImageU8(32, 16, 255));
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].area, 512);
+  EXPECT_EQ(blobs[0].bbox, (Rect{0, 0, 32, 16}));
+}
+
+TEST(Blobs, ExtentAndAspectOfBar) {
+  ImageU8 mask(12, 12, 0);
+  for (int x = 2; x < 10; ++x) mask(x, 5) = 255;  // 8x1 bar
+  const auto blobs = find_blobs(mask);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(blobs[0].aspect(), 8.0);
+  EXPECT_DOUBLE_EQ(blobs[0].extent(), 1.0);
+}
+
+TEST(Blobs, ExtentOfSparseDiagonal) {
+  ImageU8 mask(8, 8, 0);
+  for (int i = 0; i < 5; ++i) mask(i, i) = 255;
+  const auto blobs = find_blobs(mask, Connectivity::Eight);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_NEAR(blobs[0].extent(), 5.0 / 25.0, 1e-12);
+}
+
+// Property sweep: the sum of blob areas equals the number of set pixels for
+// any min_area of 1, for several pseudo-random densities.
+class BlobConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlobConservation, AreasSumToSetPixels) {
+  const int density = GetParam();
+  ImageU8 mask(24, 24, 0);
+  std::size_t set = 0;
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 24; ++x) {
+      if ((x * 31 + y * 17 + x * y) % 100 < density) {
+        mask(x, y) = 255;
+        ++set;
+      }
+    }
+  }
+  const auto blobs = find_blobs(mask);
+  long long total = 0;
+  for (const Blob& b : blobs) total += b.area;
+  EXPECT_EQ(static_cast<std::size_t>(total), set);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, BlobConservation,
+                         ::testing::Values(5, 20, 50, 80, 95));
+
+}  // namespace
+}  // namespace avd::img

@@ -1,0 +1,94 @@
+#include "avd/image/color.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::img {
+namespace {
+
+TEST(Color, GrayPixelsHaveNeutralChroma) {
+  for (int v : {0, 64, 128, 200, 255}) {
+    const auto u = static_cast<std::uint8_t>(v);
+    EXPECT_EQ(luma_of(u, u, u), u) << v;
+    EXPECT_NEAR(cb_of(u, u, u), 128, 1) << v;
+    EXPECT_NEAR(cr_of(u, u, u), 128, 1) << v;
+  }
+}
+
+TEST(Color, PureRedHasHighCr) {
+  EXPECT_GT(cr_of(255, 0, 0), 200);
+  EXPECT_LT(cb_of(255, 0, 0), 128);
+}
+
+TEST(Color, PureBlueHasHighCb) {
+  EXPECT_GT(cb_of(0, 0, 255), 200);
+  EXPECT_LT(cr_of(0, 0, 255), 128);
+}
+
+TEST(Color, LumaWeightsOrderedGreenDominant) {
+  // BT.601: green contributes most to luma, blue least.
+  EXPECT_GT(luma_of(0, 255, 0), luma_of(255, 0, 0));
+  EXPECT_GT(luma_of(255, 0, 0), luma_of(0, 0, 255));
+}
+
+TEST(Color, TaillightRedSignature) {
+  // The rendered taillight color must pass the dark-pipeline chroma gates.
+  const std::uint8_t r = 255, g = 40, b = 28;
+  EXPECT_GE(cr_of(r, g, b), 150);
+  EXPECT_LE(cb_of(r, g, b), 135);
+}
+
+TEST(Color, HeadlightWhiteRejectedByChromaGates) {
+  const std::uint8_t r = 255, g = 250, b = 235;
+  EXPECT_LT(cr_of(r, g, b), 150);  // not red enough
+}
+
+TEST(Color, RgbYcbcrRoundTripCloses) {
+  RgbImage rgb(16, 16);
+  int i = 0;
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x, ++i)
+      rgb.set_pixel(x, y,
+                    {static_cast<std::uint8_t>((i * 37) % 256),
+                     static_cast<std::uint8_t>((i * 101) % 256),
+                     static_cast<std::uint8_t>((i * 53) % 256)});
+  const RgbImage back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      const RgbPixel a = rgb.pixel(x, y);
+      const RgbPixel c = back.pixel(x, y);
+      EXPECT_NEAR(a.r, c.r, 2);
+      EXPECT_NEAR(a.g, c.g, 2);
+      EXPECT_NEAR(a.b, c.b, 2);
+    }
+  }
+}
+
+TEST(Color, RgbToGrayMatchesScalar) {
+  RgbImage rgb(3, 1);
+  rgb.set_pixel(0, 0, {255, 0, 0});
+  rgb.set_pixel(1, 0, {0, 255, 0});
+  rgb.set_pixel(2, 0, {12, 34, 56});
+  const ImageU8 g = rgb_to_gray(rgb);
+  EXPECT_EQ(g(0, 0), luma_of(255, 0, 0));
+  EXPECT_EQ(g(1, 0), luma_of(0, 255, 0));
+  EXPECT_EQ(g(2, 0), luma_of(12, 34, 56));
+}
+
+TEST(Color, GrayToRgbReplicates) {
+  ImageU8 g(2, 2);
+  g(0, 0) = 11;
+  g(1, 1) = 99;
+  const RgbImage rgb = gray_to_rgb(g);
+  EXPECT_EQ(rgb.pixel(0, 0), (RgbPixel{11, 11, 11}));
+  EXPECT_EQ(rgb.pixel(1, 1), (RgbPixel{99, 99, 99}));
+}
+
+TEST(Color, YcbcrImageGeometry) {
+  const YcbcrImage ycc = rgb_to_ycbcr(RgbImage(9, 4));
+  EXPECT_EQ(ycc.width(), 9);
+  EXPECT_EQ(ycc.height(), 4);
+  EXPECT_EQ(ycc.size(), (Size{9, 4}));
+}
+
+}  // namespace
+}  // namespace avd::img

@@ -1,0 +1,177 @@
+#include "avd/image/draw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::img {
+namespace {
+
+std::size_t count_set(const ImageU8& img) {
+  std::size_t n = 0;
+  for (auto v : img.pixels()) n += v != 0;
+  return n;
+}
+
+TEST(FillRect, FillsExactRegion) {
+  ImageU8 img(8, 8, 0);
+  fill_rect(img, {2, 3, 3, 2}, 200);
+  std::size_t set = 0;
+  for (auto v : img.pixels()) set += v == 200;
+  EXPECT_EQ(set, 6u);
+  EXPECT_EQ(img(2, 3), 200);
+  EXPECT_EQ(img(4, 4), 200);
+  EXPECT_EQ(img(5, 4), 0);
+}
+
+TEST(FillRect, ClipsOutOfBounds) {
+  ImageU8 img(4, 4, 0);
+  fill_rect(img, {-2, -2, 4, 4}, 9);  // only 2x2 lands
+  EXPECT_EQ(img(0, 0), 9);
+  EXPECT_EQ(img(1, 1), 9);
+  EXPECT_EQ(img(2, 2), 0);
+  fill_rect(img, {10, 10, 5, 5}, 9);  // fully outside: no crash
+}
+
+TEST(FillRect, RgbVariantFillsPlanes) {
+  RgbImage img(4, 4);
+  fill_rect(img, {1, 1, 2, 2}, {10, 20, 30});
+  EXPECT_EQ(img.pixel(2, 2), (RgbPixel{10, 20, 30}));
+  EXPECT_EQ(img.pixel(0, 0), (RgbPixel{0, 0, 0}));
+}
+
+TEST(DrawRect, OutlineOnly) {
+  ImageU8 img(8, 8, 0);
+  draw_rect(img, {1, 1, 6, 6}, 255, 1);
+  EXPECT_EQ(img(1, 1), 255);   // corner
+  EXPECT_EQ(img(4, 1), 255);   // top edge
+  EXPECT_EQ(img(1, 4), 255);   // left edge
+  EXPECT_EQ(img(6, 6), 255);   // opposite corner
+  EXPECT_EQ(img(3, 3), 0);     // interior untouched
+}
+
+TEST(DrawRect, ThicknessGrowsInward) {
+  ImageU8 img(10, 10, 0);
+  draw_rect(img, {1, 1, 8, 8}, 255, 2);
+  EXPECT_EQ(img(2, 2), 255);
+  EXPECT_EQ(img(3, 3), 0);
+}
+
+TEST(DrawRect, DegenerateInputsAreSafe) {
+  ImageU8 img(4, 4, 0);
+  draw_rect(img, {}, 255, 1);
+  draw_rect(img, {0, 0, 4, 4}, 255, 0);
+  EXPECT_EQ(count_set(img), 0u);
+}
+
+TEST(DrawLine, HorizontalVerticalDiagonal) {
+  RgbImage img(8, 8);
+  draw_line(img, {0, 0}, {7, 0}, {255, 0, 0});
+  draw_line(img, {0, 1}, {0, 7}, {0, 255, 0});
+  draw_line(img, {1, 1}, {7, 7}, {0, 0, 255});
+  EXPECT_EQ(img.pixel(4, 0).r, 255);
+  EXPECT_EQ(img.pixel(0, 5).g, 255);
+  EXPECT_EQ(img.pixel(5, 5).b, 255);
+}
+
+TEST(DrawLine, EndpointsInclusive) {
+  RgbImage img(5, 5);
+  draw_line(img, {1, 2}, {3, 2}, {9, 9, 9});
+  EXPECT_EQ(img.pixel(1, 2).r, 9);
+  EXPECT_EQ(img.pixel(3, 2).r, 9);
+}
+
+TEST(DrawLine, OffscreenSegmentsClipped) {
+  RgbImage img(4, 4);
+  draw_line(img, {-3, -3}, {7, 7}, {5, 5, 5});  // must not crash
+  EXPECT_EQ(img.pixel(2, 2).r, 5);
+}
+
+TEST(FillEllipse, InscribedInRect) {
+  ImageU8 img(11, 11, 0);
+  fill_ellipse(img, {2, 2, 7, 7}, 255);
+  EXPECT_EQ(img(5, 5), 255);  // centre
+  EXPECT_EQ(img(2, 2), 0);    // rect corner outside the ellipse
+  EXPECT_GT(count_set(img), 20u);
+}
+
+TEST(FillEllipse, SinglePixel) {
+  ImageU8 img(5, 5, 0);
+  fill_ellipse(img, {2, 2, 1, 1}, 255);
+  EXPECT_EQ(img(2, 2), 255);
+  EXPECT_EQ(count_set(img), 1u);
+}
+
+TEST(AddGlow, BrightensCenterMost) {
+  RgbImage img(21, 21);
+  add_glow(img, {10, 10}, 8, {200, 100, 50});
+  EXPECT_GT(img.pixel(10, 10).r, img.pixel(14, 10).r);
+  EXPECT_EQ(img.pixel(20, 20).r, 0);  // outside radius
+}
+
+TEST(AddGlow, SaturatesInsteadOfWrapping) {
+  RgbImage img(9, 9);
+  img.fill({250, 250, 250});
+  add_glow(img, {4, 4}, 4, {200, 200, 200});
+  EXPECT_EQ(img.pixel(4, 4).r, 255);
+}
+
+TEST(AddGlow, ZeroRadiusIsNoop) {
+  RgbImage img(5, 5);
+  add_glow(img, {2, 2}, 0, {255, 255, 255});
+  EXPECT_EQ(img.pixel(2, 2).r, 0);
+}
+
+TEST(BlendRect, AlphaMixes) {
+  RgbImage img(4, 4);
+  img.fill({100, 100, 100});
+  blend_rect(img, {0, 0, 4, 4}, {200, 0, 0}, 0.5f);
+  EXPECT_EQ(img.pixel(1, 1).r, 150);
+  EXPECT_EQ(img.pixel(1, 1).g, 50);
+}
+
+TEST(DrawNumber, SingleDigitShape) {
+  RgbImage img(16, 16);
+  const int width = draw_number(img, {2, 2}, 1, {255, 255, 255}, 1);
+  EXPECT_EQ(width, 4);  // 3-wide glyph + spacing
+  // '1' has a lit pixel at the glyph centre column.
+  EXPECT_EQ(img.pixel(3, 4).r, 255);
+  // '1' column 0, row 0 is dark.
+  EXPECT_EQ(img.pixel(2, 2).r, 0);
+}
+
+TEST(DrawNumber, MultiDigitWidth) {
+  RgbImage img(64, 16);
+  EXPECT_EQ(draw_number(img, {0, 0}, 123, {255, 0, 0}, 1), 12);
+  EXPECT_EQ(draw_number(img, {0, 8}, 7, {255, 0, 0}, 2), 8);
+}
+
+TEST(DrawNumber, ZeroRendered) {
+  RgbImage img(8, 8);
+  EXPECT_EQ(draw_number(img, {0, 0}, 0, {9, 9, 9}, 1), 4);
+  // '0' outline: corners lit, centre dark.
+  EXPECT_EQ(img.pixel(0, 0).r, 9);
+  EXPECT_EQ(img.pixel(1, 2).r, 0);
+}
+
+TEST(DrawNumber, ScaleGrowsGlyphs) {
+  RgbImage img(32, 32);
+  draw_number(img, {0, 0}, 8, {255, 255, 255}, 3);
+  // At scale 3, the top-left font pixel covers a 3x3 block.
+  EXPECT_EQ(img.pixel(0, 0).r, 255);
+  EXPECT_EQ(img.pixel(2, 2).r, 255);
+}
+
+TEST(DrawNumber, ClipsAtBorders) {
+  RgbImage img(4, 4);
+  EXPECT_NO_THROW(draw_number(img, {-2, -2}, 888, {255, 255, 255}, 2));
+  EXPECT_EQ(draw_number(img, {0, 0}, 5, {1, 1, 1}, 0), 0);  // bad scale
+}
+
+TEST(BlendRect, AlphaClamped) {
+  RgbImage img(2, 2);
+  img.fill({100, 100, 100});
+  blend_rect(img, {0, 0, 2, 2}, {200, 200, 200}, 4.0f);  // clamps to 1
+  EXPECT_EQ(img.pixel(0, 0).r, 200);
+}
+
+}  // namespace
+}  // namespace avd::img

@@ -1,0 +1,108 @@
+#include "avd/image/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/image/stats.hpp"
+#include "avd/image/threshold.hpp"
+
+namespace avd::img {
+namespace {
+
+TEST(Median3x3, ConstantImageUnchanged) {
+  const ImageU8 src(8, 8, 77);
+  EXPECT_EQ(median3x3(src), src);
+}
+
+TEST(Median3x3, RemovesIsolatedSpeck) {
+  ImageU8 src(9, 9, 0);
+  src(4, 4) = 255;
+  const ImageU8 out = median3x3(src);
+  EXPECT_EQ(count_nonzero(out), 0u);
+}
+
+TEST(Median3x3, FillsIsolatedHole) {
+  ImageU8 src(9, 9, 255);
+  src(4, 4) = 0;
+  const ImageU8 out = median3x3(src);
+  EXPECT_EQ(out(4, 4), 255);
+}
+
+TEST(Median3x3, PreservesSolidBlockInterior) {
+  ImageU8 src(12, 12, 0);
+  for (int y = 3; y <= 8; ++y)
+    for (int x = 3; x <= 8; ++x) src(x, y) = 255;
+  const ImageU8 out = median3x3(src);
+  for (int y = 4; y <= 7; ++y)
+    for (int x = 4; x <= 7; ++x) EXPECT_EQ(out(x, y), 255);
+  // Corners of the block lose to majority background.
+  EXPECT_EQ(out(3, 3), 0);
+}
+
+TEST(Median3x3, BinaryStaysBinary) {
+  ImageU8 src(10, 10, 0);
+  for (int i = 0; i < 20; ++i) src((i * 7) % 10, (i * 3) % 10) = 255;
+  const ImageU8 out = median3x3(src);  // named: pixels() must not dangle
+  for (auto v : out.pixels()) EXPECT_TRUE(v == 0 || v == 255);
+}
+
+TEST(Median3x3, MedianOfGrayNeighborhood) {
+  // 3x3 image holding 10..90: centre output is the exact median 50.
+  ImageU8 src(3, 3);
+  for (int i = 0; i < 9; ++i)
+    src(i % 3, i / 3) = static_cast<std::uint8_t>((i + 1) * 10);
+  EXPECT_EQ(median3x3(src)(1, 1), 50);
+}
+
+TEST(GaussianBlur, NonPositiveSigmaIsIdentity) {
+  ImageU8 src(6, 6, 0);
+  src(3, 3) = 200;
+  EXPECT_EQ(gaussian_blur(src, 0.0), src);
+  EXPECT_EQ(gaussian_blur(src, -1.0), src);
+}
+
+TEST(GaussianBlur, ConstantImageUnchanged) {
+  const ImageU8 src(8, 8, 99);
+  const ImageU8 out = gaussian_blur(src, 1.5);
+  for (auto v : out.pixels()) EXPECT_NEAR(v, 99, 1);
+}
+
+TEST(GaussianBlur, SpreadsImpulse) {
+  ImageU8 src(15, 15, 0);
+  src(7, 7) = 255;
+  const ImageU8 out = gaussian_blur(src, 1.0);
+  EXPECT_LT(out(7, 7), 255);
+  EXPECT_GT(out(7, 7), out(9, 7));
+  EXPECT_GT(out(8, 7), 0);
+  // Symmetry of the kernel.
+  EXPECT_EQ(out(6, 7), out(8, 7));
+  EXPECT_EQ(out(7, 6), out(7, 8));
+}
+
+TEST(GaussianBlur, ApproximatelyConservesMass) {
+  ImageU8 src(21, 21, 0);
+  src(10, 10) = 200;
+  const ImageU8 out = gaussian_blur(src, 1.2);
+  std::uint64_t mass = 0;
+  for (auto v : out.pixels()) mass += v;
+  EXPECT_NEAR(static_cast<double>(mass), 200.0, 20.0);
+}
+
+TEST(GaussianBlur, LargerSigmaBlursMore) {
+  ImageU8 src(31, 31, 0);
+  src(15, 15) = 255;
+  const ImageU8 narrow = gaussian_blur(src, 0.8);
+  const ImageU8 wide = gaussian_blur(src, 2.5);
+  EXPECT_GT(narrow(15, 15), wide(15, 15));
+}
+
+TEST(GaussianBlur, ReducesNoiseVariance) {
+  ImageU8 noisy(32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x)
+      noisy(x, y) = static_cast<std::uint8_t>(128 + ((x * 31 + y * 17) % 41) - 20);
+  EXPECT_LT(stddev_intensity(gaussian_blur(noisy, 1.5)),
+            stddev_intensity(noisy));
+}
+
+}  // namespace
+}  // namespace avd::img

@@ -1,0 +1,140 @@
+#include "avd/image/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::img {
+namespace {
+
+TEST(Rect, AccessorsAndArea) {
+  const Rect r{10, 20, 30, 40};
+  EXPECT_EQ(r.left(), 10);
+  EXPECT_EQ(r.top(), 20);
+  EXPECT_EQ(r.right(), 40);
+  EXPECT_EQ(r.bottom(), 60);
+  EXPECT_EQ(r.area(), 1200);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.center(), (Point{25, 40}));
+}
+
+TEST(Rect, EmptyVariants) {
+  EXPECT_TRUE((Rect{0, 0, 0, 10}).empty());
+  EXPECT_TRUE((Rect{0, 0, 10, 0}).empty());
+  EXPECT_TRUE((Rect{5, 5, -3, 10}).empty());
+  EXPECT_FALSE((Rect{0, 0, 1, 1}).empty());
+}
+
+TEST(Rect, ContainsPoint) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{9, 9}));
+  EXPECT_FALSE(r.contains(Point{10, 9}));  // right edge exclusive
+  EXPECT_FALSE(r.contains(Point{9, 10}));
+  EXPECT_FALSE(r.contains(Point{-1, 5}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(Rect{2, 2, 5, 5}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect{5, 5, 10, 5}));
+}
+
+TEST(Intersect, OverlappingRects) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 10, 10};
+  EXPECT_EQ(intersect(a, b), (Rect{5, 5, 5, 5}));
+  EXPECT_EQ(intersect(b, a), (Rect{5, 5, 5, 5}));  // commutative
+}
+
+TEST(Intersect, DisjointRectsAreEmpty) {
+  const Rect a{0, 0, 5, 5};
+  const Rect b{10, 10, 5, 5};
+  EXPECT_TRUE(intersect(a, b).empty());
+}
+
+TEST(Intersect, TouchingEdgesAreEmpty) {
+  const Rect a{0, 0, 5, 5};
+  const Rect b{5, 0, 5, 5};
+  EXPECT_TRUE(intersect(a, b).empty());
+}
+
+TEST(BoundingUnion, CoversBoth) {
+  const Rect a{0, 0, 5, 5};
+  const Rect b{10, 10, 5, 5};
+  const Rect u = bounding_union(a, b);
+  EXPECT_TRUE(u.contains(a));
+  EXPECT_TRUE(u.contains(b));
+  EXPECT_EQ(u, (Rect{0, 0, 15, 15}));
+}
+
+TEST(BoundingUnion, EmptyOperandIsIdentity) {
+  const Rect a{3, 4, 5, 6};
+  EXPECT_EQ(bounding_union(a, Rect{}), a);
+  EXPECT_EQ(bounding_union(Rect{}, a), a);
+}
+
+TEST(Iou, IdenticalRectsAreOne) {
+  const Rect a{2, 3, 7, 9};
+  EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+}
+
+TEST(Iou, DisjointRectsAreZero) {
+  EXPECT_DOUBLE_EQ(iou(Rect{0, 0, 5, 5}, Rect{20, 20, 5, 5}), 0.0);
+}
+
+TEST(Iou, HalfOverlap) {
+  // a is 10x10, b is 10x10 shifted so intersection is 5x10 = 50,
+  // union = 100 + 100 - 50 = 150.
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 0, 10, 10};
+  EXPECT_NEAR(iou(a, b), 50.0 / 150.0, 1e-12);
+}
+
+TEST(Iou, EmptyRectIsZero) {
+  EXPECT_DOUBLE_EQ(iou(Rect{}, Rect{0, 0, 5, 5}), 0.0);
+}
+
+TEST(Scaled, ScalesCoordinatesAndSize) {
+  const Rect r{10, 20, 30, 40};
+  EXPECT_EQ(scaled(r, 2.0, 0.5), (Rect{20, 10, 60, 20}));
+}
+
+TEST(Inflated, GrowsAllSides) {
+  EXPECT_EQ(inflated(Rect{10, 10, 10, 10}, 2), (Rect{8, 8, 14, 14}));
+}
+
+TEST(Inflated, NegativeMarginShrinks) {
+  EXPECT_EQ(inflated(Rect{10, 10, 10, 10}, -3), (Rect{13, 13, 4, 4}));
+}
+
+TEST(Clip, ClipsToBounds) {
+  const Rect bounds{0, 0, 100, 100};
+  EXPECT_EQ(clip(Rect{-10, -10, 30, 30}, bounds), (Rect{0, 0, 20, 20}));
+  EXPECT_EQ(clip(Rect{90, 90, 30, 30}, bounds), (Rect{90, 90, 10, 10}));
+}
+
+TEST(Size, AreaAndEmpty) {
+  EXPECT_EQ((Size{1920, 1080}).area(), 2073600);
+  EXPECT_TRUE((Size{0, 5}).empty());
+  EXPECT_FALSE((Size{1, 1}).empty());
+}
+
+// Property sweep: IoU is symmetric and bounded for a grid of offsets.
+class IouProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IouProperty, SymmetricAndBounded) {
+  const int offset = GetParam();
+  const Rect a{0, 0, 10, 10};
+  const Rect b{offset, offset / 2, 8, 12};
+  const double ab = iou(a, b);
+  const double ba = iou(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, IouProperty,
+                         ::testing::Values(-15, -5, 0, 3, 9, 10, 25));
+
+}  // namespace
+}  // namespace avd::img

@@ -1,0 +1,134 @@
+#include "avd/image/resize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::img {
+namespace {
+
+ImageU8 gradient_image(int w, int h) {
+  ImageU8 img(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      img(x, y) = static_cast<std::uint8_t>((x * 255) / std::max(1, w - 1));
+  return img;
+}
+
+TEST(ResizeBilinear, IdentityWhenSameSize) {
+  const ImageU8 src = gradient_image(8, 6);
+  EXPECT_EQ(resize_bilinear(src, src.size()), src);
+}
+
+TEST(ResizeBilinear, ConstantImageStaysConstant) {
+  const ImageU8 src(10, 10, 123);
+  const ImageU8 out = resize_bilinear(src, {7, 3});
+  for (auto v : out.pixels()) EXPECT_EQ(v, 123);
+}
+
+TEST(ResizeBilinear, OutputDimensionsExact) {
+  const ImageU8 out = resize_bilinear(gradient_image(100, 50), {33, 17});
+  EXPECT_EQ(out.size(), (Size{33, 17}));
+}
+
+TEST(ResizeBilinear, HdtvToDarkPipelineSize) {
+  // The dark pipeline's 1920x1080 -> 640x360 reduction (paper Fig. 4).
+  const ImageU8 out = resize_bilinear(gradient_image(1920, 1080), {640, 360});
+  EXPECT_EQ(out.size(), (Size{640, 360}));
+  // Monotone gradient must stay monotone after resampling.
+  for (int x = 1; x < 640; ++x) EXPECT_LE(out(x - 1, 180), out(x, 180));
+}
+
+TEST(ResizeBilinear, DegenerateTargetThrows) {
+  EXPECT_THROW(resize_bilinear(gradient_image(4, 4), {0, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(resize_bilinear(ImageU8(), {4, 4}), std::invalid_argument);
+}
+
+TEST(ResizeBilinear, RgbResizesAllPlanes) {
+  RgbImage rgb(8, 8);
+  rgb.fill({10, 20, 30});
+  const RgbImage out = resize_bilinear(rgb, {4, 4});
+  EXPECT_EQ(out.pixel(2, 2), (RgbPixel{10, 20, 30}));
+}
+
+TEST(ResizeNearest, PreservesBinaryValues) {
+  ImageU8 src(8, 8, 0);
+  src(3, 3) = 255;
+  const ImageU8 out = resize_nearest(src, {16, 16});
+  for (auto v : out.pixels()) EXPECT_TRUE(v == 0 || v == 255);
+}
+
+TEST(ResizeNearest, UpscaleReplicatesPixels) {
+  ImageU8 src(2, 1);
+  src(0, 0) = 10;
+  src(1, 0) = 20;
+  const ImageU8 out = resize_nearest(src, {4, 1});
+  EXPECT_EQ(out(0, 0), 10);
+  EXPECT_EQ(out(1, 0), 10);
+  EXPECT_EQ(out(2, 0), 20);
+  EXPECT_EQ(out(3, 0), 20);
+}
+
+TEST(DownsampleBox, AveragesBlocks) {
+  ImageU8 src(4, 2);
+  // Left 2x2 block: 0,0,4,4 -> mean 2. Right block: all 100.
+  src(0, 0) = 0;
+  src(1, 0) = 0;
+  src(0, 1) = 4;
+  src(1, 1) = 4;
+  for (int y = 0; y < 2; ++y)
+    for (int x = 2; x < 4; ++x) src(x, y) = 100;
+  const ImageU8 out = downsample_box(src, 2);
+  EXPECT_EQ(out.size(), (Size{2, 1}));
+  EXPECT_EQ(out(0, 0), 2);
+  EXPECT_EQ(out(1, 0), 100);
+}
+
+TEST(DownsampleBox, NonDivisibleThrows) {
+  EXPECT_THROW(downsample_box(ImageU8(5, 4), 2), std::invalid_argument);
+  EXPECT_THROW(downsample_box(ImageU8(4, 4), 0), std::invalid_argument);
+}
+
+TEST(DownsampleOr, KeepsSinglePixelBlob) {
+  // A lone set pixel must survive OR pooling — the distant-taillight case.
+  ImageU8 src(9, 9, 0);
+  src(4, 4) = 255;
+  const ImageU8 out = downsample_or(src, 3);
+  EXPECT_EQ(out.size(), (Size{3, 3}));
+  EXPECT_EQ(out(1, 1), 255);
+  std::size_t set = 0;
+  for (auto v : out.pixels()) set += v != 0;
+  EXPECT_EQ(set, 1u);
+}
+
+TEST(DownsampleOr, AllZeroStaysZero) {
+  const ImageU8 out = downsample_or(ImageU8(6, 6, 0), 3);
+  for (auto v : out.pixels()) EXPECT_EQ(v, 0);
+}
+
+TEST(DownsampleOr, MeanPoolingWouldLoseWhatOrKeeps) {
+  // Demonstrates why the dark pipeline uses OR pooling: a 1/9 duty blob
+  // averages to 28, below any sane threshold, but OR keeps it saturated.
+  ImageU8 src(3, 3, 0);
+  src(0, 0) = 255;
+  EXPECT_EQ(downsample_box(src, 3)(0, 0), 28);
+  EXPECT_EQ(downsample_or(src, 3)(0, 0), 255);
+}
+
+// Parameterised sweep: downsample_or output size is exact for factors
+// dividing the dimensions, and output is binary.
+class DownsampleOrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DownsampleOrSweep, SizeAndBinaryInvariant) {
+  const int f = GetParam();
+  ImageU8 src(24, 12, 0);
+  src(7, 7) = 200;  // non-255 non-zero counts as set
+  const ImageU8 out = downsample_or(src, f);
+  EXPECT_EQ(out.size(), (Size{24 / f, 12 / f}));
+  for (auto v : out.pixels()) EXPECT_TRUE(v == 0 || v == 255);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, DownsampleOrSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 12));
+
+}  // namespace
+}  // namespace avd::img

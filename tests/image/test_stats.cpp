@@ -1,0 +1,126 @@
+#include "avd/image/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::img {
+namespace {
+
+TEST(Histogram, CountsAllPixels) {
+  ImageU8 img(4, 4, 10);
+  img(0, 0) = 250;
+  const auto h = histogram(img);
+  EXPECT_EQ(h[10], 15u);
+  EXPECT_EQ(h[250], 1u);
+  std::uint64_t total = 0;
+  for (auto v : h) total += v;
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(MeanIntensity, ConstantAndMixed) {
+  EXPECT_DOUBLE_EQ(mean_intensity(ImageU8(3, 3, 80)), 80.0);
+  ImageU8 img(2, 1);
+  img(0, 0) = 0;
+  img(1, 0) = 100;
+  EXPECT_DOUBLE_EQ(mean_intensity(img), 50.0);
+  EXPECT_DOUBLE_EQ(mean_intensity(ImageU8()), 0.0);
+}
+
+TEST(StddevIntensity, ZeroForConstant) {
+  EXPECT_DOUBLE_EQ(stddev_intensity(ImageU8(4, 4, 42)), 0.0);
+}
+
+TEST(StddevIntensity, KnownValue) {
+  ImageU8 img(2, 1);
+  img(0, 0) = 0;
+  img(1, 0) = 10;
+  EXPECT_DOUBLE_EQ(stddev_intensity(img), 5.0);
+}
+
+TEST(Percentile, MedianOfUniformRamp) {
+  ImageU8 img(256, 1);
+  for (int x = 0; x < 256; ++x) img(x, 0) = static_cast<std::uint8_t>(x);
+  EXPECT_NEAR(percentile(img, 0.5), 127, 1);
+  EXPECT_EQ(percentile(img, 0.0), 0);
+  EXPECT_EQ(percentile(img, 1.0), 255);
+}
+
+TEST(Percentile, FractionClamped) {
+  ImageU8 img(4, 4, 99);
+  EXPECT_EQ(percentile(img, -0.5), 99);
+  EXPECT_EQ(percentile(img, 2.0), 99);
+}
+
+TEST(BrightFraction, Thresholded) {
+  ImageU8 img(10, 1, 0);
+  for (int x = 0; x < 3; ++x) img(x, 0) = 240;
+  EXPECT_DOUBLE_EQ(bright_fraction(img, 240), 0.3);
+  EXPECT_DOUBLE_EQ(bright_fraction(img, 241), 0.0);
+  EXPECT_DOUBLE_EQ(bright_fraction(img, 0), 1.0);
+}
+
+class IntegralImageTest : public ::testing::Test {
+ protected:
+  ImageU8 ramp() const {
+    ImageU8 img(6, 5);
+    for (int y = 0; y < 5; ++y)
+      for (int x = 0; x < 6; ++x) img(x, y) = static_cast<std::uint8_t>(y * 6 + x);
+    return img;
+  }
+};
+
+TEST_F(IntegralImageTest, FullSumMatchesBruteForce) {
+  const ImageU8 img = ramp();
+  const IntegralImage ii(img);
+  std::uint64_t brute = 0;
+  for (auto v : img.pixels()) brute += v;
+  EXPECT_EQ(ii.box_sum(img.bounds()), brute);
+}
+
+TEST_F(IntegralImageTest, InteriorBoxMatchesBruteForce) {
+  const ImageU8 img = ramp();
+  const IntegralImage ii(img);
+  const Rect r{2, 1, 3, 3};
+  std::uint64_t brute = 0;
+  for (int y = r.y; y < r.bottom(); ++y)
+    for (int x = r.x; x < r.right(); ++x) brute += img(x, y);
+  EXPECT_EQ(ii.box_sum(r), brute);
+  EXPECT_DOUBLE_EQ(ii.box_mean(r), static_cast<double>(brute) / 9.0);
+}
+
+TEST_F(IntegralImageTest, OutOfBoundsClipped) {
+  const IntegralImage ii(ramp());
+  EXPECT_EQ(ii.box_sum({-5, -5, 100, 100}), ii.box_sum({0, 0, 6, 5}));
+  EXPECT_EQ(ii.box_sum({10, 10, 2, 2}), 0u);
+  EXPECT_DOUBLE_EQ(ii.box_mean({10, 10, 2, 2}), 0.0);
+}
+
+TEST_F(IntegralImageTest, SinglePixelBox) {
+  const ImageU8 img = ramp();
+  const IntegralImage ii(img);
+  EXPECT_EQ(ii.box_sum({3, 2, 1, 1}), img(3, 2));
+}
+
+// Property sweep: random boxes on a deterministic pseudo-noise image agree
+// with brute force.
+class IntegralProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntegralProperty, RandomBoxAgreesWithBruteForce) {
+  const int seed = GetParam();
+  ImageU8 img(17, 13);
+  for (int y = 0; y < 13; ++y)
+    for (int x = 0; x < 17; ++x)
+      img(x, y) = static_cast<std::uint8_t>((x * 131 + y * 37 + seed * 97) % 256);
+  const IntegralImage ii(img);
+  const Rect r{seed % 9, (seed * 3) % 7, 3 + seed % 8, 2 + seed % 6};
+  std::uint64_t brute = 0;
+  const Rect c = intersect(r, img.bounds());
+  for (int y = c.y; y < c.bottom(); ++y)
+    for (int x = c.x; x < c.right(); ++x) brute += img(x, y);
+  EXPECT_EQ(ii.box_sum(r), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegralProperty,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace avd::img

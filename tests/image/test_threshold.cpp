@@ -1,0 +1,125 @@
+#include "avd/image/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::img {
+namespace {
+
+TEST(ThresholdBinary, SplitsAtThreshold) {
+  ImageU8 src(4, 1);
+  src(0, 0) = 0;
+  src(1, 0) = 99;
+  src(2, 0) = 100;
+  src(3, 0) = 255;
+  const ImageU8 out = threshold_binary(src, 100);
+  EXPECT_EQ(out(0, 0), 0);
+  EXPECT_EQ(out(1, 0), 0);
+  EXPECT_EQ(out(2, 0), 255);  // >= is inclusive
+  EXPECT_EQ(out(3, 0), 255);
+}
+
+TEST(ThresholdBinary, ZeroThresholdSelectsAll) {
+  const ImageU8 out = threshold_binary(ImageU8(3, 3, 0), 0);
+  EXPECT_EQ(count_nonzero(out), 9u);
+}
+
+TEST(ThresholdBand, InclusiveBothEnds) {
+  ImageU8 src(5, 1);
+  for (int x = 0; x < 5; ++x) src(x, 0) = static_cast<std::uint8_t>(x * 50);
+  const ImageU8 out = threshold_band(src, 50, 150);
+  EXPECT_EQ(out(0, 0), 0);
+  EXPECT_EQ(out(1, 0), 255);
+  EXPECT_EQ(out(2, 0), 255);
+  EXPECT_EQ(out(3, 0), 255);
+  EXPECT_EQ(out(4, 0), 0);
+}
+
+TEST(ThresholdBand, InvalidRangeThrows) {
+  EXPECT_THROW(threshold_band(ImageU8(2, 2), 100, 50), std::invalid_argument);
+}
+
+TEST(MaskLogic, AndOrNotTruthTable) {
+  ImageU8 a(2, 1), b(2, 1);
+  a(0, 0) = 255;
+  a(1, 0) = 0;
+  b(0, 0) = 255;
+  b(1, 0) = 255;
+  EXPECT_EQ(mask_and(a, b)(0, 0), 255);
+  EXPECT_EQ(mask_and(a, b)(1, 0), 0);
+  EXPECT_EQ(mask_or(a, b)(1, 0), 255);
+  EXPECT_EQ(mask_not(a)(0, 0), 0);
+  EXPECT_EQ(mask_not(a)(1, 0), 255);
+}
+
+TEST(MaskLogic, TreatsAnyNonzeroAsSet) {
+  ImageU8 a(1, 1, 1);  // non-255 but set
+  ImageU8 b(1, 1, 7);
+  EXPECT_EQ(mask_and(a, b)(0, 0), 255);
+}
+
+TEST(MaskLogic, SizeMismatchThrows) {
+  EXPECT_THROW(mask_and(ImageU8(2, 2), ImageU8(3, 2)), std::invalid_argument);
+  EXPECT_THROW(mask_or(ImageU8(2, 2), ImageU8(2, 3)), std::invalid_argument);
+}
+
+TEST(MaskLogic, DeMorgan) {
+  // not(a and b) == not(a) or not(b) for arbitrary masks.
+  ImageU8 a(4, 4, 0), b(4, 4, 0);
+  a(1, 1) = 255;
+  a(2, 2) = 255;
+  b(2, 2) = 255;
+  b(3, 3) = 255;
+  EXPECT_EQ(mask_not(mask_and(a, b)), mask_or(mask_not(a), mask_not(b)));
+}
+
+TEST(CountNonzero, Counts) {
+  ImageU8 m(3, 3, 0);
+  m(0, 0) = 255;
+  m(2, 2) = 1;
+  EXPECT_EQ(count_nonzero(m), 2u);
+}
+
+class TaillightMaskTest : public ::testing::Test {
+ protected:
+  static YcbcrImage scene_with(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+    RgbImage rgb(8, 8);
+    rgb.fill({10, 10, 12});  // near-black night background
+    fill_rect_center(rgb, {r, g, b});
+    return rgb_to_ycbcr(rgb);
+  }
+  static void fill_rect_center(RgbImage& rgb, RgbPixel p) {
+    for (int y = 3; y < 5; ++y)
+      for (int x = 3; x < 5; ++x) rgb.set_pixel(x, y, p);
+  }
+};
+
+TEST_F(TaillightMaskTest, AcceptsLitTaillight) {
+  const ImageU8 mask = taillight_roi_mask(scene_with(255, 40, 28));
+  EXPECT_EQ(count_nonzero(mask), 4u);
+  EXPECT_EQ(mask(3, 3), 255);
+}
+
+TEST_F(TaillightMaskTest, RejectsWhiteHeadlight) {
+  EXPECT_EQ(count_nonzero(taillight_roi_mask(scene_with(255, 250, 235))), 0u);
+}
+
+TEST_F(TaillightMaskTest, RejectsDimRedReflection) {
+  // Red hue but below the luminance gate.
+  EXPECT_EQ(count_nonzero(taillight_roi_mask(scene_with(60, 8, 6))), 0u);
+}
+
+TEST_F(TaillightMaskTest, RejectsDarkBackground) {
+  RgbImage rgb(8, 8);
+  rgb.fill({10, 10, 12});
+  EXPECT_EQ(count_nonzero(taillight_roi_mask(rgb_to_ycbcr(rgb))), 0u);
+}
+
+TEST_F(TaillightMaskTest, CustomParamsChangeDecision) {
+  TaillightThresholdParams strict;
+  strict.cr_min = 245;  // stricter than the rendered lamp's Cr
+  EXPECT_EQ(count_nonzero(taillight_roi_mask(scene_with(255, 40, 28), strict)),
+            0u);
+}
+
+}  // namespace
+}  // namespace avd::img

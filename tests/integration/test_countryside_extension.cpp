@@ -1,0 +1,173 @@
+// The countryside extension end-to-end: animal rendering, the third partial
+// configuration, and the adaptive system loading it on countryside roads.
+#include <gtest/gtest.h>
+
+#include "avd/core/adaptive_system.hpp"
+#include "avd/image/color.hpp"
+#include "avd/soc/resources.hpp"
+
+namespace avd {
+namespace {
+
+TEST(Countryside, AnimalRenderingVisibleInDaylight) {
+  data::SceneSpec scene;
+  scene.condition = data::LightingCondition::Day;
+  scene.frame_size = {160, 100};
+  scene.horizon_y = 30;
+  data::AnimalSpec a;
+  a.body = {50, 45, 60, 45};
+  scene.animals.push_back(a);
+  scene.noise_seed = 1;
+  const img::RgbImage with = data::render_scene(scene);
+  scene.animals.clear();
+  const img::RgbImage without = data::render_scene(scene);
+  int diff = 0;
+  for (int y = 45; y < 90; ++y)
+    for (int x = 50; x < 110; ++x)
+      diff += with.pixel(x, y).r != without.pixel(x, y).r;
+  EXPECT_GT(diff, 200);  // the animal actually painted pixels
+}
+
+TEST(Countryside, AnimalPatchesTrainableModel) {
+  data::AnimalPatchSpec spec;
+  spec.n_positive = 80;
+  spec.n_negative = 80;
+  det::HogSvmTrainOptions opts;
+  opts.class_id = det::kClassAnimal;
+  const det::HogSvmModel model =
+      det::train_hog_svm(data::make_animal_patches(spec), "animal", opts);
+  EXPECT_EQ(model.class_id, det::kClassAnimal);
+  EXPECT_EQ(model.window, (img::Size{64, 48}));
+
+  data::AnimalPatchSpec held_out = spec;
+  held_out.seed = 987;
+  const ml::BinaryCounts counts =
+      det::evaluate_patches(model, data::make_animal_patches(held_out));
+  EXPECT_GT(counts.accuracy(), 0.8);
+}
+
+TEST(Countryside, AnimalModelRejectsVehicles) {
+  data::AnimalPatchSpec spec;
+  spec.n_positive = 80;
+  spec.n_negative = 80;
+  det::HogSvmTrainOptions opts;
+  opts.class_id = det::kClassAnimal;
+  const det::HogSvmModel model =
+      det::train_hog_svm(data::make_animal_patches(spec), "animal", opts);
+
+  ml::Rng rng(55);
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    const img::ImageU8 vehicle = data::render_vehicle_patch(
+        data::LightingCondition::Day, {64, 48}, rng);
+    fired += model.classify(vehicle);
+  }
+  EXPECT_LE(fired, 4);  // <= 20% confusion with vehicles
+}
+
+TEST(Countryside, ConfigurationFitsPartition) {
+  const soc::DeviceResources device;
+  const soc::ModuleResources partition =
+      soc::floorplan_partition(soc::dark_blocks(), device, {});
+  EXPECT_TRUE(soc::fits(soc::sum_modules(soc::countryside_blocks()), partition));
+  // And it is genuinely bigger than plain day/dusk.
+  EXPECT_GT(soc::sum_modules(soc::countryside_blocks()).lut,
+            soc::sum_modules(soc::day_dusk_blocks()).lut);
+}
+
+TEST(Countryside, ConfigSelectionRules) {
+  using data::LightingCondition;
+  using data::RoadType;
+  EXPECT_STREQ(core::config_for(LightingCondition::Day, RoadType::Urban),
+               "day-dusk");
+  EXPECT_STREQ(core::config_for(LightingCondition::Day, RoadType::Countryside),
+               "countryside");
+  EXPECT_STREQ(core::config_for(LightingCondition::Dusk, RoadType::Countryside),
+               "countryside");
+  // Darkness always wins: animals are invisible, taillights are the signal.
+  EXPECT_STREQ(core::config_for(LightingCondition::Dark, RoadType::Countryside),
+               "dark");
+}
+
+class CountrysideRunTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::TrainingBudget budget;
+    budget.vehicle_pos = budget.vehicle_neg = 40;
+    budget.pedestrian_pos = budget.pedestrian_neg = 30;
+    budget.dbn_windows_per_class = 60;
+    budget.pairing_scenes = 30;
+    budget.animal_pos = budget.animal_neg = 40;  // enable the extension
+    core::AdaptiveSystemConfig cfg;
+    cfg.run_detectors = false;
+    system_ = new core::AdaptiveSystem(core::build_system_models(budget), cfg);
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static core::AdaptiveSystem& system() { return *system_; }
+
+ private:
+  static core::AdaptiveSystem* system_;
+};
+
+core::AdaptiveSystem* CountrysideRunTest::system_ = nullptr;
+
+TEST_F(CountrysideRunTest, UrbanToCountrysideTriggersReconfig) {
+  data::SequenceSpec spec;
+  spec.frame_size = {480, 270};
+  spec.segments = {
+      {data::LightingCondition::Day, 15, -1.0, data::RoadType::Urban},
+      {data::LightingCondition::Day, 15, -1.0, data::RoadType::Countryside},
+  };
+  const auto report = system().run(data::DriveSequence(spec));
+  ASSERT_EQ(report.reconfig_count(), 1);
+  EXPECT_EQ(report.reconfigs[0].config_name, "countryside");
+  EXPECT_EQ(report.dropped_vehicle_frames(), 1);
+  EXPECT_EQ(report.frames.back().active_config, "countryside");
+}
+
+TEST_F(CountrysideRunTest, CountrysideNightUsesDarkConfig) {
+  data::SequenceSpec spec;
+  spec.frame_size = {480, 270};
+  spec.segments = {
+      {data::LightingCondition::Day, 12, -1.0, data::RoadType::Countryside},
+      {data::LightingCondition::Dark, 12, -1.0, data::RoadType::Countryside},
+  };
+  const auto report = system().run(data::DriveSequence(spec));
+  EXPECT_EQ(report.reconfig_count(), 2);  // boot->countryside, then ->dark
+  EXPECT_EQ(report.frames.back().active_config, "dark");
+}
+
+TEST_F(CountrysideRunTest, CountrysideFramesCarryAnimalTruth) {
+  data::SequenceSpec spec;
+  spec.frame_size = {480, 270};
+  spec.animals_per_frame = 2;
+  spec.segments = {
+      {data::LightingCondition::Day, 5, -1.0, data::RoadType::Countryside}};
+  const auto report = system().run(data::DriveSequence(spec));
+  for (const auto& f : report.frames) EXPECT_EQ(f.animals_truth, 2);
+}
+
+TEST_F(CountrysideRunTest, WithoutAnimalModelNoCountrysideConfig) {
+  core::TrainingBudget budget;
+  budget.vehicle_pos = budget.vehicle_neg = 30;
+  budget.pedestrian_pos = budget.pedestrian_neg = 25;
+  budget.dbn_windows_per_class = 50;
+  budget.pairing_scenes = 25;  // animal_pos = 0: extension disabled
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = false;
+  core::AdaptiveSystem base(core::build_system_models(budget), cfg);
+
+  data::SequenceSpec spec;
+  spec.frame_size = {480, 270};
+  spec.segments = {
+      {data::LightingCondition::Day, 10, -1.0, data::RoadType::Countryside}};
+  const auto report = base.run(data::DriveSequence(spec));
+  EXPECT_EQ(report.reconfig_count(), 0);  // stays on day-dusk
+  EXPECT_EQ(report.frames.back().active_config, "day-dusk");
+}
+
+}  // namespace
+}  // namespace avd

@@ -1,0 +1,125 @@
+#include "avd/ml/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/ml/rng.hpp"
+
+namespace avd::ml {
+namespace {
+
+// Synthetic decision values: positives centred at +m, negatives at -m.
+struct Scored {
+  std::vector<double> decisions;
+  std::vector<int> labels;
+};
+
+Scored scored_data(int n_per_class, double margin, double noise,
+                   std::uint64_t seed) {
+  Scored s;
+  Rng rng(seed);
+  for (int i = 0; i < n_per_class; ++i) {
+    s.decisions.push_back(rng.gaussian(margin, noise));
+    s.labels.push_back(+1);
+    s.decisions.push_back(rng.gaussian(-margin, noise));
+    s.labels.push_back(-1);
+  }
+  return s;
+}
+
+TEST(Platt, ProbabilityMonotoneInDecision) {
+  const Scored s = scored_data(200, 1.5, 1.0, 1);
+  const PlattScaler scaler = fit_platt(s.decisions, s.labels);
+  double prev = scaler.probability(-5.0);
+  for (double f = -4.0; f <= 5.0; f += 1.0) {
+    const double p = scaler.probability(f);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Platt, HighMarginPositivesNearOne) {
+  const Scored s = scored_data(200, 2.0, 0.5, 2);
+  const PlattScaler scaler = fit_platt(s.decisions, s.labels);
+  EXPECT_GT(scaler.probability(3.0), 0.95);
+  EXPECT_LT(scaler.probability(-3.0), 0.05);
+}
+
+TEST(Platt, BoundaryNearHalfOnBalancedData) {
+  const Scored s = scored_data(300, 1.0, 0.8, 3);
+  const PlattScaler scaler = fit_platt(s.decisions, s.labels);
+  EXPECT_NEAR(scaler.probability(0.0), 0.5, 0.1);
+}
+
+TEST(Platt, ProbabilitiesAlwaysInUnitInterval) {
+  const Scored s = scored_data(50, 1.0, 1.0, 4);
+  const PlattScaler scaler = fit_platt(s.decisions, s.labels);
+  for (double f : {-1000.0, -1.0, 0.0, 1.0, 1000.0}) {
+    const double p = scaler.probability(f);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Platt, BetterThanUncalibratedGuessByBrier) {
+  const Scored s = scored_data(300, 1.2, 1.0, 5);
+  const PlattScaler scaler = fit_platt(s.decisions, s.labels);
+  // Always-0.5 scores Brier 0.25; the fit must beat it clearly.
+  EXPECT_LT(brier_score(scaler, s.decisions, s.labels), 0.2);
+}
+
+TEST(Platt, ImbalancedPriorShiftsBoundary) {
+  // 10:1 negatives: at decision 0 the calibrated probability must be well
+  // below 0.5 (the prior pulls it down).
+  Scored s;
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    s.decisions.push_back(rng.gaussian(1.0, 1.0));
+    s.labels.push_back(+1);
+  }
+  for (int i = 0; i < 300; ++i) {
+    s.decisions.push_back(rng.gaussian(-1.0, 1.0));
+    s.labels.push_back(-1);
+  }
+  const PlattScaler scaler = fit_platt(s.decisions, s.labels);
+  EXPECT_LT(scaler.probability(0.0), 0.45);
+}
+
+TEST(Platt, InputValidation) {
+  std::vector<double> d{1.0, -1.0};
+  std::vector<int> one_class{1, 1};
+  EXPECT_THROW((void)fit_platt(d, one_class), std::invalid_argument);
+  std::vector<int> bad_label{1, 0};
+  EXPECT_THROW((void)fit_platt(d, bad_label), std::invalid_argument);
+  std::vector<int> short_labels{1};
+  EXPECT_THROW((void)fit_platt(d, short_labels), std::invalid_argument);
+  EXPECT_THROW((void)fit_platt({}, {}), std::invalid_argument);
+}
+
+TEST(Platt, CalibrateSvmEndToEnd) {
+  // Train an SVM, calibrate on held-out data, check the probability scale.
+  SvmProblem train, holdout;
+  Rng rng(7);
+  auto fill = [&](SvmProblem& p, int n) {
+    for (int i = 0; i < n; ++i) {
+      p.add({static_cast<float>(rng.gaussian(1.0, 0.8))}, +1);
+      p.add({static_cast<float>(rng.gaussian(-1.0, 0.8))}, -1);
+    }
+  };
+  fill(train, 100);
+  fill(holdout, 100);
+  const LinearSvm svm = SvmTrainer().train(train);
+  const PlattScaler scaler = calibrate_svm(svm, holdout);
+
+  EXPECT_GT(scaler.probability(svm.decision(std::vector<float>{2.0f})), 0.8);
+  EXPECT_LT(scaler.probability(svm.decision(std::vector<float>{-2.0f})), 0.2);
+}
+
+TEST(Platt, BrierScoreValidation) {
+  PlattScaler s{-1.0, 0.0};
+  std::vector<double> d{1.0};
+  std::vector<int> l{1, -1};
+  EXPECT_THROW((void)brier_score(s, d, l), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avd::ml

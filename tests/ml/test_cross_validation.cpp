@@ -1,0 +1,112 @@
+#include "avd/ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/ml/rng.hpp"
+
+namespace avd::ml {
+namespace {
+
+SvmProblem gaussian_problem(int n_per_class, double margin, std::uint64_t seed) {
+  SvmProblem p;
+  Rng rng(seed);
+  for (int i = 0; i < n_per_class; ++i) {
+    p.add({static_cast<float>(rng.gaussian(margin, 1.0)),
+           static_cast<float>(rng.gaussian(margin, 1.0))},
+          +1);
+    p.add({static_cast<float>(rng.gaussian(-margin, 1.0)),
+           static_cast<float>(rng.gaussian(-margin, 1.0))},
+          -1);
+  }
+  return p;
+}
+
+TEST(CrossValidation, FoldCountRespected) {
+  const CrossValidationResult r =
+      cross_validate(gaussian_problem(50, 2.0, 1), 5);
+  EXPECT_EQ(r.fold_accuracies.size(), 5u);
+  EXPECT_EQ(r.pooled.total(), 100u);  // every example tested exactly once
+}
+
+TEST(CrossValidation, EasyProblemScoresHigh) {
+  const CrossValidationResult r =
+      cross_validate(gaussian_problem(60, 3.0, 2), 5);
+  EXPECT_GT(r.mean_accuracy(), 0.95);
+  EXPECT_LT(r.stddev_accuracy(), 0.1);
+}
+
+TEST(CrossValidation, RandomLabelsScoreNearChance) {
+  // Features carry no signal: CV accuracy should hover around 50%.
+  SvmProblem p;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i)
+    p.add({static_cast<float>(rng.gaussian()), static_cast<float>(rng.gaussian())},
+          i % 2 == 0 ? 1 : -1);
+  const CrossValidationResult r = cross_validate(p, 5);
+  EXPECT_GT(r.mean_accuracy(), 0.3);
+  EXPECT_LT(r.mean_accuracy(), 0.7);
+}
+
+TEST(CrossValidation, DeterministicUnderSeed) {
+  const SvmProblem p = gaussian_problem(40, 1.0, 4);
+  const CrossValidationResult a = cross_validate(p, 4, {}, 999);
+  const CrossValidationResult b = cross_validate(p, 4, {}, 999);
+  EXPECT_EQ(a.fold_accuracies, b.fold_accuracies);
+}
+
+TEST(CrossValidation, StratificationBalancesFolds) {
+  // 9:1 imbalance: with stratification every fold still sees positives,
+  // so no fold can score 0 recall by construction.
+  SvmProblem p;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i)
+    p.add({static_cast<float>(rng.gaussian(3.0, 0.5))}, +1);
+  for (int i = 0; i < 180; ++i)
+    p.add({static_cast<float>(rng.gaussian(-3.0, 0.5))}, -1);
+  const CrossValidationResult r = cross_validate(p, 5);
+  EXPECT_GT(r.pooled.recall(), 0.9);
+}
+
+TEST(CrossValidation, InvalidInputsThrow) {
+  const SvmProblem p = gaussian_problem(10, 1.0, 6);
+  EXPECT_THROW((void)cross_validate(p, 1), std::invalid_argument);
+  EXPECT_THROW((void)cross_validate(SvmProblem{}, 3), std::invalid_argument);
+  EXPECT_THROW((void)cross_validate(p, 11), std::invalid_argument);  // > class size
+}
+
+TEST(GridSearch, PicksReasonableC) {
+  const SvmProblem p = gaussian_problem(60, 1.0, 7);
+  const GridSearchResult r = grid_search_c(p, {0.01, 0.1, 1.0, 10.0}, 4);
+  EXPECT_EQ(r.tried.size(), 4u);
+  EXPECT_GT(r.best_accuracy, 0.5);
+  bool found = false;
+  for (const auto& [c, acc] : r.tried)
+    if (c == r.best_c) {
+      found = true;
+      EXPECT_DOUBLE_EQ(acc, r.best_accuracy);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(GridSearch, TieBreaksToSmallerC) {
+  // A trivially separable problem: every C achieves 100%; the smallest wins.
+  const SvmProblem p = gaussian_problem(40, 5.0, 8);
+  const GridSearchResult r = grid_search_c(p, {10.0, 0.1, 1.0}, 4);
+  EXPECT_DOUBLE_EQ(r.best_c, 0.1);
+}
+
+TEST(GridSearch, EmptyCandidatesThrow) {
+  EXPECT_THROW((void)grid_search_c(gaussian_problem(10, 1.0, 9), {}),
+               std::invalid_argument);
+}
+
+TEST(CrossValidationResult, Statistics) {
+  CrossValidationResult r;
+  r.fold_accuracies = {0.8, 0.9, 1.0};
+  EXPECT_NEAR(r.mean_accuracy(), 0.9, 1e-12);
+  EXPECT_NEAR(r.stddev_accuracy(), 0.0816, 1e-3);
+  EXPECT_DOUBLE_EQ(CrossValidationResult{}.mean_accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace avd::ml

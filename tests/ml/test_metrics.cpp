@@ -1,0 +1,116 @@
+#include "avd/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::ml {
+namespace {
+
+TEST(BinaryCounts, RecordRoutesCorrectly) {
+  BinaryCounts c;
+  c.record(true, true);    // TP
+  c.record(true, false);   // FN
+  c.record(false, true);   // FP
+  c.record(false, false);  // TN
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(BinaryCounts, AccuracyMatchesPaperEquationOne) {
+  // Paper Table I, day model on day test: TP 195, TN 21, FP 4, FN 5 -> 96.00%.
+  const BinaryCounts c{195, 21, 4, 5};
+  EXPECT_NEAR(c.accuracy(), 0.96, 1e-9);
+}
+
+TEST(BinaryCounts, DuskModelOnDayRow) {
+  // Paper Table I: TP 23, TN 24, FP 1, FN 177 -> 20.89%.
+  const BinaryCounts c{23, 24, 1, 177};
+  EXPECT_NEAR(c.accuracy(), 0.2089, 1e-4);
+}
+
+TEST(BinaryCounts, EmptyCountsAreZero) {
+  const BinaryCounts c;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(BinaryCounts, PrecisionRecallF1) {
+  const BinaryCounts c{8, 0, 2, 2};  // P = 0.8, R = 0.8, F1 = 0.8
+  EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.8);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.8);
+}
+
+TEST(BinaryCounts, Accumulation) {
+  BinaryCounts a{1, 2, 3, 4};
+  const BinaryCounts b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.tp, 11u);
+  EXPECT_EQ(a.tn, 22u);
+  EXPECT_EQ(a.fp, 33u);
+  EXPECT_EQ(a.fn, 44u);
+}
+
+TEST(ConfusionMatrix, RecordAndQuery) {
+  ConfusionMatrix m(3);
+  m.record(0, 0);
+  m.record(0, 1);
+  m.record(2, 2);
+  m.record(2, 2);
+  EXPECT_EQ(m.at(0, 0), 1u);
+  EXPECT_EQ(m.at(0, 1), 1u);
+  EXPECT_EQ(m.at(2, 2), 2u);
+  EXPECT_EQ(m.total(), 4u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, OutOfRangeThrows) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.record(2, 0), std::out_of_range);
+  EXPECT_THROW(m.record(0, -1), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, TooFewClassesThrows) {
+  EXPECT_THROW(ConfusionMatrix(1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, OneVsRestDecomposition) {
+  ConfusionMatrix m(3);
+  // truth 0 predicted 0 x3; truth 0 predicted 1; truth 1 predicted 1 x2;
+  // truth 2 predicted 0.
+  for (int i = 0; i < 3; ++i) m.record(0, 0);
+  m.record(0, 1);
+  m.record(1, 1);
+  m.record(1, 1);
+  m.record(2, 0);
+  const BinaryCounts c0 = m.one_vs_rest(0);
+  EXPECT_EQ(c0.tp, 3u);
+  EXPECT_EQ(c0.fn, 1u);
+  EXPECT_EQ(c0.fp, 1u);
+  EXPECT_EQ(c0.tn, 2u);
+}
+
+TEST(ConfusionMatrix, OneVsRestCountsSumToTotal) {
+  ConfusionMatrix m(4);
+  for (int t = 0; t < 4; ++t)
+    for (int p = 0; p < 4; ++p)
+      for (int k = 0; k < t + p + 1; ++k) m.record(t, p);
+  for (int c = 0; c < 4; ++c)
+    EXPECT_EQ(m.one_vs_rest(c).total(), m.total());
+}
+
+TEST(ConfusionMatrix, ToStringContainsCounts) {
+  ConfusionMatrix m(2);
+  m.record(1, 0);
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find('1'), std::string::npos);
+  EXPECT_NE(s.find("truth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avd::ml

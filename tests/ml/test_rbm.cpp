@@ -1,0 +1,133 @@
+#include "avd/ml/rbm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::ml {
+namespace {
+
+// Two prototype patterns with small flip noise — an easily compressible
+// distribution a tiny RBM can learn.
+std::vector<std::vector<float>> two_prototype_data(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> data;
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> v(16, 0.0f);
+    const bool left = rng.bernoulli(0.5);
+    for (int j = 0; j < 8; ++j) v[left ? j : 8 + j] = 1.0f;
+    for (auto& x : v)
+      if (rng.bernoulli(0.05)) x = 1.0f - x;
+    data.push_back(std::move(v));
+  }
+  return data;
+}
+
+TEST(Rbm, ConstructionShapes) {
+  const Rbm rbm(81, 20);
+  EXPECT_EQ(rbm.visible(), 81);
+  EXPECT_EQ(rbm.hidden(), 20);
+  EXPECT_EQ(rbm.weights().rows(), 20u);
+  EXPECT_EQ(rbm.weights().cols(), 81u);
+}
+
+TEST(Rbm, BadShapesThrow) {
+  EXPECT_THROW(Rbm(0, 5), std::invalid_argument);
+  EXPECT_THROW(Rbm(5, -1), std::invalid_argument);
+}
+
+TEST(Rbm, HiddenProbsAreProbabilities) {
+  const Rbm rbm(16, 8, 3);
+  std::vector<float> v(16, 1.0f), h(8);
+  rbm.hidden_probs(v, h);
+  for (float p : h) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(Rbm, DimensionMismatchThrows) {
+  const Rbm rbm(16, 8);
+  std::vector<float> v(15), h(8);
+  EXPECT_THROW(rbm.hidden_probs(v, h), std::invalid_argument);
+  std::vector<float> v2(16), h2(7);
+  EXPECT_THROW(rbm.hidden_probs(v2, h2), std::invalid_argument);
+  EXPECT_THROW(rbm.visible_probs(h2, v2), std::invalid_argument);
+}
+
+TEST(Rbm, ZeroWeightsGiveHalfProbabilities) {
+  Rbm rbm(4, 3, 1);
+  for (auto& w : rbm.weights().data()) w = 0.0f;
+  std::vector<float> v(4, 1.0f), h(3);
+  rbm.hidden_probs(v, h);
+  for (float p : h) EXPECT_FLOAT_EQ(p, 0.5f);
+}
+
+TEST(Rbm, TrainingReducesReconstructionError) {
+  const auto data = two_prototype_data(200, 17);
+  Rbm rbm(16, 6, 23);
+  RbmTrainParams params;
+  params.epochs = 25;
+  const std::vector<double> errors = rbm.train(data, params);
+  ASSERT_EQ(errors.size(), 25u);
+  EXPECT_LT(errors.back(), errors.front() * 0.7);
+}
+
+TEST(Rbm, TrainedModelReconstructsPrototypesBetterThanNoise) {
+  const auto data = two_prototype_data(200, 29);
+  Rbm rbm(16, 6, 31);
+  RbmTrainParams params;
+  params.epochs = 30;
+  rbm.train(data, params);
+
+  std::vector<float> proto(16, 0.0f);
+  for (int j = 0; j < 8; ++j) proto[j] = 1.0f;
+  std::vector<float> alternating(16, 0.0f);
+  for (int j = 0; j < 16; j += 2) alternating[j] = 1.0f;
+
+  EXPECT_LT(rbm.reconstruction_error(proto),
+            rbm.reconstruction_error(alternating));
+}
+
+TEST(Rbm, TransformOutputsHiddenWidth) {
+  const Rbm rbm(16, 5, 7);
+  const auto h = rbm.transform(std::vector<float>(16, 0.5f));
+  EXPECT_EQ(h.size(), 5u);
+}
+
+TEST(Rbm, TrainingIsDeterministicUnderSeed) {
+  const auto data = two_prototype_data(80, 41);
+  RbmTrainParams params;
+  params.epochs = 5;
+  params.seed = 99;
+  Rbm a(16, 4, 11), b(16, 4, 11);
+  const auto ea = a.train(data, params);
+  const auto eb = b.train(data, params);
+  EXPECT_EQ(ea, eb);
+  for (std::size_t i = 0; i < a.weights().data().size(); ++i)
+    EXPECT_FLOAT_EQ(a.weights().data()[i], b.weights().data()[i]);
+}
+
+TEST(Rbm, EmptyTrainingDataThrows) {
+  Rbm rbm(4, 2);
+  EXPECT_THROW(rbm.train({}, RbmTrainParams{}), std::invalid_argument);
+}
+
+TEST(Rbm, BatchWithWrongDimensionThrows) {
+  Rbm rbm(4, 2);
+  Rng rng(1);
+  std::vector<std::vector<float>> batch{std::vector<float>(3, 0.0f)};
+  EXPECT_THROW(rbm.train_batch(batch, RbmTrainParams{}, rng),
+               std::invalid_argument);
+}
+
+TEST(Rbm, CdStepsGreaterThanOneStillLearn) {
+  const auto data = two_prototype_data(150, 53);
+  Rbm rbm(16, 6, 59);
+  RbmTrainParams params;
+  params.epochs = 20;
+  params.cd_steps = 3;
+  const auto errors = rbm.train(data, params);
+  EXPECT_LT(errors.back(), errors.front());
+}
+
+}  // namespace
+}  // namespace avd::ml

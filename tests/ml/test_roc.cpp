@@ -1,0 +1,107 @@
+#include "avd/ml/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/ml/rng.hpp"
+
+namespace avd::ml {
+namespace {
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+  const std::vector<double> d{3.0, 2.0, 1.0, -1.0, -2.0, -3.0};
+  const std::vector<int> y{1, 1, 1, -1, -1, -1};
+  const RocCurve curve = roc_curve(d, y);
+  EXPECT_NEAR(curve.auc(), 1.0, 1e-12);
+}
+
+TEST(Roc, InvertedScoresGiveAucZero) {
+  const std::vector<double> d{-3.0, -2.0, -1.0, 1.0, 2.0, 3.0};
+  const std::vector<int> y{1, 1, 1, -1, -1, -1};
+  EXPECT_NEAR(roc_curve(d, y).auc(), 0.0, 1e-12);
+}
+
+TEST(Roc, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<double> d;
+  std::vector<int> y;
+  for (int i = 0; i < 2000; ++i) {
+    d.push_back(rng.gaussian());
+    y.push_back(i % 2 == 0 ? 1 : -1);
+  }
+  EXPECT_NEAR(roc_curve(d, y).auc(), 0.5, 0.05);
+}
+
+TEST(Roc, CurveStartsAtOriginEndsAtOne) {
+  const std::vector<double> d{1.0, 0.5, -0.5, -1.0};
+  const std::vector<int> y{1, -1, 1, -1};
+  const RocCurve curve = roc_curve(d, y);
+  ASSERT_GE(curve.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.points.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().false_positive_rate, 1.0);
+}
+
+TEST(Roc, RatesMonotoneNonDecreasing) {
+  Rng rng(2);
+  std::vector<double> d;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const bool pos = rng.bernoulli(0.4);
+    d.push_back(rng.gaussian(pos ? 0.8 : -0.8, 1.0));
+    y.push_back(pos ? 1 : -1);
+  }
+  const RocCurve curve = roc_curve(d, y);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].true_positive_rate,
+              curve.points[i - 1].true_positive_rate);
+    EXPECT_GE(curve.points[i].false_positive_rate,
+              curve.points[i - 1].false_positive_rate);
+    EXPECT_LE(curve.points[i].threshold, curve.points[i - 1].threshold);
+  }
+}
+
+TEST(Roc, TiedScoresShareOnePoint) {
+  const std::vector<double> d{1.0, 1.0, 1.0, -1.0};
+  const std::vector<int> y{1, -1, 1, -1};
+  const RocCurve curve = roc_curve(d, y);
+  // Points: start, the tie block, the final value.
+  EXPECT_EQ(curve.points.size(), 3u);
+}
+
+TEST(Roc, BestThresholdSeparatesCleanData) {
+  const std::vector<double> d{2.0, 1.5, 1.0, -1.0, -1.5, -2.0};
+  const std::vector<int> y{1, 1, 1, -1, -1, -1};
+  const double t = roc_curve(d, y).best_threshold();
+  // Any threshold in [ -1, 1 ] classifies perfectly; best point is at the
+  // last positive (threshold 1.0).
+  EXPECT_GE(t, -1.0);
+  EXPECT_LE(t, 1.0 + 1e-12);
+}
+
+TEST(Roc, SeparationQualityOrdersAuc) {
+  Rng rng(3);
+  auto auc_for_margin = [&](double margin) {
+    std::vector<double> d;
+    std::vector<int> y;
+    for (int i = 0; i < 400; ++i) {
+      const bool pos = i % 2 == 0;
+      d.push_back(rng.gaussian(pos ? margin : -margin, 1.0));
+      y.push_back(pos ? 1 : -1);
+    }
+    return roc_curve(d, y).auc();
+  };
+  EXPECT_GT(auc_for_margin(2.0), auc_for_margin(0.5));
+}
+
+TEST(Roc, InputValidation) {
+  std::vector<double> d{1.0, 2.0};
+  std::vector<int> all_pos{1, 1};
+  EXPECT_THROW((void)roc_curve(d, all_pos), std::invalid_argument);
+  std::vector<int> bad{1, 0};
+  EXPECT_THROW((void)roc_curve(d, bad), std::invalid_argument);
+  EXPECT_THROW((void)roc_curve({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avd::ml

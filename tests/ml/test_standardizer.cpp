@@ -1,0 +1,118 @@
+#include "avd/ml/standardizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/ml/rng.hpp"
+
+namespace avd::ml {
+namespace {
+
+std::vector<std::vector<float>> wild_scale_data(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> data;
+  for (int i = 0; i < n; ++i) {
+    data.push_back({static_cast<float>(rng.gaussian(1000.0, 200.0)),
+                    static_cast<float>(rng.gaussian(0.5, 0.1)),
+                    static_cast<float>(rng.gaussian(-3.0, 5.0))});
+  }
+  return data;
+}
+
+TEST(Standardizer, TransformedDataHasZeroMeanUnitVariance) {
+  const auto data = wild_scale_data(500, 1);
+  const Standardizer s = Standardizer::fit(data);
+  std::vector<double> sum(3, 0.0), sum2(3, 0.0);
+  for (const auto& x : data) {
+    const auto z = s.transform(x);
+    for (int i = 0; i < 3; ++i) {
+      sum[i] += z[i];
+      sum2[i] += static_cast<double>(z[i]) * z[i];
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sum[i] / 500.0, 0.0, 0.05) << i;
+    EXPECT_NEAR(sum2[i] / 500.0, 1.0, 0.1) << i;
+  }
+}
+
+TEST(Standardizer, ConstantFeaturePassesThrough) {
+  std::vector<std::vector<float>> data{{5.0f, 1.0f}, {5.0f, 2.0f},
+                                       {5.0f, 3.0f}};
+  const Standardizer s = Standardizer::fit(data);
+  const auto z = s.transform(std::vector<float>{5.0f, 2.0f});
+  EXPECT_FLOAT_EQ(z[0], 0.0f);  // (5-5)/1
+  EXPECT_FALSE(std::isnan(z[1]));
+}
+
+TEST(Standardizer, FitValidation) {
+  EXPECT_THROW((void)Standardizer::fit({}), std::invalid_argument);
+  std::vector<std::vector<float>> ragged{{1.0f, 2.0f}, {1.0f}};
+  EXPECT_THROW((void)Standardizer::fit(ragged), std::invalid_argument);
+}
+
+TEST(Standardizer, TransformDimensionMismatchThrows) {
+  const Standardizer s = Standardizer::fit(wild_scale_data(10, 2));
+  EXPECT_THROW((void)s.transform(std::vector<float>{1.0f}),
+               std::invalid_argument);
+}
+
+TEST(Standardizer, ProblemTransformKeepsLabels) {
+  SvmProblem p;
+  p.add({1000.0f, 0.5f, -3.0f}, +1);
+  p.add({800.0f, 0.4f, 2.0f}, -1);
+  const Standardizer s = Standardizer::fit(p.features);
+  const SvmProblem z = s.transform(p);
+  EXPECT_EQ(z.labels, p.labels);
+  EXPECT_EQ(z.size(), p.size());
+}
+
+TEST(Standardizer, FoldIntoGivesEquivalentRawModel) {
+  // Train on standardised features, fold the affine map into the weights,
+  // verify decisions agree on raw features.
+  Rng rng(3);
+  SvmProblem raw;
+  for (int i = 0; i < 120; ++i) {
+    const bool pos = i % 2 == 0;
+    raw.add({static_cast<float>(rng.gaussian(pos ? 1200.0 : 800.0, 100.0)),
+             static_cast<float>(rng.gaussian(pos ? 0.6 : 0.4, 0.05))},
+            pos ? +1 : -1);
+  }
+  const Standardizer s = Standardizer::fit(raw.features);
+  const LinearSvm std_model = SvmTrainer().train(s.transform(raw));
+  const LinearSvm raw_model = s.fold_into(std_model);
+
+  for (std::size_t i = 0; i < raw.size(); i += 7) {
+    const double via_transform = std_model.decision(s.transform(raw.features[i]));
+    const double direct = raw_model.decision(raw.features[i]);
+    EXPECT_NEAR(via_transform, direct, 1e-3) << i;
+  }
+}
+
+TEST(Standardizer, ImprovesConvergenceOnBadlyScaledData) {
+  // Same data, same epoch budget: the standardised problem must reach
+  // convergence no later than the raw one.
+  Rng rng(4);
+  SvmProblem raw;
+  for (int i = 0; i < 100; ++i) {
+    const bool pos = i % 2 == 0;
+    raw.add({static_cast<float>(rng.gaussian(pos ? 5000.0 : 4000.0, 300.0)),
+             static_cast<float>(rng.gaussian(pos ? 0.02 : -0.02, 0.01))},
+            pos ? +1 : -1);
+  }
+  SvmTrainParams params;
+  params.max_epochs = 150;
+  SvmTrainReport raw_report, std_report;
+  (void)SvmTrainer(params).train(raw, raw_report);
+  const Standardizer s = Standardizer::fit(raw.features);
+  (void)SvmTrainer(params).train(s.transform(raw), std_report);
+  EXPECT_LE(std_report.epochs_run, raw_report.epochs_run);
+}
+
+TEST(Standardizer, FoldDimensionMismatchThrows) {
+  const Standardizer s = Standardizer::fit(wild_scale_data(5, 5));
+  const LinearSvm wrong({1.0f}, 0.0f);
+  EXPECT_THROW((void)s.fold_into(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avd::ml

@@ -1,0 +1,113 @@
+#include "avd/soc/axi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace avd::soc {
+namespace {
+
+TransferPath simple_path(std::uint32_t burst = 256) {
+  TransferPath p;
+  p.name = "test";
+  p.segments = {{"a", Duration::from_ns(100), 400.0},
+                {"b", Duration::from_ns(50), 800.0}};
+  p.burst_bytes = burst;
+  p.setup = Duration::from_us(1);
+  return p;
+}
+
+TEST(TransferPath, BottleneckIsMinimumBandwidth) {
+  EXPECT_DOUBLE_EQ(simple_path().bottleneck_mbps(), 400.0);
+}
+
+TEST(TransferPath, ZeroBandwidthSegmentsIgnored) {
+  TransferPath p = simple_path();
+  p.segments.push_back({"latency-only", Duration::from_ns(5), 0.0});
+  EXPECT_DOUBLE_EQ(p.bottleneck_mbps(), 400.0);
+}
+
+TEST(TransferPath, BurstOverheadSums) {
+  EXPECT_EQ(simple_path().burst_overhead(), Duration::from_ns(150));
+}
+
+TEST(ModelTransfer, BurstCountRoundsUp) {
+  const TransferRecord r = model_transfer(simple_path(256), 1000);
+  EXPECT_EQ(r.bursts, 4u);  // ceil(1000/256)
+  EXPECT_EQ(r.bytes, 1000u);
+}
+
+TEST(ModelTransfer, ElapsedDecomposes) {
+  const TransferRecord r = model_transfer(simple_path(), 1 << 20);
+  EXPECT_EQ(r.elapsed.ps, (r.payload_time + r.overhead_time).ps);
+  EXPECT_GT(r.payload_time.ps, 0u);
+  EXPECT_GT(r.overhead_time.ps, 0u);
+}
+
+TEST(ModelTransfer, ThroughputBelowBottleneck) {
+  const TransferRecord r = model_transfer(simple_path(), 8 << 20);
+  EXPECT_LT(r.throughput(), 400.0);
+  EXPECT_GT(r.throughput(), 0.0);
+}
+
+TEST(ModelTransfer, BiggerBurstsAreFaster) {
+  // Same bytes, same segments: larger bursts amortise the fixed latencies.
+  const TransferRecord small = model_transfer(simple_path(64), 4 << 20);
+  const TransferRecord big = model_transfer(simple_path(1024), 4 << 20);
+  EXPECT_GT(big.throughput(), small.throughput());
+}
+
+TEST(ModelTransfer, EfficiencyInUnitRange) {
+  const TransferRecord r = model_transfer(simple_path(), 1 << 20);
+  EXPECT_GT(r.efficiency(), 0.0);
+  EXPECT_LT(r.efficiency(), 1.0);
+}
+
+TEST(ModelTransfer, ThroughputScalesWithSizeTowardAsymptote) {
+  // The setup cost matters less for larger transfers.
+  const double t1 = model_transfer(simple_path(), 64 << 10).throughput();
+  const double t2 = model_transfer(simple_path(), 8 << 20).throughput();
+  EXPECT_GT(t2, t1);
+}
+
+TEST(ModelTransfer, InvalidInputsThrow) {
+  TransferPath p = simple_path();
+  p.burst_bytes = 0;
+  EXPECT_THROW(model_transfer(p, 100), std::invalid_argument);
+
+  TransferPath empty;
+  empty.burst_bytes = 64;
+  EXPECT_THROW(model_transfer(empty, 100), std::invalid_argument);
+
+  TransferPath no_bw;
+  no_bw.segments = {{"x", Duration::from_ns(1), 0.0}};
+  no_bw.burst_bytes = 64;
+  EXPECT_THROW(model_transfer(no_bw, 100), std::invalid_argument);
+}
+
+TEST(ModelTransfer, ZeroBytesOnlySetup) {
+  const TransferRecord r = model_transfer(simple_path(), 0);
+  EXPECT_EQ(r.bursts, 0u);
+  EXPECT_EQ(r.payload_time.ps, 0u);
+  EXPECT_EQ(r.elapsed, simple_path().setup);
+}
+
+// Analytic check: throughput of an N-byte transfer through a single segment
+// equals bytes / (setup + bursts*latency + bytes/bw).
+TEST(ModelTransfer, MatchesClosedForm) {
+  TransferPath p;
+  p.segments = {{"only", Duration::from_ns(200), 400.0}};
+  p.burst_bytes = 1024;
+  p.setup = Duration::from_us(2);
+  const std::uint64_t bytes = 2 << 20;
+  const TransferRecord r = model_transfer(p, bytes);
+
+  const double bursts = std::ceil(static_cast<double>(bytes) / 1024.0);
+  const double elapsed_s =
+      2e-6 + bursts * 200e-9 + static_cast<double>(bytes) / (400e6);
+  EXPECT_NEAR(r.throughput(), static_cast<double>(bytes) / elapsed_s / 1e6,
+              0.5);
+}
+
+}  // namespace
+}  // namespace avd::soc

@@ -1,0 +1,87 @@
+#include "avd/soc/axi_lite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+// A 4-register scratch device for interconnect tests.
+class ScratchDevice final : public AxiLiteDevice {
+ public:
+  explicit ScratchDevice(std::string name) : name_(std::move(name)) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::uint32_t window_bytes() const override { return 16; }
+  std::uint32_t read(std::uint32_t offset, TimePoint) override {
+    check(offset);
+    return regs_[offset / 4];
+  }
+  void write(std::uint32_t offset, std::uint32_t value, TimePoint) override {
+    check(offset);
+    regs_[offset / 4] = value;
+  }
+
+ private:
+  static void check(std::uint32_t offset) {
+    if (offset >= 16 || offset % 4 != 0)
+      throw std::out_of_range("scratch: bad offset");
+  }
+  std::string name_;
+  std::uint32_t regs_[4] = {};
+};
+
+TEST(AxiLiteInterconnect, RoutesToMappedDevice) {
+  ScratchDevice dev("a");
+  AxiLiteInterconnect bus;
+  bus.attach(0x1000, &dev);
+  (void)bus.write(0x1008, 0xDEADBEEF, {0});
+  EXPECT_EQ(bus.read(0x1008, {0}).value, 0xDEADBEEFu);
+  EXPECT_EQ(bus.read(0x1000, {0}).value, 0u);
+}
+
+TEST(AxiLiteInterconnect, MultipleDevicesIndependent) {
+  ScratchDevice a("a"), b("b");
+  AxiLiteInterconnect bus;
+  bus.attach(0x0, &a);
+  bus.attach(0x100, &b);
+  (void)bus.write(0x4, 1, {0});
+  (void)bus.write(0x104, 2, {0});
+  EXPECT_EQ(bus.read(0x4, {0}).value, 1u);
+  EXPECT_EQ(bus.read(0x104, {0}).value, 2u);
+  EXPECT_EQ(bus.device_count(), 2u);
+}
+
+TEST(AxiLiteInterconnect, UnmappedAddressThrows) {
+  ScratchDevice dev("a");
+  AxiLiteInterconnect bus;
+  bus.attach(0x1000, &dev);
+  EXPECT_THROW((void)bus.read(0x0FFC, {0}), std::out_of_range);
+  EXPECT_THROW((void)bus.read(0x1010, {0}), std::out_of_range);  // past window
+  EXPECT_THROW((void)bus.write(0x2000, 1, {0}), std::out_of_range);
+}
+
+TEST(AxiLiteInterconnect, OverlappingWindowsRejected) {
+  ScratchDevice a("a"), b("b");
+  AxiLiteInterconnect bus;
+  bus.attach(0x1000, &a);
+  EXPECT_THROW(bus.attach(0x1008, &b), std::invalid_argument);  // overlaps
+  EXPECT_THROW(bus.attach(0x0FF8, &b), std::invalid_argument);  // tail overlap
+  EXPECT_NO_THROW(bus.attach(0x1010, &b));  // adjacent is fine
+}
+
+TEST(AxiLiteInterconnect, RejectsNullAndUnaligned) {
+  AxiLiteInterconnect bus;
+  ScratchDevice dev("a");
+  EXPECT_THROW(bus.attach(0x1000, nullptr), std::invalid_argument);
+  EXPECT_THROW(bus.attach(0x1001, &dev), std::invalid_argument);
+}
+
+TEST(AxiLiteInterconnect, AccessesChargeLatency) {
+  ScratchDevice dev("a");
+  AxiLiteInterconnect bus(Duration::from_ns(200));
+  bus.attach(0x0, &dev);
+  EXPECT_EQ(bus.write(0x0, 7, {0}).latency, Duration::from_ns(200));
+  EXPECT_EQ(bus.read(0x0, {0}).latency, Duration::from_ns(200));
+}
+
+}  // namespace
+}  // namespace avd::soc

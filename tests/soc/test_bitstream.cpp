@@ -1,0 +1,53 @@
+#include "avd/soc/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+TEST(Bitstream, PaperPartitionYieldsEightMB) {
+  const DeviceResources device;
+  const ModuleResources partition =
+      floorplan_partition(dark_blocks(), device, {});
+  const PartialBitstream bits =
+      make_partial_bitstream("dark", partition, device, {});
+  EXPECT_NEAR(bits.megabytes(), 8.0, 0.1);
+  EXPECT_EQ(bits.config_name, "dark");
+}
+
+TEST(Bitstream, SizeScalesWithRegion) {
+  const DeviceResources device;
+  const ModuleResources half{"h", device.lut / 2, device.ff / 2, 0, 0};
+  const ModuleResources quarter{"q", device.lut / 4, device.ff / 4, 0, 0};
+  const auto b_half = make_partial_bitstream("a", half, device, {});
+  const auto b_quarter = make_partial_bitstream("b", quarter, device, {});
+  EXPECT_NEAR(static_cast<double>(b_half.bytes) / b_quarter.bytes, 2.0, 0.01);
+}
+
+TEST(Bitstream, FullDeviceRegionGivesFullBitstream) {
+  const DeviceResources device;
+  const ModuleResources all{"all", device.lut, device.ff, device.bram,
+                            device.dsp};
+  const BitstreamParams params;
+  const auto bits = make_partial_bitstream("full", all, device, params);
+  EXPECT_EQ(bits.bytes, params.full_device_bytes);
+}
+
+TEST(Bitstream, CustomFullDeviceSize) {
+  const DeviceResources device;
+  BitstreamParams params;
+  params.full_device_bytes = 1000000;
+  const ModuleResources half{"h", device.lut / 2, 0, 0, 0};
+  EXPECT_NEAR(
+      static_cast<double>(
+          make_partial_bitstream("x", half, device, params).bytes),
+      500000.0, 2.0);
+}
+
+TEST(Bitstream, MegabytesConversion) {
+  PartialBitstream b{"x", 8 * 1024 * 1024};
+  EXPECT_DOUBLE_EQ(b.megabytes(), 8.0);
+}
+
+}  // namespace
+}  // namespace avd::soc

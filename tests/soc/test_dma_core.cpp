@@ -1,0 +1,141 @@
+#include "avd/soc/dma_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "avd/soc/zynq.hpp"
+
+namespace avd::soc {
+namespace {
+
+class DmaCoreTest : public ::testing::Test {
+ protected:
+  DmaCoreTest()
+      : line_(irq_.add_line("dma")),
+        dma_("dma", test_path(), &irq_, line_, &log_) {}
+
+  static TransferPath test_path() {
+    TransferPath p;
+    p.name = "test";
+    p.segments = {{"port", Duration::from_ns(100), 400.0}};
+    p.burst_bytes = 1024;
+    p.setup = Duration::from_us(1);
+    return p;
+  }
+
+  void start_mm2s(std::uint32_t bytes, TimePoint now = {0}) {
+    dma_.write(dma_reg::kMm2sCr, dma_bit::kRunStop | dma_bit::kIocIrqEn, now);
+    dma_.write(dma_reg::kMm2sSa, 0x1000, now);
+    dma_.write(dma_reg::kMm2sLength, bytes, now);
+  }
+
+  InterruptController irq_;
+  EventLog log_;
+  int line_;
+  DmaCore dma_;
+};
+
+TEST_F(DmaCoreTest, ResetStateHaltedAndIdle) {
+  EXPECT_TRUE(dma_.read(dma_reg::kMm2sSr, {0}) & dma_bit::kHalted);
+  EXPECT_TRUE(dma_.read(dma_reg::kMm2sSr, {0}) & dma_bit::kIdle);
+  EXPECT_FALSE(dma_.last_transfer().has_value());
+}
+
+TEST_F(DmaCoreTest, LengthWriteStartsTransfer) {
+  start_mm2s(1 << 20);
+  ASSERT_TRUE(dma_.last_transfer().has_value());
+  EXPECT_EQ(dma_.last_transfer()->bytes, 1u << 20);
+  EXPECT_EQ(dma_.last_transfer()->address, 0x1000u);
+  EXPECT_TRUE(dma_.last_transfer()->mm2s);
+  EXPECT_GT(dma_.last_transfer()->completes.ps, 0u);
+}
+
+TEST_F(DmaCoreTest, BusyUntilModeledCompletion) {
+  start_mm2s(1 << 20);
+  const TimePoint done = dma_.last_transfer()->completes;
+  EXPECT_FALSE(dma_.idle(true, TimePoint{done.ps - 1}));
+  EXPECT_TRUE(dma_.idle(true, done));
+  // Status register reflects the same.
+  EXPECT_FALSE(dma_.read(dma_reg::kMm2sSr, TimePoint{done.ps - 1}) &
+               dma_bit::kIdle);
+  EXPECT_TRUE(dma_.read(dma_reg::kMm2sSr, done) & dma_bit::kIdle);
+}
+
+TEST_F(DmaCoreTest, CompletionRaisesIrqAtFinishTime) {
+  start_mm2s(1 << 20);
+  const TimePoint done = dma_.last_transfer()->completes;
+  EXPECT_TRUE(irq_.is_pending(line_));
+  const auto svc = irq_.service_next({0});
+  EXPECT_TRUE(svc.handled);
+  EXPECT_GE(svc.handler_entry.ps, done.ps);
+}
+
+TEST_F(DmaCoreTest, NoIrqWhenDisabled) {
+  dma_.write(dma_reg::kMm2sCr, dma_bit::kRunStop, {0});  // IOC IRQ not enabled
+  dma_.write(dma_reg::kMm2sSa, 0, {0});
+  dma_.write(dma_reg::kMm2sLength, 4096, {0});
+  EXPECT_FALSE(irq_.is_pending(line_));
+}
+
+TEST_F(DmaCoreTest, StartWhileStoppedThrows) {
+  EXPECT_THROW(dma_.write(dma_reg::kMm2sLength, 4096, {0}), std::logic_error);
+}
+
+TEST_F(DmaCoreTest, StartWhileBusyThrows) {
+  start_mm2s(1 << 20);
+  EXPECT_THROW(dma_.write(dma_reg::kMm2sLength, 4096, {0}), std::logic_error);
+  // After completion, a new transfer is fine.
+  const TimePoint done = dma_.last_transfer()->completes;
+  EXPECT_NO_THROW(dma_.write(dma_reg::kMm2sLength, 4096, done));
+}
+
+TEST_F(DmaCoreTest, ZeroLengthThrows) {
+  dma_.write(dma_reg::kMm2sCr, dma_bit::kRunStop, {0});
+  EXPECT_THROW(dma_.write(dma_reg::kMm2sLength, 0, {0}),
+               std::invalid_argument);
+}
+
+TEST_F(DmaCoreTest, ChannelsAreIndependent) {
+  start_mm2s(1 << 20);
+  // S2MM channel can run concurrently.
+  dma_.write(dma_reg::kS2mmCr, dma_bit::kRunStop, {0});
+  dma_.write(dma_reg::kS2mmDa, 0x2000, {0});
+  EXPECT_NO_THROW(dma_.write(dma_reg::kS2mmLength, 4096, {0}));
+  EXPECT_FALSE(dma_.last_transfer()->mm2s);
+  EXPECT_EQ(dma_.last_transfer()->address, 0x2000u);
+}
+
+TEST_F(DmaCoreTest, IocBitWriteOneToClear) {
+  start_mm2s(4096);
+  const TimePoint done = dma_.last_transfer()->completes;
+  EXPECT_TRUE(dma_.read(dma_reg::kMm2sSr, done) & dma_bit::kIocIrq);
+  dma_.write(dma_reg::kMm2sSr, dma_bit::kIocIrq, done);
+  EXPECT_FALSE(dma_.read(dma_reg::kMm2sSr, done) & dma_bit::kIocIrq);
+}
+
+TEST_F(DmaCoreTest, SoftResetClearsChannel) {
+  start_mm2s(1 << 20);
+  dma_.write(dma_reg::kMm2sCr, dma_bit::kReset, {0});
+  EXPECT_TRUE(dma_.read(dma_reg::kMm2sSr, {0}) & dma_bit::kHalted);
+  EXPECT_TRUE(dma_.idle(true, {0}));
+}
+
+TEST_F(DmaCoreTest, BadOffsetThrows) {
+  EXPECT_THROW((void)dma_.read(0x5C, {0}), std::out_of_range);
+  EXPECT_THROW(dma_.write(0x08, 1, {0}), std::out_of_range);
+}
+
+TEST_F(DmaCoreTest, TransferTimeMatchesPathModel) {
+  start_mm2s(1 << 20);
+  const TransferRecord expected = model_transfer(test_path(), 1 << 20);
+  EXPECT_EQ((dma_.last_transfer()->completes - dma_.last_transfer()->started).ps,
+            expected.elapsed.ps);
+}
+
+TEST_F(DmaCoreTest, TransfersLogged) {
+  start_mm2s(4096);
+  ASSERT_GE(log_.size(), 1u);
+  EXPECT_NE(log_.events()[0].message.find("MM2S"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avd::soc

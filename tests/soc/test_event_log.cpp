@@ -1,0 +1,47 @@
+#include "avd/soc/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+TEST(EventLog, RecordsInOrder) {
+  EventLog log;
+  log.record({100}, "a", "first");
+  log.record({200}, "b", "second");
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events()[0].message, "first");
+  EXPECT_EQ(log.events()[1].source, "b");
+}
+
+TEST(EventLog, FilterBySource) {
+  EventLog log;
+  log.record({1}, "dma", "x");
+  log.record({2}, "icap", "y");
+  log.record({3}, "dma", "z");
+  const auto dma = log.from("dma");
+  ASSERT_EQ(dma.size(), 2u);
+  EXPECT_EQ(dma[0].message, "x");
+  EXPECT_EQ(dma[1].message, "z");
+  EXPECT_TRUE(log.from("nope").empty());
+}
+
+TEST(EventLog, ToStringContainsAllFields) {
+  EventLog log;
+  log.record(TimePoint{} + Duration::from_ms(5), "pr-controller", "done");
+  const std::string s = log.to_string();
+  EXPECT_NE(s.find("pr-controller"), std::string::npos);
+  EXPECT_NE(s.find("done"), std::string::npos);
+  EXPECT_NE(s.find('5'), std::string::npos);
+}
+
+TEST(EventLog, Clear) {
+  EventLog log;
+  log.record({1}, "a", "x");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.to_string().empty());
+}
+
+}  // namespace
+}  // namespace avd::soc

@@ -1,0 +1,125 @@
+#include "avd/soc/frame_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+TEST(FrameScheduler, FramePeriodAt50Fps) {
+  const FrameSchedulerConfig cfg;
+  EXPECT_EQ(cfg.frame_period(), Duration::from_ms(20));
+}
+
+TEST(FrameScheduler, FrameTimesAreMultiplesOfPeriod) {
+  FrameScheduler s;
+  EXPECT_EQ(s.frame_time(0).ps, 0u);
+  EXPECT_EQ(s.frame_time(5), TimePoint{} + Duration::from_ms(100));
+}
+
+TEST(FrameScheduler, NoWindowsMeansAllProcessed) {
+  FrameScheduler s;
+  const auto records = s.schedule(10, "day-dusk");
+  ASSERT_EQ(records.size(), 10u);
+  for (const FrameRecord& r : records) {
+    EXPECT_TRUE(r.vehicle_processed);
+    EXPECT_TRUE(r.pedestrian_processed);
+    EXPECT_EQ(r.vehicle_config, "day-dusk");
+  }
+  EXPECT_EQ(FrameScheduler::dropped_vehicle_frames(records), 0);
+}
+
+TEST(FrameScheduler, PaperScenario20msWindowDropsExactlyOneFrame) {
+  // Reconfig starts mid-frame-2 (engine drained), lasts ~21.5 ms: only the
+  // frame captured inside the window (frame 3) is lost.
+  FrameScheduler s;
+  s.add_reconfig_window(TimePoint{} + Duration::from_ms(57),
+                        Duration::from_us(21500), "dark");
+  const auto records = s.schedule(8, "day-dusk");
+  EXPECT_EQ(FrameScheduler::dropped_vehicle_frames(records), 1);
+  EXPECT_FALSE(records[3].vehicle_processed);  // captured at 60 ms
+  EXPECT_TRUE(records[4].vehicle_processed);   // captured at 80 ms
+}
+
+TEST(FrameScheduler, PedestrianNeverDrops) {
+  FrameScheduler s;
+  s.add_reconfig_window(TimePoint{} + Duration::from_ms(10),
+                        Duration::from_ms(100), "dark");
+  for (const FrameRecord& r : s.schedule(20, "day-dusk"))
+    EXPECT_TRUE(r.pedestrian_processed);
+}
+
+TEST(FrameScheduler, ConfigSwitchesAfterWindowEnd) {
+  FrameScheduler s;
+  s.add_reconfig_window(TimePoint{} + Duration::from_ms(30),
+                        Duration::from_ms(15), "dark");
+  const auto records = s.schedule(5, "day-dusk");
+  EXPECT_EQ(records[0].vehicle_config, "day-dusk");
+  EXPECT_EQ(records[1].vehicle_config, "day-dusk");  // t=20, window active at 30
+  EXPECT_EQ(records[2].vehicle_config, "day-dusk");  // t=40, window ends at 45
+  EXPECT_EQ(records[3].vehicle_config, "dark");      // t=60
+  EXPECT_FALSE(records[2].vehicle_processed);        // captured inside window
+}
+
+TEST(FrameScheduler, LongWindowDropsMultipleFrames) {
+  FrameScheduler s;
+  s.add_reconfig_window(TimePoint{} + Duration::from_ms(5),
+                        Duration::from_ms(120), "dark");  // covers t=20..120
+  const auto records = s.schedule(10, "a");
+  // Frames captured at 20,40,60,80,100,120(?): window [5,125) covers
+  // 20,40,60,80,100,120 -> 6 drops.
+  EXPECT_EQ(FrameScheduler::dropped_vehicle_frames(records), 6);
+}
+
+TEST(FrameScheduler, WindowBetweenCapturesDropsNothing) {
+  // A sub-frame-gap window that starts after one capture and ends before the
+  // next costs zero frames.
+  FrameScheduler s;
+  s.add_reconfig_window(TimePoint{} + Duration::from_ms(21),
+                        Duration::from_ms(15), "dark");
+  EXPECT_EQ(FrameScheduler::dropped_vehicle_frames(s.schedule(5, "a")), 0);
+}
+
+TEST(FrameScheduler, MultipleWindowsAccumulate) {
+  FrameScheduler s;
+  s.add_reconfig_window(TimePoint{} + Duration::from_ms(19),
+                        Duration::from_ms(2), "dark");  // covers t=20
+  s.add_reconfig_window(TimePoint{} + Duration::from_ms(99),
+                        Duration::from_ms(2), "day-dusk");  // covers t=100
+  const auto records = s.schedule(8, "day-dusk");
+  EXPECT_EQ(FrameScheduler::dropped_vehicle_frames(records), 2);
+  EXPECT_EQ(records[7].vehicle_config, "day-dusk");
+  EXPECT_EQ(records[3].vehicle_config, "dark");
+}
+
+TEST(FrameScheduler, OverlappingWindowsRejected) {
+  FrameScheduler s;
+  s.add_reconfig_window(TimePoint{} + Duration::from_ms(10),
+                        Duration::from_ms(20), "a");
+  EXPECT_THROW(s.add_reconfig_window(TimePoint{} + Duration::from_ms(25),
+                                     Duration::from_ms(10), "b"),
+               std::invalid_argument);
+}
+
+TEST(FrameScheduler, ZeroLengthWindowRejected) {
+  FrameScheduler s;
+  EXPECT_THROW(s.add_reconfig_window({0}, Duration{}, "a"),
+               std::invalid_argument);
+}
+
+TEST(FrameScheduler, CustomFps) {
+  FrameSchedulerConfig cfg;
+  cfg.fps = 25.0;
+  FrameScheduler s(cfg);
+  EXPECT_EQ(s.frame_time(1), TimePoint{} + Duration::from_ms(40));
+}
+
+TEST(FrameScheduler, AvailabilityArithmetic) {
+  FrameScheduler s;
+  s.add_reconfig_window(TimePoint{} + Duration::from_ms(39),
+                        Duration::from_ms(2), "x");  // drops frame at t=40
+  const auto records = s.schedule(50, "a");
+  EXPECT_EQ(FrameScheduler::dropped_vehicle_frames(records), 1);
+}
+
+}  // namespace
+}  // namespace avd::soc

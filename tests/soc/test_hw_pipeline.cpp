@@ -1,0 +1,86 @@
+#include "avd/soc/hw_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+TEST(HwPipeline, PaperClaim50FpsOnHdtv) {
+  // Abstract / §V: "capable of detecting pedestrian and vehicles in
+  // different lighting conditions at the rate of 50fps for HDTV
+  // (1080x1920) frame" at 125 MHz.
+  EXPECT_TRUE(day_dusk_pipeline_model().meets_rate(kHdtvFrame, kTargetFps));
+  EXPECT_TRUE(dark_pipeline_model().meets_rate(kHdtvFrame, kTargetFps));
+  EXPECT_TRUE(pedestrian_pipeline_model().meets_rate(kHdtvFrame, kTargetFps));
+}
+
+TEST(HwPipeline, ThroughputDominatedByPixelRate) {
+  // 2073600 pixels at 125 MHz = 16.6 ms; overheads must stay small.
+  const Duration t = day_dusk_pipeline_model().frame_time(kHdtvFrame);
+  EXPECT_GT(t.as_ms(), 16.5);
+  EXPECT_LT(t.as_ms(), 18.5);
+}
+
+TEST(HwPipeline, MaxFpsInPlausibleBand) {
+  const double fps = day_dusk_pipeline_model().max_fps(kHdtvFrame);
+  EXPECT_GT(fps, 50.0);
+  EXPECT_LT(fps, 62.0);  // no magic: bounded by the 60.3 fps pixel rate
+}
+
+TEST(HwPipeline, FillLatencySumsStages) {
+  HwPipelineModel m;
+  m.stages = {{"a", 100, 1}, {"b", 200, 2}};
+  EXPECT_EQ(m.fill_latency_cycles(), 300u);
+}
+
+TEST(HwPipeline, SmallerFramesRunFaster) {
+  const HwPipelineModel m = day_dusk_pipeline_model();
+  EXPECT_GT(m.max_fps({640, 360}), m.max_fps(kHdtvFrame));
+}
+
+TEST(HwPipeline, HigherClockRunsFaster) {
+  HwPipelineModel slow = day_dusk_pipeline_model();
+  HwPipelineModel fast = slow;
+  fast.fabric_mhz = 250;
+  EXPECT_GT(fast.max_fps(kHdtvFrame), slow.max_fps(kHdtvFrame));
+}
+
+TEST(HwPipeline, TwoPixelsPerCycleDoubleRate) {
+  HwPipelineModel one = day_dusk_pipeline_model();
+  HwPipelineModel two = one;
+  two.pixels_per_cycle = 2;
+  // Not exactly 2x because of fill latency and overhead, but close.
+  EXPECT_GT(two.max_fps(kHdtvFrame), 1.8 * one.max_fps(kHdtvFrame) / 1.0 / 1.0);
+  EXPECT_GT(two.max_fps(kHdtvFrame), one.max_fps(kHdtvFrame) * 1.8);
+}
+
+TEST(HwPipeline, StageStructureMirrorsFig2) {
+  const HwPipelineModel m = day_dusk_pipeline_model();
+  ASSERT_GE(m.stages.size(), 5u);
+  EXPECT_EQ(m.stages.front().name, "gradient");
+  EXPECT_EQ(m.stages.back().name, "svm-classifier");
+}
+
+TEST(HwPipeline, DarkStageStructureMirrorsFig4) {
+  const HwPipelineModel m = dark_pipeline_model();
+  bool has_threshold = false, has_dbn = false, has_closing = false;
+  for (const PipelineStage& s : m.stages) {
+    has_threshold |= s.name.find("threshold") != std::string::npos;
+    has_dbn |= s.name.find("dbn") != std::string::npos;
+    has_closing |= s.name.find("closing") != std::string::npos;
+  }
+  EXPECT_TRUE(has_threshold);
+  EXPECT_TRUE(has_dbn);
+  EXPECT_TRUE(has_closing);
+}
+
+TEST(HwPipeline, At100MhzWouldMissTarget) {
+  // Sensitivity check: the 125 MHz clock matters — at 95 MHz the pixel rate
+  // alone (2073600 cycles = 21.8 ms) cannot sustain 50 fps.
+  HwPipelineModel m = day_dusk_pipeline_model();
+  m.fabric_mhz = 95;
+  EXPECT_FALSE(m.meets_rate(kHdtvFrame, kTargetFps));
+}
+
+}  // namespace
+}  // namespace avd::soc

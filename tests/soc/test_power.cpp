@@ -1,0 +1,85 @@
+#include "avd/soc/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+TEST(Power, ZeroLogicZeroPower) {
+  const PowerEstimate p = estimate_power({"empty", 0, 0, 0, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(p.total_mw(), 0.0);
+}
+
+TEST(Power, ClockGatedKeepsLeakageAndClock) {
+  const ModuleResources block{"b", 10000, 20000, 10, 8};
+  const PowerEstimate active = estimate_power(block, 1.0);
+  const PowerEstimate gated = estimate_power(block, 0.0);
+  EXPECT_DOUBLE_EQ(gated.dynamic_mw, 0.0);
+  EXPECT_GT(gated.leakage_mw, 0.0);
+  EXPECT_GT(gated.clock_mw, 0.0);
+  EXPECT_DOUBLE_EQ(gated.leakage_mw, active.leakage_mw);
+  EXPECT_DOUBLE_EQ(gated.clock_mw, active.clock_mw);
+  EXPECT_LT(gated.total_mw(), active.total_mw());
+}
+
+TEST(Power, DynamicScalesWithActivity) {
+  const ModuleResources block{"b", 10000, 20000, 10, 8};
+  const PowerEstimate half = estimate_power(block, 0.5);
+  const PowerEstimate full = estimate_power(block, 1.0);
+  EXPECT_NEAR(full.dynamic_mw, 2.0 * half.dynamic_mw, 1e-9);
+}
+
+TEST(Power, ActivityRangeValidated) {
+  const ModuleResources block{"b", 1000, 1000, 1, 1};
+  EXPECT_THROW((void)estimate_power(block, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)estimate_power(block, 1.1), std::invalid_argument);
+}
+
+TEST(Power, MoreLogicMorePower) {
+  const PowerEstimate small = estimate_power({"s", 10000, 10000, 5, 5}, 1.0);
+  const PowerEstimate big = estimate_power({"b", 100000, 100000, 50, 50}, 1.0);
+  EXPECT_GT(big.total_mw(), small.total_mw());
+}
+
+TEST(Power, PrBeatsStaticInDayMode) {
+  // The common case: driving in daylight. The PR design has only the small
+  // day/dusk configuration on the fabric; all-static carries the DBN engine
+  // too (gated, but leaking).
+  const double pr = pr_design_power("day-dusk").power.total_mw();
+  const double st = static_design_power("day-dusk").power.total_mw();
+  EXPECT_LT(pr, st);
+  EXPECT_GT((st - pr) / st, 0.15);  // a substantial saving, not noise
+}
+
+TEST(Power, GapShrinksInDarkMode) {
+  // At night the big configuration is loaded either way; the PR design only
+  // saves the idle day/dusk pipeline's leakage.
+  const double pr_day_gap = static_design_power("day-dusk").power.total_mw() -
+                            pr_design_power("day-dusk").power.total_mw();
+  const double pr_dark_gap = static_design_power("dark").power.total_mw() -
+                             pr_design_power("dark").power.total_mw();
+  EXPECT_GT(pr_day_gap, pr_dark_gap);
+  EXPECT_GT(pr_dark_gap, 0.0);
+}
+
+TEST(Power, DynamicEqualAcrossDesignsSameMode) {
+  // Clock gating removes the idle pipeline's toggling entirely, so dynamic
+  // power depends only on the active configuration.
+  EXPECT_NEAR(pr_design_power("dark").power.dynamic_mw,
+              static_design_power("dark").power.dynamic_mw, 1e-9);
+}
+
+TEST(Power, UnknownConfigThrows) {
+  EXPECT_THROW((void)pr_design_power("nope"), std::invalid_argument);
+  EXPECT_THROW((void)static_design_power("nope"), std::invalid_argument);
+}
+
+TEST(Power, StaticConfiguredLogicIsSupersetOfPr) {
+  const ModuleResources pr = pr_design_power("day-dusk").configured;
+  const ModuleResources st = static_design_power("day-dusk").configured;
+  EXPECT_GT(st.lut, pr.lut);
+  EXPECT_GT(st.dsp, pr.dsp);
+}
+
+}  // namespace
+}  // namespace avd::soc

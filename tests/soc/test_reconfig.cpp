@@ -1,0 +1,97 @@
+#include "avd/soc/reconfig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+PartialBitstream paper_bitstream() {
+  const DeviceResources device;
+  return make_partial_bitstream(
+      "dark", floorplan_partition(dark_blocks(), device, {}), device, {});
+}
+
+TEST(ReconfigController, RequiresStagingFirst) {
+  ReconfigController ctrl(default_platform(), ReconfigMethod::PlDmaIcap);
+  EXPECT_THROW((void)ctrl.reconfigure({0}, paper_bitstream()),
+               std::logic_error);
+}
+
+TEST(ReconfigController, StagingEnablesReconfig) {
+  ReconfigController ctrl(default_platform(), ReconfigMethod::PlDmaIcap);
+  const PartialBitstream bits = paper_bitstream();
+  EXPECT_FALSE(ctrl.staged("dark"));
+  ctrl.stage(bits);
+  EXPECT_TRUE(ctrl.staged("dark"));
+  EXPECT_NO_THROW((void)ctrl.reconfigure({0}, bits));
+}
+
+TEST(ReconfigController, StagingCostOnlyForPlDma) {
+  const PartialBitstream bits = paper_bitstream();
+  ReconfigController pl(default_platform(), ReconfigMethod::PlDmaIcap);
+  EXPECT_GT(pl.stage(bits).ps, 0u);  // PS->PL DDR copy is modelled
+
+  for (ReconfigMethod m : {ReconfigMethod::AxiHwicap, ReconfigMethod::Pcap,
+                           ReconfigMethod::ZyCap}) {
+    ReconfigController ctrl(default_platform(), m);
+    EXPECT_EQ(ctrl.stage(bits).ps, 0u) << to_string(m);
+  }
+}
+
+TEST(ReconfigController, ResultTimingConsistent) {
+  ReconfigController ctrl(default_platform(), ReconfigMethod::PlDmaIcap);
+  const PartialBitstream bits = paper_bitstream();
+  ctrl.stage(bits);
+  const TimePoint start{5'000'000'000};  // 5 ms in
+  const ReconfigResult r = ctrl.reconfigure(start, bits);
+  EXPECT_EQ(r.start, start);
+  EXPECT_EQ(r.end, start + r.transfer.elapsed);
+  EXPECT_EQ(r.duration(), r.transfer.elapsed);
+  EXPECT_EQ(r.config_name, "dark");
+  EXPECT_EQ(r.method, ReconfigMethod::PlDmaIcap);
+}
+
+TEST(ReconfigController, TracksActiveConfig) {
+  ReconfigController ctrl(default_platform(), ReconfigMethod::PlDmaIcap);
+  EXPECT_TRUE(ctrl.active_config().empty());
+  PartialBitstream day{"day-dusk", 8 << 20};
+  PartialBitstream dark{"dark", 8 << 20};
+  ctrl.stage(day);
+  ctrl.stage(dark);
+  (void)ctrl.reconfigure({0}, dark);
+  EXPECT_EQ(ctrl.active_config(), "dark");
+  (void)ctrl.reconfigure({100'000'000'000}, day);
+  EXPECT_EQ(ctrl.active_config(), "day-dusk");
+}
+
+TEST(ReconfigController, EventsLogged) {
+  ReconfigController ctrl(default_platform(), ReconfigMethod::PlDmaIcap);
+  const PartialBitstream bits = paper_bitstream();
+  ctrl.stage(bits);
+  (void)ctrl.reconfigure({0}, bits);
+  const auto events = ctrl.log().from("pr-controller");
+  ASSERT_EQ(events.size(), 2u);  // stage + reconfigure
+  EXPECT_NE(events[1].message.find("IRQ"), std::string::npos);
+}
+
+TEST(CompareMethods, ProducesFourOrderedRows) {
+  const auto rows = compare_methods(default_platform(), paper_bitstream());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].method, ReconfigMethod::AxiHwicap);
+  EXPECT_EQ(rows[3].method, ReconfigMethod::PlDmaIcap);
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GT(rows[i].throughput_mbps, rows[i - 1].throughput_mbps);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.pct_of_ceiling, 0.0);
+    EXPECT_LT(r.pct_of_ceiling, 100.0);
+  }
+}
+
+TEST(CompareMethods, ReconfigTimeInverselyOrdered) {
+  const auto rows = compare_methods(default_platform(), paper_bitstream());
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_LT(rows[i].reconfig_time.ps, rows[i - 1].reconfig_time.ps);
+}
+
+}  // namespace
+}  // namespace avd::soc

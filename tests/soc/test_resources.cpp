@@ -1,0 +1,161 @@
+#include "avd/soc/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+TEST(Resources, DeviceDefaultsMatchPaperAvailableRow) {
+  const DeviceResources d;
+  EXPECT_EQ(d.lut, 277400);
+  EXPECT_EQ(d.ff, 554800);
+  EXPECT_EQ(d.bram, 755);
+  EXPECT_EQ(d.dsp, 2020);
+}
+
+TEST(Resources, ModuleAddition) {
+  ModuleResources a{"a", 100, 200, 3, 4};
+  const ModuleResources b{"b", 1, 2, 3, 4};
+  a += b;
+  EXPECT_EQ(a.lut, 101);
+  EXPECT_EQ(a.ff, 202);
+  EXPECT_EQ(a.bram, 6);
+  EXPECT_EQ(a.dsp, 8);
+  const ModuleResources c = a + b;
+  EXPECT_EQ(c.lut, 102);
+}
+
+TEST(Resources, UtilizationRounds) {
+  const DeviceResources d;
+  const UtilizationRow r = utilization("x", {"x", 58254, 55480, 91, 20}, d);
+  EXPECT_EQ(r.lut_pct, 21);
+  EXPECT_EQ(r.ff_pct, 10);
+  EXPECT_EQ(r.bram_pct, 12);
+  EXPECT_EQ(r.dsp_pct, 1);
+}
+
+// Table II row-by-row reproduction.
+class Table2Test : public ::testing::Test {
+ protected:
+  static std::vector<UtilizationRow> rows() { return table2_rows(); }
+  static const UtilizationRow& row(const std::string& name) {
+    static std::vector<UtilizationRow> all = rows();
+    for (const auto& r : all)
+      if (r.name == name) return r;
+    throw std::runtime_error("row not found: " + name);
+  }
+};
+
+TEST_F(Table2Test, StaticDesignRow) {
+  const UtilizationRow& r = row("Static Design");
+  EXPECT_EQ(r.lut_pct, 21);
+  EXPECT_EQ(r.ff_pct, 10);
+  EXPECT_EQ(r.bram_pct, 12);
+  EXPECT_EQ(r.dsp_pct, 1);
+}
+
+TEST_F(Table2Test, ReconfigurablePartitionRow) {
+  const UtilizationRow& r = row("Reconfigurable Partition");
+  EXPECT_EQ(r.lut_pct, 45);
+  EXPECT_EQ(r.ff_pct, 45);
+  EXPECT_EQ(r.bram_pct, 40);
+  EXPECT_EQ(r.dsp_pct, 40);
+}
+
+TEST_F(Table2Test, DayDuskRow) {
+  const UtilizationRow& r = row("Day and Dusk Design");
+  EXPECT_EQ(r.lut_pct, 19);
+  EXPECT_EQ(r.ff_pct, 9);
+  EXPECT_EQ(r.bram_pct, 11);
+  EXPECT_EQ(r.dsp_pct, 1);
+}
+
+TEST_F(Table2Test, DarkRow) {
+  const UtilizationRow& r = row("Dark Design");
+  EXPECT_EQ(r.lut_pct, 40);
+  EXPECT_EQ(r.ff_pct, 23);
+  EXPECT_EQ(r.bram_pct, 19);
+  EXPECT_EQ(r.dsp_pct, 29);
+}
+
+TEST_F(Table2Test, TotalRowIsStaticPlusPartition) {
+  const UtilizationRow& r = row("Total Usage");
+  EXPECT_EQ(r.lut_pct, 66);
+  EXPECT_EQ(r.ff_pct, 55);
+  EXPECT_EQ(r.bram_pct, 52);
+  EXPECT_EQ(r.dsp_pct, 41);
+}
+
+TEST(Floorplan, PartitionFitsBothConfigurations) {
+  const DeviceResources device;
+  const ModuleResources partition =
+      floorplan_partition(dark_blocks(), device, {});
+  EXPECT_TRUE(fits(sum_modules(dark_blocks()), partition));
+  EXPECT_TRUE(fits(sum_modules(day_dusk_blocks()), partition));
+}
+
+TEST(Floorplan, DarkIsTheLargerConfiguration) {
+  const ModuleResources dark = sum_modules(dark_blocks());
+  const ModuleResources dd = sum_modules(day_dusk_blocks());
+  EXPECT_GT(dark.lut, dd.lut);
+  EXPECT_GT(dark.ff, dd.ff);
+  EXPECT_GT(dark.bram, dd.bram);
+  EXPECT_GT(dark.dsp, dd.dsp);
+}
+
+TEST(Floorplan, MarginSweepTightensFit) {
+  // Ablation A3: with margin 1.0 the partition barely fits; below 1.0 the
+  // larger configuration no longer fits.
+  const DeviceResources device;
+  FloorplanParams tight;
+  tight.logic_margin = 1.0;
+  EXPECT_TRUE(
+      fits(sum_modules(dark_blocks()),
+           floorplan_partition(dark_blocks(), device, tight)));
+
+  FloorplanParams too_small;
+  too_small.logic_margin = 0.9;
+  EXPECT_FALSE(
+      fits(sum_modules(dark_blocks()),
+           floorplan_partition(dark_blocks(), device, too_small)));
+}
+
+TEST(Floorplan, FitsChecksEveryResource) {
+  const ModuleResources part{"p", 100, 100, 10, 10};
+  EXPECT_TRUE(fits({"c", 100, 100, 10, 10}, part));
+  EXPECT_FALSE(fits({"c", 101, 100, 10, 10}, part));
+  EXPECT_FALSE(fits({"c", 100, 101, 10, 10}, part));
+  EXPECT_FALSE(fits({"c", 100, 100, 11, 10}, part));
+  EXPECT_FALSE(fits({"c", 100, 100, 10, 11}, part));
+}
+
+TEST(Blocks, InventoriesNonEmptyAndPositive) {
+  for (const auto& blocks :
+       {static_design_blocks(), day_dusk_blocks(), dark_blocks()}) {
+    EXPECT_FALSE(blocks.empty());
+    for (const ModuleResources& b : blocks) {
+      EXPECT_FALSE(b.name.empty());
+      EXPECT_GE(b.lut, 0);
+      EXPECT_GE(b.ff, 0);
+      EXPECT_GE(b.bram, 0);
+      EXPECT_GE(b.dsp, 0);
+    }
+  }
+}
+
+TEST(Blocks, DbnEngineDominatesDarkDesign) {
+  // Sanity on the inventory: the DBN engine is the big consumer, mirroring
+  // the paper's observation that the dark configuration is the largest.
+  const auto blocks = dark_blocks();
+  const auto dbn = std::find_if(blocks.begin(), blocks.end(),
+                                [](const ModuleResources& m) {
+                                  return m.name == "dbn-engine";
+                                });
+  ASSERT_NE(dbn, blocks.end());
+  const ModuleResources total = sum_modules(blocks);
+  EXPECT_GT(dbn->lut * 2, total.lut);
+  EXPECT_GT(dbn->dsp * 2, total.dsp);
+}
+
+}  // namespace
+}  // namespace avd::soc

@@ -1,0 +1,69 @@
+#include "avd/soc/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+TEST(Duration, UnitConstructors) {
+  EXPECT_EQ(Duration::from_ns(1).ps, 1000u);
+  EXPECT_EQ(Duration::from_us(1).ps, 1000000u);
+  EXPECT_EQ(Duration::from_ms(1).ps, 1000000000u);
+  EXPECT_EQ(Duration::from_ps(7).ps, 7u);
+}
+
+TEST(Duration, CyclesOfCommonClocks) {
+  // 100 MHz -> 10 ns period.
+  EXPECT_EQ(Duration::cycles(1, 100).ps, 10000u);
+  // 125 MHz -> 8 ns period, exactly representable.
+  EXPECT_EQ(Duration::cycles(1, 125).ps, 8000u);
+  EXPECT_EQ(Duration::cycles(125000000, 125).ps, 1000000000000u);  // 1 s
+}
+
+TEST(Duration, Conversions) {
+  const Duration d = Duration::from_us(1500);
+  EXPECT_DOUBLE_EQ(d.as_ns(), 1500000.0);
+  EXPECT_DOUBLE_EQ(d.as_us(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.as_ms(), 1.5);
+  EXPECT_DOUBLE_EQ(d.as_seconds(), 0.0015);
+}
+
+TEST(Duration, Arithmetic) {
+  Duration d = Duration::from_ns(100);
+  d += Duration::from_ns(50);
+  EXPECT_EQ(d.ps, 150000u);
+  EXPECT_EQ((Duration::from_ns(10) * 5).ps, 50000u);
+  EXPECT_EQ((Duration::from_ns(10) + Duration::from_ns(1)).ps, 11000u);
+}
+
+TEST(Duration, Comparison) {
+  EXPECT_LT(Duration::from_ns(10), Duration::from_ns(11));
+  EXPECT_EQ(Duration::from_us(1), Duration::from_ns(1000));
+}
+
+TEST(TimePoint, Arithmetic) {
+  TimePoint t{1000};
+  t += Duration::from_ps(500);
+  EXPECT_EQ(t.ps, 1500u);
+  EXPECT_EQ((t + Duration::from_ps(500)).ps, 2000u);
+  EXPECT_EQ((TimePoint{3000} - TimePoint{1000}).ps, 2000u);
+  EXPECT_LT(TimePoint{1}, TimePoint{2});
+}
+
+TEST(Throughput, KnownValues) {
+  // 400 MB in one second = 400 MB/s.
+  EXPECT_NEAR(throughput_mbps(400000000, Duration::from_ms(1000)), 400.0, 1e-9);
+  // 8 MiB in 20 ms ~ 419 MB/s.
+  EXPECT_NEAR(throughput_mbps(8 * 1024 * 1024, Duration::from_ms(20)), 419.4,
+              0.1);
+  EXPECT_DOUBLE_EQ(throughput_mbps(100, Duration{}), 0.0);
+}
+
+TEST(Throughput, IcapTheoreticalCeiling) {
+  // 32 bits @ 100 MHz = 4 bytes every 10 ns = 400 MB/s (paper §IV-A).
+  const Duration per_word = Duration::cycles(1, 100);
+  EXPECT_NEAR(throughput_mbps(4, per_word), 400.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace avd::soc

@@ -1,0 +1,75 @@
+#include "avd/soc/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace avd::soc {
+namespace {
+
+TEST(TraceExport, EmptyLogIsValidDocument) {
+  const std::string json = to_chrome_trace(EventLog{});
+  EXPECT_EQ(json, "{\"traceEvents\":[]}");
+}
+
+TEST(TraceExport, EventsCarrySourceThreadAndTimestamp) {
+  EventLog log;
+  log.record(TimePoint{} + Duration::from_ms(5), "pr-controller", "reconfig");
+  log.record(TimePoint{} + Duration::from_ms(7), "vehicle-in-dma", "done");
+  const std::string json = to_chrome_trace(log);
+
+  EXPECT_NE(json.find("\"pr-controller\""), std::string::npos);
+  EXPECT_NE(json.find("\"vehicle-in-dma\""), std::string::npos);
+  EXPECT_NE(json.find("\"reconfig\""), std::string::npos);
+  // 5 ms = 5000 us.
+  EXPECT_NE(json.find("\"ts\":5000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":7000"), std::string::npos);
+}
+
+TEST(TraceExport, SameSourceSharesThread) {
+  EventLog log;
+  log.record({1}, "a", "x");
+  log.record({2}, "a", "y");
+  log.record({3}, "b", "z");
+  const std::string json = to_chrome_trace(log);
+  // Exactly two thread_name metadata entries.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("thread_name", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(TraceExport, EscapesSpecialCharacters) {
+  EventLog log;
+  log.record({0}, "src", "quote \" backslash \\ newline \n end");
+  const std::string json = to_chrome_trace(log);
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // no raw newline in JSON
+}
+
+TEST(TraceExport, WritesFile) {
+  const auto dir = std::filesystem::temp_directory_path() / "avd_trace";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "t.json").string();
+  EventLog log;
+  log.record({0}, "src", "event");
+  write_chrome_trace(log, path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, to_chrome_trace(log));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceExport, WriteToBadPathThrows) {
+  EXPECT_THROW(write_chrome_trace(EventLog{}, "/nonexistent-dir/x.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace avd::soc

@@ -1,0 +1,123 @@
+#include "avd/soc/zynq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::soc {
+namespace {
+
+constexpr std::uint64_t kEightMiB = 8ull << 20;
+
+double method_throughput(ReconfigMethod m) {
+  const ZynqPlatform p = default_platform();
+  return model_transfer(reconfig_path(p, m), kEightMiB).throughput();
+}
+
+TEST(Zynq, ConfigPortCeilingIs400) {
+  EXPECT_DOUBLE_EQ(config_port_ceiling_mbps(default_platform()), 400.0);
+}
+
+TEST(Zynq, MethodNames) {
+  EXPECT_STREQ(to_string(ReconfigMethod::AxiHwicap), "axi-hwicap");
+  EXPECT_STREQ(to_string(ReconfigMethod::Pcap), "pcap");
+  EXPECT_STREQ(to_string(ReconfigMethod::ZyCap), "zycap");
+  EXPECT_STREQ(to_string(ReconfigMethod::PlDmaIcap), "pr-controller");
+}
+
+TEST(Zynq, PathsShareIcapCeiling) {
+  const ZynqPlatform p = default_platform();
+  for (ReconfigMethod m : {ReconfigMethod::AxiHwicap, ReconfigMethod::ZyCap,
+                           ReconfigMethod::PlDmaIcap}) {
+    EXPECT_DOUBLE_EQ(reconfig_path(p, m).bottleneck_mbps(), 400.0)
+        << to_string(m);
+  }
+}
+
+// The paper's measured ladder (§IV-A): each modelled throughput must fall
+// within +-10% of the published number, and the strict ordering must hold.
+TEST(Zynq, HwicapNearPaperValue) {
+  EXPECT_NEAR(method_throughput(ReconfigMethod::AxiHwicap), 19.0, 1.9);
+}
+
+TEST(Zynq, PcapNearPaperValue) {
+  EXPECT_NEAR(method_throughput(ReconfigMethod::Pcap), 145.0, 14.5);
+}
+
+TEST(Zynq, ZycapNearPaperValue) {
+  EXPECT_NEAR(method_throughput(ReconfigMethod::ZyCap), 382.0, 19.0);
+}
+
+TEST(Zynq, PrControllerNearPaperValue) {
+  EXPECT_NEAR(method_throughput(ReconfigMethod::PlDmaIcap), 390.0, 19.5);
+}
+
+TEST(Zynq, StrictThroughputOrdering) {
+  const double hwicap = method_throughput(ReconfigMethod::AxiHwicap);
+  const double pcap = method_throughput(ReconfigMethod::Pcap);
+  const double zycap = method_throughput(ReconfigMethod::ZyCap);
+  const double ours = method_throughput(ReconfigMethod::PlDmaIcap);
+  EXPECT_LT(hwicap, pcap);
+  EXPECT_LT(pcap, zycap);
+  EXPECT_LT(zycap, ours);
+  EXPECT_LT(ours, 400.0);  // never beats the port ceiling
+}
+
+TEST(Zynq, SpeedupOverPcapAtLeast26x) {
+  // Abstract: "speed up of more than 2.6 times for the reconfiguration
+  // throughput" vs the PCAP baseline.
+  EXPECT_GE(method_throughput(ReconfigMethod::PlDmaIcap) /
+                method_throughput(ReconfigMethod::Pcap),
+            2.6);
+}
+
+TEST(Zynq, PrControllerReaches95PercentOfCeiling) {
+  // ZyCAP reached 95.5% of theoretical max [19]; ours must do at least as
+  // well.
+  EXPECT_GT(method_throughput(ReconfigMethod::PlDmaIcap) / 400.0, 0.955);
+}
+
+TEST(Zynq, HwicapIsWordBased) {
+  const TransferPath p =
+      reconfig_path(default_platform(), ReconfigMethod::AxiHwicap);
+  EXPECT_EQ(p.burst_bytes, 4u);  // one 32-bit word per AXI-Lite transaction
+}
+
+TEST(Zynq, OnlyPcapPathUsesCentralInterconnect) {
+  const ZynqPlatform plat = default_platform();
+  auto uses_central = [&](ReconfigMethod m) {
+    for (const BusSegment& s : reconfig_path(plat, m).segments)
+      if (s.name == "ps-central-interconnect") return true;
+    return false;
+  };
+  EXPECT_TRUE(uses_central(ReconfigMethod::Pcap));
+  EXPECT_FALSE(uses_central(ReconfigMethod::ZyCap));
+  EXPECT_FALSE(uses_central(ReconfigMethod::PlDmaIcap));
+}
+
+TEST(Zynq, PrControllerTouchesNoPsSegments) {
+  // The whole point of the paper's design: after the trigger, nothing on the
+  // PS side is involved.
+  const ZynqPlatform plat = default_platform();
+  for (const BusSegment& s :
+       reconfig_path(plat, ReconfigMethod::PlDmaIcap).segments) {
+    EXPECT_EQ(s.name.rfind("ps-", 0), std::string::npos)
+        << "PS segment in PR-controller path: " << s.name;
+  }
+}
+
+TEST(Zynq, EightMBReconfigTakesAboutOneFramePeriod) {
+  // Paper §IV-B: 8 MB partial bitstream -> ~20 ms at 50 fps.
+  const ZynqPlatform p = default_platform();
+  const TransferRecord r =
+      model_transfer(reconfig_path(p, ReconfigMethod::PlDmaIcap), kEightMiB);
+  EXPECT_GT(r.elapsed.as_ms(), 18.0);
+  EXPECT_LT(r.elapsed.as_ms(), 23.0);
+}
+
+TEST(Zynq, FasterIcapClockRaisesCeiling) {
+  ZynqPlatform p = default_platform();
+  p.clocks.icap_mhz = 200;
+  EXPECT_DOUBLE_EQ(config_port_ceiling_mbps(p), 800.0);
+}
+
+}  // namespace
+}  // namespace avd::soc
