@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hog_params.dir/ablation_hog_params.cpp.o"
+  "CMakeFiles/ablation_hog_params.dir/ablation_hog_params.cpp.o.d"
+  "ablation_hog_params"
+  "ablation_hog_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hog_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

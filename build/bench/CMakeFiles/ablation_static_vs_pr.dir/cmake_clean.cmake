@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_static_vs_pr.dir/ablation_static_vs_pr.cpp.o"
+  "CMakeFiles/ablation_static_vs_pr.dir/ablation_static_vs_pr.cpp.o.d"
+  "ablation_static_vs_pr"
+  "ablation_static_vs_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_static_vs_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hog_pipeline.dir/fig2_hog_pipeline.cpp.o"
+  "CMakeFiles/fig2_hog_pipeline.dir/fig2_hog_pipeline.cpp.o.d"
+  "fig2_hog_pipeline"
+  "fig2_hog_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hog_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

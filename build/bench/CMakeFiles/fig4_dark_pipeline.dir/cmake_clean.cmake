@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dark_pipeline.dir/fig4_dark_pipeline.cpp.o"
+  "CMakeFiles/fig4_dark_pipeline.dir/fig4_dark_pipeline.cpp.o.d"
+  "fig4_dark_pipeline"
+  "fig4_dark_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dark_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_control_plane.dir/fig6_control_plane.cpp.o"
+  "CMakeFiles/fig6_control_plane.dir/fig6_control_plane.cpp.o.d"
+  "fig6_control_plane"
+  "fig6_control_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fps_throughput.dir/fps_throughput.cpp.o"
+  "CMakeFiles/fps_throughput.dir/fps_throughput.cpp.o.d"
+  "fps_throughput"
+  "fps_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fps_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_eval.dir/frame_eval.cpp.o"
+  "CMakeFiles/frame_eval.dir/frame_eval.cpp.o.d"
+  "frame_eval"
+  "frame_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

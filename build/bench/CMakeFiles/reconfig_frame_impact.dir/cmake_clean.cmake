@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_frame_impact.dir/reconfig_frame_impact.cpp.o"
+  "CMakeFiles/reconfig_frame_impact.dir/reconfig_frame_impact.cpp.o.d"
+  "reconfig_frame_impact"
+  "reconfig_frame_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_frame_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_throughput.dir/reconfig_throughput.cpp.o"
+  "CMakeFiles/reconfig_throughput.dir/reconfig_throughput.cpp.o.d"
+  "reconfig_throughput"
+  "reconfig_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_analysis.dir/roc_analysis.cpp.o"
+  "CMakeFiles/roc_analysis.dir/roc_analysis.cpp.o.d"
+  "roc_analysis"
+  "roc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

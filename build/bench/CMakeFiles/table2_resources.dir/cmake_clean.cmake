@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_resources.dir/table2_resources.cpp.o"
+  "CMakeFiles/table2_resources.dir/table2_resources.cpp.o.d"
+  "table2_resources"
+  "table2_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adaptive_drive.cpp" "examples/CMakeFiles/adaptive_drive.dir/adaptive_drive.cpp.o" "gcc" "examples/CMakeFiles/adaptive_drive.dir/adaptive_drive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/avd_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/avd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/avd_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/avd_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/avd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/avd_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_drive.dir/adaptive_drive.cpp.o"
+  "CMakeFiles/adaptive_drive.dir/adaptive_drive.cpp.o.d"
+  "adaptive_drive"
+  "adaptive_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

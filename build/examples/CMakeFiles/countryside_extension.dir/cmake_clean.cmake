@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countryside_extension.dir/countryside_extension.cpp.o"
+  "CMakeFiles/countryside_extension.dir/countryside_extension.cpp.o.d"
+  "countryside_extension"
+  "countryside_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countryside_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

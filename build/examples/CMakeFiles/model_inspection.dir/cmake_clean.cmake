@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_inspection.dir/model_inspection.cpp.o"
+  "CMakeFiles/model_inspection.dir/model_inspection.cpp.o.d"
+  "model_inspection"
+  "model_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

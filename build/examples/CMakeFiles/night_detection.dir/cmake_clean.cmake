@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/night_detection.dir/night_detection.cpp.o"
+  "CMakeFiles/night_detection.dir/night_detection.cpp.o.d"
+  "night_detection"
+  "night_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/night_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_explorer.dir/reconfig_explorer.cpp.o"
+  "CMakeFiles/reconfig_explorer.dir/reconfig_explorer.cpp.o.d"
+  "reconfig_explorer"
+  "reconfig_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_tracking.dir/sequence_tracking.cpp.o"
+  "CMakeFiles/sequence_tracking.dir/sequence_tracking.cpp.o.d"
+  "sequence_tracking"
+  "sequence_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_export_models.dir/train_and_export_models.cpp.o"
+  "CMakeFiles/train_and_export_models.dir/train_and_export_models.cpp.o.d"
+  "train_and_export_models"
+  "train_and_export_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_export_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_core.dir/src/adaptive_system.cpp.o"
+  "CMakeFiles/avd_core.dir/src/adaptive_system.cpp.o.d"
+  "CMakeFiles/avd_core.dir/src/lighting_classifier.cpp.o"
+  "CMakeFiles/avd_core.dir/src/lighting_classifier.cpp.o.d"
+  "CMakeFiles/avd_core.dir/src/system_models.cpp.o"
+  "CMakeFiles/avd_core.dir/src/system_models.cpp.o.d"
+  "libavd_core.a"
+  "libavd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

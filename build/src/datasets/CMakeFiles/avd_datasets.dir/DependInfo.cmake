@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/src/dataset_io.cpp" "src/datasets/CMakeFiles/avd_datasets.dir/src/dataset_io.cpp.o" "gcc" "src/datasets/CMakeFiles/avd_datasets.dir/src/dataset_io.cpp.o.d"
+  "/root/repo/src/datasets/src/lighting.cpp" "src/datasets/CMakeFiles/avd_datasets.dir/src/lighting.cpp.o" "gcc" "src/datasets/CMakeFiles/avd_datasets.dir/src/lighting.cpp.o.d"
+  "/root/repo/src/datasets/src/patches.cpp" "src/datasets/CMakeFiles/avd_datasets.dir/src/patches.cpp.o" "gcc" "src/datasets/CMakeFiles/avd_datasets.dir/src/patches.cpp.o.d"
+  "/root/repo/src/datasets/src/scene.cpp" "src/datasets/CMakeFiles/avd_datasets.dir/src/scene.cpp.o" "gcc" "src/datasets/CMakeFiles/avd_datasets.dir/src/scene.cpp.o.d"
+  "/root/repo/src/datasets/src/sequence.cpp" "src/datasets/CMakeFiles/avd_datasets.dir/src/sequence.cpp.o" "gcc" "src/datasets/CMakeFiles/avd_datasets.dir/src/sequence.cpp.o.d"
+  "/root/repo/src/datasets/src/taillight_windows.cpp" "src/datasets/CMakeFiles/avd_datasets.dir/src/taillight_windows.cpp.o" "gcc" "src/datasets/CMakeFiles/avd_datasets.dir/src/taillight_windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/avd_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/avd_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_datasets.dir/src/dataset_io.cpp.o"
+  "CMakeFiles/avd_datasets.dir/src/dataset_io.cpp.o.d"
+  "CMakeFiles/avd_datasets.dir/src/lighting.cpp.o"
+  "CMakeFiles/avd_datasets.dir/src/lighting.cpp.o.d"
+  "CMakeFiles/avd_datasets.dir/src/patches.cpp.o"
+  "CMakeFiles/avd_datasets.dir/src/patches.cpp.o.d"
+  "CMakeFiles/avd_datasets.dir/src/scene.cpp.o"
+  "CMakeFiles/avd_datasets.dir/src/scene.cpp.o.d"
+  "CMakeFiles/avd_datasets.dir/src/sequence.cpp.o"
+  "CMakeFiles/avd_datasets.dir/src/sequence.cpp.o.d"
+  "CMakeFiles/avd_datasets.dir/src/taillight_windows.cpp.o"
+  "CMakeFiles/avd_datasets.dir/src/taillight_windows.cpp.o.d"
+  "libavd_datasets.a"
+  "libavd_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/src/bootstrap.cpp" "src/detect/CMakeFiles/avd_detect.dir/src/bootstrap.cpp.o" "gcc" "src/detect/CMakeFiles/avd_detect.dir/src/bootstrap.cpp.o.d"
+  "/root/repo/src/detect/src/dark_detector.cpp" "src/detect/CMakeFiles/avd_detect.dir/src/dark_detector.cpp.o" "gcc" "src/detect/CMakeFiles/avd_detect.dir/src/dark_detector.cpp.o.d"
+  "/root/repo/src/detect/src/dark_training.cpp" "src/detect/CMakeFiles/avd_detect.dir/src/dark_training.cpp.o" "gcc" "src/detect/CMakeFiles/avd_detect.dir/src/dark_training.cpp.o.d"
+  "/root/repo/src/detect/src/detection.cpp" "src/detect/CMakeFiles/avd_detect.dir/src/detection.cpp.o" "gcc" "src/detect/CMakeFiles/avd_detect.dir/src/detection.cpp.o.d"
+  "/root/repo/src/detect/src/evaluation.cpp" "src/detect/CMakeFiles/avd_detect.dir/src/evaluation.cpp.o" "gcc" "src/detect/CMakeFiles/avd_detect.dir/src/evaluation.cpp.o.d"
+  "/root/repo/src/detect/src/hog_svm_detector.cpp" "src/detect/CMakeFiles/avd_detect.dir/src/hog_svm_detector.cpp.o" "gcc" "src/detect/CMakeFiles/avd_detect.dir/src/hog_svm_detector.cpp.o.d"
+  "/root/repo/src/detect/src/multi_model_scan.cpp" "src/detect/CMakeFiles/avd_detect.dir/src/multi_model_scan.cpp.o" "gcc" "src/detect/CMakeFiles/avd_detect.dir/src/multi_model_scan.cpp.o.d"
+  "/root/repo/src/detect/src/tracker.cpp" "src/detect/CMakeFiles/avd_detect.dir/src/tracker.cpp.o" "gcc" "src/detect/CMakeFiles/avd_detect.dir/src/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/avd_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/avd_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/avd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/avd_datasets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

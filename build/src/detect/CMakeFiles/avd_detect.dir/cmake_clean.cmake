@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_detect.dir/src/bootstrap.cpp.o"
+  "CMakeFiles/avd_detect.dir/src/bootstrap.cpp.o.d"
+  "CMakeFiles/avd_detect.dir/src/dark_detector.cpp.o"
+  "CMakeFiles/avd_detect.dir/src/dark_detector.cpp.o.d"
+  "CMakeFiles/avd_detect.dir/src/dark_training.cpp.o"
+  "CMakeFiles/avd_detect.dir/src/dark_training.cpp.o.d"
+  "CMakeFiles/avd_detect.dir/src/detection.cpp.o"
+  "CMakeFiles/avd_detect.dir/src/detection.cpp.o.d"
+  "CMakeFiles/avd_detect.dir/src/evaluation.cpp.o"
+  "CMakeFiles/avd_detect.dir/src/evaluation.cpp.o.d"
+  "CMakeFiles/avd_detect.dir/src/hog_svm_detector.cpp.o"
+  "CMakeFiles/avd_detect.dir/src/hog_svm_detector.cpp.o.d"
+  "CMakeFiles/avd_detect.dir/src/multi_model_scan.cpp.o"
+  "CMakeFiles/avd_detect.dir/src/multi_model_scan.cpp.o.d"
+  "CMakeFiles/avd_detect.dir/src/tracker.cpp.o"
+  "CMakeFiles/avd_detect.dir/src/tracker.cpp.o.d"
+  "libavd_detect.a"
+  "libavd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

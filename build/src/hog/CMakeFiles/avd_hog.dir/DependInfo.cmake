@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hog/src/hog.cpp" "src/hog/CMakeFiles/avd_hog.dir/src/hog.cpp.o" "gcc" "src/hog/CMakeFiles/avd_hog.dir/src/hog.cpp.o.d"
+  "/root/repo/src/hog/src/visualization.cpp" "src/hog/CMakeFiles/avd_hog.dir/src/visualization.cpp.o" "gcc" "src/hog/CMakeFiles/avd_hog.dir/src/visualization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/avd_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_hog.dir/src/hog.cpp.o"
+  "CMakeFiles/avd_hog.dir/src/hog.cpp.o.d"
+  "CMakeFiles/avd_hog.dir/src/visualization.cpp.o"
+  "CMakeFiles/avd_hog.dir/src/visualization.cpp.o.d"
+  "libavd_hog.a"
+  "libavd_hog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_hog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/src/blobs.cpp" "src/image/CMakeFiles/avd_image.dir/src/blobs.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/blobs.cpp.o.d"
+  "/root/repo/src/image/src/color.cpp" "src/image/CMakeFiles/avd_image.dir/src/color.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/color.cpp.o.d"
+  "/root/repo/src/image/src/draw.cpp" "src/image/CMakeFiles/avd_image.dir/src/draw.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/draw.cpp.o.d"
+  "/root/repo/src/image/src/filter.cpp" "src/image/CMakeFiles/avd_image.dir/src/filter.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/filter.cpp.o.d"
+  "/root/repo/src/image/src/io.cpp" "src/image/CMakeFiles/avd_image.dir/src/io.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/io.cpp.o.d"
+  "/root/repo/src/image/src/morphology.cpp" "src/image/CMakeFiles/avd_image.dir/src/morphology.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/morphology.cpp.o.d"
+  "/root/repo/src/image/src/pyramid.cpp" "src/image/CMakeFiles/avd_image.dir/src/pyramid.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/pyramid.cpp.o.d"
+  "/root/repo/src/image/src/resize.cpp" "src/image/CMakeFiles/avd_image.dir/src/resize.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/resize.cpp.o.d"
+  "/root/repo/src/image/src/stats.cpp" "src/image/CMakeFiles/avd_image.dir/src/stats.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/stats.cpp.o.d"
+  "/root/repo/src/image/src/threshold.cpp" "src/image/CMakeFiles/avd_image.dir/src/threshold.cpp.o" "gcc" "src/image/CMakeFiles/avd_image.dir/src/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

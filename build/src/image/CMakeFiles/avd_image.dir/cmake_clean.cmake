@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_image.dir/src/blobs.cpp.o"
+  "CMakeFiles/avd_image.dir/src/blobs.cpp.o.d"
+  "CMakeFiles/avd_image.dir/src/color.cpp.o"
+  "CMakeFiles/avd_image.dir/src/color.cpp.o.d"
+  "CMakeFiles/avd_image.dir/src/draw.cpp.o"
+  "CMakeFiles/avd_image.dir/src/draw.cpp.o.d"
+  "CMakeFiles/avd_image.dir/src/filter.cpp.o"
+  "CMakeFiles/avd_image.dir/src/filter.cpp.o.d"
+  "CMakeFiles/avd_image.dir/src/io.cpp.o"
+  "CMakeFiles/avd_image.dir/src/io.cpp.o.d"
+  "CMakeFiles/avd_image.dir/src/morphology.cpp.o"
+  "CMakeFiles/avd_image.dir/src/morphology.cpp.o.d"
+  "CMakeFiles/avd_image.dir/src/pyramid.cpp.o"
+  "CMakeFiles/avd_image.dir/src/pyramid.cpp.o.d"
+  "CMakeFiles/avd_image.dir/src/resize.cpp.o"
+  "CMakeFiles/avd_image.dir/src/resize.cpp.o.d"
+  "CMakeFiles/avd_image.dir/src/stats.cpp.o"
+  "CMakeFiles/avd_image.dir/src/stats.cpp.o.d"
+  "CMakeFiles/avd_image.dir/src/threshold.cpp.o"
+  "CMakeFiles/avd_image.dir/src/threshold.cpp.o.d"
+  "libavd_image.a"
+  "libavd_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

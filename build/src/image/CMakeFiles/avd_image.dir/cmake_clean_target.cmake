@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libavd_image.a"
+)

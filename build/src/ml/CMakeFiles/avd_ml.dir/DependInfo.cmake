@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/src/calibration.cpp" "src/ml/CMakeFiles/avd_ml.dir/src/calibration.cpp.o" "gcc" "src/ml/CMakeFiles/avd_ml.dir/src/calibration.cpp.o.d"
+  "/root/repo/src/ml/src/cross_validation.cpp" "src/ml/CMakeFiles/avd_ml.dir/src/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/avd_ml.dir/src/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/src/dbn.cpp" "src/ml/CMakeFiles/avd_ml.dir/src/dbn.cpp.o" "gcc" "src/ml/CMakeFiles/avd_ml.dir/src/dbn.cpp.o.d"
+  "/root/repo/src/ml/src/metrics.cpp" "src/ml/CMakeFiles/avd_ml.dir/src/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/avd_ml.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/ml/src/rbm.cpp" "src/ml/CMakeFiles/avd_ml.dir/src/rbm.cpp.o" "gcc" "src/ml/CMakeFiles/avd_ml.dir/src/rbm.cpp.o.d"
+  "/root/repo/src/ml/src/roc.cpp" "src/ml/CMakeFiles/avd_ml.dir/src/roc.cpp.o" "gcc" "src/ml/CMakeFiles/avd_ml.dir/src/roc.cpp.o.d"
+  "/root/repo/src/ml/src/standardizer.cpp" "src/ml/CMakeFiles/avd_ml.dir/src/standardizer.cpp.o" "gcc" "src/ml/CMakeFiles/avd_ml.dir/src/standardizer.cpp.o.d"
+  "/root/repo/src/ml/src/svm.cpp" "src/ml/CMakeFiles/avd_ml.dir/src/svm.cpp.o" "gcc" "src/ml/CMakeFiles/avd_ml.dir/src/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_ml.dir/src/calibration.cpp.o"
+  "CMakeFiles/avd_ml.dir/src/calibration.cpp.o.d"
+  "CMakeFiles/avd_ml.dir/src/cross_validation.cpp.o"
+  "CMakeFiles/avd_ml.dir/src/cross_validation.cpp.o.d"
+  "CMakeFiles/avd_ml.dir/src/dbn.cpp.o"
+  "CMakeFiles/avd_ml.dir/src/dbn.cpp.o.d"
+  "CMakeFiles/avd_ml.dir/src/metrics.cpp.o"
+  "CMakeFiles/avd_ml.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/avd_ml.dir/src/rbm.cpp.o"
+  "CMakeFiles/avd_ml.dir/src/rbm.cpp.o.d"
+  "CMakeFiles/avd_ml.dir/src/roc.cpp.o"
+  "CMakeFiles/avd_ml.dir/src/roc.cpp.o.d"
+  "CMakeFiles/avd_ml.dir/src/standardizer.cpp.o"
+  "CMakeFiles/avd_ml.dir/src/standardizer.cpp.o.d"
+  "CMakeFiles/avd_ml.dir/src/svm.cpp.o"
+  "CMakeFiles/avd_ml.dir/src/svm.cpp.o.d"
+  "libavd_ml.a"
+  "libavd_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/src/axi.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/axi.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/axi.cpp.o.d"
+  "/root/repo/src/soc/src/axi_lite.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/axi_lite.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/axi_lite.cpp.o.d"
+  "/root/repo/src/soc/src/bitstream.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/bitstream.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/bitstream.cpp.o.d"
+  "/root/repo/src/soc/src/crc.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/crc.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/crc.cpp.o.d"
+  "/root/repo/src/soc/src/dma_core.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/dma_core.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/dma_core.cpp.o.d"
+  "/root/repo/src/soc/src/event_log.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/event_log.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/event_log.cpp.o.d"
+  "/root/repo/src/soc/src/frame_scheduler.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/frame_scheduler.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/frame_scheduler.cpp.o.d"
+  "/root/repo/src/soc/src/hw_pipeline.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/hw_pipeline.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/hw_pipeline.cpp.o.d"
+  "/root/repo/src/soc/src/interrupts.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/interrupts.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/interrupts.cpp.o.d"
+  "/root/repo/src/soc/src/power.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/power.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/power.cpp.o.d"
+  "/root/repo/src/soc/src/reconfig.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/reconfig.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/reconfig.cpp.o.d"
+  "/root/repo/src/soc/src/resources.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/resources.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/resources.cpp.o.d"
+  "/root/repo/src/soc/src/trace_export.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/trace_export.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/trace_export.cpp.o.d"
+  "/root/repo/src/soc/src/zynq.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/zynq.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/zynq.cpp.o.d"
+  "/root/repo/src/soc/src/zynq_system.cpp" "src/soc/CMakeFiles/avd_soc.dir/src/zynq_system.cpp.o" "gcc" "src/soc/CMakeFiles/avd_soc.dir/src/zynq_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/avd_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

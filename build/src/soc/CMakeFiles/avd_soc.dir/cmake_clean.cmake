@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avd_soc.dir/src/axi.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/axi.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/axi_lite.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/axi_lite.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/bitstream.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/bitstream.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/crc.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/crc.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/dma_core.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/dma_core.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/event_log.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/event_log.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/frame_scheduler.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/frame_scheduler.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/hw_pipeline.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/hw_pipeline.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/interrupts.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/interrupts.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/power.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/power.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/reconfig.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/reconfig.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/resources.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/resources.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/trace_export.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/trace_export.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/zynq.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/zynq.cpp.o.d"
+  "CMakeFiles/avd_soc.dir/src/zynq_system.cpp.o"
+  "CMakeFiles/avd_soc.dir/src/zynq_system.cpp.o.d"
+  "libavd_soc.a"
+  "libavd_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avd_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datasets.dir/datasets/test_dataset_io.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/test_dataset_io.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/test_lighting.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/test_lighting.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/test_patches.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/test_patches.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/test_scene.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/test_scene.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/test_sequence.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/test_sequence.cpp.o.d"
+  "CMakeFiles/test_datasets.dir/datasets/test_taillight_windows.cpp.o"
+  "CMakeFiles/test_datasets.dir/datasets/test_taillight_windows.cpp.o.d"
+  "test_datasets"
+  "test_datasets.pdb"
+  "test_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

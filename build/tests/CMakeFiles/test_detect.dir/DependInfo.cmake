@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/detect/test_bootstrap.cpp" "tests/CMakeFiles/test_detect.dir/detect/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/test_detect.dir/detect/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/detect/test_dark_detector.cpp" "tests/CMakeFiles/test_detect.dir/detect/test_dark_detector.cpp.o" "gcc" "tests/CMakeFiles/test_detect.dir/detect/test_dark_detector.cpp.o.d"
+  "/root/repo/tests/detect/test_dark_training.cpp" "tests/CMakeFiles/test_detect.dir/detect/test_dark_training.cpp.o" "gcc" "tests/CMakeFiles/test_detect.dir/detect/test_dark_training.cpp.o.d"
+  "/root/repo/tests/detect/test_detection.cpp" "tests/CMakeFiles/test_detect.dir/detect/test_detection.cpp.o" "gcc" "tests/CMakeFiles/test_detect.dir/detect/test_detection.cpp.o.d"
+  "/root/repo/tests/detect/test_evaluation.cpp" "tests/CMakeFiles/test_detect.dir/detect/test_evaluation.cpp.o" "gcc" "tests/CMakeFiles/test_detect.dir/detect/test_evaluation.cpp.o.d"
+  "/root/repo/tests/detect/test_hog_svm_detector.cpp" "tests/CMakeFiles/test_detect.dir/detect/test_hog_svm_detector.cpp.o" "gcc" "tests/CMakeFiles/test_detect.dir/detect/test_hog_svm_detector.cpp.o.d"
+  "/root/repo/tests/detect/test_multi_model_scan.cpp" "tests/CMakeFiles/test_detect.dir/detect/test_multi_model_scan.cpp.o" "gcc" "tests/CMakeFiles/test_detect.dir/detect/test_multi_model_scan.cpp.o.d"
+  "/root/repo/tests/detect/test_tracker.cpp" "tests/CMakeFiles/test_detect.dir/detect/test_tracker.cpp.o" "gcc" "tests/CMakeFiles/test_detect.dir/detect/test_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/avd_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/avd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/avd_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/avd_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/avd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/avd_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

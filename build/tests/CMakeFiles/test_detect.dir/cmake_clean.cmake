@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect.dir/detect/test_bootstrap.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/test_bootstrap.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/test_dark_detector.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/test_dark_detector.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/test_dark_training.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/test_dark_training.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/test_detection.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/test_detection.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/test_evaluation.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/test_evaluation.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/test_hog_svm_detector.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/test_hog_svm_detector.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/test_multi_model_scan.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/test_multi_model_scan.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/test_tracker.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/test_tracker.cpp.o.d"
+  "test_detect"
+  "test_detect.pdb"
+  "test_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hog.dir/hog/test_cell_grid.cpp.o"
+  "CMakeFiles/test_hog.dir/hog/test_cell_grid.cpp.o.d"
+  "CMakeFiles/test_hog.dir/hog/test_descriptor.cpp.o"
+  "CMakeFiles/test_hog.dir/hog/test_descriptor.cpp.o.d"
+  "CMakeFiles/test_hog.dir/hog/test_gradients.cpp.o"
+  "CMakeFiles/test_hog.dir/hog/test_gradients.cpp.o.d"
+  "CMakeFiles/test_hog.dir/hog/test_visualization.cpp.o"
+  "CMakeFiles/test_hog.dir/hog/test_visualization.cpp.o.d"
+  "test_hog"
+  "test_hog.pdb"
+  "test_hog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

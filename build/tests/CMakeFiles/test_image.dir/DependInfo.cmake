@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/image/test_blobs.cpp" "tests/CMakeFiles/test_image.dir/image/test_blobs.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_blobs.cpp.o.d"
+  "/root/repo/tests/image/test_color.cpp" "tests/CMakeFiles/test_image.dir/image/test_color.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_color.cpp.o.d"
+  "/root/repo/tests/image/test_draw.cpp" "tests/CMakeFiles/test_image.dir/image/test_draw.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_draw.cpp.o.d"
+  "/root/repo/tests/image/test_filter.cpp" "tests/CMakeFiles/test_image.dir/image/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_filter.cpp.o.d"
+  "/root/repo/tests/image/test_geometry.cpp" "tests/CMakeFiles/test_image.dir/image/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_geometry.cpp.o.d"
+  "/root/repo/tests/image/test_image.cpp" "tests/CMakeFiles/test_image.dir/image/test_image.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_image.cpp.o.d"
+  "/root/repo/tests/image/test_io.cpp" "tests/CMakeFiles/test_image.dir/image/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_io.cpp.o.d"
+  "/root/repo/tests/image/test_morphology.cpp" "tests/CMakeFiles/test_image.dir/image/test_morphology.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_morphology.cpp.o.d"
+  "/root/repo/tests/image/test_pyramid.cpp" "tests/CMakeFiles/test_image.dir/image/test_pyramid.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_pyramid.cpp.o.d"
+  "/root/repo/tests/image/test_resize.cpp" "tests/CMakeFiles/test_image.dir/image/test_resize.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_resize.cpp.o.d"
+  "/root/repo/tests/image/test_stats.cpp" "tests/CMakeFiles/test_image.dir/image/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_stats.cpp.o.d"
+  "/root/repo/tests/image/test_threshold.cpp" "tests/CMakeFiles/test_image.dir/image/test_threshold.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/avd_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/avd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/avd_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/avd_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/avd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/avd_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

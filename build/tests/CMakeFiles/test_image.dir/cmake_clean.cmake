@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image.dir/image/test_blobs.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_blobs.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_color.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_color.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_draw.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_draw.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_filter.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_filter.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_geometry.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_geometry.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_image.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_image.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_io.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_io.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_morphology.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_morphology.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_pyramid.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_pyramid.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_resize.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_resize.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_stats.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_stats.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_threshold.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_threshold.cpp.o.d"
+  "test_image"
+  "test_image.pdb"
+  "test_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_calibration.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_calibration.cpp.o.d"
+  "/root/repo/tests/ml/test_cross_validation.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/ml/test_dbn.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_dbn.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_dbn.cpp.o.d"
+  "/root/repo/tests/ml/test_metrics.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_rbm.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_rbm.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_rbm.cpp.o.d"
+  "/root/repo/tests/ml/test_rng.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_rng.cpp.o.d"
+  "/root/repo/tests/ml/test_roc.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_roc.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_roc.cpp.o.d"
+  "/root/repo/tests/ml/test_standardizer.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_standardizer.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_standardizer.cpp.o.d"
+  "/root/repo/tests/ml/test_svm.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_svm.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/avd_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/avd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/avd_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/avd_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/avd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/avd_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

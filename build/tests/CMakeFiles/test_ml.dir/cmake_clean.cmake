@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_calibration.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_calibration.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_cross_validation.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_cross_validation.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_dbn.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_dbn.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_rbm.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_rbm.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_rng.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_rng.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_roc.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_roc.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_standardizer.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_standardizer.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_svm.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_svm.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/soc/test_axi.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_axi.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_axi.cpp.o.d"
+  "/root/repo/tests/soc/test_axi_lite.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_axi_lite.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_axi_lite.cpp.o.d"
+  "/root/repo/tests/soc/test_bitstream.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_bitstream.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_bitstream.cpp.o.d"
+  "/root/repo/tests/soc/test_crc.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_crc.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_crc.cpp.o.d"
+  "/root/repo/tests/soc/test_dma_core.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_dma_core.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_dma_core.cpp.o.d"
+  "/root/repo/tests/soc/test_event_log.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_event_log.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_event_log.cpp.o.d"
+  "/root/repo/tests/soc/test_frame_scheduler.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_frame_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_frame_scheduler.cpp.o.d"
+  "/root/repo/tests/soc/test_hw_pipeline.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_hw_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_hw_pipeline.cpp.o.d"
+  "/root/repo/tests/soc/test_interrupts.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_interrupts.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_interrupts.cpp.o.d"
+  "/root/repo/tests/soc/test_power.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_power.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_power.cpp.o.d"
+  "/root/repo/tests/soc/test_reconfig.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_reconfig.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_reconfig.cpp.o.d"
+  "/root/repo/tests/soc/test_resources.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_resources.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_resources.cpp.o.d"
+  "/root/repo/tests/soc/test_sim_time.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_sim_time.cpp.o.d"
+  "/root/repo/tests/soc/test_trace_export.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_trace_export.cpp.o.d"
+  "/root/repo/tests/soc/test_zynq.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_zynq.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_zynq.cpp.o.d"
+  "/root/repo/tests/soc/test_zynq_system.cpp" "tests/CMakeFiles/test_soc.dir/soc/test_zynq_system.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/test_zynq_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/avd_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/avd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/avd_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/avd_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/avd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/avd_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
