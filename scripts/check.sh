@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repo check: the tier-1 build + test gate, then a ThreadSanitizer build of
+# the concurrency-bearing tests (avd::runtime + the shared EventLog).
+#
+#   scripts/check.sh            # full tier-1 + TSan runtime tests
+#   scripts/check.sh --tsan-only
+#
+# The TSan pass builds into build-tsan/ (kept out of git by .gitignore) with
+# -DAVD_SANITIZE=thread and runs only the test binaries whose code runs
+# worker threads; a single reported race fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+TSAN_ONLY=0
+[[ "${1:-}" == "--tsan-only" ]] && TSAN_ONLY=1
+
+if [[ "$TSAN_ONLY" -eq 0 ]]; then
+  echo "== tier-1: build =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  echo "== tier-1: ctest =="
+  (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+echo "== TSan: configure + build (build-tsan/) =="
+cmake -B build-tsan -S . -DAVD_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_runtime test_soc
+
+echo "== TSan: runtime tests =="
+# halt_on_error: any data race fails the run (and hence this script).
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+./build-tsan/tests/test_runtime
+./build-tsan/tests/test_soc --gtest_filter='EventLog.*'
+
+echo "== all checks passed =="

@@ -105,12 +105,66 @@ struct AdaptiveRunReport {
   [[nodiscard]] std::vector<ConditionSummary> per_condition() const;
 };
 
+/// Control-plane outcome for one frame: everything pass-1/pass-2 of the
+/// batch run decides about a frame, produced incrementally by
+/// AdaptiveSystem::StepSession::control_step.
+struct ControlStep {
+  int index = 0;
+  double light_level = 0.0;
+  data::LightingCondition sensed = data::LightingCondition::Day;
+  bool reconfig_triggered = false;
+  soc::FrameRecord record;  ///< schedule decision (config, processed flags)
+};
+
 class AdaptiveSystem {
  public:
   AdaptiveSystem(SystemModels models, AdaptiveSystemConfig config = {});
 
-  /// Drive a scripted sequence through the system.
-  [[nodiscard]] AdaptiveRunReport run(const data::DriveSequence& sequence);
+  /// Mutable per-run control-plane state (lighting classifier, PR controller,
+  /// frame scheduler). One session per stream; frames of a stream MUST be
+  /// stepped in order. A session is not itself thread-safe, but independent
+  /// sessions over the same (const) AdaptiveSystem may run on different
+  /// threads concurrently — this is what the avd::runtime StreamServer does.
+  class StepSession {
+   public:
+    explicit StepSession(const AdaptiveSystem& system);
+
+    /// Run the control plane for the next frame (sensor reading -> lighting
+    /// condition -> reconfiguration decision) and return the frame's final
+    /// schedule record. Deterministic: stepping a whole sequence reproduces
+    /// the batch run() control pass bit for bit.
+    [[nodiscard]] ControlStep control_step(const data::SequenceFrame& meta);
+
+    [[nodiscard]] int frames_stepped() const { return next_index_; }
+    [[nodiscard]] const std::vector<soc::ReconfigResult>& reconfigs() const {
+      return reconfigs_;
+    }
+    [[nodiscard]] const soc::EventLog& log() const;
+
+   private:
+    const AdaptiveSystem* system_;
+    soc::ReconfigController controller_;
+    soc::FrameScheduler scheduler_;
+    LightingClassifier classifier_;
+    std::string loaded_ = "day-dusk";  // boot configuration
+    soc::TimePoint busy_until_{0};
+    int next_index_ = 0;
+    std::vector<soc::ReconfigResult> reconfigs_;
+  };
+
+  /// Start a fresh control-plane session (the streaming equivalent of one
+  /// run() call).
+  [[nodiscard]] StepSession begin_session() const { return StepSession(*this); }
+
+  /// Pixel-level pass for one frame given its control outcome. Const and
+  /// thread-safe: a pure function of the trained models, so the runtime's
+  /// detect workers may call it concurrently.
+  [[nodiscard]] AdaptiveFrameReport evaluate_frame(
+      const ControlStep& step, const data::SequenceFrame& meta) const;
+
+  /// Drive a scripted sequence through the system (sequentially; the
+  /// concurrent equivalent is runtime::StreamServer).
+  [[nodiscard]] AdaptiveRunReport run(const data::DriveSequence& sequence) const;
 
   /// Detect vehicles on one frame with the pipeline serving `condition`
   /// (assumes the right configuration is loaded).

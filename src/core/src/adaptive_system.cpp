@@ -80,135 +80,150 @@ std::vector<det::Detection> AdaptiveSystem::detect_pedestrians(
   return det::detect_multiscale(gray, models_.pedestrian, config_.sliding);
 }
 
-AdaptiveRunReport AdaptiveSystem::run(const data::DriveSequence& sequence) {
+AdaptiveSystem::StepSession::StepSession(const AdaptiveSystem& system)
+    : system_(&system),
+      controller_(system.platform_, system.config_.method),
+      scheduler_(system.config_.scheduler),
+      classifier_(system.config_.classifier) {
+  controller_.stage(system.day_dusk_bits_);
+  controller_.stage(system.dark_bits_);
+  if (system.models_.has_animal_model()) controller_.stage(system.countryside_bits_);
+}
+
+const soc::EventLog& AdaptiveSystem::StepSession::log() const {
+  return controller_.log();
+}
+
+ControlStep AdaptiveSystem::StepSession::control_step(
+    const data::SequenceFrame& meta) {
+  const AdaptiveSystemConfig& config = system_->config_;
+  const int i = next_index_++;
+
+  // Sensor trace -> condition (the paper's external light signal, or the
+  // image-derived estimate).
+  ControlStep step;
+  step.index = i;
+  step.light_level =
+      config.use_image_light_estimate
+          ? LightingClassifier::estimate_light_level(
+                img::rgb_to_gray(data::render_scene(meta.scene)))
+          : meta.light_level;
+  step.sensed = classifier_.update(step.light_level);
+
+  // Condition -> reconfiguration decision. Countryside selection only
+  // applies when the animal model exists.
+  const std::string wanted = system_->models_.has_animal_model()
+                                 ? config_for(step.sensed, meta.road)
+                                 : config_for(step.sensed);
+  const soc::TimePoint now = scheduler_.frame_time(i);
+  const soc::TimePoint dwell_until =
+      busy_until_ +
+      config.scheduler.frame_period() *
+          static_cast<std::uint64_t>(std::max(0, config.min_dwell_frames));
+  if (wanted != loaded_ && now >= busy_until_ &&
+      (busy_until_.ps == 0 || now >= dwell_until)) {
+    // The engine drains its in-flight frame before the partition is opened.
+    const soc::Duration drain =
+        soc::day_dusk_pipeline_model().frame_time(soc::kHdtvFrame);
+    const soc::TimePoint start = now + drain;
+    const soc::PartialBitstream& bits =
+        wanted == "dark" ? system_->dark_bits_
+                         : (wanted == "countryside" ? system_->countryside_bits_
+                                                    : system_->day_dusk_bits_);
+    const soc::ReconfigResult result = controller_.reconfigure(start, bits);
+    scheduler_.add_reconfig_window(start, result.duration(), wanted);
+    reconfigs_.push_back(result);
+    busy_until_ = result.end;
+    loaded_ = wanted;
+    step.reconfig_triggered = true;
+  }
+
+  // Schedule decision. A window always opens strictly after the frame that
+  // triggered it, so frame i's record is final once frames 0..i have been
+  // stepped (FrameScheduler::record_at documents the invariant).
+  step.record = scheduler_.record_at(i, "day-dusk");
+  return step;
+}
+
+AdaptiveFrameReport AdaptiveSystem::evaluate_frame(
+    const ControlStep& step, const data::SequenceFrame& meta) const {
+  AdaptiveFrameReport fr;
+  fr.index = step.index;
+  fr.light_level = step.light_level;
+  fr.sensed = step.sensed;
+  fr.active_config = step.record.vehicle_config;
+  fr.vehicle_processed = step.record.vehicle_processed;
+  fr.pedestrian_processed = step.record.pedestrian_processed;
+  fr.reconfig_triggered = step.reconfig_triggered;
+
+  fr.vehicles_truth = static_cast<int>(meta.scene.vehicles.size());
+  fr.animals_truth = static_cast<int>(meta.scene.animals.size());
+
+  if (config_.run_detectors && fr.vehicle_processed) {
+    // The detector that actually runs is determined by the *loaded*
+    // configuration, not by the sensed condition: frames between a
+    // condition change and the end of the reconfiguration still run the
+    // previous pipeline.
+    const img::RgbImage frame = data::render_scene(meta.scene);
+    std::vector<det::Detection> dets;
+    if (fr.active_config == "dark") {
+      dets = models_.dark.detect(frame);
+    } else if (fr.active_config == "countryside" &&
+               models_.has_animal_model()) {
+      // The countryside configuration runs both classifiers behind one
+      // shared HOG front end — the software mirror of the hardware block
+      // sharing in soc::countryside_blocks().
+      const img::ImageU8 gray = img::rgb_to_gray(frame);
+      const det::HogSvmModel* shared_models[] = {
+          &models_.vehicle_model_for(fr.sensed), &models_.animal};
+      const auto all =
+          det::detect_multiscale_multi(gray, shared_models, config_.sliding);
+      std::vector<det::Detection> animal_dets;
+      for (const det::Detection& d : all) {
+        if (d.class_id == det::kClassAnimal)
+          animal_dets.push_back(d);
+        else
+          dets.push_back(d);
+      }
+      std::vector<img::Rect> animal_truth;
+      for (const data::AnimalSpec& a : meta.scene.animals)
+        animal_truth.push_back(a.body);
+      fr.animal_match =
+          det::match_detections(animal_dets, animal_truth, config_.match_iou);
+    } else {
+      const img::ImageU8 gray = img::rgb_to_gray(frame);
+      dets = det::detect_multiscale(gray, models_.vehicle_model_for(fr.sensed),
+                                    config_.sliding);
+    }
+    std::vector<img::Rect> truth;
+    for (const data::VehicleSpec& v : meta.scene.vehicles)
+      truth.push_back(v.body);
+    fr.vehicle_match = det::match_detections(dets, truth, config_.match_iou);
+  }
+  return fr;
+}
+
+AdaptiveRunReport AdaptiveSystem::run(const data::DriveSequence& sequence) const {
+  // The batch path is the streaming path driven sequentially: one control
+  // step per frame, then the pixel-level pass on each frame. Keeping a
+  // single code path is what makes the runtime's per-stream determinism
+  // guarantee checkable against this function.
   AdaptiveRunReport report;
   const int n = sequence.frame_count();
+  StepSession session = begin_session();
 
-  soc::ReconfigController controller(platform_, config_.method);
-  controller.stage(day_dusk_bits_);
-  controller.stage(dark_bits_);
-  if (models_.has_animal_model()) controller.stage(countryside_bits_);
+  std::vector<ControlStep> steps;
+  steps.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    steps.push_back(session.control_step(sequence.frame(i)));
 
-  soc::FrameScheduler scheduler(config_.scheduler);
-  const soc::Duration period = config_.scheduler.frame_period();
-  // The engine drains its in-flight frame before the partition is opened.
-  const soc::Duration drain =
-      soc::day_dusk_pipeline_model().frame_time(soc::kHdtvFrame);
-
-  LightingClassifier classifier(config_.classifier);
-
-  // Pass 1 — control plane: sensor trace -> condition -> reconfigurations.
-  std::string loaded = "day-dusk";  // boot configuration
-  soc::TimePoint busy_until{0};
-  std::vector<data::LightingCondition> sensed(static_cast<std::size_t>(n));
-  std::vector<bool> triggered(static_cast<std::size_t>(n), false);
-  std::vector<double> levels(static_cast<std::size_t>(n), 0.0);
-
-  for (int i = 0; i < n; ++i) {
-    const data::SequenceFrame meta = sequence.frame(i);
-    const double level =
-        config_.use_image_light_estimate
-            ? LightingClassifier::estimate_light_level(
-                  img::rgb_to_gray(data::render_scene(meta.scene)))
-            : meta.light_level;
-    levels[static_cast<std::size_t>(i)] = level;
-    const data::LightingCondition condition = classifier.update(level);
-    sensed[static_cast<std::size_t>(i)] = condition;
-
-    // Countryside selection only applies when the animal model exists.
-    const std::string wanted = models_.has_animal_model()
-                                   ? config_for(condition, meta.road)
-                                   : config_for(condition);
-    const soc::TimePoint now = scheduler.frame_time(i);
-    const soc::TimePoint dwell_until =
-        busy_until +
-        config_.scheduler.frame_period() *
-            static_cast<std::uint64_t>(std::max(0, config_.min_dwell_frames));
-    if (wanted != loaded && now >= busy_until &&
-        (busy_until.ps == 0 || now >= dwell_until)) {
-      const soc::TimePoint start = now + drain;
-      const soc::PartialBitstream& bits =
-          wanted == "dark"
-              ? dark_bits_
-              : (wanted == "countryside" ? countryside_bits_ : day_dusk_bits_);
-      const soc::ReconfigResult result = controller.reconfigure(start, bits);
-      scheduler.add_reconfig_window(start, result.duration(), wanted);
-      report.reconfigs.push_back(result);
-      busy_until = result.end;
-      loaded = wanted;
-      triggered[static_cast<std::size_t>(i)] = true;
-    }
-  }
-
-  // Pass 2 — frame schedule: which frames the vehicle engine processed and
-  // with which configuration.
-  const std::vector<soc::FrameRecord> schedule =
-      scheduler.schedule(n, "day-dusk");
-
-  // Pass 3 — (optional) pixel-level detection on processed frames.
   report.frames.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const auto ui = static_cast<std::size_t>(i);
-    AdaptiveFrameReport fr;
-    fr.index = i;
-    fr.light_level = levels[ui];
-    fr.sensed = sensed[ui];
-    fr.active_config = schedule[ui].vehicle_config;
-    fr.vehicle_processed = schedule[ui].vehicle_processed;
-    fr.pedestrian_processed = schedule[ui].pedestrian_processed;
-    fr.reconfig_triggered = triggered[ui];
+  for (int i = 0; i < n; ++i)
+    report.frames.push_back(
+        evaluate_frame(steps[static_cast<std::size_t>(i)], sequence.frame(i)));
 
-    const data::SequenceFrame meta = sequence.frame(i);
-    fr.vehicles_truth = static_cast<int>(meta.scene.vehicles.size());
-    fr.animals_truth = static_cast<int>(meta.scene.animals.size());
-
-    if (config_.run_detectors && fr.vehicle_processed) {
-      // The detector that actually runs is determined by the *loaded*
-      // configuration, not by the sensed condition: frames between a
-      // condition change and the end of the reconfiguration still run the
-      // previous pipeline.
-      const img::RgbImage frame = data::render_scene(meta.scene);
-      std::vector<det::Detection> dets;
-      if (fr.active_config == "dark") {
-        dets = models_.dark.detect(frame);
-      } else if (fr.active_config == "countryside" &&
-                 models_.has_animal_model()) {
-        // The countryside configuration runs both classifiers behind one
-        // shared HOG front end — the software mirror of the hardware block
-        // sharing in soc::countryside_blocks().
-        const img::ImageU8 gray = img::rgb_to_gray(frame);
-        const det::HogSvmModel* shared_models[] = {
-            &models_.vehicle_model_for(fr.sensed), &models_.animal};
-        const auto all = det::detect_multiscale_multi(gray, shared_models,
-                                                      config_.sliding);
-        std::vector<det::Detection> animal_dets;
-        for (const det::Detection& d : all) {
-          if (d.class_id == det::kClassAnimal)
-            animal_dets.push_back(d);
-          else
-            dets.push_back(d);
-        }
-        std::vector<img::Rect> animal_truth;
-        for (const data::AnimalSpec& a : meta.scene.animals)
-          animal_truth.push_back(a.body);
-        fr.animal_match = det::match_detections(animal_dets, animal_truth,
-                                                config_.match_iou);
-      } else {
-        const img::ImageU8 gray = img::rgb_to_gray(frame);
-        dets = det::detect_multiscale(
-            gray, models_.vehicle_model_for(fr.sensed), config_.sliding);
-      }
-      std::vector<img::Rect> truth;
-      for (const data::VehicleSpec& v : meta.scene.vehicles)
-        truth.push_back(v.body);
-      fr.vehicle_match = det::match_detections(dets, truth, config_.match_iou);
-    }
-    report.frames.push_back(std::move(fr));
-
-    (void)period;
-  }
-
-  report.log = controller.log();
+  report.reconfigs = session.reconfigs();
+  report.log = session.log();
   return report;
 }
 

@@ -1,0 +1,151 @@
+// Per-stage runtime instrumentation: latency histograms, throughput and
+// drop counters, queue-depth high-water marks.
+//
+// Recording is lock-free (relaxed atomic adds into log-linear histogram
+// bins) so worker threads pay a few nanoseconds per sample — the runtime
+// equivalent of the free-running ARM event counters the paper reads. The
+// snapshot/percentile side is approximate (bins are log-spaced with 8
+// sub-buckets per octave, ≤ ~6 % relative error) and meant to be taken once
+// workers have quiesced.
+//
+// Export rides the existing soc trace path: metrics become EventLog events
+// which soc::write_chrome_trace turns into a Perfetto-loadable JSON file,
+// plus a compact JSON summary for benches to parse.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "avd/soc/event_log.hpp"
+
+namespace avd::runtime {
+
+/// Lock-free log-linear latency histogram over nanosecond samples.
+/// Values 0..15 get exact unit bins; above that, 8 sub-buckets per
+/// power-of-two octave.
+class LatencyHistogram {
+ public:
+  static constexpr int kLinearBins = 16;
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kOctaves = 60;  // covers > 10^18 ns
+  static constexpr int kBins = kLinearBins + kSubBuckets * kOctaves;
+
+  void record_ns(std::uint64_t ns) {
+    bins_[bin_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    update_max(max_ns_, ns);
+  }
+  void record(std::chrono::nanoseconds d) {
+    record_ns(d.count() < 0 ? 0u : static_cast<std::uint64_t>(d.count()));
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean_ns() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  /// Approximate p-quantile (p in [0,1]) as the representative value of the
+  /// first bin whose cumulative count reaches p * total. 0 when empty.
+  [[nodiscard]] std::uint64_t percentile_ns(double p) const;
+
+  [[nodiscard]] static int bin_index(std::uint64_t ns);
+  /// Midpoint of the value range bin `index` covers.
+  [[nodiscard]] static std::uint64_t bin_value(int index);
+
+ private:
+  static void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBins> bins_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Read-only view of one stage, safe to copy around and serialise.
+struct StageSnapshot {
+  std::string stage;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;
+  std::size_t queue_high_water = 0;
+  std::uint64_t count = 0;  ///< latency samples
+  double mean_ns = 0.0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Counters for one pipeline stage. All mutators are thread-safe and cheap.
+class StageMetrics {
+ public:
+  explicit StageMetrics(std::string name) : name_(std::move(name)) {}
+
+  void record_latency(std::chrono::nanoseconds d) { latency_.record(d); }
+  void add_processed(std::uint64_t n = 1) {
+    processed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_dropped(std::uint64_t n = 1) {
+    dropped_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void update_queue_high_water(std::size_t depth) {
+    std::size_t cur = queue_high_water_.load(std::memory_order_relaxed);
+    while (depth > cur && !queue_high_water_.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const LatencyHistogram& latency() const { return latency_; }
+  [[nodiscard]] std::uint64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] StageSnapshot snapshot() const;
+
+ private:
+  std::string name_;
+  LatencyHistogram latency_;
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::size_t> queue_high_water_{0};
+};
+
+/// The four stages of the serving pipeline, in dataflow order.
+struct RuntimeMetrics {
+  StageMetrics ingest{"ingest"};
+  StageMetrics control{"control"};
+  StageMetrics detect{"detect"};
+  StageMetrics report{"report"};
+
+  [[nodiscard]] std::vector<StageSnapshot> snapshot() const;
+};
+
+/// Append one summary event per stage to `log` (source "runtime/<stage>"),
+/// stamped at `at`, so the metrics ride soc::write_chrome_trace unchanged.
+void append_metrics_events(const RuntimeMetrics& metrics, soc::TimePoint at,
+                           soc::EventLog& log);
+
+/// Compact JSON: {"stages":[{"stage":"detect","processed":...,...},...]}.
+[[nodiscard]] std::string metrics_to_json(const RuntimeMetrics& metrics);
+
+}  // namespace avd::runtime

@@ -1,0 +1,102 @@
+// StreamServer: the concurrent multi-stream serving runtime.
+//
+// Runs the adaptive pipeline as a staged dataflow over bounded queues:
+//
+//   sources ── ingest ──> [control queue] ── control ──> [detect queue]
+//              workers      (always Block)   workers       (configurable)
+//                                                             │
+//   results <── collector <── [report queue] <── detect ──────┘
+//                               (Block)          workers
+//
+// * ingest   — pulls frames from N FrameSources (one worker per source at a
+//              time) into the control queue.
+// * control  — the sequential per-stream brain: lighting classification,
+//              reconfiguration decisions, frame scheduling, via
+//              core::AdaptiveSystem::StepSession. Frames of one stream are
+//              processed strictly in index order (a per-stream reorder
+//              buffer absorbs MPMC scheduling); different streams proceed
+//              concurrently.
+// * detect   — the heavy, embarrassingly parallel stage: pixel-level
+//              detection through the const AdaptiveSystem::evaluate_frame.
+//              This pool is the throughput knob.
+// * report   — a single collector slots per-frame reports into per-stream
+//              result vectors (order-insensitive by construction).
+//
+// Determinism: with the default Block policy every per-stream report is
+// bit-identical to the sequential AdaptiveSystem::run() on the same
+// sequence, whatever the worker counts — enforced by tests/runtime. With a
+// drop policy on the detect queue, overflowing frames are not lost silently:
+// they surface as vehicle_processed=false reports (the pedestrian engine,
+// like the paper's static partition, is unaffected), exactly the shape of
+// the paper's reconfiguration frame drop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "avd/core/adaptive_system.hpp"
+#include "avd/runtime/bounded_queue.hpp"
+#include "avd/runtime/frame_source.hpp"
+#include "avd/runtime/stage_metrics.hpp"
+
+namespace avd::runtime {
+
+struct StreamServerConfig {
+  /// Workers pumping sources into the control queue. More than one only
+  /// helps when several streams are served (a source is never shared).
+  int ingest_workers = 1;
+  /// Workers running the per-stream control plane. Cheap stage; 1-2 suffice
+  /// unless use_image_light_estimate renders frames during control.
+  int control_workers = 1;
+  /// Workers running pixel-level detection — the scaling knob.
+  int detect_workers = 2;
+  /// Capacity of every inter-stage queue.
+  std::size_t queue_capacity = 16;
+  /// Backpressure policy of the detect queue only; control and report
+  /// queues always block (the control plane must see every frame).
+  OverflowPolicy detect_policy = OverflowPolicy::Block;
+  /// Milliseconds each detect task additionally occupies its worker,
+  /// modelling a blocking dispatch to the PL accelerator (which the paper
+  /// runs at one frame per 20 ms). 0 = off. Used by the scaling bench so
+  /// serving concurrency is measurable independent of host CPU count.
+  double simulated_accel_ms = 0.0;
+};
+
+/// Everything one stream produced.
+struct StreamResult {
+  int stream = 0;
+  core::AdaptiveRunReport report;
+  /// Frames that overflowed the detect queue (drop policies only); they are
+  /// still present in report.frames, marked vehicle_processed = false.
+  std::uint64_t backpressure_drops = 0;
+};
+
+class StreamServer {
+ public:
+  explicit StreamServer(const core::AdaptiveSystem& system,
+                        StreamServerConfig config = {});
+
+  /// Serve every source to completion; results are indexed like `sources`.
+  [[nodiscard]] std::vector<StreamResult> serve(
+      std::vector<std::unique_ptr<FrameSource>> sources);
+
+  /// Convenience: one SequenceFrameSource per sequence.
+  [[nodiscard]] std::vector<StreamResult> serve_sequences(
+      const std::vector<data::DriveSequence>& sequences);
+
+  /// Per-stage metrics accumulated across serve() calls.
+  [[nodiscard]] const RuntimeMetrics& metrics() const { return metrics_; }
+  /// Worker lifecycle + stream completion events (wall-clock ns timestamps),
+  /// exportable with soc::write_chrome_trace alongside the metrics events.
+  [[nodiscard]] const soc::EventLog& server_log() const { return log_; }
+  [[nodiscard]] const StreamServerConfig& config() const { return config_; }
+
+ private:
+  const core::AdaptiveSystem* system_;
+  StreamServerConfig config_;
+  RuntimeMetrics metrics_;
+  soc::EventLog log_;
+};
+
+}  // namespace avd::runtime

@@ -1,0 +1,94 @@
+#include "avd/runtime/stage_metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace avd::runtime {
+
+int LatencyHistogram::bin_index(std::uint64_t ns) {
+  if (ns < kLinearBins) return static_cast<int>(ns);
+  const int octave = std::bit_width(ns) - 1;  // >= 4 here
+  const int sub =
+      static_cast<int>((ns >> (octave - 3)) & (kSubBuckets - 1));
+  int index = kLinearBins + (octave - 4) * kSubBuckets + sub;
+  if (index >= kBins) index = kBins - 1;
+  return index;
+}
+
+std::uint64_t LatencyHistogram::bin_value(int index) {
+  if (index < kLinearBins) return static_cast<std::uint64_t>(index);
+  const int octave = 4 + (index - kLinearBins) / kSubBuckets;
+  const int sub = (index - kLinearBins) % kSubBuckets;
+  const std::uint64_t base = 1ull << octave;
+  const std::uint64_t step = base / kSubBuckets;
+  // Midpoint of [base + sub*step, base + (sub+1)*step).
+  return base + static_cast<std::uint64_t>(sub) * step + step / 2;
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(total) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBins; ++i) {
+    cumulative += bins_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (cumulative >= target && cumulative > 0) return bin_value(i);
+  }
+  return max_ns();
+}
+
+StageSnapshot StageMetrics::snapshot() const {
+  StageSnapshot s;
+  s.stage = name_;
+  s.processed = processed();
+  s.dropped = dropped();
+  s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  s.count = latency_.count();
+  s.mean_ns = latency_.mean_ns();
+  s.p50_ns = latency_.percentile_ns(0.50);
+  s.p95_ns = latency_.percentile_ns(0.95);
+  s.p99_ns = latency_.percentile_ns(0.99);
+  s.max_ns = latency_.max_ns();
+  return s;
+}
+
+std::vector<StageSnapshot> RuntimeMetrics::snapshot() const {
+  return {ingest.snapshot(), control.snapshot(), detect.snapshot(),
+          report.snapshot()};
+}
+
+void append_metrics_events(const RuntimeMetrics& metrics, soc::TimePoint at,
+                           soc::EventLog& log) {
+  for (const StageSnapshot& s : metrics.snapshot()) {
+    std::ostringstream os;
+    os << "processed=" << s.processed << " dropped=" << s.dropped
+       << " queue_hw=" << s.queue_high_water << " p50_us=" << (s.p50_ns / 1000)
+       << " p95_us=" << (s.p95_ns / 1000) << " p99_us=" << (s.p99_ns / 1000)
+       << " max_us=" << (s.max_ns / 1000);
+    log.record(at, "runtime/" + s.stage, os.str());
+  }
+}
+
+std::string metrics_to_json(const RuntimeMetrics& metrics) {
+  std::ostringstream os;
+  os << "{\"stages\":[";
+  bool first = true;
+  for (const StageSnapshot& s : metrics.snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"stage\":\"" << s.stage << "\",\"processed\":" << s.processed
+       << ",\"dropped\":" << s.dropped
+       << ",\"queue_high_water\":" << s.queue_high_water
+       << ",\"samples\":" << s.count << ",\"mean_ns\":" << s.mean_ns
+       << ",\"p50_ns\":" << s.p50_ns << ",\"p95_ns\":" << s.p95_ns
+       << ",\"p99_ns\":" << s.p99_ns << ",\"max_ns\":" << s.max_ns << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace avd::runtime

@@ -1,0 +1,277 @@
+#include "avd/runtime/stream_server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace avd::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A frame after the control plane, waiting for pixel-level detection.
+struct DetectTask {
+  int stream = 0;
+  core::ControlStep step;
+  data::SequenceFrame meta;
+};
+
+/// A finished per-frame report heading to the collector.
+struct ReportTask {
+  int stream = 0;
+  core::AdaptiveFrameReport report;
+};
+
+/// Mutable per-stream state: the sequential control-plane session plus the
+/// reorder buffer that serialises MPMC-scheduled frames back into index
+/// order. Guarded by its own mutex; different streams never contend.
+struct StreamState {
+  explicit StreamState(const core::AdaptiveSystem& system)
+      : session(system.begin_session()) {}
+
+  std::mutex mutex;
+  core::AdaptiveSystem::StepSession session;
+  int next_index = 0;
+  std::map<int, data::SequenceFrame> pending;  // out-of-order frames
+  std::atomic<std::uint64_t> backpressure_drops{0};
+  std::atomic<int> frames_ingested{0};
+};
+
+}  // namespace
+
+StreamServer::StreamServer(const core::AdaptiveSystem& system,
+                           StreamServerConfig config)
+    : system_(&system), config_(config) {
+  config_.ingest_workers = std::max(1, config_.ingest_workers);
+  config_.control_workers = std::max(1, config_.control_workers);
+  config_.detect_workers = std::max(1, config_.detect_workers);
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+}
+
+std::vector<StreamResult> StreamServer::serve_sequences(
+    const std::vector<data::DriveSequence>& sequences) {
+  std::vector<std::unique_ptr<FrameSource>> sources;
+  sources.reserve(sequences.size());
+  for (const data::DriveSequence& s : sequences) sources.push_back(make_source(s));
+  return serve(std::move(sources));
+}
+
+std::vector<StreamResult> StreamServer::serve(
+    std::vector<std::unique_ptr<FrameSource>> sources) {
+  const int n_streams = static_cast<int>(sources.size());
+  std::vector<StreamResult> results(sources.size());
+  for (int s = 0; s < n_streams; ++s)
+    results[static_cast<std::size_t>(s)].stream = s;
+  if (n_streams == 0) return results;
+
+  const Clock::time_point epoch = Clock::now();
+  const auto now_tp = [&epoch] {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - epoch)
+                        .count();
+    return soc::TimePoint{static_cast<std::uint64_t>(ns) * 1000ull};
+  };
+
+  std::vector<std::unique_ptr<StreamState>> streams;
+  streams.reserve(sources.size());
+  for (int s = 0; s < n_streams; ++s)
+    streams.push_back(std::make_unique<StreamState>(*system_));
+
+  BoundedQueue<FrameTask> control_q(config_.queue_capacity,
+                                    OverflowPolicy::Block);
+  BoundedQueue<DetectTask> detect_q(config_.queue_capacity,
+                                    config_.detect_policy);
+  BoundedQueue<ReportTask> report_q(config_.queue_capacity,
+                                    OverflowPolicy::Block);
+
+  // Per-frame report slots, written only by the collector thread.
+  std::vector<std::vector<core::AdaptiveFrameReport>> slots(sources.size());
+  std::vector<std::vector<bool>> filled(sources.size());
+
+  std::atomic<std::size_t> next_source{0};
+  std::atomic<int> live_ingest{config_.ingest_workers};
+  std::atomic<int> live_control{config_.control_workers};
+  std::atomic<int> live_detect{config_.detect_workers};
+
+  // --- stage 1: ingest -------------------------------------------------
+  const auto ingest_loop = [&](int worker) {
+    log_.record(now_tp(), "runtime/ingest",
+                "worker " + std::to_string(worker) + " start");
+    for (;;) {
+      const std::size_t s = next_source.fetch_add(1);
+      if (s >= sources.size()) break;
+      FrameSource& src = *sources[s];
+      StreamState& state = *streams[s];
+      int index = 0;
+      for (;;) {
+        const Clock::time_point t0 = Clock::now();
+        std::optional<data::SequenceFrame> meta = src.next();
+        if (!meta) break;
+        metrics_.ingest.record_latency(Clock::now() - t0);
+        FrameTask task;
+        task.stream = static_cast<int>(s);
+        task.index = index++;
+        task.meta = std::move(*meta);
+        control_q.push(std::move(task));
+        metrics_.ingest.add_processed();
+      }
+      state.frames_ingested.store(index);
+    }
+    if (live_ingest.fetch_sub(1) == 1) control_q.close();
+    log_.record(now_tp(), "runtime/ingest",
+                "worker " + std::to_string(worker) + " done");
+  };
+
+  // A frame that overflowed the detect queue still produces a report — the
+  // serving-layer twin of the paper's reconfiguration drop: the vehicle
+  // engine misses the frame, the static pedestrian partition does not.
+  const auto emit_dropped = [&](DetectTask&& task) {
+    streams[static_cast<std::size_t>(task.stream)]
+        ->backpressure_drops.fetch_add(1);
+    metrics_.detect.add_dropped();
+    core::ControlStep step = task.step;
+    step.record.vehicle_processed = false;
+    ReportTask out;
+    out.stream = task.stream;
+    out.report = system_->evaluate_frame(step, task.meta);
+    report_q.push(std::move(out));
+  };
+
+  // --- stage 2: control (per-stream sequential) ------------------------
+  const auto control_loop = [&](int worker) {
+    log_.record(now_tp(), "runtime/control",
+                "worker " + std::to_string(worker) + " start");
+    while (std::optional<FrameTask> task = control_q.pop()) {
+      StreamState& state = *streams[static_cast<std::size_t>(task->stream)];
+      std::unique_lock<std::mutex> lock(state.mutex);
+      if (task->index != state.next_index) {
+        // Another worker holds an earlier frame of this stream; park this
+        // one until the stream catches up.
+        state.pending.emplace(task->index, std::move(task->meta));
+        continue;
+      }
+      data::SequenceFrame meta = std::move(task->meta);
+      for (;;) {
+        const Clock::time_point t0 = Clock::now();
+        core::ControlStep step = state.session.control_step(meta);
+        metrics_.control.record_latency(Clock::now() - t0);
+        metrics_.control.add_processed();
+        ++state.next_index;
+
+        DetectTask dt;
+        dt.stream = task->stream;
+        dt.step = step;
+        dt.meta = std::move(meta);
+        // The queue hands any dropped task back (the stale one under
+        // DropOldest, this one under DropNewest) so no frame vanishes.
+        std::optional<DetectTask> displaced;
+        detect_q.push(std::move(dt), &displaced);
+        if (displaced) emit_dropped(std::move(*displaced));
+
+        const auto it = state.pending.find(state.next_index);
+        if (it == state.pending.end()) break;
+        meta = std::move(it->second);
+        state.pending.erase(it);
+      }
+    }
+    if (live_control.fetch_sub(1) == 1) detect_q.close();
+    log_.record(now_tp(), "runtime/control",
+                "worker " + std::to_string(worker) + " done");
+  };
+
+  // --- stage 3: detect (parallel, const) -------------------------------
+  const auto detect_loop = [&](int worker) {
+    log_.record(now_tp(), "runtime/detect",
+                "worker " + std::to_string(worker) + " start");
+    while (std::optional<DetectTask> task = detect_q.pop()) {
+      const Clock::time_point t0 = Clock::now();
+      ReportTask out;
+      out.stream = task->stream;
+      out.report = system_->evaluate_frame(task->step, task->meta);
+      if (config_.simulated_accel_ms > 0.0 &&
+          task->step.record.vehicle_processed) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config_.simulated_accel_ms));
+      }
+      metrics_.detect.record_latency(Clock::now() - t0);
+      metrics_.detect.add_processed();
+      report_q.push(std::move(out));
+    }
+    if (live_detect.fetch_sub(1) == 1) report_q.close();
+    log_.record(now_tp(), "runtime/detect",
+                "worker " + std::to_string(worker) + " done");
+  };
+
+  // --- stage 4: report collector ---------------------------------------
+  const auto collect_loop = [&] {
+    log_.record(now_tp(), "runtime/report", "collector start");
+    while (std::optional<ReportTask> task = report_q.pop()) {
+      const Clock::time_point t0 = Clock::now();
+      auto& stream_slots = slots[static_cast<std::size_t>(task->stream)];
+      auto& stream_filled = filled[static_cast<std::size_t>(task->stream)];
+      const auto index = static_cast<std::size_t>(task->report.index);
+      if (index >= stream_slots.size()) {
+        stream_slots.resize(index + 1);
+        stream_filled.resize(index + 1, false);
+      }
+      stream_slots[index] = std::move(task->report);
+      stream_filled[index] = true;
+      metrics_.report.record_latency(Clock::now() - t0);
+      metrics_.report.add_processed();
+    }
+    log_.record(now_tp(), "runtime/report", "collector done");
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(config_.ingest_workers +
+                                           config_.control_workers +
+                                           config_.detect_workers) +
+                  1);
+  for (int i = 0; i < config_.ingest_workers; ++i)
+    workers.emplace_back(ingest_loop, i);
+  for (int i = 0; i < config_.control_workers; ++i)
+    workers.emplace_back(control_loop, i);
+  for (int i = 0; i < config_.detect_workers; ++i)
+    workers.emplace_back(detect_loop, i);
+  workers.emplace_back(collect_loop);
+  for (std::thread& t : workers) t.join();
+
+  // Queue-depth high-water marks become stage attributes.
+  metrics_.control.update_queue_high_water(control_q.stats().high_water);
+  metrics_.detect.update_queue_high_water(detect_q.stats().high_water);
+  metrics_.report.update_queue_high_water(report_q.stats().high_water);
+
+  // --- assemble per-stream results -------------------------------------
+  for (int s = 0; s < n_streams; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    StreamState& state = *streams[us];
+    StreamResult& result = results[us];
+    const int expected = state.frames_ingested.load();
+    if (static_cast<int>(slots[us].size()) != expected)
+      throw std::logic_error("StreamServer: stream " + std::to_string(s) +
+                             " lost frames (" +
+                             std::to_string(slots[us].size()) + "/" +
+                             std::to_string(expected) + ")");
+    for (std::size_t i = 0; i < filled[us].size(); ++i)
+      if (!filled[us][i])
+        throw std::logic_error("StreamServer: stream " + std::to_string(s) +
+                               " missing frame " + std::to_string(i));
+    result.report.frames = std::move(slots[us]);
+    result.report.reconfigs = state.session.reconfigs();
+    result.report.log = state.session.log();
+    result.backpressure_drops = state.backpressure_drops.load();
+    std::ostringstream os;
+    os << "stream " << s << " complete: " << result.report.frames.size()
+       << " frames, " << result.report.reconfigs.size() << " reconfigs, "
+       << result.backpressure_drops << " backpressure drops";
+    log_.record(now_tp(), "runtime/server", os.str());
+  }
+  return results;
+}
+
+}  // namespace avd::runtime

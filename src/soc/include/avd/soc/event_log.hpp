@@ -1,7 +1,15 @@
 // Timestamped event log: the simulation's equivalent of the paper's ARM
 // performance counters + Vivado ILA traces used to measure reconfiguration.
+//
+// Thread safety: record() may be called concurrently from multiple threads
+// (the avd::runtime worker pools log into shared stage logs); it is guarded
+// by an internal mutex. The read accessors (events(), to_string(), ...)
+// return snapshots or references of the underlying vector and must only be
+// used once writers have quiesced — the usual pattern is "workers joined,
+// then export".
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,13 +25,40 @@ struct Event {
 
 class EventLog {
  public:
+  EventLog() = default;
+  EventLog(const EventLog& other) : events_(other.snapshot()) {}
+  EventLog(EventLog&& other) noexcept : events_(other.take()) {}
+  EventLog& operator=(const EventLog& other) {
+    if (this != &other) {
+      std::vector<Event> copy = other.snapshot();
+      std::lock_guard<std::mutex> lock(mutex_);
+      events_ = std::move(copy);
+    }
+    return *this;
+  }
+  EventLog& operator=(EventLog&& other) noexcept {
+    if (this != &other) {
+      std::vector<Event> taken = other.take();
+      std::lock_guard<std::mutex> lock(mutex_);
+      events_ = std::move(taken);
+    }
+    return *this;
+  }
+
   void record(TimePoint t, std::string source, std::string message) {
+    std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back({t, std::move(source), std::move(message)});
   }
 
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+  }
 
   /// All events from a given source, in order.
   [[nodiscard]] std::vector<Event> from(const std::string& source) const;
@@ -32,6 +67,16 @@ class EventLog {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+  [[nodiscard]] std::vector<Event> take() noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(events_);
+  }
+
+  mutable std::mutex mutex_;
   std::vector<Event> events_;
 };
 

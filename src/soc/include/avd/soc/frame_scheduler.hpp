@@ -52,6 +52,15 @@ class FrameScheduler {
   [[nodiscard]] std::vector<FrameRecord> schedule(
       int n_frames, const std::string& initial_config) const;
 
+  /// Record of a single frame under the windows declared so far. Because a
+  /// reconfiguration window always opens strictly after the frame that
+  /// triggered it was captured, the record of frame `index` is final once
+  /// every window triggered at or before `index` has been declared — this is
+  /// what lets the streaming runtime schedule frames incrementally and still
+  /// match a batch schedule() bit for bit.
+  [[nodiscard]] FrameRecord record_at(int index,
+                                      const std::string& initial_config) const;
+
   /// Count of vehicle frames dropped across a schedule.
   [[nodiscard]] static int dropped_vehicle_frames(
       const std::vector<FrameRecord>& records);

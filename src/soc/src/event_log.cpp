@@ -6,14 +6,15 @@ namespace avd::soc {
 
 std::vector<Event> EventLog::from(const std::string& source) const {
   std::vector<Event> out;
-  for (const Event& e : events_)
-    if (e.source == source) out.push_back(e);
+  std::vector<Event> all = snapshot();
+  for (Event& e : all)
+    if (e.source == source) out.push_back(std::move(e));
   return out;
 }
 
 std::string EventLog::to_string() const {
   std::ostringstream os;
-  for (const Event& e : events_)
+  for (const Event& e : snapshot())
     os << '[' << e.time.as_ms() << " ms] " << e.source << ": " << e.message
        << '\n';
   return os.str();

@@ -20,38 +20,39 @@ void FrameScheduler::add_reconfig_window(TimePoint start, Duration duration,
             [](const Window& a, const Window& b) { return a.start < b.start; });
 }
 
+FrameRecord FrameScheduler::record_at(int index,
+                                      const std::string& initial_config) const {
+  FrameRecord rec;
+  rec.index = index;
+  rec.capture_time = frame_time(index);
+  rec.pedestrian_processed = true;  // static partition never stalls
+
+  const TimePoint frame_start = rec.capture_time;
+
+  // Configuration active at this frame: the newest window that completed
+  // before the frame started. A frame is dropped iff a reconfiguration is
+  // in progress at its capture instant — the engine drains the previous
+  // frame before the window opens, so a 20 ms window costs exactly the one
+  // frame captured inside it (paper §IV-B).
+  rec.vehicle_config = initial_config;
+  bool busy_at_capture = false;
+  for (const Window& w : windows_) {
+    if (w.end <= frame_start) {
+      rec.vehicle_config = w.new_config;
+    } else if (w.start <= frame_start && frame_start < w.end) {
+      busy_at_capture = true;
+    }
+  }
+  rec.vehicle_processed = !busy_at_capture;
+  return rec;
+}
+
 std::vector<FrameRecord> FrameScheduler::schedule(
     int n_frames, const std::string& initial_config) const {
   std::vector<FrameRecord> records;
   records.reserve(static_cast<std::size_t>(std::max(0, n_frames)));
-  const Duration period = config_.frame_period();
-
-  for (int i = 0; i < n_frames; ++i) {
-    FrameRecord rec;
-    rec.index = i;
-    rec.capture_time = frame_time(i);
-    rec.pedestrian_processed = true;  // static partition never stalls
-
-    const TimePoint frame_start = rec.capture_time;
-    (void)period;
-
-    // Configuration active at this frame: the newest window that completed
-    // before the frame started. A frame is dropped iff a reconfiguration is
-    // in progress at its capture instant — the engine drains the previous
-    // frame before the window opens, so a 20 ms window costs exactly the one
-    // frame captured inside it (paper §IV-B).
-    rec.vehicle_config = initial_config;
-    bool busy_at_capture = false;
-    for (const Window& w : windows_) {
-      if (w.end <= frame_start) {
-        rec.vehicle_config = w.new_config;
-      } else if (w.start <= frame_start && frame_start < w.end) {
-        busy_at_capture = true;
-      }
-    }
-    rec.vehicle_processed = !busy_at_capture;
-    records.push_back(std::move(rec));
-  }
+  for (int i = 0; i < n_frames; ++i)
+    records.push_back(record_at(i, initial_config));
   return records;
 }
 

@@ -1,0 +1,120 @@
+// StageMetrics / LatencyHistogram: bin math, percentile accuracy bounds,
+// concurrent recording, and the EventLog/JSON export path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "avd/runtime/stage_metrics.hpp"
+#include "avd/soc/trace_export.hpp"
+
+namespace avd::runtime {
+namespace {
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LatencyHistogram::bin_index(v), static_cast<int>(v));
+    EXPECT_EQ(LatencyHistogram::bin_value(static_cast<int>(v)), v);
+  }
+  h.record_ns(7);
+  EXPECT_EQ(h.percentile_ns(0.5), 7u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_ns(), 7u);
+}
+
+TEST(LatencyHistogram, BinValueStaysCloseToSample) {
+  // Log-linear bins with 8 sub-buckets per octave: representative value
+  // within ~7 % of any sample.
+  for (std::uint64_t v : {20ull, 100ull, 1000ull, 123456ull, 9999999ull,
+                          123456789ull, 55555555555ull}) {
+    const int bin = LatencyHistogram::bin_index(v);
+    const double rep = static_cast<double>(LatencyHistogram::bin_value(bin));
+    const double rel = std::abs(rep - static_cast<double>(v)) /
+                       static_cast<double>(v);
+    EXPECT_LT(rel, 0.07) << "v=" << v << " rep=" << rep;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesOrderedAndBracketed) {
+  LatencyHistogram h;
+  // 100 samples: 1..100 microseconds.
+  for (std::uint64_t i = 1; i <= 100; ++i) h.record_ns(i * 1000);
+  const std::uint64_t p50 = h.percentile_ns(0.50);
+  const std::uint64_t p95 = h.percentile_ns(0.95);
+  const std::uint64_t p99 = h.percentile_ns(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Approximate but in the right neighbourhood.
+  EXPECT_NEAR(static_cast<double>(p50), 50e3, 50e3 * 0.15);
+  EXPECT_NEAR(static_cast<double>(p95), 95e3, 95e3 * 0.15);
+  EXPECT_GE(h.max_ns(), 100000u);
+  EXPECT_NEAR(h.mean_ns(), 50500.0, 1.0);
+}
+
+TEST(LatencyHistogram, EmptyHistogramIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile_ns(0.5), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record_ns(static_cast<std::uint64_t>(i % 977) + 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(StageMetrics, CountersAndHighWater) {
+  StageMetrics m("detect");
+  m.add_processed(10);
+  m.add_dropped(3);
+  m.update_queue_high_water(5);
+  m.update_queue_high_water(2);  // lower → ignored
+  m.record_latency(std::chrono::microseconds(250));
+  const StageSnapshot s = m.snapshot();
+  EXPECT_EQ(s.stage, "detect");
+  EXPECT_EQ(s.processed, 10u);
+  EXPECT_EQ(s.dropped, 3u);
+  EXPECT_EQ(s.queue_high_water, 5u);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GT(s.p50_ns, 200000u);
+  EXPECT_LT(s.p50_ns, 300000u);
+}
+
+TEST(RuntimeMetrics, ExportRidesTheSocTracePath) {
+  RuntimeMetrics metrics;
+  metrics.detect.add_processed(42);
+  metrics.detect.add_dropped(2);
+  metrics.detect.record_latency(std::chrono::milliseconds(3));
+
+  soc::EventLog log;
+  append_metrics_events(metrics, soc::TimePoint{1000}, log);
+  ASSERT_EQ(log.size(), 4u);  // one event per stage
+  const auto detect_events = log.from("runtime/detect");
+  ASSERT_EQ(detect_events.size(), 1u);
+  EXPECT_NE(detect_events[0].message.find("processed=42"), std::string::npos);
+  EXPECT_NE(detect_events[0].message.find("dropped=2"), std::string::npos);
+
+  // The chrome-trace exporter accepts the log unchanged.
+  const std::string trace = soc::to_chrome_trace(log);
+  EXPECT_NE(trace.find("runtime/detect"), std::string::npos);
+  EXPECT_NE(trace.find("traceEvents"), std::string::npos);
+
+  const std::string json = metrics_to_json(metrics);
+  EXPECT_NE(json.find("\"stage\":\"detect\""), std::string::npos);
+  EXPECT_NE(json.find("\"processed\":42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avd::runtime

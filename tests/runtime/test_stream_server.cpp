@@ -1,0 +1,265 @@
+// StreamServer: the tentpole guarantee — per-stream results from the
+// concurrent runtime are bit-identical to the sequential
+// AdaptiveSystem::run() path — plus backpressure accounting and metrics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "avd/runtime/stream_server.hpp"
+
+namespace avd::runtime {
+namespace {
+
+core::TrainingBudget tiny() {
+  core::TrainingBudget b;
+  b.vehicle_pos = b.vehicle_neg = 30;
+  b.pedestrian_pos = b.pedestrian_neg = 20;
+  b.dbn_windows_per_class = 40;
+  b.pairing_scenes = 20;
+  return b;
+}
+
+/// The four scripted drives served throughout this file: same shape,
+/// different seeds → different scenes, reconfig times, detections.
+std::vector<data::DriveSequence> four_streams(int frames_per_segment,
+                                              bool with_tunnel = true) {
+  std::vector<data::DriveSequence> seqs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    data::SequenceSpec spec =
+        with_tunnel ? data::DriveSequence::canonical_drive({240, 136},
+                                                           frames_per_segment)
+                    : data::SequenceSpec{};
+    if (!with_tunnel) {
+      spec.frame_size = {240, 136};
+      spec.segments = {{data::LightingCondition::Day, frames_per_segment},
+                       {data::LightingCondition::Dark, frames_per_segment}};
+    }
+    spec.seed = 2024 + i;
+    seqs.emplace_back(spec);
+  }
+  return seqs;
+}
+
+void expect_frames_identical(const core::AdaptiveFrameReport& a,
+                             const core::AdaptiveFrameReport& b,
+                             const std::string& where) {
+  EXPECT_EQ(a.index, b.index) << where;
+  EXPECT_EQ(a.light_level, b.light_level) << where;  // bit-exact double
+  EXPECT_EQ(a.sensed, b.sensed) << where;
+  EXPECT_EQ(a.active_config, b.active_config) << where;
+  EXPECT_EQ(a.vehicle_processed, b.vehicle_processed) << where;
+  EXPECT_EQ(a.pedestrian_processed, b.pedestrian_processed) << where;
+  EXPECT_EQ(a.reconfig_triggered, b.reconfig_triggered) << where;
+  EXPECT_EQ(a.vehicles_truth, b.vehicles_truth) << where;
+  EXPECT_EQ(a.animals_truth, b.animals_truth) << where;
+  EXPECT_EQ(a.vehicle_match.true_positives, b.vehicle_match.true_positives)
+      << where;
+  EXPECT_EQ(a.vehicle_match.false_negatives, b.vehicle_match.false_negatives)
+      << where;
+  EXPECT_EQ(a.vehicle_match.false_positives, b.vehicle_match.false_positives)
+      << where;
+  EXPECT_EQ(a.animal_match.true_positives, b.animal_match.true_positives)
+      << where;
+  EXPECT_EQ(a.animal_match.false_negatives, b.animal_match.false_negatives)
+      << where;
+  EXPECT_EQ(a.animal_match.false_positives, b.animal_match.false_positives)
+      << where;
+}
+
+void expect_reports_identical(const core::AdaptiveRunReport& a,
+                              const core::AdaptiveRunReport& b,
+                              const std::string& where) {
+  ASSERT_EQ(a.frames.size(), b.frames.size()) << where;
+  for (std::size_t i = 0; i < a.frames.size(); ++i)
+    expect_frames_identical(a.frames[i], b.frames[i],
+                            where + " frame " + std::to_string(i));
+  ASSERT_EQ(a.reconfigs.size(), b.reconfigs.size()) << where;
+  for (std::size_t i = 0; i < a.reconfigs.size(); ++i) {
+    EXPECT_EQ(a.reconfigs[i].config_name, b.reconfigs[i].config_name) << where;
+    EXPECT_EQ(a.reconfigs[i].start.ps, b.reconfigs[i].start.ps) << where;
+    EXPECT_EQ(a.reconfigs[i].end.ps, b.reconfigs[i].end.ps) << where;
+    EXPECT_EQ(a.reconfigs[i].transfer.bytes, b.reconfigs[i].transfer.bytes)
+        << where;
+  }
+  // The control-plane event logs must line up event for event: simulated
+  // timestamps, sources, messages.
+  ASSERT_EQ(a.log.size(), b.log.size()) << where;
+  for (std::size_t i = 0; i < a.log.events().size(); ++i) {
+    EXPECT_EQ(a.log.events()[i].time.ps, b.log.events()[i].time.ps) << where;
+    EXPECT_EQ(a.log.events()[i].source, b.log.events()[i].source) << where;
+    EXPECT_EQ(a.log.events()[i].message, b.log.events()[i].message) << where;
+  }
+}
+
+// The ISSUE acceptance test: 4 streams × 4 detect workers, with detection
+// enabled, must reproduce the sequential run() per stream bit for bit.
+TEST(StreamServer, FourStreamsFourWorkersMatchSequentialExactly) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = true;
+  core::AdaptiveSystem system(models, cfg);
+
+  const std::vector<data::DriveSequence> streams = four_streams(6);
+
+  StreamServerConfig sc;
+  sc.ingest_workers = 2;
+  sc.control_workers = 2;
+  sc.detect_workers = 4;
+  sc.queue_capacity = 4;  // small queues → real contention and blocking
+  StreamServer server(system, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  ASSERT_EQ(results.size(), streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    const core::AdaptiveRunReport sequential = system.run(streams[s]);
+    EXPECT_EQ(results[s].stream, static_cast<int>(s));
+    EXPECT_EQ(results[s].backpressure_drops, 0u);
+    expect_reports_identical(results[s].report, sequential,
+                             "stream " + std::to_string(s));
+  }
+}
+
+// Running the server twice must give identical results (no scheduling
+// nondeterminism leaks into the data plane).
+TEST(StreamServer, RepeatedServesAreIdentical) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = false;  // control plane only: fast
+  core::AdaptiveSystem system(models, cfg);
+
+  const std::vector<data::DriveSequence> streams = four_streams(20);
+  StreamServerConfig sc;
+  sc.detect_workers = 3;
+  sc.control_workers = 2;
+  StreamServer s1(system, sc), s2(system, sc);
+  const auto r1 = s1.serve_sequences(streams);
+  const auto r2 = s2.serve_sequences(streams);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t s = 0; s < r1.size(); ++s)
+    expect_reports_identical(r1[s].report, r2[s].report,
+                             "stream " + std::to_string(s));
+}
+
+// Under DropOldest with a starved detect pool, frames overflow — but every
+// frame still shows up in the report, dropped ones as vehicle_processed =
+// false with the pedestrian engine untouched (the paper's reconfiguration
+// drop, generalised to load shedding).
+TEST(StreamServer, DropOldestShedsLoadButAccountsEveryFrame) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = false;
+  core::AdaptiveSystem system(models, cfg);
+
+  const std::vector<data::DriveSequence> streams = four_streams(15);
+  StreamServerConfig sc;
+  sc.detect_workers = 1;
+  sc.queue_capacity = 2;
+  sc.detect_policy = OverflowPolicy::DropOldest;
+  sc.simulated_accel_ms = 2.0;  // starve: detect is 2 ms/frame, control ~µs
+  StreamServer server(system, sc);
+  const auto results = server.serve_sequences(streams);
+
+  std::uint64_t total_drops = 0;
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const auto& r = results[s];
+    ASSERT_EQ(static_cast<int>(r.report.frames.size()),
+              streams[s].frame_count());
+    total_drops += r.backpressure_drops;
+    const core::AdaptiveRunReport sequential = system.run(streams[s]);
+    std::uint64_t seen_drops = 0;
+    for (std::size_t i = 0; i < r.report.frames.size(); ++i) {
+      const auto& f = r.report.frames[i];
+      const auto& sf = sequential.frames[i];
+      // Control-plane outputs are never affected by load shedding.
+      EXPECT_EQ(f.sensed, sf.sensed);
+      EXPECT_EQ(f.active_config, sf.active_config);
+      EXPECT_EQ(f.light_level, sf.light_level);
+      EXPECT_TRUE(f.pedestrian_processed);  // static partition never stalls
+      if (f.vehicle_processed != sf.vehicle_processed) {
+        // Shed frame: sequential processed it, the loaded server did not.
+        EXPECT_TRUE(sf.vehicle_processed);
+        EXPECT_FALSE(f.vehicle_processed);
+        ++seen_drops;
+      }
+    }
+    // A backpressure drop that lands on a frame the control plane already
+    // dropped (reconfiguration window) flips no flag, so seen_drops may
+    // undercount by at most the reconfiguration drops.
+    EXPECT_LE(seen_drops, r.backpressure_drops) << "stream " << s;
+    EXPECT_LE(r.backpressure_drops - seen_drops,
+              static_cast<std::uint64_t>(sequential.dropped_vehicle_frames()))
+        << "stream " << s;
+  }
+  EXPECT_GT(total_drops, 0u) << "expected the starved pool to shed load";
+  EXPECT_EQ(server.metrics().detect.dropped(), total_drops);
+}
+
+TEST(StreamServer, MetricsCoverEveryFrame) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = false;
+  core::AdaptiveSystem system(models, cfg);
+
+  const std::vector<data::DriveSequence> streams = four_streams(10);
+  int total_frames = 0;
+  for (const auto& s : streams) total_frames += s.frame_count();
+
+  StreamServerConfig sc;
+  sc.detect_workers = 2;
+  StreamServer server(system, sc);
+  const auto results = server.serve_sequences(streams);
+  ASSERT_EQ(results.size(), 4u);
+
+  const RuntimeMetrics& m = server.metrics();
+  const auto n = static_cast<std::uint64_t>(total_frames);
+  EXPECT_EQ(m.ingest.processed(), n);
+  EXPECT_EQ(m.control.processed(), n);
+  EXPECT_EQ(m.detect.processed() + m.detect.dropped(), n);
+  EXPECT_EQ(m.report.processed(), n);
+  EXPECT_GT(m.detect.latency().count(), 0u);
+  EXPECT_GT(m.control.snapshot().p95_ns, 0u);
+
+  // Worker lifecycle events were recorded concurrently into the shared log.
+  const soc::EventLog& log = server.server_log();
+  EXPECT_GE(log.size(), 8u);  // starts + dones for every pool at minimum
+  EXPECT_FALSE(log.from("runtime/detect").empty());
+  EXPECT_FALSE(log.from("runtime/server").empty());
+}
+
+TEST(StreamServer, EmptyAndSingleFrameStreams) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = false;
+  core::AdaptiveSystem system(models, cfg);
+
+  data::SequenceSpec one;
+  one.frame_size = {240, 136};
+  one.segments = {{data::LightingCondition::Day, 1}};
+  StreamServer server(system, {});
+  const auto results =
+      server.serve_sequences({data::DriveSequence(one)});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].report.frames.size(), 1u);
+
+  StreamServer empty_server(system, {});
+  EXPECT_TRUE(empty_server.serve({}).empty());
+}
+
+TEST(SequenceFrameSource, AdaptsSequencesUnchanged) {
+  data::SequenceSpec spec;
+  spec.frame_size = {240, 136};
+  spec.segments = {{data::LightingCondition::Day, 5}};
+  const data::DriveSequence seq(spec);
+  SequenceFrameSource source{data::DriveSequence(spec)};
+  EXPECT_EQ(source.frame_count(), 5);
+  for (int i = 0; i < 5; ++i) {
+    const auto meta = source.next();
+    ASSERT_TRUE(meta.has_value());
+    EXPECT_EQ(meta->light_level, seq.frame(i).light_level);
+    EXPECT_EQ(meta->condition, seq.frame(i).condition);
+  }
+  EXPECT_FALSE(source.next().has_value());
+}
+
+}  // namespace
+}  // namespace avd::runtime
