@@ -1,0 +1,155 @@
+// bench: obs_overhead — what instrumentation costs.
+//
+// Part 1 measures the instrumented detect pipeline (the heaviest span/counter
+// consumer) with tracing disabled vs enabled and prints the relative
+// overhead. Targets: disabled within measurement noise, enabled < 3 %.
+// Part 2 microbenchmarks the primitives (ScopedSpan, Counter::inc,
+// Histogram::record_ns) with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "avd/core/system_models.hpp"
+#include "avd/image/color.hpp"
+#include "avd/obs/metrics.hpp"
+#include "avd/obs/trace.hpp"
+
+namespace {
+
+const avd::core::SystemModels& models() {
+  static const avd::core::SystemModels m = [] {
+    avd::core::TrainingBudget b;
+    b.vehicle_pos = b.vehicle_neg = 50;
+    b.pedestrian_pos = b.pedestrian_neg = 35;
+    b.dbn_windows_per_class = 60;
+    b.pairing_scenes = 30;
+    return avd::core::build_system_models(b);
+  }();
+  return m;
+}
+
+const avd::img::RgbImage& dark_frame() {
+  static const avd::img::RgbImage f = [] {
+    avd::data::SceneGenerator gen(avd::data::LightingCondition::Dark, 2);
+    return avd::data::render_scene(gen.random_scene({640, 360}, 2));
+  }();
+  return f;
+}
+
+const avd::img::ImageU8& day_gray() {
+  static const avd::img::ImageU8 g = [] {
+    avd::data::SceneGenerator gen(avd::data::LightingCondition::Day, 1);
+    return avd::img::rgb_to_gray(
+        avd::data::render_scene(gen.random_scene({640, 360}, 2)));
+  }();
+  return g;
+}
+
+// One instrumented workload unit: a HOG+SVM frame plus a dark frame — every
+// span and counter added by avd::obs fires at least once.
+void workload() {
+  avd::det::SlidingWindowParams params;
+  benchmark::DoNotOptimize(
+      avd::det::detect_multiscale(day_gray(), models().day, params));
+  benchmark::DoNotOptimize(models().dark.detect(dark_frame()));
+}
+
+double time_workload_ms() {
+  const auto begin = std::chrono::steady_clock::now();
+  workload();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+void print_overhead_table() {
+  std::printf("=== bench: obs_overhead ===\n\n");
+  avd::obs::Tracer& tracer = avd::obs::Tracer::global();
+
+  // Interleave disabled/enabled samples so thermal or frequency drift hits
+  // both sides equally; compare medians.
+  constexpr int kSamples = 15;
+  std::vector<double> off_ms, on_ms;
+  workload();  // warm up caches and lazy statics
+  workload();
+  for (int i = 0; i < kSamples; ++i) {
+    tracer.set_enabled(false);
+    off_ms.push_back(time_workload_ms());
+    tracer.set_enabled(true);
+    on_ms.push_back(time_workload_ms());
+  }
+  tracer.set_enabled(false);
+  tracer.clear();
+  avd::obs::MetricsRegistry::global().reset_values();
+
+  const double off = median(off_ms);
+  const double on = median(on_ms);
+  const double overhead_pct = 100.0 * (on - off) / off;
+  std::printf("instrumented detect frame (HOG+SVM day + dark pipeline):\n");
+  std::printf("  tracing disabled : %8.3f ms (median of %d)\n", off, kSamples);
+  std::printf("  tracing enabled  : %8.3f ms (median of %d)\n", on, kSamples);
+  std::printf("  overhead         : %+7.2f %%  (target < 3 %%)  [%s]\n\n",
+              overhead_pct, overhead_pct < 3.0 ? "ok" : "OVER");
+}
+
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  avd::obs::Tracer::global().set_enabled(false);
+  for (auto _ : state) {
+    avd::obs::ScopedSpan span("bench", "bench/obs");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+void BM_ScopedSpanEnabled(benchmark::State& state) {
+  avd::obs::Tracer::global().set_enabled(true);
+  for (auto _ : state) {
+    avd::obs::ScopedSpan span("bench", "bench/obs");
+    benchmark::DoNotOptimize(&span);
+  }
+  avd::obs::Tracer::global().set_enabled(false);
+  avd::obs::Tracer::global().clear();
+}
+BENCHMARK(BM_ScopedSpanEnabled);
+
+void BM_CounterInc(benchmark::State& state) {
+  avd::obs::Counter c;
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  avd::obs::Histogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record_ns(v);
+    v = v * 1664525 + 1013904223;  // spread across bins
+    v &= (1ull << 30) - 1;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  avd::obs::MetricsRegistry reg;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(&reg.counter("bench.lookup"));
+}
+BENCHMARK(BM_RegistryLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_overhead_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// profile_pipeline: one merged timeline + metrics dump for the whole stack.
+//
+// Enables the avd::obs tracer, serves the canonical drive through the
+// concurrent StreamServer (which exercises core control steps, both
+// detectors, soc partial reconfiguration and the runtime stages), then:
+//
+//   * writes a merged Chrome trace — wall-clock spans from every
+//     instrumented layer plus the simulated-time event log — for
+//     chrome://tracing or ui.perfetto.dev,
+//   * prints the metrics registry as JSON and Prometheus text.
+//
+// Self-validating: exits non-zero if the trace is empty, is not valid JSON,
+// or lacks spans from any of the four instrumented layers. scripts/check.sh
+// runs it as a smoke test.
+//
+//   build/examples/profile_pipeline [trace.json]
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "avd/obs/json.hpp"
+#include "avd/obs/metrics.hpp"
+#include "avd/obs/trace.hpp"
+#include "avd/runtime/stream_server.hpp"
+#include "avd/soc/trace_export.hpp"
+
+int main(int argc, char** argv) {
+  const std::string trace_path = argc > 1 ? argv[1] : "pipeline_profile.json";
+
+  std::printf("=== profile_pipeline ===\n\n");
+  std::printf("training models (small budget)...\n");
+  avd::core::TrainingBudget budget;
+  budget.vehicle_pos = budget.vehicle_neg = 60;
+  budget.pedestrian_pos = budget.pedestrian_neg = 40;
+  budget.dbn_windows_per_class = 60;
+  budget.pairing_scenes = 30;
+  const avd::core::SystemModels models = avd::core::build_system_models(budget);
+
+  avd::core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = true;
+  const avd::core::AdaptiveSystem system(models, cfg);
+
+  // Two streams of the canonical day->tunnel->dusk->dark drive: lighting
+  // changes force soc reconfigurations, darkness exercises the DBN path.
+  std::vector<avd::data::DriveSequence> streams;
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    avd::data::SequenceSpec spec =
+        avd::data::DriveSequence::canonical_drive({320, 180}, 10);
+    spec.seed = 40 + i;
+    streams.emplace_back(spec);
+  }
+
+  avd::obs::Tracer& tracer = avd::obs::Tracer::global();
+  avd::obs::MetricsRegistry& registry = avd::obs::MetricsRegistry::global();
+  tracer.clear();
+  registry.reset_values();
+  tracer.set_enabled(true);
+
+  avd::runtime::StreamServerConfig sc;
+  sc.detect_workers = 2;
+  avd::runtime::StreamServer server(system, sc);
+  std::printf("serving %zu streams (%d frames each), tracing enabled...\n",
+              streams.size(), streams[0].frame_count());
+  const std::vector<avd::runtime::StreamResult> results =
+      server.serve_sequences(streams);
+  tracer.set_enabled(false);
+
+  std::size_t frames = 0;
+  for (const avd::runtime::StreamResult& r : results)
+    frames += r.report.frames.size();
+
+  // --- Merged trace: wall-clock spans + simulated-time server events. ---
+  const std::vector<avd::obs::SpanRecord> spans = tracer.drain();
+  const avd::soc::EventLog server_log = server.server_log();
+  avd::soc::write_chrome_trace(server_log, spans, trace_path);
+  std::printf("\nwrote merged trace to %s (%zu spans, %zu events, "
+              "%llu dropped)\n",
+              trace_path.c_str(), spans.size(), server_log.size(),
+              static_cast<unsigned long long>(tracer.dropped()));
+
+  // --- Metrics: stage gauges pushed into the registry, then both dumps. ---
+  avd::runtime::publish_runtime_metrics(server.metrics(), registry);
+  const std::string metrics_json = registry.to_json();
+  std::printf("\nmetrics (JSON):\n%s\n", metrics_json.c_str());
+  std::printf("\nmetrics (Prometheus):\n%s", registry.to_prometheus().c_str());
+
+  // --- Self-validation (this doubles as the check.sh smoke test). ---
+  bool ok = true;
+  const auto fail = [&ok](const char* what) {
+    std::printf("FAIL: %s\n", what);
+    ok = false;
+  };
+
+  if (frames == 0) fail("no frames served");
+  if (spans.empty()) fail("trace has no spans");
+  std::set<std::string> sources;
+  for (const avd::obs::SpanRecord& s : spans)
+    sources.insert(std::string(s.source).substr(0, std::string(s.source).find('/')));
+  std::printf("\nspan sources:");
+  for (const std::string& s : sources) std::printf(" %s", s.c_str());
+  std::printf("\n");
+  for (const char* layer : {"core", "detect", "soc", "runtime"})
+    if (!sources.contains(layer))
+      fail((std::string("no spans from layer: ") + layer).c_str());
+
+  const std::string trace = [&trace_path] {
+    std::FILE* f = std::fopen(trace_path.c_str(), "rb");
+    std::string text;
+    if (f != nullptr) {
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+      std::fclose(f);
+    }
+    return text;
+  }();
+  if (trace.empty()) fail("trace file empty or unreadable");
+  if (!avd::obs::json::valid(trace)) fail("trace is not valid JSON");
+  if (!avd::obs::json::valid(metrics_json)) fail("metrics JSON invalid");
+
+  std::printf("\nself-check: %s\n", ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}

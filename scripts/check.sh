@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo check: the tier-1 build + test gate, then a ThreadSanitizer build of
-# the concurrency-bearing tests (avd::runtime + the shared EventLog).
+# the concurrency-bearing tests (avd::runtime, avd::obs, the shared
+# EventLog), then a profiling smoke test that fails on an empty or invalid
+# merged trace.
 #
-#   scripts/check.sh            # full tier-1 + TSan runtime tests
+#   scripts/check.sh            # full tier-1 + TSan + profiling smoke
 #   scripts/check.sh --tsan-only
 #
 # The TSan pass builds into build-tsan/ (kept out of git by .gitignore) with
@@ -25,12 +27,23 @@ fi
 
 echo "== TSan: configure + build (build-tsan/) =="
 cmake -B build-tsan -S . -DAVD_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_runtime test_soc
+cmake --build build-tsan -j "$JOBS" --target test_runtime test_soc test_obs
 
 echo "== TSan: runtime tests =="
 # halt_on_error: any data race fails the run (and hence this script).
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/test_runtime
 ./build-tsan/tests/test_soc --gtest_filter='EventLog.*'
+./build-tsan/tests/test_obs
+
+echo "== smoke: profile_pipeline =="
+# The example traces a full serving run and exits non-zero itself if the
+# merged Chrome trace is empty, invalid JSON, or missing a layer's spans.
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target profile_pipeline
+SMOKE_TRACE="$(mktemp -t avd_profile_XXXX.json)"
+trap 'rm -f "$SMOKE_TRACE"' EXIT
+./build/examples/profile_pipeline "$SMOKE_TRACE" >/dev/null
+[[ -s "$SMOKE_TRACE" ]] || { echo "smoke: trace file empty"; exit 1; }
 
 echo "== all checks passed =="

@@ -149,6 +149,7 @@ class AdaptiveSystem {
     std::string loaded_ = "day-dusk";  // boot configuration
     soc::TimePoint busy_until_{0};
     int next_index_ = 0;
+    data::LightingCondition prev_sensed_ = data::LightingCondition::Day;
     std::vector<soc::ReconfigResult> reconfigs_;
   };
 

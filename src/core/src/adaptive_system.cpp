@@ -4,6 +4,8 @@
 
 #include "avd/detect/multi_model_scan.hpp"
 #include "avd/image/color.hpp"
+#include "avd/obs/metrics.hpp"
+#include "avd/obs/trace.hpp"
 
 namespace avd::core {
 
@@ -96,6 +98,7 @@ const soc::EventLog& AdaptiveSystem::StepSession::log() const {
 
 ControlStep AdaptiveSystem::StepSession::control_step(
     const data::SequenceFrame& meta) {
+  const obs::ScopedSpan span("control_step", "core/control");
   const AdaptiveSystemConfig& config = system_->config_;
   const int i = next_index_++;
 
@@ -110,6 +113,11 @@ ControlStep AdaptiveSystem::StepSession::control_step(
           : meta.light_level;
   step.sensed = classifier_.update(step.light_level);
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("core.control_steps").inc();
+  if (step.sensed != prev_sensed_) registry.counter("core.mode_switches").inc();
+  prev_sensed_ = step.sensed;
+
   // Condition -> reconfiguration decision. Countryside selection only
   // applies when the animal model exists.
   const std::string wanted = system_->models_.has_animal_model()
@@ -120,6 +128,12 @@ ControlStep AdaptiveSystem::StepSession::control_step(
       busy_until_ +
       config.scheduler.frame_period() *
           static_cast<std::uint64_t>(std::max(0, config.min_dwell_frames));
+  if (wanted != loaded_ &&
+      (now < busy_until_ || (busy_until_.ps != 0 && now < dwell_until))) {
+    // A wanted swap held back by an in-flight reconfiguration or the
+    // min-dwell guard: the control decision the dwell knob exists to shape.
+    registry.counter("core.dwell_blocked").inc();
+  }
   if (wanted != loaded_ && now >= busy_until_ &&
       (busy_until_.ps == 0 || now >= dwell_until)) {
     // The engine drains its in-flight frame before the partition is opened.
@@ -136,6 +150,7 @@ ControlStep AdaptiveSystem::StepSession::control_step(
     busy_until_ = result.end;
     loaded_ = wanted;
     step.reconfig_triggered = true;
+    registry.counter("core.reconfigs_triggered").inc();
   }
 
   // Schedule decision. A window always opens strictly after the frame that
@@ -147,6 +162,7 @@ ControlStep AdaptiveSystem::StepSession::control_step(
 
 AdaptiveFrameReport AdaptiveSystem::evaluate_frame(
     const ControlStep& step, const data::SequenceFrame& meta) const {
+  const obs::ScopedSpan span("evaluate_frame", "core/detect");
   AdaptiveFrameReport fr;
   fr.index = step.index;
   fr.light_level = step.light_level;

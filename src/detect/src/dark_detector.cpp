@@ -6,6 +6,8 @@
 #include "avd/image/color.hpp"
 #include "avd/image/filter.hpp"
 #include "avd/image/resize.hpp"
+#include "avd/obs/metrics.hpp"
+#include "avd/obs/trace.hpp"
 
 namespace avd::det {
 
@@ -25,6 +27,7 @@ DarkVehicleDetector::DarkVehicleDetector(ml::Dbn taillight_dbn,
 }
 
 img::ImageU8 DarkVehicleDetector::preprocess(const img::RgbImage& frame) const {
+  const obs::ScopedSpan span("threshold_morphology", "detect/dark");
   // Fig. 4: split chroma & luminance, threshold each, AND.
   const img::YcbcrImage ycc = img::rgb_to_ycbcr(frame);
   img::ImageU8 mask = img::taillight_roi_mask(ycc, config_.threshold);
@@ -48,12 +51,14 @@ img::ImageU8 DarkVehicleDetector::preprocess(const img::RgbImage& frame) const {
 
 std::vector<TaillightDetection> DarkVehicleDetector::detect_taillights(
     const img::ImageU8& binary) const {
+  const obs::ScopedSpan span("dbn_scan", "detect/dark");
   std::vector<TaillightDetection> out;
   const std::vector<img::Blob> blobs =
       img::find_blobs(binary, img::Connectivity::Eight, config_.min_blob_area);
 
   constexpr int kWin = data::kTaillightWindow;
   std::vector<float> input(data::kTaillightInputs);
+  std::uint64_t dbn_windows = 0;
 
   for (const img::Blob& blob : blobs) {
     // Slide the 9x9 window (stride 2) over the blob's neighbourhood and
@@ -83,6 +88,7 @@ std::vector<TaillightDetection> DarkVehicleDetector::detect_taillights(
         for (int cls = 0; cls < data::kTaillightClasses; ++cls)
           posterior_sum[cls] += post[cls];
         ++windows;
+        ++dbn_windows;
       }
     }
     if (windows == 0) continue;
@@ -101,6 +107,10 @@ std::vector<TaillightDetection> DarkVehicleDetector::detect_taillights(
         det.confidence > background)
       out.push_back(det);
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("detect.dark.blobs").inc(blobs.size());
+  registry.counter("detect.dark.dbn_windows").inc(dbn_windows);
+  registry.counter("detect.dark.taillights").inc(out.size());
   return out;
 }
 
@@ -119,6 +129,7 @@ std::vector<float> DarkVehicleDetector::pair_features(
 
 std::vector<Detection> DarkVehicleDetector::pair_taillights(
     const std::vector<TaillightDetection>& lights) const {
+  const obs::ScopedSpan span("pairing", "detect/dark");
   std::vector<Detection> pairs;
   for (std::size_t i = 0; i < lights.size(); ++i) {
     for (std::size_t j = 0; j < lights.size(); ++j) {
@@ -153,6 +164,7 @@ std::vector<Detection> DarkVehicleDetector::pair_taillights(
 
 std::vector<Detection> DarkVehicleDetector::detect(
     const img::RgbImage& frame) const {
+  const obs::ScopedSpan span("dark_detect", "detect/dark");
   const img::ImageU8 mask = preprocess(frame);
   const std::vector<TaillightDetection> lights = detect_taillights(mask);
   std::vector<Detection> dets = pair_taillights(lights);

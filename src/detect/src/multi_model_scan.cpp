@@ -4,12 +4,15 @@
 #include <stdexcept>
 
 #include "avd/image/resize.hpp"
+#include "avd/obs/metrics.hpp"
+#include "avd/obs/trace.hpp"
 
 namespace avd::det {
 
 std::vector<Detection> detect_multiscale_multi(
     const img::ImageU8& frame, std::span<const HogSvmModel* const> models,
     const SlidingWindowParams& params) {
+  const obs::ScopedSpan scan_span("detect_multiscale", "detect/hogsvm");
   if (models.empty())
     throw std::invalid_argument("detect_multiscale_multi: no models");
   const hog::HogParams& shared = models.front()->hog;
@@ -25,6 +28,7 @@ std::vector<Detection> detect_multiscale_multi(
 
   std::vector<Detection> raw;
   std::vector<float> desc;
+  std::uint64_t windows_scanned = 0;
   double scale = 1.0;
   for (int level = 0; level < params.max_levels;
        ++level, scale *= params.scale_step) {
@@ -38,11 +42,15 @@ std::vector<Detection> detect_multiscale_multi(
                   scaled.height >= m->window.height;
     if (!any_fits) break;
 
-    const img::ImageU8 level_img =
-        level == 0 ? frame : img::resize_bilinear(frame, scaled);
-    // The shared front end: one cell grid per pyramid level.
-    const hog::CellGrid grid = hog::compute_cell_grid(level_img, shared);
+    const hog::CellGrid grid = [&] {
+      // The shared front end: one resize + cell grid per pyramid level.
+      const obs::ScopedSpan span("hog_front_end", "detect/hogsvm");
+      const img::ImageU8 level_img =
+          level == 0 ? frame : img::resize_bilinear(frame, scaled);
+      return hog::compute_cell_grid(level_img, shared);
+    }();
 
+    const obs::ScopedSpan span("svm_scan", "detect/hogsvm");
     for (const HogSvmModel* m : models) {
       const int cells_w = m->window.width / shared.cell_size;
       const int cells_h = m->window.height / shared.cell_size;
@@ -53,6 +61,7 @@ std::vector<Detection> detect_multiscale_multi(
              cx += params.stride_cells) {
           hog::window_descriptor(grid, shared, cx, cy, cells_w, cells_h, desc);
           const double score = m->svm.decision(desc);
+          ++windows_scanned;
           if (score < params.score_threshold) continue;
           const img::Rect box{cx * shared.cell_size, cy * shared.cell_size,
                               m->window.width, m->window.height};
@@ -61,6 +70,11 @@ std::vector<Detection> detect_multiscale_multi(
       }
     }
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("detect.hogsvm.frames").inc();
+  registry.counter("detect.hogsvm.windows_scanned").inc(windows_scanned);
+  registry.counter("detect.hogsvm.raw_detections").inc(raw.size());
+  const obs::ScopedSpan nms_span("nms", "detect/hogsvm");
   return non_max_suppression(std::move(raw), params.nms_iou);
 }
 

@@ -1,0 +1,42 @@
+// Minimal strict JSON parser: just enough to validate and round-trip the
+// documents this repo emits (Chrome traces, metrics dumps) in tests and
+// smoke checks, with no third-party dependency.
+//
+// Supports the full JSON grammar (objects, arrays, strings with escapes
+// incl. \uXXXX, numbers, booleans, null). Rejects trailing garbage,
+// unterminated strings, bad escapes and malformed numbers. Not meant to be
+// fast or memory-frugal — use it on test-sized documents.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace avd::obs::json {
+
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  /// First member with `key`, or nullptr (objects only).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document; nullopt on any syntax error (including
+/// trailing non-whitespace).
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+/// True iff `text` is a valid, complete JSON document.
+[[nodiscard]] inline bool valid(std::string_view text) {
+  return parse(text).has_value();
+}
+
+}  // namespace avd::obs::json

@@ -1,0 +1,180 @@
+// Named metrics: counters, gauges and latency histograms behind one
+// registry, with JSON and Prometheus text exposition — the generalisation of
+// the runtime's per-stage StageMetrics (which keeps its API and publishes
+// into a registry) and the simulation's ARM-performance-counter reads.
+//
+// Thread safety: every mutator is a relaxed atomic operation, safe and cheap
+// from any thread. Registry lookups (counter()/gauge()/histogram()) take a
+// mutex — resolve them once and keep the returned reference; entries are
+// never deallocated while the registry lives, so references stay valid
+// (reset_values() zeroes values but keeps registrations and addresses).
+//
+// Read-side contract: counter/gauge reads are exact. Histogram snapshots
+// taken while writers are still recording are approximate (count/sum/bins
+// may mutually disagree mid-update); see Histogram::percentile_ns.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace avd::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written scalar (bandwidth, queue depth, light level, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Summary of one histogram, safe to copy and serialise. Meaningful only
+/// once writers have quiesced (see Histogram).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  double mean_ns = 0.0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Lock-free log-linear latency histogram over nanosecond samples.
+/// Values 0..15 get exact unit bins; above that, 8 sub-buckets per
+/// power-of-two octave (≤ ~6-7 % relative error on the representative value).
+///
+/// Recording is a few relaxed atomic adds. Reads taken mid-run may observe
+/// torn state (a sample counted in `count()` but not yet binned, or vice
+/// versa); percentile_ns() computes from a single self-consistent copy of
+/// the bins, so a torn read degrades to a slightly-off quantile, never an
+/// out-of-range bin. Exact summaries require quiesced writers.
+class Histogram {
+ public:
+  static constexpr int kLinearBins = 16;
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kOctaves = 60;  // covers > 10^18 ns
+  static constexpr int kBins = kLinearBins + kSubBuckets * kOctaves;
+
+  void record_ns(std::uint64_t ns) {
+    bins_[static_cast<std::size_t>(bin_index(ns))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    update_max(max_ns_, ns);
+  }
+  void record(std::chrono::nanoseconds d) {
+    record_ns(d.count() < 0 ? 0u : static_cast<std::uint64_t>(d.count()));
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum_ns() const {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean_ns() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_ns()) / static_cast<double>(n);
+  }
+
+  /// Approximate p-quantile (p in [0,1]) as the representative value of the
+  /// first bin whose cumulative count reaches p * total, where total is the
+  /// sum of one consistent copy of the bins (not the count() counter — the
+  /// two can disagree mid-record). 0 when empty.
+  [[nodiscard]] std::uint64_t percentile_ns(double p) const;
+
+  [[nodiscard]] HistogramSummary summary() const;
+
+  void reset();
+
+  [[nodiscard]] static int bin_index(std::uint64_t ns);
+  /// Midpoint of the value range bin `index` covers.
+  [[nodiscard]] static std::uint64_t bin_value(int index);
+
+ private:
+  static void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBins> bins_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Owns named metrics. Lookup is find-or-create by name; the same name
+/// always returns the same object, so components instrumented independently
+/// aggregate into one metric. Counter, gauge and histogram namespaces are
+/// separate (one name may exist in each).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the built-in instrumentation publishes into.
+  static MetricsRegistry& global();
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Zero every value. Registrations (and therefore references handed out
+  /// by counter()/gauge()/histogram()) survive.
+  void reset_values();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":...}}}
+  /// with names sorted; parses with obs::json.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format: counters and gauges as-is,
+  /// histograms as summaries (quantile series + _sum + _count). Names are
+  /// sanitised to [a-zA-Z0-9_:] with other characters mapped to '_'.
+  [[nodiscard]] std::string to_prometheus() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace avd::obs

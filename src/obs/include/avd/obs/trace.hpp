@@ -1,0 +1,124 @@
+// Span-based tracing: the simulation's answer to "what did each stage of the
+// pipeline actually spend its time on" — the software twin of the paper's
+// Vivado ILA captures, which show begin/end of hardware activity on a shared
+// timeline.
+//
+// Design:
+//  * `ScopedSpan` is an RAII begin/end pair. Construction checks one relaxed
+//    atomic (the tracer's enable flag); when tracing is disabled that load is
+//    the *entire* cost, so instrumentation can stay in hot paths permanently.
+//  * Completed spans land in per-thread ring buffers. The recording thread is
+//    the only writer of its ring (a relaxed head index published with
+//    release), so the hot path takes no lock and touches no shared cache
+//    line. A full ring overwrites its oldest spans (drop count is reported).
+//  * `drain()` / `snapshot()` collect every thread's spans into one vector.
+//    Like the rest of the repo's instrumentation (EventLog, StageMetrics)
+//    the read side is meant for quiesced writers: join your workers, then
+//    export. Span names/sources must be string literals (or otherwise
+//    outlive the tracer) — records store the pointers, not copies.
+//
+// Export: soc::to_chrome_trace(log, spans) merges spans (Chrome "X"
+// complete events) with EventLog instants into one Perfetto-loadable file.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace avd::obs {
+
+/// One completed span. Timestamps are wall-clock nanoseconds since the
+/// tracer's construction (steady clock), so spans from every thread share a
+/// timebase.
+struct SpanRecord {
+  const char* name = nullptr;    ///< static string: what ran
+  const char* source = nullptr;  ///< static string: component ("detect/dark")
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  int thread = 0;  ///< per-tracer thread index (rows in the trace)
+};
+
+class Tracer {
+ public:
+  /// Spans kept per thread; a full ring overwrites its oldest entries.
+  static constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every ScopedSpan records into. Never destroyed.
+  static Tracer& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since tracer construction (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Record a completed span (normally via ScopedSpan, not directly).
+  void record(const char* name, const char* source, std::uint64_t begin_ns,
+              std::uint64_t end_ns);
+
+  /// All spans from all threads, oldest-first per thread, concatenated by
+  /// thread registration order. Writers must be quiesced.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  /// snapshot(), then reset every ring (drop counters included).
+  std::vector<SpanRecord> drain();
+  /// Reset every ring without reading it. Writers must be quiesced.
+  void clear();
+
+  /// Spans lost to ring overwrite since the last drain()/clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Threads that have recorded at least one span since construction.
+  [[nodiscard]] std::size_t thread_count() const;
+
+ private:
+  struct ThreadBuffer {
+    std::atomic<std::uint64_t> head{0};  ///< total spans ever written
+    std::vector<SpanRecord> ring;        ///< size kRingCapacity, lazily filled
+    int index = 0;                       ///< per-tracer thread index
+  };
+
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t id_ = 0;  ///< distinguishes tracer instances in the TL cache
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: times its own scope and records into Tracer::global() at
+/// destruction. `name` and `source` must be string literals (or otherwise
+/// outlive the tracer's records).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* source)
+      : name_(name), source_(source) {
+    Tracer& tracer = Tracer::global();
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      begin_ns_ = tracer.now_ns();
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr)
+      tracer_->record(name_, source_, begin_ns_, tracer_->now_ns());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* source_;
+  Tracer* tracer_ = nullptr;  ///< null when tracing was off at construction
+  std::uint64_t begin_ns_ = 0;
+};
+
+}  // namespace avd::obs

@@ -1,0 +1,221 @@
+#include "avd/obs/metrics.hpp"
+
+#include <bit>
+#include <cctype>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace avd::obs {
+namespace {
+
+void append_double(std::ostringstream& os, double v) {
+  // Round-trippable doubles; integral values print without an exponent so
+  // the JSON stays readable.
+  const auto saved = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  os.precision(saved);
+}
+
+// Metric names are user-supplied strings and may contain anything; escape
+// them like any other JSON string value.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  char buf[8];
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9')
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+void append_histogram_json(std::ostringstream& os, const HistogramSummary& s) {
+  os << "{\"count\":" << s.count << ",\"sum_ns\":" << s.sum_ns
+     << ",\"mean_ns\":";
+  append_double(os, s.mean_ns);
+  os << ",\"p50_ns\":" << s.p50_ns << ",\"p95_ns\":" << s.p95_ns
+     << ",\"p99_ns\":" << s.p99_ns << ",\"max_ns\":" << s.max_ns << '}';
+}
+
+}  // namespace
+
+int Histogram::bin_index(std::uint64_t ns) {
+  if (ns < kLinearBins) return static_cast<int>(ns);
+  const int octave = std::bit_width(ns) - 1;  // >= 4 here
+  const int sub = static_cast<int>((ns >> (octave - 3)) & (kSubBuckets - 1));
+  int index = kLinearBins + (octave - 4) * kSubBuckets + sub;
+  if (index >= kBins) index = kBins - 1;
+  return index;
+}
+
+std::uint64_t Histogram::bin_value(int index) {
+  if (index < kLinearBins) return static_cast<std::uint64_t>(index);
+  const int octave = 4 + (index - kLinearBins) / kSubBuckets;
+  const int sub = (index - kLinearBins) % kSubBuckets;
+  const std::uint64_t base = 1ull << octave;
+  const std::uint64_t step = base / kSubBuckets;
+  // Midpoint of [base + sub*step, base + (sub+1)*step).
+  return base + static_cast<std::uint64_t>(sub) * step + step / 2;
+}
+
+std::uint64_t Histogram::percentile_ns(double p) const {
+  // One pass copying the bins keeps the computation self-consistent: the
+  // target is derived from the same values the cumulative walk sees, so even
+  // a read racing record_ns() resolves inside the copied distribution
+  // instead of walking past the last populated bin.
+  std::array<std::uint64_t, kBins> local;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBins; ++i) {
+    local[static_cast<std::size_t>(i)] =
+        bins_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += local[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  auto target =
+      static_cast<std::uint64_t>(p * static_cast<double>(total) + 0.5);
+  if (target > total) target = total;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBins; ++i) {
+    cumulative += local[static_cast<std::size_t>(i)];
+    if (cumulative >= target && cumulative > 0) return bin_value(i);
+  }
+  return max_ns();  // unreachable: cumulative reaches total >= target
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count();
+  s.sum_ns = sum_ns();
+  s.mean_ns = mean_ns();
+  s.p50_ns = percentile_ns(0.50);
+  s.p95_ns = percentile_ns(0.95);
+  s.p99_ns = percentile_ns(0.99);
+  s.max_ns = max_ns();
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":";
+    append_double(os, g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":";
+    append_histogram_json(os, h->summary());
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ';
+    append_double(os, g->value());
+    os << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prometheus_name(name);
+    const HistogramSummary s = h->summary();
+    os << "# TYPE " << n << " summary\n";
+    os << n << "{quantile=\"0.5\"} " << s.p50_ns << '\n';
+    os << n << "{quantile=\"0.95\"} " << s.p95_ns << '\n';
+    os << n << "{quantile=\"0.99\"} " << s.p99_ns << '\n';
+    os << n << "_sum " << s.sum_ns << '\n';
+    os << n << "_count " << s.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace avd::obs

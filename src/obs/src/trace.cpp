@@ -1,0 +1,102 @@
+#include "avd/obs/trace.hpp"
+
+#include <algorithm>
+
+namespace avd::obs {
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now()), id_(next_tracer_id()) {}
+
+Tracer& Tracer::global() {
+  // Leaked on purpose: worker threads may record right up to process exit.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // One-slot cache: the common case is a thread recording into one tracer
+  // (the global one) for its whole life. A thread alternating between
+  // tracers re-registers on each switch, which only costs memory.
+  struct Cache {
+    std::uint64_t tracer_id = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.tracer_id == id_) return *cache.buffer;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buffer = buffers_.back().get();
+  buffer->ring.resize(kRingCapacity);
+  buffer->index = static_cast<int>(buffers_.size()) - 1;
+  cache = {id_, buffer};
+  return *buffer;
+}
+
+void Tracer::record(const char* name, const char* source,
+                    std::uint64_t begin_ns, std::uint64_t end_ns) {
+  ThreadBuffer& tb = local_buffer();
+  const std::uint64_t head = tb.head.load(std::memory_order_relaxed);
+  SpanRecord& slot = tb.ring[head & (kRingCapacity - 1)];
+  slot.name = name;
+  slot.source = source;
+  slot.begin_ns = begin_ns;
+  slot.end_ns = end_ns;
+  slot.thread = tb.index;
+  tb.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& tb : buffers_) {
+    const std::uint64_t head = tb->head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(head, kRingCapacity);
+    for (std::uint64_t i = head - n; i < head; ++i)
+      out.push_back(tb->ring[i & (kRingCapacity - 1)]);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::drain() {
+  std::vector<SpanRecord> out = snapshot();
+  clear();
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& tb : buffers_) tb->head.store(0, std::memory_order_release);
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& tb : buffers_) {
+    const std::uint64_t head = tb->head.load(std::memory_order_acquire);
+    if (head > kRingCapacity) dropped += head - kRingCapacity;
+  }
+  return dropped;
+}
+
+std::size_t Tracer::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+}  // namespace avd::obs

@@ -2,84 +2,39 @@
 // drop counters, queue-depth high-water marks.
 //
 // Recording is lock-free (relaxed atomic adds into log-linear histogram
-// bins) so worker threads pay a few nanoseconds per sample — the runtime
-// equivalent of the free-running ARM event counters the paper reads. The
-// snapshot/percentile side is approximate (bins are log-spaced with 8
-// sub-buckets per octave, ≤ ~6 % relative error) and meant to be taken once
-// workers have quiesced.
+// bins, see obs::Histogram) so worker threads pay a few nanoseconds per
+// sample — the runtime equivalent of the free-running ARM event counters
+// the paper reads. The snapshot/percentile side is approximate (bins are
+// log-spaced with 8 sub-buckets per octave, ≤ ~6 % relative error) and
+// meant to be taken once workers have quiesced.
 //
-// Export rides the existing soc trace path: metrics become EventLog events
-// which soc::write_chrome_trace turns into a Perfetto-loadable JSON file,
-// plus a compact JSON summary for benches to parse.
+// Export rides the shared observability layer: publish_runtime_metrics()
+// copies the stage stats into the obs::MetricsRegistry (JSON / Prometheus
+// exposition), and append_metrics_events() turns them into EventLog events
+// which soc::write_chrome_trace renders on the Perfetto timeline.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "avd/obs/metrics.hpp"
 #include "avd/soc/event_log.hpp"
 
 namespace avd::runtime {
 
-/// Lock-free log-linear latency histogram over nanosecond samples.
-/// Values 0..15 get exact unit bins; above that, 8 sub-buckets per
-/// power-of-two octave.
-class LatencyHistogram {
- public:
-  static constexpr int kLinearBins = 16;
-  static constexpr int kSubBuckets = 8;
-  static constexpr int kOctaves = 60;  // covers > 10^18 ns
-  static constexpr int kBins = kLinearBins + kSubBuckets * kOctaves;
-
-  void record_ns(std::uint64_t ns) {
-    bins_[bin_index(ns)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
-    update_max(max_ns_, ns);
-  }
-  void record(std::chrono::nanoseconds d) {
-    record_ns(d.count() < 0 ? 0u : static_cast<std::uint64_t>(d.count()));
-  }
-
-  [[nodiscard]] std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t max_ns() const {
-    return max_ns_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] double mean_ns() const {
-    const std::uint64_t n = count();
-    return n == 0 ? 0.0
-                  : static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
-                        static_cast<double>(n);
-  }
-
-  /// Approximate p-quantile (p in [0,1]) as the representative value of the
-  /// first bin whose cumulative count reaches p * total. 0 when empty.
-  [[nodiscard]] std::uint64_t percentile_ns(double p) const;
-
-  [[nodiscard]] static int bin_index(std::uint64_t ns);
-  /// Midpoint of the value range bin `index` covers.
-  [[nodiscard]] static std::uint64_t bin_value(int index);
-
- private:
-  static void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
-    std::uint64_t cur = slot.load(std::memory_order_relaxed);
-    while (v > cur &&
-           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-    }
-  }
-
-  std::array<std::atomic<std::uint64_t>, kBins> bins_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_ns_{0};
-  std::atomic<std::uint64_t> max_ns_{0};
-};
+/// The runtime's latency histogram is the shared observability histogram;
+/// the alias keeps the original avd::runtime API spelling.
+using LatencyHistogram = obs::Histogram;
 
 /// Read-only view of one stage, safe to copy around and serialise.
+///
+/// Contract: a snapshot is only exact once the stage's writers have
+/// quiesced (workers joined). A snapshot taken mid-run is safe — every read
+/// is atomic and percentiles are computed from one consistent copy of the
+/// histogram bins — but count/mean/percentiles may mutually disagree by the
+/// samples that were in flight when it was taken.
 struct StageSnapshot {
   std::string stage;
   std::uint64_t processed = 0;
@@ -144,6 +99,15 @@ struct RuntimeMetrics {
 /// stamped at `at`, so the metrics ride soc::write_chrome_trace unchanged.
 void append_metrics_events(const RuntimeMetrics& metrics, soc::TimePoint at,
                            soc::EventLog& log);
+
+/// Publish the current stage stats into `registry` under
+/// "<prefix>.<stage>.processed|dropped|queue_high_water" (gauges/counters
+/// would double-count across calls, so everything is set as gauges) plus
+/// "<prefix>.<stage>.latency_{p50,p95,p99,max}_ns". Call once writers have
+/// quiesced; repeated calls overwrite.
+void publish_runtime_metrics(const RuntimeMetrics& metrics,
+                             obs::MetricsRegistry& registry,
+                             const std::string& prefix = "runtime");
 
 /// Compact JSON: {"stages":[{"stage":"detect","processed":...,...},...]}.
 [[nodiscard]] std::string metrics_to_json(const RuntimeMetrics& metrics);

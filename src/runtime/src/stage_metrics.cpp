@@ -1,45 +1,8 @@
 #include "avd/runtime/stage_metrics.hpp"
 
-#include <bit>
 #include <sstream>
 
 namespace avd::runtime {
-
-int LatencyHistogram::bin_index(std::uint64_t ns) {
-  if (ns < kLinearBins) return static_cast<int>(ns);
-  const int octave = std::bit_width(ns) - 1;  // >= 4 here
-  const int sub =
-      static_cast<int>((ns >> (octave - 3)) & (kSubBuckets - 1));
-  int index = kLinearBins + (octave - 4) * kSubBuckets + sub;
-  if (index >= kBins) index = kBins - 1;
-  return index;
-}
-
-std::uint64_t LatencyHistogram::bin_value(int index) {
-  if (index < kLinearBins) return static_cast<std::uint64_t>(index);
-  const int octave = 4 + (index - kLinearBins) / kSubBuckets;
-  const int sub = (index - kLinearBins) % kSubBuckets;
-  const std::uint64_t base = 1ull << octave;
-  const std::uint64_t step = base / kSubBuckets;
-  // Midpoint of [base + sub*step, base + (sub+1)*step).
-  return base + static_cast<std::uint64_t>(sub) * step + step / 2;
-}
-
-std::uint64_t LatencyHistogram::percentile_ns(double p) const {
-  const std::uint64_t total = count();
-  if (total == 0) return 0;
-  if (p < 0.0) p = 0.0;
-  if (p > 1.0) p = 1.0;
-  const auto target = static_cast<std::uint64_t>(
-      p * static_cast<double>(total) + 0.5);
-  std::uint64_t cumulative = 0;
-  for (int i = 0; i < kBins; ++i) {
-    cumulative += bins_[static_cast<std::size_t>(i)].load(
-        std::memory_order_relaxed);
-    if (cumulative >= target && cumulative > 0) return bin_value(i);
-  }
-  return max_ns();
-}
 
 StageSnapshot StageMetrics::snapshot() const {
   StageSnapshot s;
@@ -47,12 +10,13 @@ StageSnapshot StageMetrics::snapshot() const {
   s.processed = processed();
   s.dropped = dropped();
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
-  s.count = latency_.count();
-  s.mean_ns = latency_.mean_ns();
-  s.p50_ns = latency_.percentile_ns(0.50);
-  s.p95_ns = latency_.percentile_ns(0.95);
-  s.p99_ns = latency_.percentile_ns(0.99);
-  s.max_ns = latency_.max_ns();
+  const obs::HistogramSummary h = latency_.summary();
+  s.count = h.count;
+  s.mean_ns = h.mean_ns;
+  s.p50_ns = h.p50_ns;
+  s.p95_ns = h.p95_ns;
+  s.p99_ns = h.p99_ns;
+  s.max_ns = h.max_ns;
   return s;
 }
 
@@ -70,6 +34,22 @@ void append_metrics_events(const RuntimeMetrics& metrics, soc::TimePoint at,
        << " p95_us=" << (s.p95_ns / 1000) << " p99_us=" << (s.p99_ns / 1000)
        << " max_us=" << (s.max_ns / 1000);
     log.record(at, "runtime/" + s.stage, os.str());
+  }
+}
+
+void publish_runtime_metrics(const RuntimeMetrics& metrics,
+                             obs::MetricsRegistry& registry,
+                             const std::string& prefix) {
+  for (const StageSnapshot& s : metrics.snapshot()) {
+    const std::string base = prefix + "." + s.stage + ".";
+    registry.gauge(base + "processed").set(static_cast<double>(s.processed));
+    registry.gauge(base + "dropped").set(static_cast<double>(s.dropped));
+    registry.gauge(base + "queue_high_water")
+        .set(static_cast<double>(s.queue_high_water));
+    registry.gauge(base + "latency_p50_ns").set(static_cast<double>(s.p50_ns));
+    registry.gauge(base + "latency_p95_ns").set(static_cast<double>(s.p95_ns));
+    registry.gauge(base + "latency_p99_ns").set(static_cast<double>(s.p99_ns));
+    registry.gauge(base + "latency_max_ns").set(static_cast<double>(s.max_ns));
   }
 }
 

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "avd/obs/trace.hpp"
+
 namespace avd::runtime {
 namespace {
 
@@ -109,6 +111,7 @@ std::vector<StreamResult> StreamServer::serve(
       StreamState& state = *streams[s];
       int index = 0;
       for (;;) {
+        const obs::ScopedSpan span("ingest_frame", "runtime/ingest");
         const Clock::time_point t0 = Clock::now();
         std::optional<data::SequenceFrame> meta = src.next();
         if (!meta) break;
@@ -157,6 +160,7 @@ std::vector<StreamResult> StreamServer::serve(
       }
       data::SequenceFrame meta = std::move(task->meta);
       for (;;) {
+        const obs::ScopedSpan span("control_frame", "runtime/control");
         const Clock::time_point t0 = Clock::now();
         core::ControlStep step = state.session.control_step(meta);
         metrics_.control.record_latency(Clock::now() - t0);
@@ -189,6 +193,7 @@ std::vector<StreamResult> StreamServer::serve(
     log_.record(now_tp(), "runtime/detect",
                 "worker " + std::to_string(worker) + " start");
     while (std::optional<DetectTask> task = detect_q.pop()) {
+      const obs::ScopedSpan span("detect_frame", "runtime/detect");
       const Clock::time_point t0 = Clock::now();
       ReportTask out;
       out.stream = task->stream;
@@ -211,6 +216,7 @@ std::vector<StreamResult> StreamServer::serve(
   const auto collect_loop = [&] {
     log_.record(now_tp(), "runtime/report", "collector start");
     while (std::optional<ReportTask> task = report_q.pop()) {
+      const obs::ScopedSpan span("collect_report", "runtime/report");
       const Clock::time_point t0 = Clock::now();
       auto& stream_slots = slots[static_cast<std::size_t>(task->stream)];
       auto& stream_filled = filled[static_cast<std::size_t>(task->stream)];

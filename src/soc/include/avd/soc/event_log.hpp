@@ -3,10 +3,10 @@
 //
 // Thread safety: record() may be called concurrently from multiple threads
 // (the avd::runtime worker pools log into shared stage logs); it is guarded
-// by an internal mutex. The read accessors (events(), to_string(), ...)
-// return snapshots or references of the underlying vector and must only be
-// used once writers have quiesced — the usual pattern is "workers joined,
-// then export".
+// by an internal mutex. Every read accessor (events(), from(), to_string(),
+// size()) takes the same mutex and returns a snapshot by value, so readers
+// are safe against concurrent record() — a snapshot is simply only as
+// complete as the moment it was taken.
 #pragma once
 
 #include <mutex>
@@ -50,7 +50,10 @@ class EventLog {
     events_.push_back({t, std::move(source), std::move(message)});
   }
 
-  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  /// Locked snapshot of all events recorded so far. Returned by value: a
+  /// reference into the live vector would be invalidated by a concurrent
+  /// record() despite the class's thread-safety contract.
+  [[nodiscard]] std::vector<Event> events() const { return snapshot(); }
   [[nodiscard]] std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return events_.size();

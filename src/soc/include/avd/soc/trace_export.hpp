@@ -1,11 +1,24 @@
-// Event-log export to the Chrome trace-event JSON format
-// (chrome://tracing, Perfetto). Each event-log source becomes a "thread"
-// row; events become instants. The simulation's equivalent of dumping an
-// ILA capture into a waveform viewer.
+// Export to the Chrome trace-event JSON format (chrome://tracing,
+// ui.perfetto.dev). Two inputs merge onto one timeline:
+//
+//  * EventLog entries become instant ("i") events — the simulation's ILA
+//    capture: reconfiguration windows, IRQs, worker lifecycle.
+//  * obs::SpanRecord entries become complete ("X") events — the wall-clock
+//    begin/end of real work (HOG extraction, SVM scan, DBN scan, pipeline
+//    stages) recorded by obs::ScopedSpan.
+//
+// Spans group under process `span_pid` with one row per (source, recording
+// thread); events group under process `event_pid` with one row per source.
+// Note the timebases: span timestamps are wall-clock nanoseconds since
+// tracer start, EventLog timestamps are whatever the log's writers used
+// (simulated picoseconds for the SoC model, wall-clock for the runtime
+// server log) — the two processes keep them visually separate.
 #pragma once
 
+#include <span>
 #include <string>
 
+#include "avd/obs/trace.hpp"
 #include "avd/soc/event_log.hpp"
 
 namespace avd::soc {
@@ -13,7 +26,24 @@ namespace avd::soc {
 /// Serialise `log` as a Chrome trace JSON document (returned, not written).
 [[nodiscard]] std::string to_chrome_trace(const EventLog& log);
 
+/// Options for the merged span + event export.
+struct MergedTraceOptions {
+  int span_pid = 1;   ///< process id grouping span rows
+  int event_pid = 2;  ///< process id grouping event-log rows
+};
+
+/// Merged export: EventLog instants plus obs spans in one document.
+[[nodiscard]] std::string to_chrome_trace(const EventLog& log,
+                                          std::span<const obs::SpanRecord> spans,
+                                          const MergedTraceOptions& options = {});
+
 /// Write the trace to `path`. Throws std::runtime_error on I/O failure.
 void write_chrome_trace(const EventLog& log, const std::string& path);
+
+/// Write the merged trace to `path`. Throws std::runtime_error on I/O failure.
+void write_chrome_trace(const EventLog& log,
+                        std::span<const obs::SpanRecord> spans,
+                        const std::string& path,
+                        const MergedTraceOptions& options = {});
 
 }  // namespace avd::soc

@@ -3,6 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "avd/obs/metrics.hpp"
+#include "avd/obs/trace.hpp"
+
 namespace avd::soc {
 
 ReconfigController::ReconfigController(ZynqPlatform platform,
@@ -32,6 +35,7 @@ Duration ReconfigController::stage(const PartialBitstream& bitstream) {
 
 ReconfigResult ReconfigController::reconfigure(TimePoint now,
                                                const PartialBitstream& bitstream) {
+  const obs::ScopedSpan span("reconfigure", "soc/reconfig");
   const auto it = staged_.find(bitstream.config_name);
   if (it == staged_.end())
     throw std::logic_error("ReconfigController: bitstream '" +
@@ -53,6 +57,20 @@ ReconfigResult ReconfigController::reconfigure(TimePoint now,
   result.transfer = model_transfer(path_, bitstream.bytes);
   result.end = now + result.transfer.elapsed;
   active_ = bitstream.config_name;
+
+  // The reconfiguration window on the simulated timeline: the fabric
+  // partition is open (and the vehicle engine dark) from start to end.
+  log_.record(result.start, "pr-controller",
+              "PR window open: loading '" + bitstream.config_name + "'");
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("soc.reconfig.count").inc();
+  registry.counter("soc.reconfig.bytes_streamed").inc(bitstream.bytes);
+  registry.gauge(std::string("soc.reconfig.throughput_mbps.") +
+                 to_string(method_))
+      .set(result.throughput_mbps());
+  registry.histogram("soc.reconfig.window_ns")
+      .record_ns(static_cast<std::uint64_t>(result.transfer.elapsed.ps / 1000u));
 
   std::ostringstream msg;
   msg << "reconfigured to '" << bitstream.config_name << "' via "

@@ -1,8 +1,10 @@
 #include "avd/soc/trace_export.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
 
 namespace avd::soc {
 namespace {
@@ -25,6 +27,9 @@ std::string escape(const std::string& s) {
       case '\t':
         out += "\\t";
         break;
+      case '\r':
+        out += "\\r";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
@@ -38,41 +43,129 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
+// A comma-separating JSON array writer.
+class EventArray {
+ public:
+  explicit EventArray(std::ostringstream& os) : os_(os) {}
+  std::ostringstream& next() {
+    if (!first_) os_ << ',';
+    first_ = false;
+    return os_;
+  }
 
-std::string to_chrome_trace(const EventLog& log) {
+ private:
+  std::ostringstream& os_;
+  bool first_ = true;
+};
+
+void emit_thread_name(EventArray& array, int pid, int tid,
+                      const std::string& name) {
+  array.next() << R"({"name":"thread_name","ph":"M","pid":)" << pid
+               << ",\"tid\":" << tid << R"(,"args":{"name":")" << escape(name)
+               << "\"}}";
+}
+
+void emit_process_name(EventArray& array, int pid, const std::string& name) {
+  array.next() << R"({"name":"process_name","ph":"M","pid":)" << pid
+               << R"(,"tid":0,"args":{"name":")" << escape(name) << "\"}}";
+}
+
+void emit_instants(EventArray& array, const std::vector<Event>& events,
+                   int pid) {
   // Stable thread ids per source, in order of first appearance.
   std::map<std::string, int> tid_of;
   int next_tid = 1;
-  for (const Event& e : log.events())
+  for (const Event& e : events)
     if (tid_of.emplace(e.source, next_tid).second) ++next_tid;
 
+  for (const auto& [source, tid] : tid_of)
+    emit_thread_name(array, pid, tid, source);
+  // Chrome trace timestamps are microseconds; EventLog times are ps.
+  for (const Event& e : events) {
+    array.next() << R"({"name":")" << escape(e.message)
+                 << R"(","ph":"i","s":"t","pid":)" << pid
+                 << ",\"tid\":" << tid_of[e.source]
+                 << ",\"ts\":" << (e.time.ps / 1000000ull) << '}';
+  }
+}
+
+void emit_spans(EventArray& array, std::span<const obs::SpanRecord> spans,
+                int pid) {
+  // One row per (source, recording thread) so concurrent spans of the same
+  // source (e.g. two detect workers) don't overlap on a single track.
+  std::map<std::pair<std::string, int>, int> tid_of;
+  int next_tid = 1;
+  for (const obs::SpanRecord& s : spans) {
+    const auto key = std::make_pair(std::string(s.source), s.thread);
+    if (tid_of.emplace(key, next_tid).second) ++next_tid;
+  }
+  for (const auto& [key, tid] : tid_of)
+    emit_thread_name(array, pid, tid, key.first);
+
+  char ts[32], dur[32];
+  for (const obs::SpanRecord& s : spans) {
+    const auto key = std::make_pair(std::string(s.source), s.thread);
+    // Microsecond timestamps with nanosecond precision kept as fractions.
+    std::snprintf(ts, sizeof ts, "%llu.%03u",
+                  static_cast<unsigned long long>(s.begin_ns / 1000u),
+                  static_cast<unsigned>(s.begin_ns % 1000u));
+    const std::uint64_t d = s.end_ns >= s.begin_ns ? s.end_ns - s.begin_ns : 0;
+    std::snprintf(dur, sizeof dur, "%llu.%03u",
+                  static_cast<unsigned long long>(d / 1000u),
+                  static_cast<unsigned>(d % 1000u));
+    array.next() << R"({"name":")" << escape(s.name)
+                 << R"(","ph":"X","pid":)" << pid << ",\"tid\":" << tid_of[key]
+                 << ",\"ts\":" << ts << ",\"dur\":" << dur << '}';
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const EventLog& log) {
+  const std::vector<Event> events = log.events();
   std::ostringstream os;
   os << "{\"traceEvents\":[";
-  bool first = true;
-  // Thread-name metadata rows.
-  for (const auto& [source, tid] : tid_of) {
-    if (!first) os << ',';
-    first = false;
-    os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << tid
-       << R"(,"args":{"name":")" << escape(source) << "\"}}";
-  }
-  // Instant events; Chrome trace timestamps are microseconds.
-  for (const Event& e : log.events()) {
-    if (!first) os << ',';
-    first = false;
-    os << R"({"name":")" << escape(e.message) << R"(","ph":"i","s":"t","pid":1,"tid":)"
-       << tid_of[e.source] << ",\"ts\":" << (e.time.ps / 1000000ull) << '}';
-  }
+  EventArray array(os);
+  emit_instants(array, events, 1);
   os << "]}";
   return os.str();
 }
 
-void write_chrome_trace(const EventLog& log, const std::string& path) {
+std::string to_chrome_trace(const EventLog& log,
+                            std::span<const obs::SpanRecord> spans,
+                            const MergedTraceOptions& options) {
+  const std::vector<Event> events = log.events();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  EventArray array(os);
+  emit_process_name(array, options.span_pid, "spans (wall clock)");
+  emit_process_name(array, options.event_pid, "events");
+  emit_spans(array, spans, options.span_pid);
+  emit_instants(array, events, options.event_pid);
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+
+void write_document(const std::string& document, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_chrome_trace: cannot open " + path);
-  out << to_chrome_trace(log);
+  out << document;
   if (!out) throw std::runtime_error("write_chrome_trace: write failed");
+}
+
+}  // namespace
+
+void write_chrome_trace(const EventLog& log, const std::string& path) {
+  write_document(to_chrome_trace(log), path);
+}
+
+void write_chrome_trace(const EventLog& log,
+                        std::span<const obs::SpanRecord> spans,
+                        const std::string& path,
+                        const MergedTraceOptions& options) {
+  write_document(to_chrome_trace(log, spans, options), path);
 }
 
 }  // namespace avd::soc

@@ -1,0 +1,88 @@
+// Strict JSON parser: acceptance of the full grammar, rejection of the
+// malformed inputs that matter for validating emitted traces/metrics.
+#include "avd/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::obs::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse("null")->type, Value::Type::Null);
+  EXPECT_TRUE(parse("true")->boolean);
+  EXPECT_FALSE(parse("false")->boolean);
+  EXPECT_DOUBLE_EQ(parse("0")->number, 0.0);
+  EXPECT_DOUBLE_EQ(parse("-42")->number, -42.0);
+  EXPECT_DOUBLE_EQ(parse("3.5e2")->number, 350.0);
+  EXPECT_DOUBLE_EQ(parse("1.25")->number, 1.25);
+  EXPECT_EQ(parse("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b")")->string, "a\"b");
+  EXPECT_EQ(parse(R"("a\\b")")->string, "a\\b");
+  EXPECT_EQ(parse(R"("a\/b")")->string, "a/b");
+  EXPECT_EQ(parse(R"("\n\t\r\b\f")")->string, "\n\t\r\b\f");
+  EXPECT_EQ(parse(R"("A")")->string, "A");
+  EXPECT_EQ(parse(R"("é")")->string, "\xc3\xa9");      // é as UTF-8
+  EXPECT_EQ(parse(R"("€")")->string, "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  const std::optional<Value> arr = parse("[1, [2, 3], {\"k\": 4}]");
+  ASSERT_TRUE(arr.has_value());
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->array[0].number, 1.0);
+  ASSERT_EQ(arr->array[1].array.size(), 2u);
+  const Value* k = arr->array[2].find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_DOUBLE_EQ(k->number, 4.0);
+
+  const std::optional<Value> obj = parse(R"({"a": {"b": [true]}, "c": null})");
+  ASSERT_TRUE(obj.has_value());
+  ASSERT_EQ(obj->object.size(), 2u);
+  EXPECT_EQ(obj->object[0].first, "a");  // insertion order kept
+  EXPECT_EQ(obj->find("a")->find("b")->array[0].boolean, true);
+  EXPECT_EQ(obj->find("c")->type, Value::Type::Null);
+  EXPECT_EQ(obj->find("missing"), nullptr);
+
+  EXPECT_TRUE(valid("[]"));
+  EXPECT_TRUE(valid("{}"));
+  EXPECT_TRUE(valid("  { \"x\" : [ ] }  "));
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_FALSE(valid(""));
+  EXPECT_FALSE(valid("   "));
+  EXPECT_FALSE(valid("{"));
+  EXPECT_FALSE(valid("[1,]"));
+  EXPECT_FALSE(valid("{\"a\":}"));
+  EXPECT_FALSE(valid("{\"a\" 1}"));
+  EXPECT_FALSE(valid("{a: 1}"));          // unquoted key
+  EXPECT_FALSE(valid("'single'"));
+  EXPECT_FALSE(valid("\"unterminated"));
+  EXPECT_FALSE(valid("nul"));
+  EXPECT_FALSE(valid("truefalse"));
+  EXPECT_FALSE(valid("1 2"));             // trailing garbage
+  EXPECT_FALSE(valid("[] []"));
+  EXPECT_FALSE(valid("01"));              // leading zero
+  EXPECT_FALSE(valid("+1"));
+  EXPECT_FALSE(valid("1."));
+  EXPECT_FALSE(valid(".5"));
+  EXPECT_FALSE(valid("1e"));
+  EXPECT_FALSE(valid(R"("\x41")"));       // bad escape
+  EXPECT_FALSE(valid(R"("\u12")"));       // short \u
+  EXPECT_FALSE(valid("\"raw\ncontrol\""));  // unescaped control char
+}
+
+TEST(JsonParse, DeeplyNestedButBounded) {
+  std::string doc;
+  constexpr int kDepth = 64;
+  for (int i = 0; i < kDepth; ++i) doc += '[';
+  doc += "1";
+  for (int i = 0; i < kDepth; ++i) doc += ']';
+  EXPECT_TRUE(valid(doc));
+}
+
+}  // namespace
+}  // namespace avd::obs::json

@@ -1,0 +1,226 @@
+// Counter/Gauge/Histogram semantics, registry identity, and the JSON +
+// Prometheus expositions (round-tripped through the obs::json parser).
+#include "avd/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "avd/obs/json.hpp"
+
+namespace avd::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Gauge, ConcurrentAddsAllLand) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, LinearBinsAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < Histogram::kLinearBins; ++v) {
+    EXPECT_EQ(Histogram::bin_index(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::bin_value(static_cast<int>(v)), v);
+  }
+}
+
+TEST(Histogram, BinRelativeErrorBounded) {
+  // Log-linear promise: the representative value of a bin is within ~7 %
+  // of anything that maps into it.
+  for (std::uint64_t v : {100ull, 1'000ull, 123'456ull, 7'000'000ull,
+                          1'000'000'000ull, 987'654'321'000ull}) {
+    const int idx = Histogram::bin_index(v);
+    const double rep = static_cast<double>(Histogram::bin_value(idx));
+    const double rel = std::abs(rep - static_cast<double>(v)) / static_cast<double>(v);
+    EXPECT_LT(rel, 0.07) << "value " << v << " rep " << rep;
+  }
+}
+
+TEST(Histogram, BinIndexIsMonotonic) {
+  int prev = -1;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const int idx = Histogram::bin_index(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(Histogram, CountSumMeanMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.percentile_ns(0.5), 0u);
+  h.record_ns(10);
+  h.record_ns(20);
+  h.record_ns(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_ns(), 60u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 20.0);
+  EXPECT_EQ(h.max_ns(), 30u);
+  h.record(std::chrono::nanoseconds(-5));  // clamped to 0
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum_ns(), 60u);
+}
+
+TEST(Histogram, PercentilesOrderedAndPlausible) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record_ns(v * 1000);
+  const std::uint64_t p50 = h.percentile_ns(0.50);
+  const std::uint64_t p95 = h.percentile_ns(0.95);
+  const std::uint64_t p99 = h.percentile_ns(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // True p50 = 500µs, p99 = 990µs; allow the ~7 % bin error.
+  EXPECT_NEAR(static_cast<double>(p50), 500'000.0, 0.1 * 500'000.0);
+  EXPECT_NEAR(static_cast<double>(p99), 990'000.0, 0.1 * 990'000.0);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.p50_ns, p50);
+  EXPECT_EQ(s.p95_ns, p95);
+  EXPECT_EQ(s.p99_ns, p99);
+  EXPECT_EQ(s.max_ns, 1'000'000u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.percentile_ns(0.99), 0u);
+}
+
+TEST(MetricsRegistry, SameNameSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("frames");
+  Counter& b = reg.counter("frames");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  // Separate namespaces: a gauge named "frames" is a different object.
+  Gauge& g = reg.gauge("frames");
+  g.set(3.0);
+  EXPECT_EQ(reg.counter("frames").value(), 1u);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsReferencesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  c.inc(7);
+  g.set(1.5);
+  h.record_ns(100);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // The same references still work after reset.
+  c.inc();
+  EXPECT_EQ(reg.counter("c").value(), 1u);
+}
+
+TEST(MetricsRegistry, JsonRoundTripsThroughParser) {
+  MetricsRegistry reg;
+  reg.counter("detect.frames").inc(12);
+  reg.gauge("soc.throughput \"quoted\"").set(-3.25);
+  Histogram& h = reg.histogram("latency");
+  h.record_ns(1000);
+  h.record_ns(2000);
+
+  const std::string text = reg.to_json();
+  const std::optional<json::Value> doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+  ASSERT_EQ(doc->type, json::Value::Type::Object);
+
+  const json::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const json::Value* frames = counters->find("detect.frames");
+  ASSERT_NE(frames, nullptr);
+  EXPECT_DOUBLE_EQ(frames->number, 12.0);
+
+  const json::Value* gauges = doc->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const json::Value* tp = gauges->find("soc.throughput \"quoted\"");
+  ASSERT_NE(tp, nullptr) << "gauge name must be escaped, then round-trip";
+  EXPECT_DOUBLE_EQ(tp->number, -3.25);
+
+  const json::Value* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* lat = hists->find("latency");
+  ASSERT_NE(lat, nullptr);
+  const json::Value* count = lat->find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->number, 2.0);
+  const json::Value* sum = lat->find("sum_ns");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(sum->number, 3000.0);
+  for (const char* key : {"mean_ns", "p50_ns", "p95_ns", "p99_ns", "max_ns"})
+    EXPECT_NE(lat->find(key), nullptr) << key;
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("detect.frames").inc(5);
+  reg.gauge("queue-depth").set(2.0);
+  reg.histogram("stage.latency").record_ns(500);
+
+  const std::string text = reg.to_prometheus();
+  // Names sanitised to [a-zA-Z0-9_:].
+  EXPECT_NE(text.find("# TYPE detect_frames counter"), std::string::npos);
+  EXPECT_NE(text.find("detect_frames 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stage_latency summary"), std::string::npos);
+  EXPECT_NE(text.find("stage_latency{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("stage_latency{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(text.find("stage_latency{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("stage_latency_sum 500"), std::string::npos);
+  EXPECT_NE(text.find("stage_latency_count 1"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(MetricsRegistry, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace avd::obs

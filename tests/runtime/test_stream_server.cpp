@@ -82,12 +82,15 @@ void expect_reports_identical(const core::AdaptiveRunReport& a,
         << where;
   }
   // The control-plane event logs must line up event for event: simulated
-  // timestamps, sources, messages.
-  ASSERT_EQ(a.log.size(), b.log.size()) << where;
-  for (std::size_t i = 0; i < a.log.events().size(); ++i) {
-    EXPECT_EQ(a.log.events()[i].time.ps, b.log.events()[i].time.ps) << where;
-    EXPECT_EQ(a.log.events()[i].source, b.log.events()[i].source) << where;
-    EXPECT_EQ(a.log.events()[i].message, b.log.events()[i].message) << where;
+  // timestamps, sources, messages. events() returns a locked snapshot, so
+  // take it once per log rather than per access.
+  const std::vector<soc::Event> a_events = a.log.events();
+  const std::vector<soc::Event> b_events = b.log.events();
+  ASSERT_EQ(a_events.size(), b_events.size()) << where;
+  for (std::size_t i = 0; i < a_events.size(); ++i) {
+    EXPECT_EQ(a_events[i].time.ps, b_events[i].time.ps) << where;
+    EXPECT_EQ(a_events[i].source, b_events[i].source) << where;
+    EXPECT_EQ(a_events[i].message, b_events[i].message) << where;
   }
 }
 

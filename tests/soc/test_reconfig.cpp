@@ -70,8 +70,9 @@ TEST(ReconfigController, EventsLogged) {
   ctrl.stage(bits);
   (void)ctrl.reconfigure({0}, bits);
   const auto events = ctrl.log().from("pr-controller");
-  ASSERT_EQ(events.size(), 2u);  // stage + reconfigure
-  EXPECT_NE(events[1].message.find("IRQ"), std::string::npos);
+  ASSERT_EQ(events.size(), 3u);  // stage + window open + reconfigure done
+  EXPECT_NE(events[1].message.find("PR window open"), std::string::npos);
+  EXPECT_NE(events[2].message.find("IRQ"), std::string::npos);
 }
 
 TEST(CompareMethods, ProducesFourOrderedRows) {

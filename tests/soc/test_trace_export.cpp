@@ -4,6 +4,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <vector>
+
+#include "avd/obs/json.hpp"
 
 namespace avd::soc {
 namespace {
@@ -50,6 +53,115 @@ TEST(TraceExport, EscapesSpecialCharacters) {
   EXPECT_NE(json.find("\\\\"), std::string::npos);
   EXPECT_NE(json.find("\\n"), std::string::npos);
   EXPECT_EQ(json.find('\n'), std::string::npos);  // no raw newline in JSON
+}
+
+TEST(TraceExport, ControlCharactersAreEscaped) {
+  EventLog log;
+  log.record({0}, "src", std::string("tab \t cr \r bell \x01 end"));
+  const std::string json = to_chrome_trace(log);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  for (char c : json) EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+  EXPECT_TRUE(obs::json::valid(json)) << json;
+}
+
+TEST(TraceExport, OutputParsesAsJsonWithExpectedShape) {
+  EventLog log;
+  log.record({1'000'000}, "dma", "burst \"0\" \\ done");
+  log.record({2'000'000}, "irq", "raised");
+  const std::string text = to_chrome_trace(log);
+  const std::optional<obs::json::Value> doc = obs::json::parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+
+  const obs::json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, obs::json::Value::Type::Array);
+  // 2 thread_name metadata + 2 instants.
+  ASSERT_EQ(events->array.size(), 4u);
+  for (const obs::json::Value& e : events->array) {
+    EXPECT_NE(e.find("name"), nullptr);
+    EXPECT_NE(e.find("ph"), nullptr);
+    EXPECT_NE(e.find("pid"), nullptr);
+    EXPECT_NE(e.find("tid"), nullptr);
+  }
+  const obs::json::Value& burst = events->array[2];
+  EXPECT_EQ(burst.find("ph")->string, "i");
+  EXPECT_EQ(burst.find("name")->string, "burst \"0\" \\ done");  // round-trip
+}
+
+TEST(TraceExport, MergedTraceCombinesSpansAndInstants) {
+  EventLog log;
+  log.record({3'000'000'000}, "pr-controller", "PR window open");
+
+  // Spans from every instrumented layer, two threads for the same source.
+  const std::vector<obs::SpanRecord> spans = {
+      {"control_step", "core/control", 1'000, 5'000, 0},
+      {"detect_multiscale", "detect/hogsvm", 5'000, 90'000, 0},
+      {"detect_multiscale", "detect/hogsvm", 6'000, 80'000, 1},
+      {"reconfigure", "soc/reconfig", 90'500, 91'000, 0},
+      {"ingest_frame", "runtime/ingest", 200, 900, 2},
+  };
+  const std::string text = to_chrome_trace(log, spans);
+  ASSERT_TRUE(obs::json::valid(text)) << text;
+  const obs::json::Value doc = *obs::json::parse(text);
+  const obs::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::size_t complete = 0, instants = 0, thread_names = 0, process_names = 0;
+  for (const obs::json::Value& e : events->array) {
+    const std::string& ph = e.find("ph")->string;
+    const std::string& name = e.find("name")->string;
+    if (ph == "X") ++complete;
+    if (ph == "i") ++instants;
+    if (ph == "M" && name == "thread_name") ++thread_names;
+    if (ph == "M" && name == "process_name") ++process_names;
+  }
+  EXPECT_EQ(complete, spans.size());
+  EXPECT_EQ(instants, 1u);
+  // 4 distinct sources, one of them split over two recording threads, plus
+  // the pr-controller instant row.
+  EXPECT_EQ(thread_names, 6u);
+  EXPECT_EQ(process_names, 2u);
+
+  // Wall-clock span rows and simulated-time event rows live in separate
+  // trace processes.
+  const MergedTraceOptions defaults;
+  for (const obs::json::Value& e : events->array) {
+    const int pid = static_cast<int>(e.find("pid")->number);
+    if (e.find("ph")->string == "X") EXPECT_EQ(pid, defaults.span_pid);
+    if (e.find("ph")->string == "i") EXPECT_EQ(pid, defaults.event_pid);
+  }
+}
+
+TEST(TraceExport, MergedTraceOfNothingIsValid) {
+  const std::string text = to_chrome_trace(EventLog{}, {});
+  EXPECT_TRUE(obs::json::valid(text));
+  EXPECT_NE(text.find("process_name"), std::string::npos);
+}
+
+TEST(TraceExport, MergedTraceSpanTimestampsKeepNanosecondPrecision) {
+  const std::vector<obs::SpanRecord> spans = {
+      {"s", "src", 1'234'567, 2'000'001, 0}};
+  const std::string text = to_chrome_trace(EventLog{}, spans);
+  EXPECT_TRUE(obs::json::valid(text)) << text;
+  EXPECT_NE(text.find("\"ts\":1234.567"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"dur\":765.434"), std::string::npos) << text;
+}
+
+TEST(TraceExport, WritesMergedFile) {
+  const auto dir = std::filesystem::temp_directory_path() / "avd_trace_merged";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "m.json").string();
+  EventLog log;
+  log.record({0}, "src", "event");
+  const std::vector<obs::SpanRecord> spans = {{"s", "src", 0, 10, 0}};
+  write_chrome_trace(log, spans, path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, to_chrome_trace(log, spans));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(TraceExport, WritesFile) {
