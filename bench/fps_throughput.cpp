@@ -11,10 +11,11 @@
 #include "avd/core/system_models.hpp"
 #include "avd/image/color.hpp"
 #include "avd/soc/hw_pipeline.hpp"
+#include "bench_report.hpp"
 
 namespace {
 
-void print_hw_table() {
+void print_hw_table(avd::bench::BenchReport& report) {
   using namespace avd::soc;
   std::printf("=== bench: fps_throughput ===\n\n");
   std::printf("Hardware-model throughput (fabric at 125 MHz, 1 px/cycle):\n");
@@ -30,6 +31,10 @@ void print_hw_table() {
                   model.max_fps(res),
                   model.meets_rate(res, kTargetFps) ? "yes" : "NO");
     }
+    report.metric(model.name + ".hdtv_max_fps", model.max_fps(kHdtvFrame),
+                  "fps");
+    report.check(model.name + ".hdtv_meets_50fps",
+                 model.meets_rate(kHdtvFrame, kTargetFps));
   }
 
   // Clock sweep: where the 50 fps target breaks.
@@ -118,7 +123,10 @@ BENCHMARK(BM_SoftwarePedestrianFrame)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_hw_table();
+  avd::bench::BenchReport report("fps_throughput");
+  report.note("paper", "50 fps on 1080x1920 at 125 MHz (abstract, SV)");
+  print_hw_table(report);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,10 +5,12 @@
 #include <cstdio>
 
 #include "avd/soc/reconfig.hpp"
+#include "bench_report.hpp"
 
 int main() {
   using namespace avd::soc;
   std::printf("=== bench: reconfig_throughput ===\n\n");
+  avd::bench::BenchReport benchreport("reconfig_throughput");
 
   const ZynqPlatform platform = default_platform();
   const DeviceResources device;
@@ -29,8 +31,15 @@ int main() {
                 rows[i].reconfig_time.as_ms(), rows[i].pct_of_ceiling,
                 paper[i]);
   }
+  const double pr_speedup = rows[3].throughput_mbps / rows[1].throughput_mbps;
   std::printf("\nspeed-up of pr-controller over pcap: %.2fx (paper: >2.6x)\n",
-              rows[3].throughput_mbps / rows[1].throughput_mbps);
+              pr_speedup);
+  for (const auto& r : rows)
+    benchreport.metric(std::string(to_string(r.method)) + ".throughput",
+                       r.throughput_mbps, "MB/s");
+  benchreport.metric("pr_controller_vs_pcap_speedup", pr_speedup, "x");
+  benchreport.check("pr_controller_speedup_over_2.6x", pr_speedup > 2.6);
+  benchreport.note("paper", "SIV-A: 19/145/382/390 MB/s on the 8 MB bitstream");
 
   // Figure-style series: reconfiguration time vs bitstream size per method.
   std::printf("\nReconfiguration time (ms) vs partial bitstream size:\n");
@@ -88,5 +97,6 @@ int main() {
       "\nOne-time staging of the bitstream into PL DDR: %.2f ms "
       "(off the critical path; done at boot)\n",
       staging.as_ms());
+  benchreport.write();
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "avd/runtime/stream_server.hpp"
+#include "bench_report.hpp"
 
 namespace {
 
@@ -101,7 +102,8 @@ Measurement measure(const avd::core::AdaptiveSystem& system, int n_streams,
 }
 
 void run_table(const avd::core::AdaptiveSystem& system, const char* title,
-               int frames_per_segment, double accel_ms, bool check_identical) {
+               int frames_per_segment, double accel_ms, bool check_identical,
+               avd::bench::BenchReport* report = nullptr) {
   std::printf("%s\n", title);
   std::printf("%8s | %10s %10s %10s %10s | %11s %10s\n", "streams",
               "1 worker", "2 workers", "4 workers", "8 workers", "4w/1w",
@@ -124,14 +126,27 @@ void run_table(const avd::core::AdaptiveSystem& system, const char* title,
     std::printf(" | %10.2fx %10s\n", speedup,
                 check_identical ? (identical ? "yes" : "NO") : "-");
     if (n_streams >= 2 && speedup > 1.8) accept = true;
+    if (report != nullptr) {
+      char key[64];
+      std::snprintf(key, sizeof key, "accel.streams%d.speedup_1w_to_4w",
+                    n_streams);
+      report->metric(key, speedup, "x");
+      if (check_identical)
+        report->check("accel.streams" + std::to_string(n_streams) +
+                          ".identical_to_sequential",
+                      identical);
+    }
   }
   std::printf("  (aggregate frames/s; identical = per-stream reports match "
               "sequential run())\n");
-  if (check_identical)
+  if (check_identical) {
     std::printf("  acceptance >1.8x at 1->4 workers on >=2 streams: %s\n\n",
                 accept ? "PASS" : "FAIL");
-  else
+    if (report != nullptr)
+      report->check("accel.speedup_over_1.8x_on_2plus_streams", accept);
+  } else {
     std::printf("\n");
+  }
 }
 
 }  // namespace
@@ -139,6 +154,7 @@ void run_table(const avd::core::AdaptiveSystem& system, const char* title,
 int main() {
   std::printf("=== bench: runtime_scaling ===\n\n");
   std::printf("training models (tiny budget)...\n");
+  avd::bench::BenchReport report("runtime_scaling");
   const avd::core::SystemModels models =
       avd::core::build_system_models(tiny_budget());
 
@@ -152,7 +168,7 @@ int main() {
     avd::core::AdaptiveSystem system(models, cfg);
     run_table(system,
               "-- accelerator-occupancy mode (4 ms/frame PL model) --", 25,
-              4.0, true);
+              4.0, true, &report);
   }
 
   // Part 2 — host-CPU-bound mode: the software detectors do the pixel work
@@ -180,5 +196,7 @@ int main() {
     std::printf("stage metrics (4 streams x 4 workers):\n%s\n",
                 avd::runtime::metrics_to_json(server.metrics()).c_str());
   }
+  report.note("accel_model", "4 ms/frame simulated PL dispatch, 25 frames/segment");
+  report.write();
   return 0;
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "avd/obs/frame_trace.hpp"
 #include "avd/obs/json.hpp"
 #include "avd/obs/metrics.hpp"
 #include "avd/obs/trace.hpp"
@@ -116,8 +117,46 @@ int main(int argc, char** argv) {
     return text;
   }();
   if (trace.empty()) fail("trace file empty or unreadable");
-  if (!avd::obs::json::valid(trace)) fail("trace is not valid JSON");
+  const std::optional<avd::obs::json::Value> doc = avd::obs::json::parse(trace);
+  if (!doc.has_value()) fail("trace is not valid JSON");
   if (!avd::obs::json::valid(metrics_json)) fail("metrics JSON invalid");
+
+  // Causal linkage: every reported frame must assemble into one connected,
+  // cross-thread span chain, and the exported trace must draw its flow arc.
+  const std::vector<avd::obs::FrameTrace> frame_traces =
+      avd::obs::assemble_frame_traces(spans);
+  std::size_t connected_frames = 0;
+  std::uint64_t critical_path_total = 0;
+  for (const avd::obs::FrameTrace& t : frame_traces) {
+    if (!t.has_span("collect_report")) continue;  // partial tail traces
+    if (!t.connected() || t.thread_count() < 2)
+      fail("frame trace not connected across threads");
+    ++connected_frames;
+    critical_path_total += t.critical_path_ns();
+  }
+  if (connected_frames < frames) fail("fewer connected frame traces than frames");
+  std::printf("frame traces: %zu connected, mean critical path %.1f us\n",
+              connected_frames,
+              connected_frames > 0
+                  ? static_cast<double>(critical_path_total) / 1000.0 /
+                        static_cast<double>(connected_frames)
+                  : 0.0);
+
+  std::size_t flow_starts = 0, flow_finishes = 0;
+  if (doc.has_value()) {
+    if (const avd::obs::json::Value* events = doc->find("traceEvents")) {
+      for (const avd::obs::json::Value& e : events->array) {
+        const avd::obs::json::Value* ph = e.find("ph");
+        if (ph == nullptr) continue;
+        if (ph->string == "s") ++flow_starts;
+        if (ph->string == "f") ++flow_finishes;
+      }
+    }
+  }
+  std::printf("flow arcs: %zu starts, %zu finishes\n", flow_starts,
+              flow_finishes);
+  if (flow_starts < frames) fail("exported trace is missing frame flow arcs");
+  if (flow_starts != flow_finishes) fail("unbalanced flow start/finish events");
 
   std::printf("\nself-check: %s\n", ok ? "ok" : "FAILED");
   return ok ? 0 : 1;

@@ -38,12 +38,20 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
 echo "== smoke: profile_pipeline =="
 # The example traces a full serving run and exits non-zero itself if the
-# merged Chrome trace is empty, invalid JSON, or missing a layer's spans.
+# merged Chrome trace is empty, invalid JSON, missing a layer's spans, or
+# missing the per-frame flow arcs / connected frame-trace chains.
 cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target profile_pipeline
+cmake --build build -j "$JOBS" --target profile_pipeline frame_slo_monitor
 SMOKE_TRACE="$(mktemp -t avd_profile_XXXX.json)"
-trap 'rm -f "$SMOKE_TRACE"' EXIT
+SMOKE_JSONL="$(mktemp -t avd_slo_XXXX.jsonl)"
+trap 'rm -f "$SMOKE_TRACE" "$SMOKE_JSONL"' EXIT
 ./build/examples/profile_pipeline "$SMOKE_TRACE" >/dev/null
 [[ -s "$SMOKE_TRACE" ]] || { echo "smoke: trace file empty"; exit 1; }
+
+echo "== smoke: frame_slo_monitor =="
+# Exits non-zero itself if health states or the telemetry JSONL sink are
+# wrong; quick end-to-end coverage of the SLO monitoring path.
+./build/examples/frame_slo_monitor "$SMOKE_JSONL" >/dev/null
+[[ -s "$SMOKE_JSONL" ]] || { echo "smoke: telemetry sink empty"; exit 1; }
 
 echo "== all checks passed =="

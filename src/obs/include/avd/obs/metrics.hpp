@@ -23,6 +23,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace avd::obs {
@@ -140,6 +142,27 @@ class Histogram {
   std::atomic<std::uint64_t> max_ns_{0};
 };
 
+/// Point-in-time copy of every metric in a registry, safe to hold, diff and
+/// serialise after the registry has moved on. Entries are sorted by name
+/// (std::map iteration order). This is the unit the telemetry ring stores.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  /// Value of the named counter, or `fallback` when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name,
+                                      std::uint64_t fallback = 0) const;
+  [[nodiscard]] double gauge(std::string_view name,
+                             double fallback = 0.0) const;
+  /// The named histogram summary, or nullptr when absent.
+  [[nodiscard]] const HistogramSummary* histogram(std::string_view name) const;
+};
+
+/// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":...}}}
+/// with names sorted; parses with obs::json.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
 /// Owns named metrics. Lookup is find-or-create by name; the same name
 /// always returns the same object, so components instrumented independently
 /// aggregate into one metric. Counter, gauge and histogram namespaces are
@@ -161,13 +184,21 @@ class MetricsRegistry {
   /// by counter()/gauge()/histogram()) survive.
   void reset_values();
 
-  /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":...}}}
-  /// with names sorted; parses with obs::json.
+  /// Copy every metric's current value (histograms as summaries). Safe with
+  /// live writers under the usual read-side contract: counters/gauges are
+  /// exact, histogram summaries approximate.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// obs::to_json(snapshot()).
   [[nodiscard]] std::string to_json() const;
 
   /// Prometheus text exposition format: counters and gauges as-is,
   /// histograms as summaries (quantile series + _sum + _count). Names are
-  /// sanitised to [a-zA-Z0-9_:] with other characters mapped to '_'.
+  /// sanitised to [a-zA-Z0-9_:] with other characters mapped to '_'; when
+  /// two raw names sanitise to the same series name, later ones get a
+  /// numeric suffix (_2, _3, ...) instead of silently colliding. Every
+  /// series carries # HELP (the raw name, so the sanitisation stays
+  /// reversible by a human) and # TYPE lines.
   [[nodiscard]] std::string to_prometheus() const;
 
  private:

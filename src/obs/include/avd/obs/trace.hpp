@@ -10,7 +10,17 @@
 //  * Completed spans land in per-thread ring buffers. The recording thread is
 //    the only writer of its ring (a relaxed head index published with
 //    release), so the hot path takes no lock and touches no shared cache
-//    line. A full ring overwrites its oldest spans (drop count is reported).
+//    line. A full ring overwrites its oldest spans (drop count is reported,
+//    and published live into MetricsRegistry as obs.trace.dropped_spans so
+//    span loss is itself observable).
+//  * **Causal frame tracing** (Dapper-style): a `TraceContext` names one
+//    logical frame's journey (`trace_id`) and the span it is currently
+//    inside (`parent_span_id`). The context travels two ways: explicitly,
+//    carried with the frame across queue hops (runtime::FrameTask), and
+//    implicitly, through a thread-local that `TraceScope` installs and every
+//    armed `ScopedSpan` inherits and re-installs for its own children. A
+//    frame's spans therefore form one linked tree across worker threads,
+//    which soc::to_chrome_trace renders as Perfetto flow arcs.
 //  * `drain()` / `snapshot()` collect every thread's spans into one vector.
 //    Like the rest of the repo's instrumentation (EventLog, StageMetrics)
 //    the read side is meant for quiesced writers: join your workers, then
@@ -18,27 +28,61 @@
 //    outlive the tracer) — records store the pointers, not copies.
 //
 // Export: soc::to_chrome_trace(log, spans) merges spans (Chrome "X"
-// complete events) with EventLog instants into one Perfetto-loadable file.
+// complete events, plus flow events for linked spans) with EventLog instants
+// into one Perfetto-loadable file. obs::frame_trace reassembles per-frame
+// chains and critical-path latency offline.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 namespace avd::obs {
 
+class Counter;
+
+/// Identity of one causal chain (one frame) plus the span to parent on.
+/// trace_id 0 means "not part of any trace" — spans still record, they just
+/// don't link.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  [[nodiscard]] bool linked() const { return trace_id != 0; }
+};
+
+/// One numeric span attribute (frame index, stream id, mode, ...). The name
+/// must be a string literal, like span names.
+struct SpanArg {
+  const char* name = nullptr;
+  std::int64_t value = 0;
+};
+
 /// One completed span. Timestamps are wall-clock nanoseconds since the
 /// tracer's construction (steady clock), so spans from every thread share a
 /// timebase.
 struct SpanRecord {
+  static constexpr int kMaxArgs = 4;
+
   const char* name = nullptr;    ///< static string: what ran
   const char* source = nullptr;  ///< static string: component ("detect/dark")
   std::uint64_t begin_ns = 0;
   std::uint64_t end_ns = 0;
   int thread = 0;  ///< per-tracer thread index (rows in the trace)
+
+  std::uint64_t trace_id = 0;        ///< 0 = not part of a frame trace
+  std::uint64_t span_id = 0;         ///< unique per recorded span (when armed)
+  std::uint64_t parent_span_id = 0;  ///< 0 = root of its trace
+  int arg_count = 0;
+  SpanArg args[kMaxArgs] = {};
+
+  /// Value of the named arg, or `fallback` when absent.
+  [[nodiscard]] std::int64_t arg(const char* name,
+                                 std::int64_t fallback = -1) const;
 };
 
 class Tracer {
@@ -61,9 +105,22 @@ class Tracer {
   /// Nanoseconds since tracer construction (steady clock).
   [[nodiscard]] std::uint64_t now_ns() const;
 
+  /// Allocate a fresh, process-unique, nonzero trace id (one per frame).
+  [[nodiscard]] static std::uint64_t new_trace_id();
+  /// Allocate a fresh, process-unique, nonzero span id.
+  [[nodiscard]] static std::uint64_t new_span_id();
+
+  /// The calling thread's current trace context (set by TraceScope /
+  /// ScopedSpan). Zeroes when the thread is outside any trace.
+  [[nodiscard]] static TraceContext current_context();
+
   /// Record a completed span (normally via ScopedSpan, not directly).
   void record(const char* name, const char* source, std::uint64_t begin_ns,
-              std::uint64_t end_ns);
+              std::uint64_t end_ns) {
+    record(SpanRecord{name, source, begin_ns, end_ns});
+  }
+  /// Record a fully populated span; `thread` is filled in by the tracer.
+  void record(SpanRecord span);
 
   /// All spans from all threads, oldest-first per thread, concatenated by
   /// thread registration order. Writers must be quiesced.
@@ -79,10 +136,14 @@ class Tracer {
   [[nodiscard]] std::size_t thread_count() const;
 
  private:
+  friend class TraceScope;
+
   struct ThreadBuffer {
     std::atomic<std::uint64_t> head{0};  ///< total spans ever written
     std::vector<SpanRecord> ring;        ///< size kRingCapacity, lazily filled
     int index = 0;                       ///< per-tracer thread index
+    Counter* dropped_per_thread = nullptr;  ///< obs.trace.dropped_spans.t<N>
+    Counter* dropped_total = nullptr;       ///< obs.trace.dropped_spans
   };
 
   ThreadBuffer& local_buffer();
@@ -94,31 +155,82 @@ class Tracer {
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
 
+/// RAII: installs `ctx` as the calling thread's current trace context and
+/// restores the previous one on destruction. The runtime wraps each queue
+/// hop's processing in one of these so spans recorded on whatever worker
+/// picked the frame up join the frame's trace.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
 /// RAII span: times its own scope and records into Tracer::global() at
-/// destruction. `name` and `source` must be string literals (or otherwise
-/// outlive the tracer's records).
+/// destruction. `name`, `source` and arg names must be string literals (or
+/// otherwise outlive the tracer's records).
+///
+/// When armed (tracing enabled at construction) the span inherits the
+/// thread's current TraceContext as its parent, allocates its own span id,
+/// and installs itself as the current context so nested spans (and spans in
+/// called-into layers: core, detect, soc) become its children.
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* source)
-      : name_(name), source_(source) {
+      : ScopedSpan(name, source, {}) {}
+
+  ScopedSpan(const char* name, const char* source,
+             std::initializer_list<SpanArg> args) {
     Tracer& tracer = Tracer::global();
-    if (tracer.enabled()) {
-      tracer_ = &tracer;
-      begin_ns_ = tracer.now_ns();
+    if (!tracer.enabled()) return;
+    tracer_ = &tracer;
+    span_.name = name;
+    span_.source = source;
+    for (const SpanArg& a : args) {
+      if (span_.arg_count >= SpanRecord::kMaxArgs) break;
+      span_.args[span_.arg_count++] = a;
     }
+    const TraceContext parent = Tracer::current_context();
+    span_.trace_id = parent.trace_id;
+    span_.parent_span_id = parent.parent_span_id;
+    span_.span_id = Tracer::new_span_id();
+    prev_context_ = parent;
+    install_context({parent.trace_id, span_.span_id});
+    span_.begin_ns = tracer.now_ns();
   }
+
   ~ScopedSpan() {
-    if (tracer_ != nullptr)
-      tracer_->record(name_, source_, begin_ns_, tracer_->now_ns());
+    if (tracer_ == nullptr) return;
+    span_.end_ns = tracer_->now_ns();
+    install_context(prev_context_);
+    tracer_->record(span_);
   }
+
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// Append one numeric attribute (no-op when unarmed or already at 4).
+  void arg(const char* name, std::int64_t value) {
+    if (tracer_ != nullptr && span_.arg_count < SpanRecord::kMaxArgs)
+      span_.args[span_.arg_count++] = {name, value};
+  }
+
+  /// Context children of this span should carry: {trace_id, this span's id}.
+  /// Zeroes when the span is unarmed — callers can pass it along regardless.
+  [[nodiscard]] TraceContext context() const {
+    return {span_.trace_id, span_.span_id};
+  }
+
  private:
-  const char* name_;
-  const char* source_;
+  static void install_context(TraceContext ctx);
+
   Tracer* tracer_ = nullptr;  ///< null when tracing was off at construction
-  std::uint64_t begin_ns_ = 0;
+  SpanRecord span_;
+  TraceContext prev_context_;
 };
 
 }  // namespace avd::obs

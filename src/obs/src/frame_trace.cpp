@@ -1,0 +1,59 @@
+#include "avd/obs/frame_trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace avd::obs {
+
+std::size_t FrameTrace::thread_count() const {
+  std::set<int> threads;
+  for (const SpanRecord& s : spans) threads.insert(s.thread);
+  return threads.size();
+}
+
+bool FrameTrace::has_span(std::string_view name) const {
+  return std::any_of(spans.begin(), spans.end(), [&](const SpanRecord& s) {
+    return std::string_view(s.name) == name;
+  });
+}
+
+bool FrameTrace::connected() const {
+  std::set<std::uint64_t> ids;
+  for (const SpanRecord& s : spans) ids.insert(s.span_id);
+  for (const SpanRecord& s : spans)
+    if (s.parent_span_id != 0 && !ids.contains(s.parent_span_id)) return false;
+  return true;
+}
+
+std::vector<FrameTrace> assemble_frame_traces(
+    std::span<const SpanRecord> spans) {
+  std::unordered_map<std::uint64_t, FrameTrace> by_id;
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id == 0) continue;
+    FrameTrace& t = by_id[s.trace_id];
+    t.trace_id = s.trace_id;
+    t.spans.push_back(s);
+    if (t.stream < 0) t.stream = s.arg("stream");
+    if (t.frame < 0) t.frame = s.arg("frame");
+  }
+  std::vector<FrameTrace> out;
+  out.reserve(by_id.size());
+  for (auto& [id, t] : by_id) {
+    std::sort(t.spans.begin(), t.spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns
+                                                : a.end_ns < b.end_ns;
+              });
+    t.begin_ns = t.spans.front().begin_ns;
+    for (const SpanRecord& s : t.spans) t.end_ns = std::max(t.end_ns, s.end_ns);
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(), [](const FrameTrace& a, const FrameTrace& b) {
+    return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns
+                                    : a.trace_id < b.trace_id;
+  });
+  return out;
+}
+
+}  // namespace avd::obs

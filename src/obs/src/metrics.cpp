@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdio>
 #include <limits>
+#include <set>
 #include <sstream>
 
 namespace avd::obs {
@@ -52,6 +53,51 @@ std::string prometheus_name(const std::string& name) {
   }
   if (!out.empty() && out.front() >= '0' && out.front() <= '9')
     out.insert(out.begin(), '_');
+  return out;
+}
+
+// Sanitisation is lossy ("a.b" and "a_b" both map to "a_b"); distinct raw
+// names must not silently merge into one exposition series. First claimant
+// keeps the clean name, later ones get _2, _3, ... — deterministic because
+// callers iterate sorted maps. Histograms claim their _sum/_count suffixes
+// too so a raw name like "x_sum" can't collide with histogram "x"'s series.
+class PrometheusNamer {
+ public:
+  std::string unique(const std::string& raw, bool reserve_summary_suffixes) {
+    const std::string base = prometheus_name(raw);
+    std::string candidate = base;
+    for (std::uint64_t n = 2; !claim(candidate, reserve_summary_suffixes);
+         ++n)
+      candidate = base + '_' + std::to_string(n);
+    return candidate;
+  }
+
+ private:
+  bool claim(const std::string& name, bool reserve_summary_suffixes) {
+    if (taken_.contains(name)) return false;
+    if (reserve_summary_suffixes &&
+        (taken_.contains(name + "_sum") || taken_.contains(name + "_count")))
+      return false;
+    taken_.insert(name);
+    if (reserve_summary_suffixes) {
+      taken_.insert(name + "_sum");
+      taken_.insert(name + "_count");
+    }
+    return true;
+  }
+
+  std::set<std::string> taken_;
+};
+
+// # HELP values may not contain raw newlines or backslashes.
+std::string prometheus_help(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
   return out;
 }
 
@@ -162,52 +208,91 @@ void MetricsRegistry::reset_values() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
-std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::uint64_t MetricsSnapshot::counter(std::string_view name,
+                                       std::uint64_t fallback) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return fallback;
+}
+
+double MetricsSnapshot::gauge(std::string_view name, double fallback) const {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return v;
+  return fallback;
+}
+
+const HistogramSummary* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, v] : snapshot.counters) {
     if (!first) os << ',';
     first = false;
-    os << '"' << json_escape(name) << "\":" << c->value();
+    os << '"' << json_escape(name) << "\":" << v;
   }
   os << "},\"gauges\":{";
   first = true;
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, v] : snapshot.gauges) {
     if (!first) os << ',';
     first = false;
     os << '"' << json_escape(name) << "\":";
-    append_double(os, g->value());
+    append_double(os, v);
   }
   os << "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, s] : snapshot.histograms) {
     if (!first) os << ',';
     first = false;
     os << '"' << json_escape(name) << "\":";
-    append_histogram_json(os, h->summary());
+    append_histogram_json(os, s);
   }
   os << "}}";
   return os.str();
 }
 
-std::string MetricsRegistry::to_prometheus() const {
+MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    out.histograms.emplace_back(name, h->summary());
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  return obs::to_json(snapshot());
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const MetricsSnapshot snap = snapshot();
   std::ostringstream os;
-  for (const auto& [name, c] : counters_) {
-    const std::string n = prometheus_name(name);
-    os << "# TYPE " << n << " counter\n" << n << ' ' << c->value() << '\n';
+  PrometheusNamer namer;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = namer.unique(name, false);
+    os << "# HELP " << n << ' ' << prometheus_help(name) << '\n';
+    os << "# TYPE " << n << " counter\n" << n << ' ' << v << '\n';
   }
-  for (const auto& [name, g] : gauges_) {
-    const std::string n = prometheus_name(name);
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = namer.unique(name, false);
+    os << "# HELP " << n << ' ' << prometheus_help(name) << '\n';
     os << "# TYPE " << n << " gauge\n" << n << ' ';
-    append_double(os, g->value());
+    append_double(os, v);
     os << '\n';
   }
-  for (const auto& [name, h] : histograms_) {
-    const std::string n = prometheus_name(name);
-    const HistogramSummary s = h->summary();
+  for (const auto& [name, s] : snap.histograms) {
+    const std::string n = namer.unique(name, true);
+    os << "# HELP " << n << ' ' << prometheus_help(name) << '\n';
     os << "# TYPE " << n << " summary\n";
     os << n << "{quantile=\"0.5\"} " << s.p50_ns << '\n';
     os << n << "{quantile=\"0.95\"} " << s.p95_ns << '\n';

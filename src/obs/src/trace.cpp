@@ -1,6 +1,10 @@
 #include "avd/obs/trace.hpp"
 
 #include <algorithm>
+#include <string>
+#include <string_view>
+
+#include "avd/obs/metrics.hpp"
 
 namespace avd::obs {
 namespace {
@@ -10,7 +14,17 @@ std::uint64_t next_tracer_id() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+// The calling thread's position in a causal chain. Plain thread_local (no
+// atomics): only the owning thread reads or writes it.
+thread_local TraceContext t_current_context;
+
 }  // namespace
+
+std::int64_t SpanRecord::arg(const char* name, std::int64_t fallback) const {
+  for (int i = 0; i < arg_count; ++i)
+    if (std::string_view(args[i].name) == name) return args[i].value;
+  return fallback;
+}
 
 Tracer::Tracer()
     : epoch_(std::chrono::steady_clock::now()), id_(next_tracer_id()) {}
@@ -26,6 +40,28 @@ std::uint64_t Tracer::now_ns() const {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch_)
           .count());
+}
+
+std::uint64_t Tracer::new_trace_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::new_span_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext Tracer::current_context() { return t_current_context; }
+
+TraceScope::TraceScope(TraceContext ctx) : prev_(t_current_context) {
+  t_current_context = ctx;
+}
+
+TraceScope::~TraceScope() { t_current_context = prev_; }
+
+void ScopedSpan::install_context(TraceContext ctx) {
+  t_current_context = ctx;
 }
 
 Tracer::ThreadBuffer& Tracer::local_buffer() {
@@ -44,20 +80,30 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   ThreadBuffer* buffer = buffers_.back().get();
   buffer->ring.resize(kRingCapacity);
   buffer->index = static_cast<int>(buffers_.size()) - 1;
+  // Resolved once at registration so the drop path in record() is a single
+  // relaxed add. Only the global tracer publishes: secondary tracer
+  // instances (tests) would otherwise fight over the same metric names.
+  if (this == &global()) {
+    MetricsRegistry& registry = MetricsRegistry::global();
+    buffer->dropped_per_thread = &registry.counter(
+        "obs.trace.dropped_spans.t" + std::to_string(buffer->index));
+    buffer->dropped_total = &registry.counter("obs.trace.dropped_spans");
+  }
   cache = {id_, buffer};
   return *buffer;
 }
 
-void Tracer::record(const char* name, const char* source,
-                    std::uint64_t begin_ns, std::uint64_t end_ns) {
+void Tracer::record(SpanRecord span) {
   ThreadBuffer& tb = local_buffer();
   const std::uint64_t head = tb.head.load(std::memory_order_relaxed);
-  SpanRecord& slot = tb.ring[head & (kRingCapacity - 1)];
-  slot.name = name;
-  slot.source = source;
-  slot.begin_ns = begin_ns;
-  slot.end_ns = end_ns;
-  slot.thread = tb.index;
+  if (head >= kRingCapacity) {
+    // This write overwrites the ring's oldest span — make the loss visible
+    // where dashboards look, not only in the post-run drain.
+    if (tb.dropped_per_thread != nullptr) tb.dropped_per_thread->inc();
+    if (tb.dropped_total != nullptr) tb.dropped_total->inc();
+  }
+  span.thread = tb.index;
+  tb.ring[head & (kRingCapacity - 1)] = span;
   tb.head.store(head + 1, std::memory_order_release);
 }
 

@@ -31,16 +31,45 @@
 // the paper's reconfiguration frame drop.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "avd/core/adaptive_system.hpp"
+#include "avd/obs/slo.hpp"
 #include "avd/runtime/bounded_queue.hpp"
 #include "avd/runtime/frame_source.hpp"
 #include "avd/runtime/stage_metrics.hpp"
 
 namespace avd::runtime {
+
+/// Health monitoring attached to a serve() call: an always-on
+/// obs::TelemetryExporter samples the global MetricsRegistry for the run's
+/// duration and per-stream obs::SloMonitors evaluate each window
+/// (frame-deadline misses vs the 20 ms / 50 fps budget, queue drop rate,
+/// reconfiguration frame loss beyond the paper's one-frame cost).
+struct StreamSloConfig {
+  /// Off by default: monitoring costs one background sampling thread; the
+  /// per-stream counters feeding it are recorded regardless.
+  bool enabled = false;
+  /// Per-frame end-to-end (ingest -> report) deadline. The paper's frame
+  /// budget: one 50 fps frame.
+  double frame_budget_ms = 20.0;
+  /// Telemetry sampling period.
+  std::chrono::milliseconds telemetry_period{20};
+  /// Optional append-only JSONL sink for the telemetry samples.
+  std::string telemetry_jsonl;
+  /// Hysteresis of the per-stream health state machines.
+  obs::SloConfig hysteresis;
+  /// Thresholds for the standard rule set (obs::standard_stream_rules).
+  double deadline_miss_degraded = 0.05;
+  double deadline_miss_unhealthy = 0.25;
+  double drop_rate_degraded = 0.01;
+  double drop_rate_unhealthy = 0.10;
+};
 
 struct StreamServerConfig {
   /// Workers pumping sources into the control queue. More than one only
@@ -61,6 +90,8 @@ struct StreamServerConfig {
   /// runs at one frame per 20 ms). 0 = off. Used by the scaling bench so
   /// serving concurrency is measurable independent of host CPU count.
   double simulated_accel_ms = 0.0;
+  /// Telemetry + SLO health monitoring for this server's serve() calls.
+  StreamSloConfig slo;
 };
 
 /// Everything one stream produced.
@@ -70,6 +101,12 @@ struct StreamResult {
   /// Frames that overflowed the detect queue (drop policies only); they are
   /// still present in report.frames, marked vehicle_processed = false.
   std::uint64_t backpressure_drops = 0;
+  /// Frames whose ingest -> report latency exceeded slo.frame_budget_ms.
+  std::uint64_t deadline_misses = 0;
+  /// Final health of the stream's SLO state machine (HEALTHY when
+  /// monitoring was disabled) and every transition it went through.
+  obs::HealthState health = obs::HealthState::Healthy;
+  std::vector<obs::HealthTransition> health_transitions;
 };
 
 class StreamServer {
@@ -92,11 +129,24 @@ class StreamServer {
   [[nodiscard]] const soc::EventLog& server_log() const { return log_; }
   [[nodiscard]] const StreamServerConfig& config() const { return config_; }
 
+  /// Invoked (from the telemetry thread) on every per-stream health
+  /// transition while serve() runs; requires config().slo.enabled.
+  using HealthCallback =
+      std::function<void(int stream, const obs::HealthTransition&)>;
+  void set_health_callback(HealthCallback cb) { health_callback_ = std::move(cb); }
+
+  /// Per-stream health after the most recent serve() (empty before any).
+  [[nodiscard]] const std::vector<obs::HealthState>& stream_health() const {
+    return stream_health_;
+  }
+
  private:
   const core::AdaptiveSystem* system_;
   StreamServerConfig config_;
   RuntimeMetrics metrics_;
   soc::EventLog log_;
+  HealthCallback health_callback_;
+  std::vector<obs::HealthState> stream_health_;
 };
 
 }  // namespace avd::runtime

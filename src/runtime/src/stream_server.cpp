@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "avd/obs/metrics.hpp"
+#include "avd/obs/telemetry.hpp"
 #include "avd/obs/trace.hpp"
 
 namespace avd::runtime {
@@ -21,12 +23,17 @@ struct DetectTask {
   int stream = 0;
   core::ControlStep step;
   data::SequenceFrame meta;
+  obs::TraceContext trace;      ///< parented on the control span
+  std::uint64_t ingest_ns = 0;  ///< carried from the FrameTask
 };
 
 /// A finished per-frame report heading to the collector.
 struct ReportTask {
   int stream = 0;
   core::AdaptiveFrameReport report;
+  obs::TraceContext trace;      ///< parented on the detect span
+  std::uint64_t ingest_ns = 0;  ///< frame entry time (latency measures here)
+  bool backpressure_dropped = false;
 };
 
 /// Mutable per-stream state: the sequential control-plane session plus the
@@ -39,10 +46,25 @@ struct StreamState {
   std::mutex mutex;
   core::AdaptiveSystem::StepSession session;
   int next_index = 0;
-  std::map<int, data::SequenceFrame> pending;  // out-of-order frames
+  std::map<int, FrameTask> pending;  // out-of-order frames (trace rides along)
   std::atomic<std::uint64_t> backpressure_drops{0};
+  std::atomic<std::uint64_t> deadline_misses{0};
   std::atomic<int> frames_ingested{0};
 };
+
+/// The per-stream counters the SLO rules read (obs::standard_stream_rules
+/// with the same prefix). Resolved once per serve(); collector-thread only.
+struct StreamCounters {
+  obs::Counter* frames = nullptr;
+  obs::Counter* deadline_miss = nullptr;
+  obs::Counter* backpressure_drops = nullptr;
+  obs::Counter* reconfig_drops = nullptr;
+  obs::Counter* reconfigs = nullptr;
+};
+
+std::string stream_prefix(int stream) {
+  return "runtime.stream" + std::to_string(stream);
+}
 
 }  // namespace
 
@@ -69,6 +91,7 @@ std::vector<StreamResult> StreamServer::serve(
   std::vector<StreamResult> results(sources.size());
   for (int s = 0; s < n_streams; ++s)
     results[static_cast<std::size_t>(s)].stream = s;
+  stream_health_.assign(sources.size(), obs::HealthState::Healthy);
   if (n_streams == 0) return results;
 
   const Clock::time_point epoch = Clock::now();
@@ -79,10 +102,64 @@ std::vector<StreamResult> StreamServer::serve(
     return soc::TimePoint{static_cast<std::uint64_t>(ns) * 1000ull};
   };
 
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::uint64_t deadline_ns = static_cast<std::uint64_t>(
+      std::max(0.0, config_.slo.frame_budget_ms) * 1e6);
+  obs::Histogram& frame_latency = registry.histogram("runtime.frame.latency_ns");
+
   std::vector<std::unique_ptr<StreamState>> streams;
+  std::vector<StreamCounters> counters(sources.size());
   streams.reserve(sources.size());
-  for (int s = 0; s < n_streams; ++s)
+  for (int s = 0; s < n_streams; ++s) {
     streams.push_back(std::make_unique<StreamState>(*system_));
+    const std::string prefix = stream_prefix(s);
+    StreamCounters& c = counters[static_cast<std::size_t>(s)];
+    c.frames = &registry.counter(prefix + ".frames");
+    c.deadline_miss = &registry.counter(prefix + ".deadline_miss");
+    c.backpressure_drops = &registry.counter(prefix + ".backpressure_drops");
+    c.reconfig_drops = &registry.counter(prefix + ".reconfig_drops");
+    c.reconfigs = &registry.counter(prefix + ".reconfigs");
+  }
+
+  // --- SLO health monitoring (optional) --------------------------------
+  // One monitor per stream over the standard rule set, driven by an
+  // always-on TelemetryExporter sampling the global registry: each sample
+  // window's counter deltas are evaluated against the thresholds, with the
+  // hysteresis config damping flapping.
+  std::vector<std::unique_ptr<obs::SloMonitor>> monitors;
+  std::unique_ptr<obs::TelemetryExporter> telemetry;
+  if (config_.slo.enabled) {
+    monitors.reserve(sources.size());
+    for (int s = 0; s < n_streams; ++s) {
+      auto monitor = std::make_unique<obs::SloMonitor>(
+          stream_prefix(s),
+          obs::standard_stream_rules(stream_prefix(s),
+                                     config_.slo.deadline_miss_degraded,
+                                     config_.slo.deadline_miss_unhealthy,
+                                     config_.slo.drop_rate_degraded,
+                                     config_.slo.drop_rate_unhealthy),
+          config_.slo.hysteresis);
+      if (health_callback_) {
+        const int stream = s;
+        HealthCallback cb = health_callback_;
+        monitor->set_callback([stream, cb](const obs::HealthTransition& t) {
+          cb(stream, t);
+        });
+      }
+      monitors.push_back(std::move(monitor));
+    }
+    obs::TelemetryConfig tc;
+    tc.period = config_.slo.telemetry_period;
+    tc.jsonl_path = config_.slo.telemetry_jsonl;
+    tc.on_sample = [&monitors](const obs::TelemetrySample* prev,
+                               const obs::TelemetrySample& cur) {
+      if (prev == nullptr) return;  // a window needs two samples
+      for (auto& m : monitors) m->observe(*prev, cur);
+    };
+    telemetry = std::make_unique<obs::TelemetryExporter>(registry, tc);
+    telemetry->start();
+  }
 
   BoundedQueue<FrameTask> control_q(config_.queue_capacity,
                                     OverflowPolicy::Block);
@@ -101,6 +178,9 @@ std::vector<StreamResult> StreamServer::serve(
   std::atomic<int> live_detect{config_.detect_workers};
 
   // --- stage 1: ingest -------------------------------------------------
+  // Each frame gets a fresh trace id here: the ingest span is the root of
+  // the frame's causal chain, and the FrameTask carries {trace_id,
+  // ingest-span id} across the queue so the control span parents on it.
   const auto ingest_loop = [&](int worker) {
     log_.record(now_tp(), "runtime/ingest",
                 "worker " + std::to_string(worker) + " start");
@@ -111,7 +191,11 @@ std::vector<StreamResult> StreamServer::serve(
       StreamState& state = *streams[s];
       int index = 0;
       for (;;) {
-        const obs::ScopedSpan span("ingest_frame", "runtime/ingest");
+        const obs::TraceScope root(
+            {tracer.enabled() ? obs::Tracer::new_trace_id() : 0, 0});
+        obs::ScopedSpan span("ingest_frame", "runtime/ingest",
+                             {{"stream", static_cast<std::int64_t>(s)},
+                              {"frame", index}});
         const Clock::time_point t0 = Clock::now();
         std::optional<data::SequenceFrame> meta = src.next();
         if (!meta) break;
@@ -120,6 +204,8 @@ std::vector<StreamResult> StreamServer::serve(
         task.stream = static_cast<int>(s);
         task.index = index++;
         task.meta = std::move(*meta);
+        task.trace = span.context();
+        task.ingest_ns = tracer.now_ns();
         control_q.push(std::move(task));
         metrics_.ingest.add_processed();
       }
@@ -137,11 +223,18 @@ std::vector<StreamResult> StreamServer::serve(
     streams[static_cast<std::size_t>(task.stream)]
         ->backpressure_drops.fetch_add(1);
     metrics_.detect.add_dropped();
+    const obs::TraceScope scope(task.trace);
+    obs::ScopedSpan span("drop_frame", "runtime/detect",
+                         {{"stream", task.stream},
+                          {"frame", task.step.index}});
     core::ControlStep step = task.step;
     step.record.vehicle_processed = false;
     ReportTask out;
     out.stream = task.stream;
     out.report = system_->evaluate_frame(step, task.meta);
+    out.trace = span.context();
+    out.ingest_ns = task.ingest_ns;
+    out.backpressure_dropped = true;
     report_q.push(std::move(out));
   };
 
@@ -153,24 +246,33 @@ std::vector<StreamResult> StreamServer::serve(
       StreamState& state = *streams[static_cast<std::size_t>(task->stream)];
       std::unique_lock<std::mutex> lock(state.mutex);
       if (task->index != state.next_index) {
-        // Another worker holds an earlier frame of this stream; park this
-        // one until the stream catches up.
-        state.pending.emplace(task->index, std::move(task->meta));
+        // Another worker holds an earlier frame of this stream; park the
+        // whole task (trace context included) until the stream catches up.
+        const int index = task->index;
+        state.pending.emplace(index, std::move(*task));
         continue;
       }
-      data::SequenceFrame meta = std::move(task->meta);
+      FrameTask current = std::move(*task);
       for (;;) {
-        const obs::ScopedSpan span("control_frame", "runtime/control");
+        // Re-install the frame's context on whichever worker won the frame:
+        // the control span parents on the ingest span across the thread hop.
+        const obs::TraceScope scope(current.trace);
+        obs::ScopedSpan span("control_frame", "runtime/control",
+                             {{"stream", current.stream},
+                              {"frame", current.index}});
         const Clock::time_point t0 = Clock::now();
-        core::ControlStep step = state.session.control_step(meta);
+        core::ControlStep step = state.session.control_step(current.meta);
+        span.arg("mode", static_cast<std::int64_t>(step.sensed));
         metrics_.control.record_latency(Clock::now() - t0);
         metrics_.control.add_processed();
         ++state.next_index;
 
         DetectTask dt;
-        dt.stream = task->stream;
+        dt.stream = current.stream;
         dt.step = step;
-        dt.meta = std::move(meta);
+        dt.meta = std::move(current.meta);
+        dt.trace = span.context();
+        dt.ingest_ns = current.ingest_ns;
         // The queue hands any dropped task back (the stale one under
         // DropOldest, this one under DropNewest) so no frame vanishes.
         std::optional<DetectTask> displaced;
@@ -179,7 +281,7 @@ std::vector<StreamResult> StreamServer::serve(
 
         const auto it = state.pending.find(state.next_index);
         if (it == state.pending.end()) break;
-        meta = std::move(it->second);
+        current = std::move(it->second);
         state.pending.erase(it);
       }
     }
@@ -193,11 +295,18 @@ std::vector<StreamResult> StreamServer::serve(
     log_.record(now_tp(), "runtime/detect",
                 "worker " + std::to_string(worker) + " start");
     while (std::optional<DetectTask> task = detect_q.pop()) {
-      const obs::ScopedSpan span("detect_frame", "runtime/detect");
+      const obs::TraceScope scope(task->trace);
+      obs::ScopedSpan span("detect_frame", "runtime/detect",
+                           {{"stream", task->stream},
+                            {"frame", task->step.index},
+                            {"mode", static_cast<std::int64_t>(
+                                         task->step.sensed)}});
       const Clock::time_point t0 = Clock::now();
       ReportTask out;
       out.stream = task->stream;
       out.report = system_->evaluate_frame(task->step, task->meta);
+      out.trace = span.context();
+      out.ingest_ns = task->ingest_ns;
       if (config_.simulated_accel_ms > 0.0 &&
           task->step.record.vehicle_processed) {
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
@@ -216,15 +325,38 @@ std::vector<StreamResult> StreamServer::serve(
   const auto collect_loop = [&] {
     log_.record(now_tp(), "runtime/report", "collector start");
     while (std::optional<ReportTask> task = report_q.pop()) {
-      const obs::ScopedSpan span("collect_report", "runtime/report");
+      const obs::TraceScope scope(task->trace);
+      obs::ScopedSpan span("collect_report", "runtime/report",
+                           {{"stream", task->stream},
+                            {"frame", task->report.index}});
       const Clock::time_point t0 = Clock::now();
-      auto& stream_slots = slots[static_cast<std::size_t>(task->stream)];
-      auto& stream_filled = filled[static_cast<std::size_t>(task->stream)];
+      const auto us = static_cast<std::size_t>(task->stream);
+      auto& stream_slots = slots[us];
+      auto& stream_filled = filled[us];
       const auto index = static_cast<std::size_t>(task->report.index);
       if (index >= stream_slots.size()) {
         stream_slots.resize(index + 1);
         stream_filled.resize(index + 1, false);
       }
+      // Critical-path latency of this frame: ingest-enqueue to
+      // report-dequeue on the tracer timebase. Feeds the latency histogram,
+      // the deadline counter the frame_deadline SLO rule watches, and the
+      // span (as an arg) so traces carry the number too.
+      const std::uint64_t now_ns = tracer.now_ns();
+      const std::uint64_t latency_ns =
+          now_ns >= task->ingest_ns ? now_ns - task->ingest_ns : 0;
+      frame_latency.record_ns(latency_ns);
+      span.arg("latency_us", static_cast<std::int64_t>(latency_ns / 1000u));
+      StreamCounters& c = counters[us];
+      c.frames->inc();
+      if (deadline_ns > 0 && latency_ns > deadline_ns) {
+        c.deadline_miss->inc();
+        streams[us]->deadline_misses.fetch_add(1);
+      }
+      if (task->backpressure_dropped) c.backpressure_drops->inc();
+      if (!task->report.vehicle_processed && !task->backpressure_dropped)
+        c.reconfig_drops->inc();
+      if (task->report.reconfig_triggered) c.reconfigs->inc();
       stream_slots[index] = std::move(task->report);
       stream_filled[index] = true;
       metrics_.report.record_latency(Clock::now() - t0);
@@ -246,6 +378,10 @@ std::vector<StreamResult> StreamServer::serve(
     workers.emplace_back(detect_loop, i);
   workers.emplace_back(collect_loop);
   for (std::thread& t : workers) t.join();
+
+  // One final telemetry window catches counters the last periodic sample
+  // missed, then the monitors' verdicts become part of the results.
+  if (telemetry) telemetry->stop();
 
   // Queue-depth high-water marks become stage attributes.
   metrics_.control.update_queue_high_water(control_q.stats().high_water);
@@ -271,10 +407,18 @@ std::vector<StreamResult> StreamServer::serve(
     result.report.reconfigs = state.session.reconfigs();
     result.report.log = state.session.log();
     result.backpressure_drops = state.backpressure_drops.load();
+    result.deadline_misses = state.deadline_misses.load();
+    if (config_.slo.enabled) {
+      result.health = monitors[us]->state();
+      result.health_transitions = monitors[us]->transitions();
+      stream_health_[us] = result.health;
+    }
     std::ostringstream os;
     os << "stream " << s << " complete: " << result.report.frames.size()
        << " frames, " << result.report.reconfigs.size() << " reconfigs, "
        << result.backpressure_drops << " backpressure drops";
+    if (config_.slo.enabled)
+      os << ", health " << obs::to_string(result.health);
     log_.record(now_tp(), "runtime/server", os.str());
   }
   return results;

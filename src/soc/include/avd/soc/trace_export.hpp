@@ -5,7 +5,10 @@
 //    capture: reconfiguration windows, IRQs, worker lifecycle.
 //  * obs::SpanRecord entries become complete ("X") events — the wall-clock
 //    begin/end of real work (HOG extraction, SVM scan, DBN scan, pipeline
-//    stages) recorded by obs::ScopedSpan.
+//    stages) recorded by obs::ScopedSpan. Trace ids and numeric span args
+//    are emitted under "args"; spans sharing a trace_id additionally get
+//    flow events ("s"/"t"/"f", id = trace_id) so one frame's journey across
+//    worker threads renders as a linked arc in Perfetto.
 //
 // Spans group under process `span_pid` with one row per (source, recording
 // thread); events group under process `event_pid` with one row per source.

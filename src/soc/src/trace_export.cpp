@@ -1,10 +1,12 @@
 #include "avd/soc/trace_export.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 namespace avd::soc {
 namespace {
@@ -89,6 +91,13 @@ void emit_instants(EventArray& array, const std::vector<Event>& events,
   }
 }
 
+void format_us(char (&buf)[32], std::uint64_t ns) {
+  // Microsecond timestamps with nanosecond precision kept as fractions.
+  std::snprintf(buf, sizeof buf, "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000u),
+                static_cast<unsigned>(ns % 1000u));
+}
+
 void emit_spans(EventArray& array, std::span<const obs::SpanRecord> spans,
                 int pid) {
   // One row per (source, recording thread) so concurrent spans of the same
@@ -105,17 +114,81 @@ void emit_spans(EventArray& array, std::span<const obs::SpanRecord> spans,
   char ts[32], dur[32];
   for (const obs::SpanRecord& s : spans) {
     const auto key = std::make_pair(std::string(s.source), s.thread);
-    // Microsecond timestamps with nanosecond precision kept as fractions.
-    std::snprintf(ts, sizeof ts, "%llu.%03u",
-                  static_cast<unsigned long long>(s.begin_ns / 1000u),
-                  static_cast<unsigned>(s.begin_ns % 1000u));
-    const std::uint64_t d = s.end_ns >= s.begin_ns ? s.end_ns - s.begin_ns : 0;
-    std::snprintf(dur, sizeof dur, "%llu.%03u",
-                  static_cast<unsigned long long>(d / 1000u),
-                  static_cast<unsigned>(d % 1000u));
-    array.next() << R"({"name":")" << escape(s.name)
-                 << R"(","ph":"X","pid":)" << pid << ",\"tid\":" << tid_of[key]
-                 << ",\"ts\":" << ts << ",\"dur\":" << dur << '}';
+    format_us(ts, s.begin_ns);
+    format_us(dur, s.end_ns >= s.begin_ns ? s.end_ns - s.begin_ns : 0);
+    std::ostringstream& os = array.next();
+    os << R"({"name":")" << escape(s.name) << R"(","ph":"X","pid":)" << pid
+       << ",\"tid\":" << tid_of[key] << ",\"ts\":" << ts
+       << ",\"dur\":" << dur;
+    // Trace linkage and numeric attributes ride in "args" so tooling (and
+    // the flow-linkage tests) can reassemble frame chains from the export.
+    if (s.trace_id != 0 || s.arg_count > 0) {
+      os << ",\"args\":{";
+      bool first = true;
+      if (s.trace_id != 0) {
+        os << "\"trace_id\":" << s.trace_id << ",\"span_id\":" << s.span_id
+           << ",\"parent_span_id\":" << s.parent_span_id;
+        first = false;
+      }
+      for (int i = 0; i < s.arg_count; ++i) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << escape(s.args[i].name) << "\":" << s.args[i].value;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+}
+
+// Flow events ("s"/"t"/"f" with id = trace_id) draw one arc per frame
+// across the threads it crossed. Only *hop* spans anchor the arc — spans
+// whose parent is absent or recorded on a different thread — so a frame
+// renders as ingest → control → detect → report without arcs doubling into
+// every nested span on the same track.
+void emit_flows(EventArray& array, std::span<const obs::SpanRecord> spans,
+                int pid) {
+  std::map<std::pair<std::string, int>, int> tid_of;
+  int next_tid = 1;
+  for (const obs::SpanRecord& s : spans) {
+    const auto key = std::make_pair(std::string(s.source), s.thread);
+    if (tid_of.emplace(key, next_tid).second) ++next_tid;
+  }
+
+  std::map<std::uint64_t, int> thread_of_span;  // span_id -> recording thread
+  for (const obs::SpanRecord& s : spans)
+    if (s.span_id != 0) thread_of_span[s.span_id] = s.thread;
+
+  std::map<std::uint64_t, std::vector<const obs::SpanRecord*>> hops_of;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.trace_id == 0) continue;
+    const auto parent = thread_of_span.find(s.parent_span_id);
+    const bool is_hop =
+        s.parent_span_id == 0 || parent == thread_of_span.end() ||
+        parent->second != s.thread;
+    if (is_hop) hops_of[s.trace_id].push_back(&s);
+  }
+
+  char ts[32];
+  for (auto& [trace_id, hops] : hops_of) {
+    if (hops.size() < 2) continue;  // an arc needs two ends
+    std::sort(hops.begin(), hops.end(),
+              [](const obs::SpanRecord* a, const obs::SpanRecord* b) {
+                return a->begin_ns != b->begin_ns ? a->begin_ns < b->begin_ns
+                                                  : a->end_ns < b->end_ns;
+              });
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      const obs::SpanRecord& s = *hops[i];
+      const auto key = std::make_pair(std::string(s.source), s.thread);
+      const char* ph = i == 0 ? "s" : (i + 1 == hops.size() ? "f" : "t");
+      format_us(ts, s.begin_ns);
+      std::ostringstream& os = array.next();
+      os << R"({"name":"frame","cat":"frame","ph":")" << ph
+         << R"(","id":)" << trace_id << ",\"pid\":" << pid
+         << ",\"tid\":" << tid_of[key] << ",\"ts\":" << ts;
+      if (*ph == 'f') os << R"(,"bp":"e")";
+      os << '}';
+    }
   }
 }
 
@@ -141,6 +214,7 @@ std::string to_chrome_trace(const EventLog& log,
   emit_process_name(array, options.span_pid, "spans (wall clock)");
   emit_process_name(array, options.event_pid, "events");
   emit_spans(array, spans, options.span_pid);
+  emit_flows(array, spans, options.span_pid);
   emit_instants(array, events, options.event_pid);
   os << "]}";
   return os.str();

@@ -1,0 +1,95 @@
+// assemble_frame_traces: grouping by trace_id, span ordering, stream/frame
+// extraction, connectivity, and critical-path / thread-count derivation.
+#include "avd/obs/frame_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace avd::obs {
+namespace {
+
+SpanRecord make_span(const char* name, std::uint64_t trace, std::uint64_t id,
+                     std::uint64_t parent, std::uint64_t begin,
+                     std::uint64_t end, int thread) {
+  SpanRecord s;
+  s.name = name;
+  s.source = "test/frame_trace";
+  s.begin_ns = begin;
+  s.end_ns = end;
+  s.thread = thread;
+  s.trace_id = trace;
+  s.span_id = id;
+  s.parent_span_id = parent;
+  return s;
+}
+
+TEST(FrameTrace, GroupsByTraceIdAndSkipsUntraced) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span("ingest", 1, 10, 0, 100, 200, 0));
+  spans.push_back(make_span("detect", 2, 20, 0, 50, 80, 1));
+  spans.push_back(make_span("untraced", 0, 0, 0, 10, 20, 0));
+  spans.push_back(make_span("control", 1, 11, 10, 220, 300, 1));
+
+  const std::vector<FrameTrace> traces = assemble_frame_traces(spans);
+  ASSERT_EQ(traces.size(), 2u);
+  // Ordered by first-span begin: trace 2 begins at 50, trace 1 at 100.
+  EXPECT_EQ(traces[0].trace_id, 2u);
+  EXPECT_EQ(traces[1].trace_id, 1u);
+  EXPECT_EQ(traces[1].spans.size(), 2u);
+  EXPECT_STREQ(traces[1].spans[0].name, "ingest");
+  EXPECT_STREQ(traces[1].spans[1].name, "control");
+  EXPECT_EQ(traces[1].begin_ns, 100u);
+  EXPECT_EQ(traces[1].end_ns, 300u);
+  EXPECT_EQ(traces[1].critical_path_ns(), 200u);
+}
+
+TEST(FrameTrace, ExtractsStreamAndFrameArgs) {
+  std::vector<SpanRecord> spans;
+  SpanRecord a = make_span("ingest", 5, 50, 0, 0, 10, 0);
+  SpanRecord b = make_span("detect", 5, 51, 50, 20, 30, 1);
+  b.arg_count = 2;
+  b.args[0] = {"stream", 3};
+  b.args[1] = {"frame", 12};
+  spans.push_back(a);
+  spans.push_back(b);
+
+  const std::vector<FrameTrace> traces = assemble_frame_traces(spans);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].stream, 3);
+  EXPECT_EQ(traces[0].frame, 12);
+  EXPECT_TRUE(traces[0].has_span("ingest"));
+  EXPECT_TRUE(traces[0].has_span("detect"));
+  EXPECT_FALSE(traces[0].has_span("report"));
+}
+
+TEST(FrameTrace, NoArgsMeansUnknownStreamAndFrame) {
+  std::vector<SpanRecord> spans{make_span("only", 9, 90, 0, 0, 1, 0)};
+  const std::vector<FrameTrace> traces = assemble_frame_traces(spans);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].stream, -1);
+  EXPECT_EQ(traces[0].frame, -1);
+}
+
+TEST(FrameTrace, ConnectedRequiresResolvableParents) {
+  std::vector<SpanRecord> connected{
+      make_span("root", 7, 70, 0, 0, 10, 0),
+      make_span("child", 7, 71, 70, 10, 20, 1),
+      make_span("grandchild", 7, 72, 71, 12, 18, 2),
+  };
+  EXPECT_TRUE(assemble_frame_traces(connected)[0].connected());
+  EXPECT_EQ(assemble_frame_traces(connected)[0].thread_count(), 3u);
+
+  std::vector<SpanRecord> broken{
+      make_span("root", 8, 80, 0, 0, 10, 0),
+      make_span("orphan", 8, 81, 999, 10, 20, 0),  // parent not in chain
+  };
+  EXPECT_FALSE(assemble_frame_traces(broken)[0].connected());
+}
+
+TEST(FrameTrace, EmptyInputYieldsNoTraces) {
+  EXPECT_TRUE(assemble_frame_traces({}).empty());
+}
+
+}  // namespace
+}  // namespace avd::obs

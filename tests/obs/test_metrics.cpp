@@ -218,6 +218,68 @@ TEST(MetricsRegistry, PrometheusExposition) {
   EXPECT_EQ(text.back(), '\n');
 }
 
+TEST(MetricsRegistry, PrometheusHelpCarriesRawName) {
+  MetricsRegistry reg;
+  reg.counter("detect.frames").inc();
+  const std::string text = reg.to_prometheus();
+  // HELP precedes TYPE precedes the sample, and carries the raw (dotted)
+  // name so the sanitisation stays reversible by a human.
+  const auto help = text.find("# HELP detect_frames detect.frames\n");
+  const auto type = text.find("# TYPE detect_frames counter\n");
+  const auto sample = text.find("\ndetect_frames 1\n");
+  ASSERT_NE(help, std::string::npos) << text;
+  ASSERT_NE(type, std::string::npos) << text;
+  ASSERT_NE(sample, std::string::npos) << text;
+  EXPECT_LT(help, type);
+  EXPECT_LT(type, sample);
+}
+
+TEST(MetricsRegistry, PrometheusCollidingNamesGetNumericSuffix) {
+  MetricsRegistry reg;
+  // "a.b" and "a_b" both sanitise to "a_b" — they must stay distinct series.
+  reg.counter("a.b").inc(1);
+  reg.counter("a_b").inc(2);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# HELP a_b a.b\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# HELP a_b_2 a_b\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\na_b 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\na_b_2 2\n"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistry, PrometheusCollisionSpansSections) {
+  MetricsRegistry reg;
+  // The exposition namespace is shared across counters, gauges and
+  // histogram series (including the implicit _sum/_count).
+  reg.counter("x").inc(1);
+  reg.gauge("x").set(2.0);
+  reg.counter("lat_sum").inc(9);       // collides with histogram "lat"'s _sum
+  reg.histogram("lat").record_ns(100);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE x counter\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE x_2 gauge\n"), std::string::npos) << text;
+  // Histogram "lat" cannot use the clean name: its _sum would collide with
+  // the counter "lat_sum"; it moves to lat_2 wholesale.
+  EXPECT_NE(text.find("# TYPE lat_2 summary\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\nlat_2_sum 100\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\nlat_sum 9\n"), std::string::npos) << text;
+}
+
+TEST(MetricsSnapshot, LookupsAndJson) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(3);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h").record_ns(700);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c"), 3u);
+  EXPECT_EQ(snap.counter("missing", 42), 42u);
+  EXPECT_DOUBLE_EQ(snap.gauge("g"), 1.5);
+  ASSERT_NE(snap.histogram("h"), nullptr);
+  EXPECT_EQ(snap.histogram("h")->count, 1u);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+  // The free to_json on a snapshot matches the registry's own exposition.
+  EXPECT_EQ(to_json(snap), reg.to_json());
+}
+
 TEST(MetricsRegistry, GlobalIsSingleton) {
   EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
 }

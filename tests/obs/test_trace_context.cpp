@@ -1,0 +1,158 @@
+// Causal tracing: TraceScope install/restore, ScopedSpan parent inheritance
+// (same-thread nesting and cross-thread hand-off), span args, and the
+// dropped-span counters published into the global MetricsRegistry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "avd/obs/metrics.hpp"
+#include "avd/obs/trace.hpp"
+
+namespace avd::obs {
+namespace {
+
+TEST(TraceContext, IdsAreNonzeroAndUnique) {
+  const std::uint64_t t1 = Tracer::new_trace_id();
+  const std::uint64_t t2 = Tracer::new_trace_id();
+  const std::uint64_t s1 = Tracer::new_span_id();
+  const std::uint64_t s2 = Tracer::new_span_id();
+  EXPECT_NE(t1, 0u);
+  EXPECT_NE(s1, 0u);
+  EXPECT_NE(t1, t2);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(TraceContext, ScopeInstallsAndRestores) {
+  const TraceContext before = Tracer::current_context();
+  {
+    TraceScope scope({77, 5});
+    EXPECT_EQ(Tracer::current_context().trace_id, 77u);
+    EXPECT_EQ(Tracer::current_context().parent_span_id, 5u);
+    {
+      TraceScope inner({88, 9});
+      EXPECT_EQ(Tracer::current_context().trace_id, 88u);
+    }
+    EXPECT_EQ(Tracer::current_context().trace_id, 77u);
+  }
+  EXPECT_EQ(Tracer::current_context().trace_id, before.trace_id);
+}
+
+TEST(TraceContext, NestedSpansFormParentChain) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    TraceScope root({Tracer::new_trace_id(), 0});
+    ScopedSpan outer("outer", "test/ctx");
+    { ScopedSpan inner("inner", "test/ctx"); }
+  }
+  tracer.set_enabled(false);
+  const std::vector<SpanRecord> spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& inner = spans[0];  // destructs (records) first
+  const SpanRecord& outer = spans[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_EQ(inner.trace_id, outer.trace_id);
+  EXPECT_NE(inner.trace_id, 0u);
+  EXPECT_EQ(outer.parent_span_id, 0u);  // root of the trace
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_NE(inner.span_id, outer.span_id);
+}
+
+TEST(TraceContext, ContextCrossesThreadsThroughExplicitHandoff) {
+  // The runtime's pattern: span A runs on thread 1, its context() travels
+  // with the task, thread 2 re-installs it and span B parents on A.
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  TraceContext carried;
+  {
+    TraceScope root({Tracer::new_trace_id(), 0});
+    ScopedSpan a("stage_a", "test/hop");
+    carried = a.context();
+    std::thread worker([carried] {
+      TraceScope scope(carried);
+      ScopedSpan b("stage_b", "test/hop");
+    });
+    worker.join();
+  }
+  tracer.set_enabled(false);
+  const std::vector<SpanRecord> spans = tracer.drain();
+  const SpanRecord *a = nullptr, *b = nullptr;
+  for (const SpanRecord& s : spans) {
+    if (std::string_view(s.name) == "stage_a") a = &s;
+    if (std::string_view(s.name) == "stage_b") b = &s;
+  }
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->trace_id, b->trace_id);
+  EXPECT_EQ(b->parent_span_id, a->span_id);
+  EXPECT_NE(a->thread, b->thread);
+}
+
+TEST(TraceContext, SpanArgsRecordAndLookUp) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span("argful", "test/args", {{"stream", 3}, {"frame", 41}});
+    span.arg("mode", 2);
+  }
+  tracer.set_enabled(false);
+  const std::vector<SpanRecord> spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].arg_count, 3);
+  EXPECT_EQ(spans[0].arg("stream"), 3);
+  EXPECT_EQ(spans[0].arg("frame"), 41);
+  EXPECT_EQ(spans[0].arg("mode"), 2);
+  EXPECT_EQ(spans[0].arg("absent"), -1);
+  EXPECT_EQ(spans[0].arg("absent", 7), 7);
+}
+
+TEST(TraceContext, ArgsBeyondCapacityAreDropped) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span("overfull", "test/args",
+                    {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
+    span.arg("f", 6);
+  }
+  tracer.set_enabled(false);
+  const std::vector<SpanRecord> spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].arg_count, SpanRecord::kMaxArgs);
+  EXPECT_EQ(spans[0].arg("d"), 4);
+  EXPECT_EQ(spans[0].arg("e"), -1);
+  EXPECT_EQ(spans[0].arg("f"), -1);
+}
+
+TEST(TraceContext, UnarmedSpanHasZeroContext) {
+  Tracer& tracer = Tracer::global();
+  tracer.set_enabled(false);
+  tracer.clear();
+  ScopedSpan span("off", "test/off", {{"x", 1}});
+  EXPECT_EQ(span.context().trace_id, 0u);
+  EXPECT_EQ(span.context().parent_span_id, 0u);
+}
+
+TEST(TraceContext, RingDropsPublishIntoGlobalRegistry) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  Counter& total = MetricsRegistry::global().counter("obs.trace.dropped_spans");
+  const std::uint64_t before = total.value();
+  tracer.set_enabled(true);
+  const std::size_t n = Tracer::kRingCapacity + 250;
+  for (std::size_t i = 0; i < n; ++i)
+    tracer.record("flood", "test/dropmetric", i, i + 1);
+  tracer.set_enabled(false);
+  EXPECT_GE(total.value() - before, 250u);
+  EXPECT_GE(tracer.dropped(), 250u);
+  tracer.clear();
+}
+
+}  // namespace
+}  // namespace avd::obs

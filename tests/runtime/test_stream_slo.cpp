@@ -1,0 +1,166 @@
+// StreamServer SLO wiring: per-stream health monitoring driven by the
+// always-on telemetry exporter — healthy on a comfortable budget, unhealthy
+// when every frame busts the deadline, with transitions and callbacks
+// surfaced through the server API, plus the per-frame latency accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "avd/obs/json.hpp"
+#include "avd/obs/metrics.hpp"
+#include "avd/runtime/stream_server.hpp"
+
+namespace avd::runtime {
+namespace {
+
+core::TrainingBudget tiny() {
+  core::TrainingBudget b;
+  b.vehicle_pos = b.vehicle_neg = 30;
+  b.pedestrian_pos = b.pedestrian_neg = 20;
+  b.dbn_windows_per_class = 40;
+  b.pairing_scenes = 20;
+  return b;
+}
+
+std::vector<data::DriveSequence> streams(int n, int frames_per_segment,
+                                         std::uint64_t seed) {
+  std::vector<data::DriveSequence> seqs;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(n); ++i) {
+    data::SequenceSpec spec =
+        data::DriveSequence::canonical_drive({240, 136}, frames_per_segment);
+    spec.seed = seed + i;
+    seqs.emplace_back(spec);
+  }
+  return seqs;
+}
+
+core::AdaptiveSystemConfig control_only() {
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = false;
+  return cfg;
+}
+
+TEST(StreamSlo, ComfortableBudgetStaysHealthy) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  const core::AdaptiveSystem system(models, control_only());
+
+  StreamServerConfig sc;
+  sc.slo.enabled = true;
+  sc.slo.frame_budget_ms = 1e6;  // nothing misses a ~17 min budget
+  sc.slo.telemetry_period = std::chrono::milliseconds(2);
+  StreamServer server(system, sc);
+  const std::vector<StreamResult> results =
+      server.serve_sequences(streams(2, 4, 5200));
+
+  ASSERT_EQ(results.size(), 2u);
+  for (const StreamResult& r : results) {
+    EXPECT_EQ(r.health, obs::HealthState::Healthy);
+    EXPECT_TRUE(r.health_transitions.empty());
+    EXPECT_EQ(r.deadline_misses, 0u);
+  }
+  ASSERT_EQ(server.stream_health().size(), 2u);
+  EXPECT_EQ(server.stream_health()[0], obs::HealthState::Healthy);
+}
+
+TEST(StreamSlo, ImpossibleBudgetGoesUnhealthyAndFiresCallback) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  const core::AdaptiveSystem system(models, control_only());
+
+  StreamServerConfig sc;
+  sc.detect_workers = 2;
+  sc.simulated_accel_ms = 2.0;       // stretch the run across many windows
+  sc.slo.enabled = true;
+  sc.slo.frame_budget_ms = 1e-4;     // 100 ns: every frame misses
+  sc.slo.telemetry_period = std::chrono::milliseconds(1);
+  sc.slo.hysteresis.breaches_to_worsen = 1;
+  // Idle tail windows after the last frame must not walk the state back.
+  sc.slo.hysteresis.clears_to_recover = 1000;
+  StreamServer server(system, sc);
+
+  std::atomic<int> callbacks{0};
+  server.set_health_callback(
+      [&callbacks](int stream, const obs::HealthTransition& t) {
+        EXPECT_GE(stream, 0);
+        EXPECT_NE(t.to, obs::HealthState::Healthy);
+        callbacks.fetch_add(1);
+      });
+
+  const std::vector<StreamResult> results =
+      server.serve_sequences(streams(2, 6, 5300));
+  ASSERT_EQ(results.size(), 2u);
+  for (const StreamResult& r : results) {
+    // Every reported frame missed the 100 ns budget...
+    EXPECT_EQ(r.deadline_misses, r.report.frames.size());
+    // ...so the frame_deadline rule (100 % >> 25 %) drove the stream to
+    // UNHEALTHY in the first evaluated window.
+    EXPECT_EQ(r.health, obs::HealthState::Unhealthy);
+    ASSERT_FALSE(r.health_transitions.empty());
+    EXPECT_EQ(r.health_transitions.back().to, obs::HealthState::Unhealthy);
+    EXPECT_NE(r.health_transitions.back().reason.find("frame_deadline"),
+              std::string::npos);
+  }
+  EXPECT_GE(callbacks.load(), 2);
+}
+
+TEST(StreamSlo, TelemetryJsonlSinkIsWrittenDuringServe) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  const core::AdaptiveSystem system(models, control_only());
+
+  const std::string path = testing::TempDir() + "stream_slo_telemetry.jsonl";
+  std::remove(path.c_str());
+
+  StreamServerConfig sc;
+  sc.slo.enabled = true;
+  sc.slo.telemetry_period = std::chrono::milliseconds(2);
+  sc.slo.telemetry_jsonl = path;
+  StreamServer server(system, sc);
+  (void)server.serve_sequences(streams(1, 4, 5400));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    ++lines;
+    const std::optional<obs::json::Value> doc = obs::json::parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_NE(doc->find("t_ns"), nullptr);
+    ASSERT_NE(doc->find("counters"), nullptr);
+    // The per-stream counters the SLO rules watch are in every sample.
+    EXPECT_NE(doc->find("counters")->find("runtime.stream0.frames"), nullptr);
+  }
+  EXPECT_GE(lines, 1u);  // stop() guarantees at least the final sample
+  std::remove(path.c_str());
+}
+
+TEST(StreamSlo, DisabledMonitoringStillCountsLatencyAndFrames) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  const core::AdaptiveSystem system(models, control_only());
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::uint64_t frames_before =
+      registry.counter("runtime.stream0.frames").value();
+  const std::uint64_t latency_before =
+      registry.histogram("runtime.frame.latency_ns").count();
+
+  StreamServer server(system, {});  // slo.enabled defaults to false
+  const std::vector<StreamResult> results =
+      server.serve_sequences(streams(1, 3, 5500));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].health, obs::HealthState::Healthy);
+  EXPECT_TRUE(results[0].health_transitions.empty());
+
+  const std::uint64_t served = results[0].report.frames.size();
+  EXPECT_EQ(registry.counter("runtime.stream0.frames").value() - frames_before,
+            served);
+  EXPECT_GE(registry.histogram("runtime.frame.latency_ns").count() -
+                latency_before,
+            served);
+}
+
+}  // namespace
+}  // namespace avd::runtime

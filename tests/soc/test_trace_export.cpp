@@ -149,6 +149,112 @@ TEST(TraceExport, MergedTraceSpanTimestampsKeepNanosecondPrecision) {
   EXPECT_NE(text.find("\"dur\":765.434"), std::string::npos) << text;
 }
 
+obs::SpanRecord traced_span(const char* name, const char* source,
+                            std::uint64_t begin, std::uint64_t end, int thread,
+                            std::uint64_t trace, std::uint64_t id,
+                            std::uint64_t parent) {
+  obs::SpanRecord s;
+  s.name = name;
+  s.source = source;
+  s.begin_ns = begin;
+  s.end_ns = end;
+  s.thread = thread;
+  s.trace_id = trace;
+  s.span_id = id;
+  s.parent_span_id = parent;
+  return s;
+}
+
+TEST(TraceExport, TracedSpansCarryLinkageAndNumericArgs) {
+  obs::SpanRecord s =
+      traced_span("detect_frame", "runtime/detect", 100, 900, 2, 77, 702, 701);
+  s.arg_count = 2;
+  s.args[0] = {"stream", 1};
+  s.args[1] = {"frame", 42};
+  const std::string text = to_chrome_trace(EventLog{}, {&s, 1});
+  const obs::json::Value doc = *obs::json::parse(text);
+
+  const obs::json::Value* args = nullptr;
+  for (const obs::json::Value& e : doc.find("traceEvents")->array)
+    if (e.find("ph")->string == "X") args = e.find("args");
+  ASSERT_NE(args, nullptr) << text;
+  EXPECT_DOUBLE_EQ(args->find("trace_id")->number, 77.0);
+  EXPECT_DOUBLE_EQ(args->find("span_id")->number, 702.0);
+  EXPECT_DOUBLE_EQ(args->find("parent_span_id")->number, 701.0);
+  EXPECT_DOUBLE_EQ(args->find("stream")->number, 1.0);
+  EXPECT_DOUBLE_EQ(args->find("frame")->number, 42.0);
+}
+
+TEST(TraceExport, UntracedSpanWithoutArgsEmitsNoArgsObject) {
+  const std::vector<obs::SpanRecord> spans = {{"s", "src", 0, 10, 0}};
+  const std::string text = to_chrome_trace(EventLog{}, spans);
+  const obs::json::Value doc = *obs::json::parse(text);
+  for (const obs::json::Value& e : doc.find("traceEvents")->array) {
+    if (e.find("ph")->string == "X") {
+      EXPECT_EQ(e.find("args"), nullptr);
+    }
+  }
+}
+
+TEST(TraceExport, FlowEventsLinkCrossThreadHops) {
+  // ingest(t0) -> control(t1) -> detect(t2): three hops, one arc.
+  const std::vector<obs::SpanRecord> spans = {
+      traced_span("ingest_frame", "runtime/ingest", 0, 10, 0, 9, 91, 0),
+      traced_span("control_frame", "runtime/control", 20, 30, 1, 9, 92, 91),
+      traced_span("detect_frame", "runtime/detect", 40, 60, 2, 9, 93, 92),
+  };
+  const std::string text = to_chrome_trace(EventLog{}, spans);
+  const obs::json::Value doc = *obs::json::parse(text);
+
+  std::vector<std::string> phases;
+  for (const obs::json::Value& e : doc.find("traceEvents")->array) {
+    const std::string& ph = e.find("ph")->string;
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    phases.push_back(ph);
+    EXPECT_DOUBLE_EQ(e.find("id")->number, 9.0);
+    if (ph == "f") {
+      ASSERT_NE(e.find("bp"), nullptr);  // bind to enclosing slice
+      EXPECT_EQ(e.find("bp")->string, "e");
+    } else {
+      EXPECT_EQ(e.find("bp"), nullptr);
+    }
+  }
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0], "s");
+  EXPECT_EQ(phases[1], "t");
+  EXPECT_EQ(phases[2], "f");
+}
+
+TEST(TraceExport, SameThreadChildrenAreNotFlowHops) {
+  // Root hops to another thread; the nested same-thread child must not add
+  // a third anchor to the arc.
+  const std::vector<obs::SpanRecord> spans = {
+      traced_span("root", "a", 0, 100, 0, 5, 51, 0),
+      traced_span("nested", "a", 10, 20, 0, 5, 52, 51),   // same thread
+      traced_span("handoff", "b", 50, 90, 1, 5, 53, 51),  // cross thread
+  };
+  const std::string text = to_chrome_trace(EventLog{}, spans);
+  const obs::json::Value doc = *obs::json::parse(text);
+  std::size_t flows = 0;
+  for (const obs::json::Value& e : doc.find("traceEvents")->array) {
+    const std::string& ph = e.find("ph")->string;
+    if (ph == "s" || ph == "t" || ph == "f") ++flows;
+  }
+  EXPECT_EQ(flows, 2u);  // just root ("s") and handoff ("f")
+}
+
+TEST(TraceExport, SingleHopTraceDrawsNoArc) {
+  // An arc needs two ends: a lone root span emits no flow events at all.
+  const std::vector<obs::SpanRecord> spans = {
+      traced_span("only", "a", 0, 10, 0, 3, 31, 0)};
+  const std::string text = to_chrome_trace(EventLog{}, spans);
+  const obs::json::Value doc = *obs::json::parse(text);
+  for (const obs::json::Value& e : doc.find("traceEvents")->array) {
+    const std::string& ph = e.find("ph")->string;
+    EXPECT_TRUE(ph != "s" && ph != "t" && ph != "f") << text;
+  }
+}
+
 TEST(TraceExport, WritesMergedFile) {
   const auto dir = std::filesystem::temp_directory_path() / "avd_trace_merged";
   std::filesystem::create_directories(dir);
