@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "avd/runtime/stream_server.hpp"
+#include "avd/runtime/thread_pool.hpp"
 #include "avd/soc/trace_export.hpp"
 
 int main(int argc, char** argv) {
@@ -26,8 +27,15 @@ int main(int argc, char** argv) {
   budget.pairing_scenes = 30;
   const avd::core::SystemModels models = avd::core::build_system_models(budget);
 
+  // One shared pool carries both levels of parallelism: the sliding-window
+  // scanner splits pyramid levels/row bands across it, and the server's
+  // detect stage (scan_pool below) runs its frame workers on it too — no
+  // second thread pool, no oversubscription, identical detections.
+  avd::runtime::ThreadPool scan_pool(4);
+
   avd::core::AdaptiveSystemConfig cfg;
   cfg.run_detectors = true;
+  cfg.sliding.pool = &scan_pool;
   const avd::core::AdaptiveSystem system(models, cfg);
 
   // Four cameras: the canonical day->tunnel->dusk->dark drive under four
@@ -52,6 +60,7 @@ int main(int argc, char** argv) {
   // frames come back as vehicle_processed=false, the serving-layer analogue
   // of the paper's one-frame reconfiguration drop.
   sc.detect_policy = avd::runtime::OverflowPolicy::Block;
+  sc.scan_pool = &scan_pool;
   avd::runtime::StreamServer server(system, sc);
 
   std::printf("serving %zu streams (%d frames each) with %d detect workers...\n\n",

@@ -27,7 +27,7 @@ fi
 
 echo "== TSan: configure + build (build-tsan/) =="
 cmake -B build-tsan -S . -DAVD_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_runtime test_soc test_obs
+cmake --build build-tsan -j "$JOBS" --target test_runtime test_soc test_obs test_detect
 
 echo "== TSan: runtime tests =="
 # halt_on_error: any data race fails the run (and hence this script).
@@ -35,6 +35,9 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/test_runtime
 ./build-tsan/tests/test_soc --gtest_filter='EventLog.*'
 ./build-tsan/tests/test_obs
+# The pooled block-grid scanner: levels/bands on a shared ThreadPool must be
+# race-free and deterministic (MultiModelScanTest covers pool-vs-reference).
+./build-tsan/tests/test_detect --gtest_filter='MultiModelScanTest.*:WindowAnchorPositions.*'
 
 echo "== smoke: profile_pipeline =="
 # The example traces a full serving run and exits non-zero itself if the

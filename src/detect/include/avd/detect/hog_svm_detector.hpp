@@ -16,6 +16,10 @@
 #include "avd/ml/metrics.hpp"
 #include "avd/ml/svm.hpp"
 
+namespace avd::runtime {
+class ThreadPool;  // avd/runtime/thread_pool.hpp (avd_runtime_pool target)
+}
+
 namespace avd::det {
 
 /// A complete trained HOG+SVM model: feature parameters, window geometry and
@@ -60,6 +64,13 @@ struct SlidingWindowParams {
   int stride_cells = 1;         ///< window step in cells
   double score_threshold = 0.3; ///< min decision value to emit a detection
   double nms_iou = 0.4;
+  /// Scan parallelism: pyramid levels and row bands are dispatched onto this
+  /// pool (nullptr = scan on the calling thread). Detections are identical
+  /// for every pool size — tasks merge in canonical scan order, never in
+  /// completion order. Share ONE pool across every scanning call site (the
+  /// runtime's detect workers included, StreamServerConfig::scan_pool); the
+  /// scanner never spawns threads of its own. Not owned.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// Scan a full frame at multiple scales with the model's window; returns

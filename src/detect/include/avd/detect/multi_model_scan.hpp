@@ -3,9 +3,15 @@
 // The countryside configuration (DESIGN.md, extension) runs two classifiers
 // — vehicle and animal — behind ONE gradient/histogram pipeline, exactly as
 // the hardware shares those stages (resources.cpp: the animal blocks add
-// only a normaliser and an SVM). This scanner is the software equivalent:
-// the image pyramid and the per-level cell grids are computed once and every
-// model classifies from them.
+// only a normaliser and an SVM). This scanner is the software equivalent,
+// pushed one stage further than the hardware sharing: per pyramid level the
+// cell grid AND the normalised block grid (hog::BlockGrid) are computed
+// once, and every model scores windows as sums of per-block dot products
+// against its sliced weights (ml::WeightSlices) — no per-window descriptor
+// is ever materialised. Levels and row bands parallelise across
+// SlidingWindowParams::pool with detections merged in canonical scan order,
+// so the output is identical for every thread count and bit-identical to
+// detect_multiscale_multi_reference (test-enforced).
 #pragma once
 
 #include "avd/detect/hog_svm_detector.hpp"
@@ -18,5 +24,23 @@ namespace avd::det {
 [[nodiscard]] std::vector<Detection> detect_multiscale_multi(
     const img::ImageU8& frame, std::span<const HogSvmModel* const> models,
     const SlidingWindowParams& params = {});
+
+/// The reference scalar scan: one window_descriptor + full-length
+/// svm.decision per window, single-threaded, no precomputed blocks. Kept as
+/// the correctness oracle for the block-grid scanner — both must produce
+/// detection-for-detection identical output (same boxes, bit-equal scores).
+[[nodiscard]] std::vector<Detection> detect_multiscale_multi_reference(
+    const img::ImageU8& frame, std::span<const HogSvmModel* const> models,
+    const SlidingWindowParams& params = {});
+
+/// Window anchor positions along one axis of a `cells`-wide grid for a
+/// `window_cells`-wide window stepping by `stride_cells`: 0, s, 2s, ...,
+/// with the final anchor clamped to cells - window_cells so the right/bottom
+/// edge is always covered (an off-stride tail previously skipped up to
+/// stride-1 cells of border — a vehicle flush against the frame edge was
+/// invisible). Empty when the window does not fit.
+[[nodiscard]] std::vector<int> window_anchor_positions(int cells,
+                                                       int window_cells,
+                                                       int stride_cells);
 
 }  // namespace avd::det

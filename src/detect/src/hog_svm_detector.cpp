@@ -1,5 +1,7 @@
 #include "avd/detect/hog_svm_detector.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -22,6 +24,17 @@ bool HogSvmModel::classify(const img::ImageU8& patch) const {
 }
 
 void HogSvmModel::save(std::ostream& out) const {
+  // The header is whitespace-delimited and load() reads the name with >>, so
+  // a name containing whitespace (or an empty name) would silently corrupt
+  // the round-trip: "day model" saves fine but loads as name="day" with
+  // "model" consumed as the window width. Reject at save time.
+  if (name.empty() ||
+      std::any_of(name.begin(), name.end(), [](unsigned char c) {
+        return std::isspace(c) != 0;
+      }))
+    throw std::invalid_argument(
+        "HogSvmModel::save: model name must be non-empty and contain no "
+        "whitespace (the text format is whitespace-delimited)");
   out << "hogsvm " << name << ' ' << window.width << ' ' << window.height << ' '
       << class_id << ' ' << hog.cell_size << ' ' << hog.bins << ' '
       << hog.block_cells << ' ' << hog.block_stride_cells << ' '

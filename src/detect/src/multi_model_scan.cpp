@@ -1,18 +1,37 @@
 #include "avd/detect/multi_model_scan.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <stdexcept>
 
+#include "avd/hog/block_grid.hpp"
 #include "avd/image/resize.hpp"
+#include "avd/ml/weight_slices.hpp"
 #include "avd/obs/metrics.hpp"
 #include "avd/obs/trace.hpp"
+#include "avd/runtime/thread_pool.hpp"
 
 namespace avd::det {
+namespace {
 
-std::vector<Detection> detect_multiscale_multi(
-    const img::ImageU8& frame, std::span<const HogSvmModel* const> models,
-    const SlidingWindowParams& params) {
-  const obs::ScopedSpan scan_span("detect_multiscale", "detect/hogsvm");
+/// Rows of window anchors per scan task. Small enough that a single pyramid
+/// level splits across the pool, large enough that a task amortises its
+/// dispatch. Fixed (never derived from thread count or timing) so the task
+/// decomposition — and therefore the merged detection order — is a pure
+/// function of the inputs.
+constexpr int kBandRows = 8;
+
+/// Windows scored per accumulate_lanes call. The per-window double
+/// accumulator is a serial FP dependency chain (descriptor-order summation
+/// is what makes scores bit-equal to the scalar reference); interleaving 8
+/// independent windows lets those chains overlap in the pipeline without
+/// changing any per-window operation order.
+constexpr int kLanes = 8;
+
+const hog::HogParams& validate_models(
+    std::span<const HogSvmModel* const> models) {
   if (models.empty())
     throw std::invalid_argument("detect_multiscale_multi: no models");
   const hog::HogParams& shared = models.front()->hog;
@@ -25,53 +44,300 @@ std::vector<Detection> detect_multiscale_multi(
       throw std::invalid_argument(
           "detect_multiscale_multi: models must share HOG geometry");
   }
+  return shared;
+}
 
-  std::vector<Detection> raw;
-  std::vector<float> desc;
-  std::uint64_t windows_scanned = 0;
+struct PyramidLevel {
+  int index = 0;
+  double scale = 1.0;
+  img::Size size;
+};
+
+/// The pyramid schedule, identical for both scan paths: shrink by scale_step
+/// until no model's window fits.
+std::vector<PyramidLevel> plan_pyramid(
+    const img::ImageU8& frame, std::span<const HogSvmModel* const> models,
+    const SlidingWindowParams& params) {
+  std::vector<PyramidLevel> levels;
   double scale = 1.0;
   for (int level = 0; level < params.max_levels;
        ++level, scale *= params.scale_step) {
     const img::Size scaled{
         static_cast<int>(std::lround(frame.width() / scale)),
         static_cast<int>(std::lround(frame.height() / scale))};
-    // Stop once no model's window fits.
     bool any_fits = false;
     for (const HogSvmModel* m : models)
       any_fits |= scaled.width >= m->window.width &&
                   scaled.height >= m->window.height;
     if (!any_fits) break;
+    levels.push_back({level, scale, scaled});
+  }
+  return levels;
+}
 
-    const hog::CellGrid grid = [&] {
-      // The shared front end: one resize + cell grid per pyramid level.
-      const obs::ScopedSpan span("hog_front_end", "detect/hogsvm");
-      const img::ImageU8 level_img =
-          level == 0 ? frame : img::resize_bilinear(frame, scaled);
-      return hog::compute_cell_grid(level_img, shared);
-    }();
+hog::CellGrid level_cell_grid(const img::ImageU8& frame,
+                              const PyramidLevel& level,
+                              const hog::HogParams& shared) {
+  return level.index == 0
+             ? hog::compute_cell_grid(frame, shared)
+             : hog::compute_cell_grid(img::resize_bilinear(frame, level.size),
+                                      shared);
+}
 
-    const obs::ScopedSpan span("svm_scan", "detect/hogsvm");
+}  // namespace
+
+std::vector<int> window_anchor_positions(int cells, int window_cells,
+                                         int stride_cells) {
+  std::vector<int> anchors;
+  if (window_cells <= 0 || window_cells > cells || stride_cells <= 0)
+    return anchors;
+  const int last = cells - window_cells;
+  for (int pos = 0; pos < last; pos += stride_cells) anchors.push_back(pos);
+  anchors.push_back(last);  // clamp: the edge window is always scanned
+  return anchors;
+}
+
+std::vector<Detection> detect_multiscale_multi_reference(
+    const img::ImageU8& frame, std::span<const HogSvmModel* const> models,
+    const SlidingWindowParams& params) {
+  const hog::HogParams& shared = validate_models(models);
+  std::vector<Detection> raw;
+  std::vector<float> desc;
+  for (const PyramidLevel& level : plan_pyramid(frame, models, params)) {
+    const hog::CellGrid grid = level_cell_grid(frame, level, shared);
     for (const HogSvmModel* m : models) {
       const int cells_w = m->window.width / shared.cell_size;
       const int cells_h = m->window.height / shared.cell_size;
-      if (cells_w > grid.cells_x() || cells_h > grid.cells_y()) continue;
-      for (int cy = 0; cy + cells_h <= grid.cells_y();
-           cy += params.stride_cells) {
-        for (int cx = 0; cx + cells_w <= grid.cells_x();
-             cx += params.stride_cells) {
+      for (const int cy :
+           window_anchor_positions(grid.cells_y(), cells_h,
+                                   params.stride_cells)) {
+        for (const int cx :
+             window_anchor_positions(grid.cells_x(), cells_w,
+                                     params.stride_cells)) {
           hog::window_descriptor(grid, shared, cx, cy, cells_w, cells_h, desc);
           const double score = m->svm.decision(desc);
-          ++windows_scanned;
           if (score < params.score_threshold) continue;
           const img::Rect box{cx * shared.cell_size, cy * shared.cell_size,
                               m->window.width, m->window.height};
-          raw.push_back({img::scaled(box, scale, scale), score, m->class_id});
+          raw.push_back(
+              {img::scaled(box, level.scale, level.scale), score, m->class_id});
         }
       }
     }
   }
+  return non_max_suppression(std::move(raw), params.nms_iou);
+}
+
+std::vector<Detection> detect_multiscale_multi(
+    const img::ImageU8& frame, std::span<const HogSvmModel* const> models,
+    const SlidingWindowParams& params) {
+  const obs::ScopedSpan scan_span("detect_multiscale", "detect/hogsvm");
+  const hog::HogParams& shared = validate_models(models);
+  const std::vector<PyramidLevel> levels = plan_pyramid(frame, models, params);
+  const int n_levels = static_cast<int>(levels.size());
+
+  // Every model classifies from the same normalised blocks; its weight
+  // vector, sliced per block, turns a window score into a streamed sum of
+  // per-block dot products.
+  const std::size_t block_len = static_cast<std::size_t>(shared.block_cells) *
+                                shared.block_cells * shared.bins;
+  std::vector<ml::WeightSlices> slices;
+  slices.reserve(models.size());
+  for (const HogSvmModel* m : models) slices.emplace_back(m->svm, block_len);
+
+  // Tasks run either inline (no pool) or cooperatively on the shared pool.
+  // Either way results land in index-addressed slots, so the merged output
+  // is the canonical (level, model, band, row, column) order — identical
+  // detections for every thread count.
+  const auto run_tasks = [&params](int count,
+                                   const std::function<void(int)>& fn) {
+    if (params.pool != nullptr && count > 1) {
+      params.pool->run_indexed(count, fn);
+    } else {
+      for (int i = 0; i < count; ++i) fn(i);
+    }
+  };
+  // Tasks may run on pool threads: re-install this frame's trace context so
+  // per-level spans stay children of the detect_multiscale span.
+  const obs::TraceContext scan_ctx = scan_span.context();
+
+  // --- phase 1: per-level shared front end (resize + cells + blocks) -----
+  struct FrontEnd {
+    hog::BlockGrid blocks;
+    /// Exact double mirror of `blocks` in the same (ay, ax) layout —
+    /// float->double is lossless, so lane scoring over the mirror is
+    /// bit-equal to streaming the floats, minus the in-loop conversions.
+    std::vector<double> blocks_d;
+    int cells_x = 0;
+    int cells_y = 0;
+  };
+  std::vector<FrontEnd> fronts(levels.size());
+  run_tasks(n_levels, [&](int i) {
+    const obs::TraceScope scope(scan_ctx);
+    const PyramidLevel& level = levels[static_cast<std::size_t>(i)];
+    const obs::ScopedSpan span(
+        "hog_front_end", "detect/hogsvm",
+        {{"level", level.index},
+         {"width", level.size.width},
+         {"height", level.size.height}});
+    const hog::CellGrid grid = level_cell_grid(frame, level, shared);
+    FrontEnd& fe = fronts[static_cast<std::size_t>(i)];
+    fe.cells_x = grid.cells_x();
+    fe.cells_y = grid.cells_y();
+    fe.blocks = hog::compute_block_grid(grid, shared);
+    fe.blocks_d.reserve(static_cast<std::size_t>(fe.blocks.anchors_x()) *
+                        static_cast<std::size_t>(fe.blocks.anchors_y()) *
+                        static_cast<std::size_t>(fe.blocks.block_len()));
+    for (int ay = 0; ay < fe.blocks.anchors_y(); ++ay)
+      for (int ax = 0; ax < fe.blocks.anchors_x(); ++ax)
+        for (const float v : fe.blocks.block(ax, ay))
+          fe.blocks_d.push_back(static_cast<double>(v));
+  });
+
+  // --- phase 2: banded window scoring over the precomputed blocks --------
+  struct Band {
+    int level = 0;           ///< index into levels/fronts
+    std::size_t model = 0;   ///< index into models/slices
+    int ay_begin = 0;        ///< anchor-row range [ay_begin, ay_end)
+    int ay_end = 0;
+  };
+  // Anchor lists per (level, model); bands built in canonical scan order.
+  std::vector<std::vector<int>> xs(levels.size() * models.size());
+  std::vector<std::vector<int>> ys(levels.size() * models.size());
+  std::vector<Band> bands;
+  for (int li = 0; li < n_levels; ++li) {
+    for (std::size_t mi = 0; mi < models.size(); ++mi) {
+      const std::size_t key = static_cast<std::size_t>(li) * models.size() + mi;
+      const int cells_w = models[mi]->window.width / shared.cell_size;
+      const int cells_h = models[mi]->window.height / shared.cell_size;
+      const FrontEnd& fe = fronts[static_cast<std::size_t>(li)];
+      xs[key] =
+          window_anchor_positions(fe.cells_x, cells_w, params.stride_cells);
+      ys[key] =
+          window_anchor_positions(fe.cells_y, cells_h, params.stride_cells);
+      if (xs[key].empty() || ys[key].empty()) continue;
+      const int rows = static_cast<int>(ys[key].size());
+      for (int begin = 0; begin < rows; begin += kBandRows)
+        bands.push_back({li, mi, begin, std::min(begin + kBandRows, rows)});
+    }
+  }
+
+  struct BandResult {
+    std::vector<Detection> dets;
+    std::uint64_t windows = 0;
+  };
+  std::vector<BandResult> results(bands.size());
+  run_tasks(static_cast<int>(bands.size()), [&](int t) {
+    const obs::TraceScope scope(scan_ctx);
+    const Band& band = bands[static_cast<std::size_t>(t)];
+    const PyramidLevel& level = levels[static_cast<std::size_t>(band.level)];
+    const obs::ScopedSpan span(
+        "scan_band", "detect/hogsvm",
+        {{"level", level.index},
+         {"model", static_cast<std::int64_t>(band.model)},
+         {"rows", band.ay_end - band.ay_begin}});
+    const FrontEnd& fe = fronts[static_cast<std::size_t>(band.level)];
+    const HogSvmModel& m = *models[band.model];
+    const ml::WeightSlices& ws = slices[band.model];
+    const std::size_t key =
+        static_cast<std::size_t>(band.level) * models.size() + band.model;
+    const int blocks_x =
+        shared.blocks_along(m.window.width / shared.cell_size);
+    const int blocks_y =
+        shared.blocks_along(m.window.height / shared.cell_size);
+    BandResult& out = results[static_cast<std::size_t>(t)];
+    const int bstride = shared.block_stride_cells;
+    const std::vector<int>& axs = xs[key];
+    const int n_x = static_cast<int>(axs.size());
+    const auto emit = [&](int cx, int cy, double acc) {
+      const double score = acc + ws.bias();
+      ++out.windows;
+      if (score < params.score_threshold) return;
+      const img::Rect box{cx * shared.cell_size, cy * shared.cell_size,
+                          m.window.width, m.window.height};
+      out.dets.push_back(
+          {img::scaled(box, level.scale, level.scale), score, m.class_id});
+    };
+    for (int ayi = band.ay_begin; ayi < band.ay_end; ++ayi) {
+      const int cy = ys[key][static_cast<std::size_t>(ayi)];
+      // Blocks stream through each window's accumulator in descriptor order,
+      // so every score is the bit-exact LinearSvm::decision of the window's
+      // (never materialised) descriptor. Windows are scored kLanes at a time
+      // purely so their serial accumulator chains overlap in the pipeline —
+      // per-lane arithmetic and emission order are the scalar path's.
+      int xi = 0;
+      for (; xi + kLanes <= n_x; xi += kLanes) {
+        double acc[kLanes] = {};
+        const double* vals[kLanes];
+        const double* bd = fe.blocks_d.data();
+        const std::size_t bax = static_cast<std::size_t>(fe.blocks.anchors_x());
+        // Anchor steps are stride_cells everywhere except the edge-clamped
+        // last one, so when first-to-last spacing matches, every lane sits a
+        // constant stride apart in the block grid — no pointer table needed.
+        const int ax0 = axs[static_cast<std::size_t>(xi)];
+        const bool uniform =
+            axs[static_cast<std::size_t>(xi + kLanes - 1)] - ax0 ==
+            (kLanes - 1) * params.stride_cells;
+        const std::size_t lane_stride =
+            static_cast<std::size_t>(params.stride_cells) * block_len;
+        std::size_t b = 0;
+        for (int wby = 0; wby < blocks_y; ++wby) {
+          const std::size_t row =
+              static_cast<std::size_t>(cy + wby * bstride) * bax;
+          for (int wbx = 0; wbx < blocks_x; ++wbx, ++b) {
+            const int ox = wbx * bstride;
+            if (uniform) {
+              ws.accumulate_lanes_strided<kLanes>(
+                  b,
+                  bd + (row + static_cast<std::size_t>(ax0 + ox)) * block_len,
+                  lane_stride, acc);
+            } else {
+              for (int j = 0; j < kLanes; ++j)
+                vals[j] =
+                    bd +
+                    (row + static_cast<std::size_t>(
+                               axs[static_cast<std::size_t>(xi + j)] + ox)) *
+                        block_len;
+              ws.accumulate_lanes<kLanes>(b, vals, acc);
+            }
+          }
+        }
+        for (int j = 0; j < kLanes; ++j)
+          emit(axs[static_cast<std::size_t>(xi + j)], cy, acc[j]);
+      }
+      for (; xi < n_x; ++xi) {  // scalar tail: < kLanes windows left
+        const int cx = axs[static_cast<std::size_t>(xi)];
+        double acc = 0.0;
+        std::size_t b = 0;
+        for (int wby = 0; wby < blocks_y; ++wby)
+          for (int wbx = 0; wbx < blocks_x; ++wbx, ++b)
+            ws.accumulate(b,
+                          fe.blocks.block(cx + wbx * bstride, cy + wby * bstride),
+                          acc);
+        emit(cx, cy, acc);
+      }
+    }
+  });
+
+  // --- merge (canonical task order) + NMS ---------------------------------
+  std::vector<Detection> raw;
+  std::uint64_t windows_scanned = 0;
+  for (BandResult& r : results) {
+    windows_scanned += r.windows;
+    raw.insert(raw.end(), r.dets.begin(), r.dets.end());
+  }
+  std::uint64_t blocks_normalised = 0;
+  for (const FrontEnd& fe : fronts)
+    blocks_normalised += static_cast<std::uint64_t>(fe.blocks.anchors_x()) *
+                         static_cast<std::uint64_t>(fe.blocks.anchors_y());
+
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   registry.counter("detect.hogsvm.frames").inc();
+  registry.counter("detect.hogsvm.levels").inc(
+      static_cast<std::uint64_t>(levels.size()));
+  registry.counter("detect.hogsvm.scan_tasks").inc(
+      static_cast<std::uint64_t>(bands.size()));
+  registry.counter("detect.hogsvm.blocks_normalised").inc(blocks_normalised);
   registry.counter("detect.hogsvm.windows_scanned").inc(windows_scanned);
   registry.counter("detect.hogsvm.raw_detections").inc(raw.size());
   const obs::ScopedSpan nms_span("nms", "detect/hogsvm");

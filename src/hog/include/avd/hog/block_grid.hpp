@@ -1,0 +1,65 @@
+// Precomputed normalised block grid: HOG stage 2 hoisted out of the window
+// loop.
+//
+// window_descriptor() re-runs L2-hys on every overlapping block of every
+// window it assembles; in a dense sliding-window scan each block is shared by
+// up to block-count-per-window windows, so the same normalisation ran ~49
+// times (default 64x64 window) per block. A BlockGrid normalises every block
+// of a pyramid level exactly once — the software twin of the paper's
+// "normalised HOG memory" stage, which also writes each normalised block to
+// block RAM once and lets every downstream classifier read it.
+//
+// Blocks are anchored at EVERY cell position (stride-1 anchors), not just at
+// multiples of block_stride_cells: a window whose top-left cell is not a
+// multiple of the block stride still needs the blocks anchored at its own
+// offsets. Window block (wbx, wby) of a window anchored at cell (cx, cy) is
+// grid block (cx + wbx * block_stride_cells, cy + wby * block_stride_cells).
+//
+// Equivalence guarantee: a block's stored vector is bit-identical to what
+// window_descriptor would have produced for that block (same gather order,
+// same l2hys arithmetic) — tests/hog/test_block_grid.cpp enforces this, and
+// the scanner's bit-exactness against the scalar reference rests on it.
+#pragma once
+
+#include "avd/hog/hog.hpp"
+
+namespace avd::hog {
+
+/// Every L2-hys-normalised block of a cell grid, each computed once.
+class BlockGrid {
+ public:
+  BlockGrid() = default;
+  BlockGrid(int anchors_x, int anchors_y, int block_len);
+
+  /// Block anchors along x/y: cells - block_cells + 1 (0 when the grid is
+  /// smaller than one block).
+  [[nodiscard]] int anchors_x() const { return anchors_x_; }
+  [[nodiscard]] int anchors_y() const { return anchors_y_; }
+  /// Floats per block: block_cells^2 * bins.
+  [[nodiscard]] int block_len() const { return block_len_; }
+
+  /// The normalised block anchored at cell (ax, ay): block_len floats, cell
+  /// histograms in (cell_y, cell_x) order — the window_descriptor layout.
+  [[nodiscard]] std::span<float> block(int ax, int ay);
+  [[nodiscard]] std::span<const float> block(int ax, int ay) const;
+
+ private:
+  int anchors_x_ = 0;
+  int anchors_y_ = 0;
+  int block_len_ = 0;
+  std::vector<float> data_;
+};
+
+/// Normalise every block of `grid` once. O(cells) memory and work, after
+/// which any window descriptor (or sliced dot product) is pure reads.
+[[nodiscard]] BlockGrid compute_block_grid(const CellGrid& grid,
+                                           const HogParams& params);
+
+/// Assemble the descriptor of the window anchored at cell (cell_x, cell_y)
+/// from precomputed blocks. Bit-identical to the CellGrid overload of
+/// window_descriptor (the per-window renormalising path).
+void window_descriptor(const BlockGrid& blocks, const HogParams& params,
+                       int cell_x, int cell_y, int cells_w, int cells_h,
+                       std::vector<float>& out);
+
+}  // namespace avd::hog

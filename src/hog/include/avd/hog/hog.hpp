@@ -61,6 +61,12 @@ struct GradientField {
 
 [[nodiscard]] GradientField compute_gradients(const img::ImageU8& image);
 
+/// L2-hys block normalisation in place: L2-normalise, clip at `clip`,
+/// renormalise (with an epsilon so zero-energy blocks stay zero). The single
+/// normalisation primitive shared by window_descriptor and BlockGrid — both
+/// paths must produce bit-identical vectors from the same raw block.
+void l2hys_normalise(std::span<float> block, float clip);
+
 /// Stage 1: cell histograms with bilinear orientation-bin interpolation.
 [[nodiscard]] CellGrid compute_cell_grid(const img::ImageU8& image,
                                          const HogParams& params = {});

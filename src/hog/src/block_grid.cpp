@@ -1,0 +1,80 @@
+#include "avd/hog/block_grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace avd::hog {
+
+BlockGrid::BlockGrid(int anchors_x, int anchors_y, int block_len)
+    : anchors_x_(anchors_x),
+      anchors_y_(anchors_y),
+      block_len_(block_len),
+      data_(static_cast<std::size_t>(anchors_x) * anchors_y * block_len,
+            0.0f) {}
+
+std::span<float> BlockGrid::block(int ax, int ay) {
+  return {data_.data() +
+              (static_cast<std::size_t>(ay) * anchors_x_ + ax) * block_len_,
+          static_cast<std::size_t>(block_len_)};
+}
+
+std::span<const float> BlockGrid::block(int ax, int ay) const {
+  return {data_.data() +
+              (static_cast<std::size_t>(ay) * anchors_x_ + ax) * block_len_,
+          static_cast<std::size_t>(block_len_)};
+}
+
+BlockGrid compute_block_grid(const CellGrid& grid, const HogParams& params) {
+  if (params.block_cells <= 0)
+    throw std::invalid_argument("BlockGrid: bad block size");
+  const int ax_count = grid.cells_x() - params.block_cells + 1;
+  const int ay_count = grid.cells_y() - params.block_cells + 1;
+  const int block_len = params.block_cells * params.block_cells * grid.bins();
+  if (ax_count <= 0 || ay_count <= 0) return {};
+
+  BlockGrid blocks(ax_count, ay_count, block_len);
+  for (int ay = 0; ay < ay_count; ++ay) {
+    for (int ax = 0; ax < ax_count; ++ax) {
+      auto dst = blocks.block(ax, ay);
+      std::size_t offset = 0;
+      // Same gather order as window_descriptor: cells (cy, cx), then bins.
+      for (int cy = 0; cy < params.block_cells; ++cy) {
+        for (int cx = 0; cx < params.block_cells; ++cx) {
+          auto hist = grid.cell(ax + cx, ay + cy);
+          std::copy(hist.begin(), hist.end(), dst.begin() + offset);
+          offset += hist.size();
+        }
+      }
+      l2hys_normalise(dst, params.l2hys_clip);
+    }
+  }
+  return blocks;
+}
+
+void window_descriptor(const BlockGrid& blocks, const HogParams& params,
+                       int cell_x, int cell_y, int cells_w, int cells_h,
+                       std::vector<float>& out) {
+  const int blocks_x = params.blocks_along(cells_w);
+  const int blocks_y = params.blocks_along(cells_h);
+  if (cell_x < 0 || cell_y < 0 || blocks_x <= 0 || blocks_y <= 0 ||
+      cell_x + (blocks_x - 1) * params.block_stride_cells >=
+          blocks.anchors_x() ||
+      cell_y + (blocks_y - 1) * params.block_stride_cells >=
+          blocks.anchors_y())
+    throw std::out_of_range("HOG: window outside block grid");
+
+  const auto block_len = static_cast<std::size_t>(blocks.block_len());
+  out.resize(static_cast<std::size_t>(blocks_x) * blocks_y * block_len);
+  std::size_t offset = 0;
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      const auto src =
+          blocks.block(cell_x + bx * params.block_stride_cells,
+                       cell_y + by * params.block_stride_cells);
+      std::copy(src.begin(), src.end(), out.begin() + offset);
+      offset += block_len;
+    }
+  }
+}
+
+}  // namespace avd::hog

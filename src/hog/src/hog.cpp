@@ -1,6 +1,7 @@
 #include "avd/hog/hog.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 #include <stdexcept>
 
@@ -35,6 +36,52 @@ std::span<const float> CellGrid::cell(int cx, int cy) const {
           static_cast<std::size_t>(bins_)};
 }
 
+namespace {
+
+/// Exact per-pixel gradient outputs, tabulated. A central-difference
+/// gradient of a u8 image is an integer pair (gx, gy) in [-255, 255]^2, so
+/// magnitude and orientation take at most 511*511 distinct values. The
+/// table runs the very same float expressions compute_gradients runs, once
+/// per pair at first use — a hit is bit-identical to computing inline, it
+/// just skips the per-pixel sqrt/atan2 (the dominant cost of the HOG front
+/// end). ~2 MB, and natural images cluster around small gradients, so the
+/// hot centre rows stay cached.
+struct GradientLut {
+  static constexpr int kRange = 511;  // gradient values -255..255
+  /// Interleaved {magnitude, orientation_deg} pairs so one pixel's lookup
+  /// touches one cache line, not two arrays.
+  std::vector<float> mag_deg;
+
+  GradientLut() : mag_deg(2 * static_cast<std::size_t>(kRange) * kRange) {
+    constexpr float kRadToDeg = 180.0f / std::numbers::pi_v<float>;
+    std::size_t i = 0;
+    for (int dy = -255; dy <= 255; ++dy) {
+      for (int dx = -255; dx <= 255; ++dx, i += 2) {
+        const float gx = static_cast<float>(dx);
+        const float gy = static_cast<float>(dy);
+        mag_deg[i] = std::sqrt(gx * gx + gy * gy);
+        float deg = std::atan2(gy, gx) * kRadToDeg;  // [-180, 180]
+        if (deg < 0.0f) deg += 180.0f;               // unsigned orientation
+        if (deg >= 180.0f) deg -= 180.0f;
+        mag_deg[i + 1] = deg;
+      }
+    }
+  }
+
+  /// Index of the {mag, deg} pair for gradient (gx, gy).
+  [[nodiscard]] std::size_t index(int gx, int gy) const {
+    return 2 * (static_cast<std::size_t>(gy + 255) * kRange +
+                static_cast<std::size_t>(gx + 255));
+  }
+};
+
+const GradientLut& gradient_lut() {
+  static const GradientLut lut;
+  return lut;
+}
+
+}  // namespace
+
 GradientField compute_gradients(const img::ImageU8& image) {
   GradientField field{img::ImageF32(image.size()), img::ImageF32(image.size())};
   constexpr float kRadToDeg = 180.0f / std::numbers::pi_v<float>;
@@ -62,25 +109,61 @@ CellGrid compute_cell_grid(const img::ImageU8& image, const HogParams& params) {
   CellGrid grid(cells_x, cells_y, params.bins);
   if (cells_x == 0 || cells_y == 0) return grid;
 
-  const GradientField grad = compute_gradients(image);
+  // Fused gradient + vote: same per-pixel arithmetic as
+  // compute_gradients() followed by the vote below, but the (gx, gy) pair
+  // indexes GradientLut instead of calling sqrt/atan2 per pixel — the
+  // looked-up values are bit-identical by construction
+  // (tests/hog/test_cell_grid.cpp asserts the fused grid equals the
+  // gradient-field vote path float for float).
+  const GradientLut& lut = gradient_lut();
   const float bin_width = 180.0f / static_cast<float>(params.bins);
 
   const int usable_w = cells_x * params.cell_size;
   const int usable_h = cells_y * params.cell_size;
+  const int w = image.width();
   for (int y = 0; y < usable_h; ++y) {
     const int cy = y / params.cell_size;
+    const std::span<const std::uint8_t> mid = image.row(y);
+    const std::span<const std::uint8_t> up = image.row(y > 0 ? y - 1 : 0);
+    const std::span<const std::uint8_t> down =
+        image.row(y < image.height() - 1 ? y + 1 : image.height() - 1);
+    int cx = 0;
+    int cell_end = params.cell_size;
+    std::span<float> hist = grid.cell(0, cy);
     for (int x = 0; x < usable_w; ++x) {
-      const int cx = x / params.cell_size;
-      const float mag = grad.magnitude(x, y);
-      if (mag == 0.0f) continue;
-      // Linear interpolation between the two nearest orientation bins.
-      const float pos = grad.orientation_deg(x, y) / bin_width - 0.5f;
+      if (x == cell_end) {
+        ++cx;
+        cell_end += params.cell_size;
+        hist = grid.cell(cx, cy);
+      }
+      const int gx = static_cast<int>(mid[static_cast<std::size_t>(
+                         x < w - 1 ? x + 1 : w - 1)]) -
+                     static_cast<int>(mid[static_cast<std::size_t>(
+                         x > 0 ? x - 1 : 0)]);
+      const int gy = static_cast<int>(down[static_cast<std::size_t>(x)]) -
+                     static_cast<int>(up[static_cast<std::size_t>(x)]);
+      if (gx == 0 && gy == 0) continue;  // magnitude 0: no vote
+      const std::size_t li = lut.index(gx, gy);
+      const float mag = lut.mag_deg[li];
+      // Linear interpolation between the two nearest orientation bin
+      // CENTRES (centre of bin b sits at (b + 0.5) * bin_width). The
+      // unsigned-orientation wraparound pairs the last bin with bin 0:
+      //   deg in [0, bin_width/2)          -> pos in [-0.5, 0), b0 = -1
+      //     wraps to bins-1; mass splits across {bins-1, 0}.   (deg ~ 0)
+      //   deg in [180 - bin_width/2, 180)  -> b0 = bins-1, b1 = bins
+      //     wraps to 0; the same {bins-1, 0} pair.             (deg ~ 180)
+      // compute_gradients guarantees deg < 180 (180 - eps may round up to
+      // 180.0f in float, but its wrap-to-zero runs after the +180 shift), so
+      // pos < bins - 0.5 and b0 <= bins - 1 always. The two weights sum to
+      // 1 whatever the boundary, so per-cell histogram mass equals per-cell
+      // gradient mass exactly — tests/hog/test_cell_grid.cpp asserts both
+      // properties at the exact boundary angles.
+      const float pos = lut.mag_deg[li + 1] / bin_width - 0.5f;
       int b0 = static_cast<int>(std::floor(pos));
       const float w1 = pos - static_cast<float>(b0);
       int b1 = b0 + 1;
       if (b0 < 0) b0 += params.bins;
       if (b1 >= params.bins) b1 -= params.bins;
-      auto hist = grid.cell(cx, cy);
       hist[b0] += mag * (1.0f - w1);
       hist[b1] += mag * w1;
     }
@@ -88,10 +171,7 @@ CellGrid compute_cell_grid(const img::ImageU8& image, const HogParams& params) {
   return grid;
 }
 
-namespace {
-
-// L2-hys: L2-normalise, clip at `clip`, renormalise.
-void l2hys(std::span<float> v, float clip) {
+void l2hys_normalise(std::span<float> v, float clip) {
   constexpr float kEps = 1e-6f;
   float norm2 = 0.0f;
   for (float x : v) norm2 += x * x;
@@ -102,8 +182,6 @@ void l2hys(std::span<float> v, float clip) {
   inv = 1.0f / std::sqrt(norm2 + kEps);
   for (float& x : v) x *= inv;
 }
-
-}  // namespace
 
 void window_descriptor(const CellGrid& grid, const HogParams& params, int cell_x,
                        int cell_y, int cells_w, int cells_h,
@@ -131,7 +209,8 @@ void window_descriptor(const CellGrid& grid, const HogParams& params, int cell_x
           offset += hist.size();
         }
       }
-      l2hys({out.data() + block_start, block_len}, params.l2hys_clip);
+      l2hys_normalise({out.data() + block_start, block_len},
+                      params.l2hys_clip);
     }
   }
 }

@@ -1,7 +1,9 @@
 #include "avd/image/resize.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace avd::img {
 namespace {
@@ -30,19 +32,37 @@ ImageU8 resize_bilinear(const ImageU8& src, Size out_size) {
   const LinearMap mx{static_cast<float>(src.width()) / out_size.width};
   const LinearMap my{static_cast<float>(src.height()) / out_size.height};
 
+  // The x mapping is identical for every row: hoist the per-column source
+  // indices (with at_clamped's border clamp baked in) and lerp weights out
+  // of the pixel loop. Same per-pixel arithmetic as computing them inline —
+  // output bytes are unchanged, the map is just computed once per column
+  // instead of once per pixel.
+  std::vector<int> x0c(static_cast<std::size_t>(out_size.width));
+  std::vector<int> x1c(static_cast<std::size_t>(out_size.width));
+  std::vector<float> wxs(static_cast<std::size_t>(out_size.width));
+  for (int ox = 0; ox < out_size.width; ++ox) {
+    const float fx = mx(ox);
+    const int x0 = static_cast<int>(std::floor(fx));
+    x0c[static_cast<std::size_t>(ox)] = std::clamp(x0, 0, src.width() - 1);
+    x1c[static_cast<std::size_t>(ox)] = std::clamp(x0 + 1, 0, src.width() - 1);
+    wxs[static_cast<std::size_t>(ox)] = fx - static_cast<float>(x0);
+  }
+
   for (int oy = 0; oy < out_size.height; ++oy) {
     const float fy = my(oy);
     const int y0 = static_cast<int>(std::floor(fy));
     const float wy = fy - static_cast<float>(y0);
+    const auto r0 = src.row(std::clamp(y0, 0, src.height() - 1));
+    const auto r1 = src.row(std::clamp(y0 + 1, 0, src.height() - 1));
     auto orow = out.row(oy);
     for (int ox = 0; ox < out_size.width; ++ox) {
-      const float fx = mx(ox);
-      const int x0 = static_cast<int>(std::floor(fx));
-      const float wx = fx - static_cast<float>(x0);
-      const float p00 = src.at_clamped(x0, y0);
-      const float p10 = src.at_clamped(x0 + 1, y0);
-      const float p01 = src.at_clamped(x0, y0 + 1);
-      const float p11 = src.at_clamped(x0 + 1, y0 + 1);
+      const std::size_t sx0 = static_cast<std::size_t>(x0c[static_cast<std::size_t>(ox)]);
+      const std::size_t sx1 = static_cast<std::size_t>(x1c[static_cast<std::size_t>(ox)]);
+      const float wx = wxs[static_cast<std::size_t>(ox)];
+      const float p00 = r0[sx0];
+      const float p10 = r0[sx1];
+      const float p01 = r1[sx0];
+      const float p11 = r1[sx1];
       const float top = p00 + (p10 - p00) * wx;
       const float bot = p01 + (p11 - p01) * wx;
       orow[ox] = static_cast<std::uint8_t>(std::lround(top + (bot - top) * wy));
@@ -60,16 +80,21 @@ ImageU8 resize_nearest(const ImageU8& src, Size out_size) {
   check_out_size(out_size);
   if (src.empty()) throw std::invalid_argument("resize: empty source");
   ImageU8 out(out_size);
+  // Same align-centres LinearMap as resize_bilinear: each output pixel takes
+  // the source pixel whose centre is nearest its own mapped centre. The old
+  // top-left mapping (ox * sw / ow) sampled up to half a source pixel to the
+  // upper-left of bilinear, so a nearest-resized mask drifted relative to
+  // the bilinear-resized frame it annotates.
+  const LinearMap mx{static_cast<float>(src.width()) / out_size.width};
+  const LinearMap my{static_cast<float>(src.height()) / out_size.height};
   for (int oy = 0; oy < out_size.height; ++oy) {
-    const int sy = std::min(
-        src.height() - 1,
-        static_cast<int>((static_cast<long long>(oy) * src.height()) / out_size.height));
+    const int sy = std::clamp(
+        static_cast<int>(std::floor(my(oy) + 0.5f)), 0, src.height() - 1);
     auto srow = src.row(sy);
     auto orow = out.row(oy);
     for (int ox = 0; ox < out_size.width; ++ox) {
-      const int sx = std::min(
-          src.width() - 1,
-          static_cast<int>((static_cast<long long>(ox) * src.width()) / out_size.width));
+      const int sx = std::clamp(
+          static_cast<int>(std::floor(mx(ox) + 0.5f)), 0, src.width() - 1);
       orow[ox] = srow[sx];
     }
   }

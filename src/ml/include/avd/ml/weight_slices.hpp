@@ -1,0 +1,125 @@
+// Per-block weight slices of a linear SVM.
+//
+// A HOG window descriptor is a concatenation of equal-length normalised
+// blocks, so the linear decision w.x + b decomposes into a sum of per-block
+// dot products against contiguous slices of w. The block-grid scanner
+// (det::detect_multiscale_multi) exploits this: instead of materialising a
+// window's descriptor and running one full-length dot per window, it streams
+// the window's precomputed blocks through accumulate() — same arithmetic,
+// no copy.
+//
+// Bit-exactness contract: accumulate() adds element products into the
+// caller's double accumulator in element order, so accumulating slice 0..n-1
+// over the window's blocks in descriptor order performs the EXACT floating-
+// point operation sequence of LinearSvm::decision on the concatenated
+// descriptor (ml::dot's left-to-right double accumulation). The scanner's
+// identical-detections guarantee against the scalar reference rests on this;
+// tests/ml/test_weight_slices.cpp enforces it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "avd/ml/svm.hpp"
+
+namespace avd::ml {
+
+/// Read-only view of a trained LinearSvm's weights as consecutive
+/// equal-length slices. The SVM must outlive the view.
+class WeightSlices {
+ public:
+  WeightSlices() = default;
+  /// Slice `svm`'s weight vector into blocks of `block_len` weights.
+  /// Throws if the SVM is untrained or its dimension is not a multiple of
+  /// block_len.
+  WeightSlices(const LinearSvm& svm, std::size_t block_len);
+
+  [[nodiscard]] std::size_t block_count() const {
+    return block_len_ == 0 ? 0 : weights_.size() / block_len_;
+  }
+  [[nodiscard]] std::size_t block_length() const { return block_len_; }
+  [[nodiscard]] float bias() const { return bias_; }
+
+  /// Weights of block `block`: block_length consecutive floats.
+  [[nodiscard]] std::span<const float> slice(std::size_t block) const {
+    return weights_.subspan(block * block_len_, block_len_);
+  }
+
+  /// acc += sum_i slice(block)[i] * values[i], accumulated left to right in
+  /// double — the same operation order as ml::dot over the concatenation.
+  void accumulate(std::size_t block, std::span<const float> values,
+                  double& acc) const;
+
+  /// N-window variant: for each lane j, acc[j] += the dot of slice(block)
+  /// against values[j], every lane accumulated left to right. values[j]
+  /// must point at block_length() doubles that are EXACT conversions of the
+  /// block's floats (float -> double is lossless), matching the weights'
+  /// own pre-converted double copy — so every product and sum is bit-equal
+  /// to accumulate()'s float-operand sequence, and lane scores stay
+  /// bit-equal to LinearSvm::decision. The payoff is mechanical, not
+  /// numerical: lanes are independent dependency chains the CPU overlaps
+  /// (the per-window accumulator is otherwise serial-latency bound), and
+  /// pre-converted operands drop the two float->double converts per
+  /// multiply-add. No length check (hot path).
+  template <int N>
+  void accumulate_lanes(std::size_t block, const double* const* values,
+                        double* acc) const {
+    static_assert(N > 0 && N % 4 == 0, "lanes must come in fours");
+    const double* w = weights_d_.data() + block * block_len_;
+    for (int j = 0; j < N; j += 4) {
+      double a0 = acc[j], a1 = acc[j + 1], a2 = acc[j + 2], a3 = acc[j + 3];
+      const double* p0 = values[j];
+      const double* p1 = values[j + 1];
+      const double* p2 = values[j + 2];
+      const double* p3 = values[j + 3];
+      for (std::size_t i = 0; i < block_len_; ++i) {
+        const double wi = w[i];
+        a0 += wi * p0[i];
+        a1 += wi * p1[i];
+        a2 += wi * p2[i];
+        a3 += wi * p3[i];
+      }
+      acc[j] = a0;
+      acc[j + 1] = a1;
+      acc[j + 2] = a2;
+      acc[j + 3] = a3;
+    }
+  }
+
+  /// accumulate_lanes for lanes at a constant pointer stride: lane j reads
+  /// base + j * stride. The dense scan's common case — consecutive window
+  /// anchors read consecutive grid blocks — needs no per-lane pointer table.
+  /// Identical arithmetic to accumulate_lanes, element for element.
+  template <int N>
+  void accumulate_lanes_strided(std::size_t block, const double* base,
+                                std::size_t stride, double* acc) const {
+    static_assert(N > 0 && N % 4 == 0, "lanes must come in fours");
+    const double* w = weights_d_.data() + block * block_len_;
+    for (int j = 0; j < N; j += 4, base += 4 * stride) {
+      double a0 = acc[j], a1 = acc[j + 1], a2 = acc[j + 2], a3 = acc[j + 3];
+      const double* p0 = base;
+      const double* p1 = base + stride;
+      const double* p2 = base + 2 * stride;
+      const double* p3 = base + 3 * stride;
+      for (std::size_t i = 0; i < block_len_; ++i) {
+        const double wi = w[i];
+        a0 += wi * p0[i];
+        a1 += wi * p1[i];
+        a2 += wi * p2[i];
+        a3 += wi * p3[i];
+      }
+      acc[j] = a0;
+      acc[j + 1] = a1;
+      acc[j + 2] = a2;
+      acc[j + 3] = a3;
+    }
+  }
+
+ private:
+  std::span<const float> weights_;
+  std::vector<double> weights_d_;  ///< exact double copy for accumulate_lanes
+  float bias_ = 0.0f;
+  std::size_t block_len_ = 0;
+};
+
+}  // namespace avd::ml

@@ -1,0 +1,26 @@
+#include "avd/ml/weight_slices.hpp"
+
+#include <stdexcept>
+
+namespace avd::ml {
+
+WeightSlices::WeightSlices(const LinearSvm& svm, std::size_t block_len)
+    : weights_(svm.weights()), bias_(svm.bias()), block_len_(block_len) {
+  if (!svm.trained())
+    throw std::invalid_argument("WeightSlices: untrained SVM");
+  if (block_len == 0 || svm.dimension() % block_len != 0)
+    throw std::invalid_argument(
+        "WeightSlices: dimension not a multiple of block length");
+  weights_d_.assign(weights_.begin(), weights_.end());  // exact float->double
+}
+
+void WeightSlices::accumulate(std::size_t block, std::span<const float> values,
+                              double& acc) const {
+  if (values.size() != block_len_)
+    throw std::invalid_argument("WeightSlices: value length mismatch");
+  const std::span<const float> w = slice(block);
+  for (std::size_t i = 0; i < block_len_; ++i)
+    acc += static_cast<double>(w[i]) * static_cast<double>(values[i]);
+}
+
+}  // namespace avd::ml

@@ -46,6 +46,8 @@
 
 namespace avd::runtime {
 
+class ThreadPool;  // avd/runtime/thread_pool.hpp
+
 /// Health monitoring attached to a serve() call: an always-on
 /// obs::TelemetryExporter samples the global MetricsRegistry for the run's
 /// duration and per-stream obs::SloMonitors evaluate each window
@@ -90,6 +92,14 @@ struct StreamServerConfig {
   /// runs at one frame per 20 ms). 0 = off. Used by the scaling bench so
   /// serving concurrency is measurable independent of host CPU count.
   double simulated_accel_ms = 0.0;
+  /// When set, the detect stage's workers run as cooperative tasks on this
+  /// pool instead of dedicated std::threads — install the SAME pool as
+  /// core::AdaptiveSystemConfig::sliding.pool so frame-level parallelism and
+  /// the scanner's level/band parallelism share one set of OS threads
+  /// instead of oversubscribing. The pool is caller-helping, so detect
+  /// throughput never drops below one worker even on a zero-thread pool;
+  /// per-stream results stay bit-identical either way. Not owned.
+  ThreadPool* scan_pool = nullptr;
   /// Telemetry + SLO health monitoring for this server's serve() calls.
   StreamSloConfig slo;
 };

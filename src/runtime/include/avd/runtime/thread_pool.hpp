@@ -1,0 +1,76 @@
+// A small reusable thread pool for data-parallel batches.
+//
+// This is the ONE pool the hot path shares: the block-grid scanner
+// (det::detect_multiscale_multi) runs its pyramid levels and row bands on it,
+// and runtime::StreamServer runs its detect workers on the same pool
+// (StreamServerConfig::scan_pool) instead of growing a second ad-hoc pool —
+// the process's scan thread budget is bounded by one number.
+//
+// Design: cooperative batches. run_indexed(n, fn) publishes a batch of n
+// index-addressed tasks; pool workers AND the calling thread claim indices
+// from it until the batch is exhausted, then the caller waits for stragglers.
+// Because the caller always participates, a batch makes progress even when
+// every pool thread is busy or parked inside another batch's task — nested
+// run_indexed calls (a scan issued from inside a pooled detect worker) and
+// concurrent callers (several detect workers scanning at once) are both
+// deadlock-free by construction. Determinism is the caller's concern: tasks
+// run concurrently in claim order, so callers must merge results by index,
+// never by completion order (the scanner does exactly that).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace avd::runtime {
+
+class ThreadPool {
+ public:
+  /// `threads` pool workers are spawned immediately. 0 is allowed: every
+  /// batch then runs entirely on its calling thread (useful for forcing the
+  /// sequential path without changing call sites).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Run fn(0) .. fn(count-1) to completion across the pool and the calling
+  /// thread. Returns once every index has finished. If any task throws, the
+  /// batch still runs to completion and the first exception is rethrown on
+  /// the calling thread. Reentrant: fn may itself call run_indexed on this
+  /// pool.
+  void run_indexed(int count, const std::function<void(int)>& fn);
+
+ private:
+  /// One published batch: a shared claim counter plus a completion latch.
+  struct Batch {
+    const std::function<void(int)>* fn = nullptr;
+    int count = 0;
+    std::atomic<int> next{0};       ///< next index to claim
+    std::atomic<int> completed{0};  ///< tasks finished (thrown ones included)
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  ///< first failure; guarded by done_mutex
+  };
+
+  /// Claim and run one task of `batch`; false when the batch is exhausted.
+  static bool run_one(Batch& batch);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> batches_;  ///< FIFO of open batches
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace avd::runtime

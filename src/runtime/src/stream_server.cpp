@@ -12,6 +12,7 @@
 #include "avd/obs/metrics.hpp"
 #include "avd/obs/telemetry.hpp"
 #include "avd/obs/trace.hpp"
+#include "avd/runtime/thread_pool.hpp"
 
 namespace avd::runtime {
 namespace {
@@ -374,8 +375,21 @@ std::vector<StreamResult> StreamServer::serve(
     workers.emplace_back(ingest_loop, i);
   for (int i = 0; i < config_.control_workers; ++i)
     workers.emplace_back(control_loop, i);
-  for (int i = 0; i < config_.detect_workers; ++i)
-    workers.emplace_back(detect_loop, i);
+  if (config_.scan_pool != nullptr) {
+    // Shared-pool mode: one launcher thread publishes the detect loops as an
+    // indexed batch on the scanner's pool and helps run them. Ingest,
+    // control and the collector stay dedicated threads, so the queues always
+    // drain and close — pooled detect loops terminate even when every pool
+    // thread is parked in detect_q.pop(). Nested scans inside a pooled
+    // detect worker (sliding.pool == scan_pool) self-help, so sharing one
+    // pool cannot deadlock.
+    workers.emplace_back([this, &detect_loop] {
+      config_.scan_pool->run_indexed(config_.detect_workers, detect_loop);
+    });
+  } else {
+    for (int i = 0; i < config_.detect_workers; ++i)
+      workers.emplace_back(detect_loop, i);
+  }
   workers.emplace_back(collect_loop);
   for (std::thread& t : workers) t.join();
 

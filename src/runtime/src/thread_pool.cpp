@@ -1,0 +1,88 @@
+#include "avd/runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace avd::runtime {
+
+ThreadPool::ThreadPool(int threads) {
+  threads_.reserve(static_cast<std::size_t>(std::max(0, threads)));
+  for (int i = 0; i < threads; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::run_one(Batch& batch) {
+  const int i = batch.next.fetch_add(1, std::memory_order_relaxed);
+  if (i >= batch.count) return false;
+  try {
+    (*batch.fn)(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(batch.done_mutex);
+    if (!batch.error) batch.error = std::current_exception();
+  }
+  if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      batch.count) {
+    // Last task out wakes the batch's caller. Taking the lock orders the
+    // notify after the caller's predicate check, so the wakeup cannot be
+    // lost between "completed is not yet count" and the wait.
+    std::lock_guard<std::mutex> lock(batch.done_mutex);
+    batch.done_cv.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Drop exhausted batches from the front; their caller owns completion.
+    while (!batches_.empty() &&
+           batches_.front()->next.load(std::memory_order_relaxed) >=
+               batches_.front()->count)
+      batches_.pop_front();
+    if (batches_.empty()) {
+      if (stop_) return;
+      cv_.wait(lock);
+      continue;
+    }
+    const std::shared_ptr<Batch> batch = batches_.front();
+    lock.unlock();
+    while (run_one(*batch)) {
+    }
+    lock.lock();
+  }
+}
+
+void ThreadPool::run_indexed(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->count = count;
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batches_.push_back(batch);
+    }
+    cv_.notify_all();
+  }
+  // The caller helps until no index is left to claim...
+  while (run_one(*batch)) {
+  }
+  // ...then waits for tasks claimed by pool workers to finish.
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mutex);
+    batch->done_cv.wait(lock, [&] {
+      return batch->completed.load(std::memory_order_acquire) >= batch->count;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace avd::runtime

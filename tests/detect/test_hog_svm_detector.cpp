@@ -72,6 +72,28 @@ TEST_F(HogSvmDetectorTest, SaveLoadRoundTrip) {
   EXPECT_NEAR(back.decision(patch), model().decision(patch), 1e-4);
 }
 
+TEST_F(HogSvmDetectorTest, SaveRejectsWhitespaceNames) {
+  // The text header is whitespace-delimited and load() reads the name with
+  // >>, so "day model" would round-trip as name="day" with "model" parsed as
+  // the window width. Such names must be rejected at save time, not
+  // corrupted at load time.
+  for (const char* bad : {"day model", " day", "day\t", "du sk\n", "", " "}) {
+    HogSvmModel adversarial = model();
+    adversarial.name = bad;
+    std::stringstream ss;
+    EXPECT_THROW(adversarial.save(ss), std::invalid_argument)
+        << "name '" << bad << "' should be rejected";
+  }
+}
+
+TEST_F(HogSvmDetectorTest, PunctuatedNameRoundTrips) {
+  HogSvmModel odd = model();
+  odd.name = "day/v2.1_final-candidate";
+  std::stringstream ss;
+  odd.save(ss);
+  EXPECT_EQ(HogSvmModel::load(ss).name, odd.name);
+}
+
 TEST_F(HogSvmDetectorTest, LoadBadHeaderThrows) {
   std::stringstream ss("bogus");
   EXPECT_THROW(HogSvmModel::load(ss), std::runtime_error);

@@ -3,9 +3,20 @@
 #include <gtest/gtest.h>
 
 #include "avd/image/color.hpp"
+#include "avd/runtime/thread_pool.hpp"
 
 namespace avd::det {
 namespace {
+
+void expect_identical(const std::vector<Detection>& a,
+                      const std::vector<Detection>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].box, b[i].box) << "detection " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "detection " << i;  // bit-equal
+    EXPECT_EQ(a[i].class_id, b[i].class_id) << "detection " << i;
+  }
+}
 
 std::vector<Detection> filter_class(const std::vector<Detection>& dets,
                                     int class_id) {
@@ -154,6 +165,112 @@ TEST_F(MultiModelScanTest, RejectsEmptyAndUntrained) {
   EXPECT_THROW(
       (void)detect_multiscale_multi(img::ImageU8(128, 128), models, {}),
       std::invalid_argument);
+}
+
+TEST(WindowAnchorPositions, CoversTheEdgeWhenStrideDivides) {
+  EXPECT_EQ(window_anchor_positions(16, 8, 2),
+            (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(WindowAnchorPositions, ClampsFinalAnchorOffStride) {
+  // 31 cells, 8-cell window, stride 2: the last in-stride anchor is 22, but
+  // the edge window starts at 23 — previously skipped, now clamped in.
+  EXPECT_EQ(window_anchor_positions(31, 8, 2),
+            (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 23}));
+}
+
+TEST(WindowAnchorPositions, ExactFitYieldsSingleAnchor) {
+  EXPECT_EQ(window_anchor_positions(8, 8, 2), (std::vector<int>{0}));
+}
+
+TEST(WindowAnchorPositions, EmptyWhenWindowDoesNotFit) {
+  EXPECT_TRUE(window_anchor_positions(7, 8, 1).empty());
+  EXPECT_TRUE(window_anchor_positions(0, 8, 1).empty());
+  EXPECT_TRUE(window_anchor_positions(8, 0, 1).empty());
+  EXPECT_TRUE(window_anchor_positions(8, 8, 0).empty());
+}
+
+TEST(WindowAnchorPositions, NoDuplicateWhenLastStrideLandsOnEdge) {
+  EXPECT_EQ(window_anchor_positions(12, 8, 4), (std::vector<int>{0, 4}));
+}
+
+TEST_F(MultiModelScanTest, BlockGridScannerBitIdenticalToReference) {
+  // The tentpole guarantee: the block-grid scanner produces detection-for-
+  // detection identical output to the scalar per-window oracle — same boxes,
+  // bit-equal scores — with no pool.
+  const img::ImageU8 gray =
+      img::rgb_to_gray(data::render_scene(mixed_scene()));
+  const HogSvmModel* models[] = {&vehicle(), &animal()};
+  SlidingWindowParams params;
+  params.score_threshold = 0.0;
+  expect_identical(detect_multiscale_multi(gray, models, params),
+                   detect_multiscale_multi_reference(gray, models, params));
+}
+
+TEST_F(MultiModelScanTest, ParallelScanIdenticalForEveryPoolSize) {
+  // Determinism across thread counts: no pool, a zero-thread pool, and a
+  // 4-thread pool must all reproduce the reference exactly.
+  const img::ImageU8 gray =
+      img::rgb_to_gray(data::render_scene(mixed_scene()));
+  const HogSvmModel* models[] = {&vehicle(), &animal()};
+  SlidingWindowParams params;
+  params.score_threshold = 0.0;
+  const auto reference =
+      detect_multiscale_multi_reference(gray, models, params);
+
+  for (const int threads : {0, 1, 4}) {
+    runtime::ThreadPool pool(threads);
+    params.pool = &pool;
+    expect_identical(detect_multiscale_multi(gray, models, params), reference);
+  }
+}
+
+TEST_F(MultiModelScanTest, OffStrideGeometryStaysIdentical) {
+  // A frame whose cell grid is off-stride in both axes exercises the
+  // clamped edge anchors through both paths.
+  data::SceneSpec scene = mixed_scene();
+  scene.frame_size = {250, 150};
+  scene.vehicles[0].body = {30, 60, 70, 56};
+  scene.animals[0].body = {150, 70, 64, 48};
+  const img::ImageU8 gray = img::rgb_to_gray(data::render_scene(scene));
+  const HogSvmModel* models[] = {&vehicle(), &animal()};
+  SlidingWindowParams params;
+  params.score_threshold = 0.0;
+  params.stride_cells = 2;
+  runtime::ThreadPool pool(4);
+  params.pool = &pool;
+  expect_identical(detect_multiscale_multi(gray, models, params),
+                   detect_multiscale_multi_reference(gray, models, params));
+}
+
+TEST_F(MultiModelScanTest, FindsVehicleFlushAgainstFrameBorder) {
+  // Regression for the edge-skip bug: with stride 3 on a 250x150 frame
+  // (31x18 cells) the old loop's last anchors fell 2 cells short of the
+  // right edge and 1 short of the bottom, so a vehicle flush against the
+  // corner was never scanned at its own position. The clamped edge anchor
+  // covers it (IoU vs truth ~0.78; the best pre-fix window managed ~0.4).
+  data::SceneSpec scene;
+  scene.condition = data::LightingCondition::Day;
+  scene.frame_size = {250, 150};
+  scene.horizon_y = 48;
+  data::VehicleSpec v;
+  v.body = {186, 86, 64, 64};  // flush against right and bottom borders
+  scene.vehicles.push_back(v);
+  scene.noise_seed = 21;
+  const img::ImageU8 gray = img::rgb_to_gray(data::render_scene(scene));
+
+  const HogSvmModel* models[] = {&vehicle()};
+  SlidingWindowParams params;
+  params.score_threshold = 0.0;
+  params.stride_cells = 3;
+  const auto dets = detect_multiscale_multi(gray, models, params);
+
+  const MatchResult match =
+      match_detections(filter_class(dets, kClassVehicle),
+                       {scene.vehicles[0].body}, 0.5);
+  EXPECT_EQ(match.true_positives, 1);
+  expect_identical(dets,
+                   detect_multiscale_multi_reference(gray, models, params));
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+#include "avd/hog/block_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avd::hog {
+namespace {
+
+img::ImageU8 textured(int w, int h, int seed = 0) {
+  img::ImageU8 im(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      im(x, y) = static_cast<std::uint8_t>((x * 31 + y * 57 + seed * 13 + x * y) % 256);
+  return im;
+}
+
+TEST(BlockGrid, AnchorsAtEveryCellPosition) {
+  const CellGrid grid = compute_cell_grid(textured(96, 64), {});
+  const BlockGrid blocks = compute_block_grid(grid, {});
+  // 12x8 cells, 2x2 blocks anchored at every cell: 11x7 anchors.
+  EXPECT_EQ(blocks.anchors_x(), grid.cells_x() - 1);
+  EXPECT_EQ(blocks.anchors_y(), grid.cells_y() - 1);
+  EXPECT_EQ(blocks.block_len(), 4 * 9);
+}
+
+TEST(BlockGrid, TooSmallGridHasNoAnchors) {
+  const CellGrid grid = compute_cell_grid(textured(8, 8), {});
+  const BlockGrid blocks = compute_block_grid(grid, {});
+  EXPECT_EQ(blocks.anchors_x(), 0);
+  EXPECT_EQ(blocks.anchors_y(), 0);
+}
+
+TEST(BlockGrid, BlockIsL2HysOfGatheredCells) {
+  // A stored block must be exactly l2hys_normalise() of its cells gathered
+  // in (cell_y, cell_x) order — the window_descriptor layout.
+  const HogParams p;
+  const CellGrid grid = compute_cell_grid(textured(64, 64, 3), p);
+  const BlockGrid blocks = compute_block_grid(grid, p);
+  for (int ay : {0, 2, blocks.anchors_y() - 1}) {
+    for (int ax : {0, 3, blocks.anchors_x() - 1}) {
+      std::vector<float> manual;
+      for (int by = 0; by < p.block_cells; ++by)
+        for (int bx = 0; bx < p.block_cells; ++bx) {
+          const auto cell = grid.cell(ax + bx, ay + by);
+          manual.insert(manual.end(), cell.begin(), cell.end());
+        }
+      l2hys_normalise(manual, p.l2hys_clip);
+      const auto stored = blocks.block(ax, ay);
+      ASSERT_EQ(stored.size(), manual.size());
+      for (std::size_t i = 0; i < manual.size(); ++i)
+        EXPECT_EQ(stored[i], manual[i]) << "anchor (" << ax << "," << ay
+                                        << ") element " << i;
+    }
+  }
+}
+
+TEST(BlockGrid, WindowDescriptorBitIdenticalToCellGridPath) {
+  // The equivalence the whole scanner rests on: a descriptor assembled from
+  // precomputed blocks is bit-for-bit the per-window renormalising one.
+  const HogParams p;
+  const CellGrid grid = compute_cell_grid(textured(160, 96, 7), p);
+  const BlockGrid blocks = compute_block_grid(grid, p);
+
+  std::vector<float> from_cells, from_blocks;
+  for (const auto [cx, cy, cw, ch] :
+       {std::array{0, 0, 8, 8}, std::array{5, 3, 8, 8},
+        std::array{12, 4, 8, 8}, std::array{1, 1, 8, 6},
+        std::array{0, 2, 4, 4}, std::array{16, 8, 4, 4}}) {
+    window_descriptor(grid, p, cx, cy, cw, ch, from_cells);
+    window_descriptor(blocks, p, cx, cy, cw, ch, from_blocks);
+    ASSERT_EQ(from_cells.size(), from_blocks.size());
+    for (std::size_t i = 0; i < from_cells.size(); ++i)
+      EXPECT_EQ(from_cells[i], from_blocks[i])
+          << "window (" << cx << "," << cy << "," << cw << "," << ch
+          << ") element " << i;
+  }
+}
+
+TEST(BlockGrid, BitIdenticalWithStride2Blocks) {
+  // Odd-offset windows need the stride-1 anchors even when the block stride
+  // is 2: window blocks sit at cx + wbx*2, which is odd for odd cx.
+  HogParams p;
+  p.block_stride_cells = 2;
+  const CellGrid grid = compute_cell_grid(textured(128, 96, 9), p);
+  const BlockGrid blocks = compute_block_grid(grid, p);
+  std::vector<float> from_cells, from_blocks;
+  for (int cy : {0, 1, 3}) {
+    for (int cx : {0, 1, 5}) {
+      window_descriptor(grid, p, cx, cy, 8, 8, from_cells);
+      window_descriptor(blocks, p, cx, cy, 8, 8, from_blocks);
+      ASSERT_EQ(from_cells.size(), from_blocks.size());
+      for (std::size_t i = 0; i < from_cells.size(); ++i)
+        EXPECT_EQ(from_cells[i], from_blocks[i]);
+    }
+  }
+}
+
+TEST(BlockGrid, OutOfRangeWindowThrows) {
+  const CellGrid grid = compute_cell_grid(textured(64, 64), {});
+  const BlockGrid blocks = compute_block_grid(grid, {});
+  std::vector<float> out;
+  EXPECT_THROW(window_descriptor(blocks, {}, 4, 4, 8, 8, out),
+               std::out_of_range);
+  EXPECT_THROW(window_descriptor(blocks, {}, -1, 0, 4, 4, out),
+               std::out_of_range);
+  EXPECT_NO_THROW(window_descriptor(blocks, {}, 0, 0, 8, 8, out));
+}
+
+}  // namespace
+}  // namespace avd::hog

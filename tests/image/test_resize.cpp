@@ -68,6 +68,49 @@ TEST(ResizeNearest, UpscaleReplicatesPixels) {
   EXPECT_EQ(out(3, 0), 20);
 }
 
+TEST(ResizeNearest, IdentityWhenSameSize) {
+  const ImageU8 src = gradient_image(8, 6);
+  EXPECT_EQ(resize_nearest(src, src.size()), src);
+}
+
+TEST(ResizeNearest, DownscalePicksCentrePixels) {
+  // Golden align-centres mapping: 9 -> 3 maps output centres to source
+  // coordinates 1, 4, 7. The old top-left mapping picked 0, 3, 6 — shifted
+  // half a source pixel up-left of the bilinear convention.
+  ImageU8 src(9, 1);
+  for (int x = 0; x < 9; ++x) src(x, 0) = static_cast<std::uint8_t>(x * 10);
+  const ImageU8 out = resize_nearest(src, {3, 1});
+  EXPECT_EQ(out(0, 0), 10);
+  EXPECT_EQ(out(1, 0), 40);
+  EXPECT_EQ(out(2, 0), 70);
+}
+
+TEST(ResizeNearest, CentrePixelSurvivesCentredDownscale) {
+  // A mark at the exact centre of a 9x9 mask must land at the centre of the
+  // 3x3 output. Under the old mapping the samples fell at {0,3,6} and the
+  // centre pixel (4,4) vanished — masks drifted relative to the
+  // bilinear-resized frames they annotate (e.g. the dark pipeline's
+  // taillight mask).
+  ImageU8 src(9, 9, 0);
+  src(4, 4) = 255;
+  const ImageU8 out = resize_nearest(src, {3, 3});
+  EXPECT_EQ(out(1, 1), 255);
+  std::size_t set = 0;
+  for (auto v : out.pixels()) set += v != 0;
+  EXPECT_EQ(set, 1u);
+}
+
+TEST(ResizeNearest, AgreesWithBilinearOnConstantRegions) {
+  // On a piecewise-constant image both conventions sample the same source
+  // pixel for every output position, so the two resizers must agree exactly.
+  ImageU8 src(8, 8, 40);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 4; x < 8; ++x) src(x, y) = 200;
+  const ImageU8 nearest = resize_nearest(src, {4, 4});
+  const ImageU8 bilinear = resize_bilinear(src, {4, 4});
+  EXPECT_EQ(nearest, bilinear);
+}
+
 TEST(DownsampleBox, AveragesBlocks) {
   ImageU8 src(4, 2);
   // Left 2x2 block: 0,0,4,4 -> mean 2. Right block: all 100.

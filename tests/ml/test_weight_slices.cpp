@@ -1,0 +1,128 @@
+#include "avd/ml/weight_slices.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "avd/ml/svm.hpp"
+
+namespace avd::ml {
+namespace {
+
+LinearSvm make_svm(std::size_t dim, float bias = 0.25f) {
+  std::vector<float> w(dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    w[i] = static_cast<float>(i % 17) * 0.1f - 0.5f;
+  return LinearSvm(std::move(w), bias);
+}
+
+TEST(WeightSlices, SlicesPartitionTheWeights) {
+  const LinearSvm svm = make_svm(36 * 4);
+  const WeightSlices slices(svm, 36);
+  EXPECT_EQ(slices.block_count(), 4u);
+  EXPECT_EQ(slices.block_length(), 36u);
+  EXPECT_EQ(slices.bias(), svm.bias());
+  for (std::size_t b = 0; b < slices.block_count(); ++b) {
+    const auto s = slices.slice(b);
+    ASSERT_EQ(s.size(), 36u);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      EXPECT_EQ(s[i], svm.weights()[b * 36 + i]);
+  }
+}
+
+TEST(WeightSlices, StreamedAccumulationIsBitExactDecision) {
+  // The scanner's correctness hinges on this: summing per-block products
+  // left-to-right into ONE double accumulator performs the exact FP op
+  // sequence of LinearSvm::decision, so the scores are bit-equal, not just
+  // close.
+  const LinearSvm svm = make_svm(36 * 49, -1.75f);
+  const WeightSlices slices(svm, 36);
+  std::vector<float> x(svm.dimension());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<float>((i * 7919) % 1000) / 999.0f;
+
+  double acc = 0.0;
+  for (std::size_t b = 0; b < slices.block_count(); ++b)
+    slices.accumulate(b, std::span<const float>(x).subspan(b * 36, 36), acc);
+  const double streamed = acc + slices.bias();
+
+  EXPECT_EQ(streamed, svm.decision(x));
+}
+
+TEST(WeightSlices, LaneAccumulationBitExactPerLane) {
+  // accumulate_lanes scores several windows at once so their accumulator
+  // chains overlap, and it reads exact double conversions of the float
+  // operands; each lane must still produce the scalar path's result — lane
+  // j's streamed score equals decision(x_j) bit for bit.
+  constexpr int kLanes = 8;
+  const LinearSvm svm = make_svm(36 * 49, 0.5f);
+  const WeightSlices slices(svm, 36);
+  std::vector<std::vector<float>> windows(kLanes);
+  std::vector<std::vector<double>> windows_d(kLanes);
+  for (int j = 0; j < kLanes; ++j) {
+    windows[j].resize(svm.dimension());
+    for (std::size_t i = 0; i < windows[j].size(); ++i)
+      windows[j][i] =
+          static_cast<float>((i * 7919 + static_cast<std::size_t>(j) * 31) %
+                             1000) /
+          999.0f;
+    windows_d[j].assign(windows[j].begin(), windows[j].end());
+  }
+
+  double acc[kLanes] = {};
+  const double* vals[kLanes];
+  for (std::size_t b = 0; b < slices.block_count(); ++b) {
+    for (int j = 0; j < kLanes; ++j) vals[j] = windows_d[j].data() + b * 36;
+    slices.accumulate_lanes<kLanes>(b, vals, acc);
+  }
+  for (int j = 0; j < kLanes; ++j)
+    EXPECT_EQ(acc[j] + slices.bias(), svm.decision(windows[j])) << "lane " << j;
+}
+
+TEST(WeightSlices, StridedLaneAccumulationBitExactPerLane) {
+  // The constant-stride fast path (consecutive scan anchors) must produce
+  // the same bits as the pointer-table variant and the scalar decision.
+  constexpr int kLanes = 8;
+  const LinearSvm svm = make_svm(36 * 49, -0.125f);
+  const WeightSlices slices(svm, 36);
+  const std::size_t dim = svm.dimension();
+  std::vector<std::vector<float>> windows(kLanes);
+  std::vector<double> flat(kLanes * dim);  // lane j at flat[j * dim]
+  for (int j = 0; j < kLanes; ++j) {
+    windows[j].resize(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      windows[j][i] =
+          static_cast<float>((i * 271 + static_cast<std::size_t>(j) * 97) %
+                             1000) /
+          999.0f;
+      flat[static_cast<std::size_t>(j) * dim + i] = windows[j][i];
+    }
+  }
+
+  double acc[kLanes] = {};
+  for (std::size_t b = 0; b < slices.block_count(); ++b)
+    slices.accumulate_lanes_strided<kLanes>(b, flat.data() + b * 36, dim, acc);
+  for (int j = 0; j < kLanes; ++j)
+    EXPECT_EQ(acc[j] + slices.bias(), svm.decision(windows[j])) << "lane " << j;
+}
+
+TEST(WeightSlices, RejectsUntrainedSvm) {
+  EXPECT_THROW(WeightSlices(LinearSvm(), 36), std::invalid_argument);
+}
+
+TEST(WeightSlices, RejectsNonDividingBlockLength) {
+  const LinearSvm svm = make_svm(100);
+  EXPECT_THROW(WeightSlices(svm, 36), std::invalid_argument);
+  EXPECT_THROW(WeightSlices(svm, 0), std::invalid_argument);
+}
+
+TEST(WeightSlices, RejectsWrongValueLength) {
+  const LinearSvm svm = make_svm(72);
+  const WeightSlices slices(svm, 36);
+  const std::vector<float> wrong(35, 1.0f);
+  double acc = 0.0;
+  EXPECT_THROW(slices.accumulate(0, wrong, acc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avd::ml

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "avd/runtime/stream_server.hpp"
+#include "avd/runtime/thread_pool.hpp"
 
 namespace avd::runtime {
 namespace {
@@ -118,6 +119,38 @@ TEST(StreamServer, FourStreamsFourWorkersMatchSequentialExactly) {
     EXPECT_EQ(results[s].stream, static_cast<int>(s));
     EXPECT_EQ(results[s].backpressure_drops, 0u);
     expect_reports_identical(results[s].report, sequential,
+                             "stream " + std::to_string(s));
+  }
+}
+
+// One ThreadPool shared between the detect stage (scan_pool) and the
+// sliding-window scanner (sliding.pool): frame-level and scan-level
+// parallelism nest on the same threads, and every per-stream report still
+// matches the sequential single-threaded run bit for bit.
+TEST(StreamServer, SharedScanPoolMatchesSequentialExactly) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  ThreadPool pool(4);
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = true;
+  cfg.sliding.pool = &pool;
+  core::AdaptiveSystem system(models, cfg);
+
+  const std::vector<data::DriveSequence> streams = four_streams(4);
+
+  StreamServerConfig sc;
+  sc.detect_workers = 3;
+  sc.queue_capacity = 4;
+  sc.scan_pool = &pool;
+  StreamServer server(system, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  core::AdaptiveSystemConfig seq_cfg = cfg;
+  seq_cfg.sliding.pool = nullptr;  // fully sequential oracle
+  core::AdaptiveSystem sequential(models, seq_cfg);
+  ASSERT_EQ(results.size(), streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    EXPECT_EQ(results[s].backpressure_drops, 0u);
+    expect_reports_identical(results[s].report, sequential.run(streams[s]),
                              "stream " + std::to_string(s));
   }
 }
