@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "avd/obs/metrics.hpp"
 #include "avd/runtime/stream_server.hpp"
 #include "bench_report.hpp"
 
@@ -196,6 +197,16 @@ int main() {
     std::printf("stage metrics (4 streams x 4 workers):\n%s\n",
                 avd::runtime::metrics_to_json(server.metrics()).c_str());
   }
+  // Tail latency over every frame the benchmark served, from the always-on
+  // telemetry histogram the runtime feeds per frame. This is the headline
+  // latency number scripts/bench_diff guards against regressions.
+  const double p99_ms =
+      static_cast<double>(avd::obs::MetricsRegistry::global()
+                              .histogram("runtime.frame.latency_ns")
+                              .percentile_ns(0.99)) /
+      1e6;
+  std::printf("frame latency p99 (all served frames): %.3f ms\n\n", p99_ms);
+  report.metric("runtime.frame.latency_p99_ms", p99_ms, "ms", "lower");
   report.note("accel_model", "4 ms/frame simulated PL dispatch, 25 frames/segment");
   report.write();
   return 0;

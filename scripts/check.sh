@@ -35,9 +35,10 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/test_runtime
 ./build-tsan/tests/test_soc --gtest_filter='EventLog.*'
 ./build-tsan/tests/test_obs
-# The pooled block-grid scanner: levels/bands on a shared ThreadPool must be
-# race-free and deterministic (MultiModelScanTest covers pool-vs-reference).
-./build-tsan/tests/test_detect --gtest_filter='MultiModelScanTest.*:WindowAnchorPositions.*'
+# The pooled scanners: block-grid levels/bands and the batched dark scan on
+# a shared ThreadPool must be race-free and deterministic
+# (MultiModelScanTest and DarkScanPool cover pool-vs-reference).
+./build-tsan/tests/test_detect --gtest_filter='MultiModelScanTest.*:WindowAnchorPositions.*:DarkScanPool.*'
 
 echo "== smoke: profile_pipeline =="
 # The example traces a full serving run and exits non-zero itself if the
@@ -56,5 +57,22 @@ echo "== smoke: frame_slo_monitor =="
 # wrong; quick end-to-end coverage of the SLO monitoring path.
 ./build/examples/frame_slo_monitor "$SMOKE_JSONL" >/dev/null
 [[ -s "$SMOKE_JSONL" ]] || { echo "smoke: telemetry sink empty"; exit 1; }
+
+if [[ "$TSAN_ONLY" -eq 0 && "${AVD_SKIP_BENCH_DIFF:-0}" -ne 1 ]]; then
+  echo "== bench_diff: headline perf vs checked-in BENCH/ baseline =="
+  # Runs the headline benchmarks into a temp dir and fails on a >15%
+  # regression (5-point absolute slack for the obs overhead percentages)
+  # against the committed trajectory in BENCH/. Skip on known-noisy boxes
+  # with AVD_SKIP_BENCH_DIFF=1; re-baseline intentional perf changes with
+  #   scripts/bench_diff BENCH "$dir" --update
+  cmake --build build -j "$JOBS" --target \
+    scan_throughput dark_scan_throughput runtime_scaling obs_overhead
+  BENCH_OUT="$(mktemp -d -t avd_bench_XXXX)"
+  trap 'rm -f "$SMOKE_TRACE" "$SMOKE_JSONL"; rm -rf "$BENCH_OUT"' EXIT
+  for b in scan_throughput dark_scan_throughput runtime_scaling obs_overhead; do
+    AVD_BENCH_DIR="$BENCH_OUT" "./build/bench/$b" >/dev/null
+  done
+  scripts/bench_diff BENCH "$BENCH_OUT"
+fi
 
 echo "== all checks passed =="

@@ -57,6 +57,11 @@ AdaptiveSystem::AdaptiveSystem(SystemModels models, AdaptiveSystemConfig config)
     : models_(std::move(models)),
       config_(config),
       platform_(soc::default_platform()) {
+  // Both detector front ends share the one scan pool: the HOG scanner takes
+  // it per call (sliding.pool), the dark detector's batched gather/score
+  // tasks through set_scan_pool. Identical detections for every pool size
+  // either way.
+  models_.dark.set_scan_pool(config_.sliding.pool);
   const soc::DeviceResources device;
   const soc::ModuleResources partition = soc::floorplan_partition(
       soc::dark_blocks(), device, config_.floorplan);

@@ -22,8 +22,13 @@ const char* to_string(TaillightClass c) {
 
 img::ImageU8 render_taillight_shape(TaillightClass cls, ml::Rng& rng) {
   img::ImageU8 win(kTaillightWindow, kTaillightWindow, 0);
-  const int cx = kTaillightWindow / 2 + rng.uniform_int(-1, 1);
-  const int cy = kTaillightWindow / 2 + rng.uniform_int(-1, 1);
+  // Jitter matches deployment: the dark scan slides stride-2 windows whose
+  // centres sweep the whole blob, so a lamp appears up to ~2 px off-centre
+  // in real scan windows. Train with the same offset range or off-centre
+  // covering windows systematically vote "not taillight" and dilute the
+  // per-blob posterior average.
+  const int cx = kTaillightWindow / 2 + rng.uniform_int(-2, 2);
+  const int cy = kTaillightWindow / 2 + rng.uniform_int(-2, 2);
 
   switch (cls) {
     case TaillightClass::SmallRound: {

@@ -19,6 +19,10 @@
 #include "avd/ml/dbn.hpp"
 #include "avd/ml/svm.hpp"
 
+namespace avd::runtime {
+class ThreadPool;  // avd/runtime/thread_pool.hpp
+}
+
 namespace avd::det {
 
 struct DarkDetectorConfig {
@@ -39,7 +43,20 @@ struct DarkDetectorConfig {
   int pair_max_dy = 10;    ///< max vertical misalignment
   double pair_svm_threshold = 0.0;
   double nms_iou = 0.3;
+
+  /// Max windows per Dbn::posterior_batch call in the batched dark scan.
+  /// Detections are identical for every value (the batched forward is
+  /// bit-exact per row); this only sizes the activation working set.
+  int batch_windows = 256;
 };
+
+/// Window anchors over the half-open span [begin, end): begin, begin+stride,
+/// ... plus a final anchor clamped to end-win when the stride does not land
+/// on it — the dark-scan twin of window_anchor_positions' border fix, so a
+/// blob region's right/bottom edge is always covered by a window. Empty when
+/// the window does not fit or the stride is non-positive.
+[[nodiscard]] std::vector<int> dark_window_anchors(int begin, int end, int win,
+                                                   int stride);
 
 /// One detected taillight candidate (coordinates in the downsampled frame).
 struct TaillightDetection {
@@ -65,8 +82,19 @@ class DarkVehicleDetector {
   /// Stages 1-2: binary candidate mask in downsampled coordinates.
   [[nodiscard]] img::ImageU8 preprocess(const img::RgbImage& frame) const;
 
-  /// Stage 3: sliding-DBN taillight detection on the binary mask.
+  /// Stage 3: sliding-DBN taillight detection on the binary mask, batched:
+  /// every stride-2 window of every blob neighbourhood is gathered into one
+  /// packed patch matrix, scored through Dbn::posterior_batch (single GEMMs
+  /// per layer), then scattered back into per-blob posterior aggregates.
+  /// Identical detections to detect_taillights_reference for every
+  /// batch_windows value and every scan-pool size (test-enforced).
   [[nodiscard]] std::vector<TaillightDetection> detect_taillights(
+      const img::ImageU8& binary) const;
+
+  /// Stage 3, per-window reference: one Dbn::posterior call per window —
+  /// the retained correctness oracle the batched path must reproduce
+  /// detection-for-detection.
+  [[nodiscard]] std::vector<TaillightDetection> detect_taillights_reference(
       const img::ImageU8& binary) const;
 
   /// Stage 4: pair taillights, returning vehicle boxes in *downsampled*
@@ -85,10 +113,19 @@ class DarkVehicleDetector {
   [[nodiscard]] const ml::Dbn& dbn() const { return dbn_; }
   [[nodiscard]] const ml::LinearSvm& pairing_svm() const { return pairing_svm_; }
 
+  /// Optional pool the batched scan spreads its gather and batch-score work
+  /// across (nullptr = calling thread only). Share the ONE process scan pool
+  /// (SlidingWindowParams::pool / StreamServerConfig::scan_pool); results
+  /// merge in canonical blob order, so detections are identical for every
+  /// pool size. Not owned.
+  void set_scan_pool(runtime::ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] runtime::ThreadPool* scan_pool() const { return pool_; }
+
  private:
   ml::Dbn dbn_;
   ml::LinearSvm pairing_svm_;
   DarkDetectorConfig config_;
+  runtime::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace avd::det

@@ -1,6 +1,8 @@
 #include "avd/image/blobs.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace avd::img {
@@ -37,14 +39,14 @@ struct Accumulator {
   }
 };
 
-}  // namespace
-
-LabelResult label_components(const ImageU8& mask, Connectivity conn,
-                             long long min_area) {
-  LabelResult result;
-  result.labels = Image<std::int32_t>(mask.width(), mask.height(), 0);
-  if (mask.empty()) return result;
-
+/// The scan + BFS core shared by label_components and find_blobs. `labels`
+/// must be all-zero on entry. When `touched` is non-null, every labelled
+/// point (accepted or rejected) is appended to it, so a caller with a
+/// reusable scratch label image can undo exactly the writes instead of
+/// clearing the whole image.
+void scan_components(const ImageU8& mask, Connectivity conn,
+                     long long min_area, Image<std::int32_t>& labels,
+                     std::vector<Blob>& blobs, std::vector<Point>* touched) {
   static constexpr Point kN4[] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
   static constexpr Point kN8[] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
                                   {1, 1},  {1, -1}, {-1, 1}, {-1, -1}};
@@ -54,15 +56,36 @@ LabelResult label_components(const ImageU8& mask, Connectivity conn,
 
   std::vector<Point> queue;
   std::int32_t next_label = 1;
+  const int w = mask.width();
+  const std::uint8_t* pixels = mask.pixels().data();
 
   for (int sy = 0; sy < mask.height(); ++sy) {
-    for (int sx = 0; sx < mask.width(); ++sx) {
-      if (mask(sx, sy) == 0 || result.labels(sx, sy) != 0) continue;
+    const std::uint8_t* row = pixels + static_cast<std::size_t>(sy) * w;
+    int sx = 0;
+    while (sx < w) {
+      // Candidate masks are overwhelmingly background: skip zero runs eight
+      // bytes at a time before falling back to the per-pixel checks.
+      if (row[sx] == 0) {
+        if (sx + 8 <= w) {
+          std::uint64_t word;
+          std::memcpy(&word, row + sx, sizeof word);
+          if (word == 0) {
+            sx += 8;
+            continue;
+          }
+        }
+        ++sx;
+        continue;
+      }
+      if (labels(sx, sy) != 0) {
+        ++sx;
+        continue;
+      }
 
       Accumulator acc({sx, sy});
       queue.clear();
       queue.push_back({sx, sy});
-      result.labels(sx, sy) = next_label;
+      labels(sx, sy) = next_label;
       std::size_t head = 0;
       while (head < queue.size()) {
         const Point p = queue[head++];
@@ -71,28 +94,53 @@ LabelResult label_components(const ImageU8& mask, Connectivity conn,
           const int nx = p.x + d.x;
           const int ny = p.y + d.y;
           if (!mask.in_bounds(nx, ny)) continue;
-          if (mask(nx, ny) == 0 || result.labels(nx, ny) != 0) continue;
-          result.labels(nx, ny) = next_label;
+          if (mask(nx, ny) == 0 || labels(nx, ny) != 0) continue;
+          labels(nx, ny) = next_label;
           queue.push_back({nx, ny});
         }
       }
 
+      if (touched != nullptr)
+        touched->insert(touched->end(), queue.begin(), queue.end());
       if (acc.area >= min_area) {
-        result.blobs.push_back(acc.to_blob());
+        blobs.push_back(acc.to_blob());
         ++next_label;
       } else {
         // Erase the labels of the rejected component so the label image stays
         // consistent with the blob list (blob i <-> label i+1).
-        for (const Point p : queue) result.labels(p.x, p.y) = 0;
+        for (const Point p : queue) labels(p.x, p.y) = 0;
       }
+      ++sx;
     }
   }
+}
+
+}  // namespace
+
+LabelResult label_components(const ImageU8& mask, Connectivity conn,
+                             long long min_area) {
+  LabelResult result;
+  result.labels = Image<std::int32_t>(mask.width(), mask.height(), 0);
+  if (mask.empty()) return result;
+  scan_components(mask, conn, min_area, result.labels, result.blobs, nullptr);
   return result;
 }
 
 std::vector<Blob> find_blobs(const ImageU8& mask, Connectivity conn,
                              long long min_area) {
-  return label_components(mask, conn, min_area).blobs;
+  if (mask.empty()) return {};
+  // Hot path (the dark scan calls this per frame): reuse a per-thread label
+  // image and reset only the points the scan actually wrote, so steady-state
+  // cost scales with the foreground, not the frame area.
+  static thread_local Image<std::int32_t> scratch;
+  static thread_local std::vector<Point> touched;
+  if (scratch.size() != mask.size())
+    scratch = Image<std::int32_t>(mask.width(), mask.height(), 0);
+  touched.clear();
+  std::vector<Blob> blobs;
+  scan_components(mask, conn, min_area, scratch, blobs, &touched);
+  for (const Point p : touched) scratch(p.x, p.y) = 0;
+  return blobs;
 }
 
 }  // namespace avd::img

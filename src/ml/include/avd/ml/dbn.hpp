@@ -33,6 +33,14 @@ struct DbnTrainReport {
   double final_train_accuracy = 0.0;
 };
 
+/// Preallocated per-layer activation buffers for Dbn::posterior_batch.
+/// Owned by the caller, one per scoring thread: a scratch reused across
+/// calls makes the batched forward allocation-free once warm. The buffers
+/// are resized on demand, so one scratch serves any batch size.
+struct DbnBatchScratch {
+  std::vector<std::vector<float>> activations;  ///< one buffer per RBM layer
+};
+
 /// A feed-forward classifier net built from pre-trained RBM layers.
 class Dbn {
  public:
@@ -50,6 +58,19 @@ class Dbn {
   [[nodiscard]] std::vector<float> posterior(std::span<const float> x) const;
   /// argmax class.
   [[nodiscard]] int predict(std::span<const float> x) const;
+
+  /// Batched posteriors: `xs` holds `batch` input rows of input_size()
+  /// floats, row-major; writes batch x classes() posteriors into `out`
+  /// (row r = P(c|xs row r)). Every RBM layer and the softmax head run as
+  /// one GEMM over the whole batch (ml::gemm), reusing `scratch`'s
+  /// activation buffers. Bit-exactness: row r equals posterior(row r)
+  /// exactly, for every batch size — the gemm contract guarantees each
+  /// element's FP op sequence matches the per-vector path.
+  void posterior_batch(std::span<const float> xs, int batch,
+                       DbnBatchScratch& scratch, std::span<float> out) const;
+  /// Convenience overload allocating its own scratch and output.
+  [[nodiscard]] std::vector<float> posterior_batch(std::span<const float> xs,
+                                                   int batch) const;
 
   /// Phase 1: greedy unsupervised pre-training on unlabelled inputs.
   void pretrain(std::span<const std::vector<float>> data,

@@ -1,0 +1,23 @@
+// Batched activation kernels, split out of linalg.cpp so this TU can be
+// built with the auto-vectoriser fully on: fast_expf is branch-free
+// element-wise arithmetic, so the sigmoid loop vectorises to the machine's
+// SIMD width here while scalar callers (the per-window DBN path) inline the
+// identical per-element op sequence — results are bit-equal either way.
+// linalg.cpp keeps its own flag set, tuned for the GEMM microkernel.
+#include "avd/ml/linalg.hpp"
+
+namespace avd::ml {
+
+void sigmoid_inplace(std::span<float> v) {
+  for (float& x : v) x = sigmoidf(x);
+}
+
+void softmax_rows(std::span<float> data, std::size_t cols) {
+  if (cols == 0) throw std::invalid_argument("softmax_rows: zero columns");
+  if (data.size() % cols != 0)
+    throw std::invalid_argument("softmax_rows: size not a multiple of cols");
+  for (std::size_t r = 0; r * cols < data.size(); ++r)
+    softmax(data.subspan(r * cols, cols));
+}
+
+}  // namespace avd::ml

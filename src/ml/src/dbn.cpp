@@ -49,6 +49,42 @@ std::vector<float> Dbn::posterior(std::span<const float> x) const {
   return logits;
 }
 
+void Dbn::posterior_batch(std::span<const float> xs, int batch,
+                          DbnBatchScratch& scratch, std::span<float> out) const {
+  if (batch < 0) throw std::invalid_argument("Dbn::posterior_batch: batch < 0");
+  const auto rows = static_cast<std::size_t>(batch);
+  if (xs.size() != rows * static_cast<std::size_t>(input_size()))
+    throw std::invalid_argument("Dbn::posterior_batch: input size mismatch");
+  if (out.size() != rows * static_cast<std::size_t>(classes_))
+    throw std::invalid_argument("Dbn::posterior_batch: output size mismatch");
+  if (batch == 0) return;
+
+  scratch.activations.resize(rbms_.size());
+  std::span<const float> prev = xs;
+  for (std::size_t l = 0; l < rbms_.size(); ++l) {
+    const Rbm& rbm = rbms_[l];
+    const auto nh = static_cast<std::size_t>(rbm.hidden());
+    std::vector<float>& act = scratch.activations[l];
+    act.resize(rows * nh);
+    gemm(prev, rows, static_cast<std::size_t>(rbm.visible()),
+         rbm.weights().data(), nh, rbm.hidden_bias(), act);
+    sigmoid_inplace(act);
+    prev = act;
+  }
+  gemm(prev, rows, static_cast<std::size_t>(layer_sizes_.back()),
+       head_w_.data(), static_cast<std::size_t>(classes_), head_b_, out);
+  softmax_rows(out, static_cast<std::size_t>(classes_));
+}
+
+std::vector<float> Dbn::posterior_batch(std::span<const float> xs,
+                                        int batch) const {
+  std::vector<float> out(static_cast<std::size_t>(batch) *
+                         static_cast<std::size_t>(classes_));
+  DbnBatchScratch scratch;
+  posterior_batch(xs, batch, scratch, out);
+  return out;
+}
+
 int Dbn::predict(std::span<const float> x) const {
   const auto p = posterior(x);
   return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());

@@ -1,0 +1,108 @@
+#include "avd/ml/linalg.hpp"
+
+#include <algorithm>
+
+namespace avd::ml {
+
+namespace {
+
+void validate_gemm(std::span<const float> a, std::size_t m, std::size_t k,
+                   std::span<const float> b, std::size_t n,
+                   std::span<const float> bias, std::span<float> c) {
+  if (a.size() != m * k) throw std::invalid_argument("gemm: A size mismatch");
+  if (b.size() != n * k) throw std::invalid_argument("gemm: B size mismatch");
+  if (c.size() != m * n) throw std::invalid_argument("gemm: C size mismatch");
+  if (!bias.empty() && bias.size() != n)
+    throw std::invalid_argument("gemm: bias size mismatch");
+}
+
+// Register-blocked microkernel: an IR x JR tile of C lives entirely in
+// registers while k streams through once. B is pre-packed k-major (all
+// neurons' weight k side by side per k), so the j-inner loop reads
+// contiguous floats and auto-vectorises — the accumulators are *different* C
+// elements, so vectorising across j reorders nothing within any element's
+// sum. Per element the loop is still bias-first, k-ascending float adds:
+// gemm_reference's exact op sequence.
+template <int IR, int JR>
+void microkernel(const float* __restrict a, std::size_t lda, std::size_t k,
+                 const float* __restrict pack, std::size_t n,
+                 const float* __restrict bias, float* __restrict c,
+                 std::size_t ldc) {
+  float acc[IR][JR];
+  for (int i = 0; i < IR; ++i)
+    for (int j = 0; j < JR; ++j) acc[i][j] = bias == nullptr ? 0.0f : bias[j];
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* __restrict bp = pack + kk * n;
+    for (int i = 0; i < IR; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * lda + kk];
+      for (int j = 0; j < JR; ++j) acc[i][j] += av * bp[j];
+    }
+  }
+  for (int i = 0; i < IR; ++i)
+    for (int j = 0; j < JR; ++j)
+      c[static_cast<std::size_t>(i) * ldc + j] = acc[i][j];
+}
+
+/// One IR-row block of C: full 8-wide column tiles, then a 4-wide tile, then
+/// scalar columns for the remainder.
+template <int IR>
+void row_block(const float* __restrict a, std::size_t k,
+               const float* __restrict pack, std::size_t n,
+               const float* __restrict bias, float* __restrict c) {
+  std::size_t j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8)
+    microkernel<IR, 8>(a, k, k, pack + j0, n,
+                       bias == nullptr ? nullptr : bias + j0, c + j0, n);
+  for (; j0 + 4 <= n; j0 += 4)
+    microkernel<IR, 4>(a, k, k, pack + j0, n,
+                       bias == nullptr ? nullptr : bias + j0, c + j0, n);
+  for (; j0 < n; ++j0)
+    microkernel<IR, 1>(a, k, k, pack + j0, n,
+                       bias == nullptr ? nullptr : bias + j0, c + j0, n);
+}
+
+}  // namespace
+
+void gemm_reference(std::span<const float> a, std::size_t m, std::size_t k,
+                    std::span<const float> b, std::size_t n,
+                    std::span<const float> bias, std::span<float> c) {
+  validate_gemm(a, m, k, b, n, bias, c);
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* ar = a.data() + r * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* br = b.data() + j * k;
+      float acc = bias.empty() ? 0.0f : bias[j];
+      for (std::size_t kk = 0; kk < k; ++kk) acc += ar[kk] * br[kk];
+      c[r * n + j] = acc;
+    }
+  }
+}
+
+void gemm(std::span<const float> a, std::size_t m, std::size_t k,
+          std::span<const float> b, std::size_t n,
+          std::span<const float> bias, std::span<float> c) {
+  validate_gemm(a, m, k, b, n, bias, c);
+  if (m == 0 || n == 0) return;
+
+  // Pack B k-major once per call: row kk holds every neuron's kk-th weight,
+  // so the microkernel's j loop is a contiguous, vectorisable read. The
+  // buffer is per-thread and reused across calls — allocation-free once the
+  // scoring thread is warm (the batched dark scan calls gemm per layer per
+  // chunk).
+  static thread_local std::vector<float> packed;
+  packed.resize(k * n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t kk = 0; kk < k; ++kk)
+      packed[kk * n + j] = b[j * k + kk];
+
+  const float* bias_ptr = bias.empty() ? nullptr : bias.data();
+  std::size_t r0 = 0;
+  for (; r0 + 4 <= m; r0 += 4)
+    row_block<4>(a.data() + r0 * k, k, packed.data(), n, bias_ptr,
+                 c.data() + r0 * n);
+  for (; r0 < m; ++r0)
+    row_block<1>(a.data() + r0 * k, k, packed.data(), n, bias_ptr,
+                 c.data() + r0 * n);
+}
+
+}  // namespace avd::ml

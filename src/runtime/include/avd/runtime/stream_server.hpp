@@ -94,8 +94,9 @@ struct StreamServerConfig {
   double simulated_accel_ms = 0.0;
   /// When set, the detect stage's workers run as cooperative tasks on this
   /// pool instead of dedicated std::threads — install the SAME pool as
-  /// core::AdaptiveSystemConfig::sliding.pool so frame-level parallelism and
-  /// the scanner's level/band parallelism share one set of OS threads
+  /// core::AdaptiveSystemConfig::sliding.pool so frame-level parallelism,
+  /// the HOG scanner's level/band parallelism and the dark scan's blob
+  /// gather + DBN batch scoring all share one set of OS threads
   /// instead of oversubscribing. The pool is caller-helping, so detect
   /// throughput never drops below one worker even on a zero-thread pool;
   /// per-stream results stay bit-identical either way. Not owned.

@@ -11,7 +11,7 @@ TrainingBudget tiny_budget() {
   TrainingBudget b;
   b.vehicle_pos = b.vehicle_neg = 40;
   b.pedestrian_pos = b.pedestrian_neg = 30;
-  b.dbn_windows_per_class = 60;
+  b.dbn_windows_per_class = 90;
   b.pairing_scenes = 30;
   return b;
 }

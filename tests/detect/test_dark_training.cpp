@@ -7,9 +7,9 @@ namespace {
 
 DarkTrainingSpec fast_spec() {
   DarkTrainingSpec spec;
-  spec.windows.per_class = 130;
+  spec.windows.per_class = 200;
   spec.dbn.pretrain.epochs = 12;
-  spec.dbn.finetune_epochs = 35;
+  spec.dbn.finetune_epochs = 50;
   spec.pairing_scenes = 50;
   return spec;
 }

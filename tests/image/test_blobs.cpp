@@ -108,6 +108,66 @@ TEST(Blobs, ExtentOfSparseDiagonal) {
   EXPECT_NEAR(blobs[0].extent(), 5.0 / 25.0, 1e-12);
 }
 
+TEST(Blobs, MinAreaBoundaryIsInclusive) {
+  // Exactly min_area survives; min_area - 1 is dropped.
+  ImageU8 mask(10, 10, 0);
+  for (int x = 0; x < 3; ++x) mask(x, 1) = 255;  // area 3
+  for (int x = 5; x < 7; ++x) mask(x, 5) = 255;  // area 2
+  const auto blobs = find_blobs(mask, Connectivity::Eight, 3);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].area, 3);
+  EXPECT_EQ(find_blobs(mask, Connectivity::Eight, 4).size(), 0u);
+  EXPECT_EQ(find_blobs(mask, Connectivity::Eight, 2).size(), 2u);
+}
+
+TEST(Blobs, AntiDiagonalStaircaseConnectivity) {
+  // A down-left staircase touches only corner-to-corner: one blob under
+  // 8-connectivity, one blob per pixel under 4-connectivity.
+  ImageU8 mask(8, 8, 0);
+  for (int i = 0; i < 5; ++i) mask(6 - i, i) = 255;
+  EXPECT_EQ(find_blobs(mask, Connectivity::Eight).size(), 1u);
+  EXPECT_EQ(find_blobs(mask, Connectivity::Four).size(), 5u);
+}
+
+TEST(Blobs, TJunctionIsOneBlobUnderBothConnectivities) {
+  ImageU8 mask(7, 7, 0);
+  for (int x = 1; x < 6; ++x) mask(x, 2) = 255;
+  for (int y = 2; y < 6; ++y) mask(3, y) = 255;
+  EXPECT_EQ(find_blobs(mask, Connectivity::Four).size(), 1u);
+  EXPECT_EQ(find_blobs(mask, Connectivity::Eight).size(), 1u);
+}
+
+TEST(Blobs, BorderTouchingBlobsKeepTightBoxes) {
+  // Blobs flush with every frame edge: the labelling must not clip or wrap.
+  ImageU8 mask(12, 9, 0);
+  mask(0, 0) = 255;                                // top-left corner
+  for (int x = 10; x < 12; ++x) mask(x, 4) = 255;  // right edge
+  for (int y = 7; y < 9; ++y) mask(5, y) = 255;    // bottom edge
+  mask(11, 8) = 255;                               // bottom-right corner
+  const auto blobs = find_blobs(mask);
+  ASSERT_EQ(blobs.size(), 4u);
+  EXPECT_EQ(blobs[0].bbox, (Rect{0, 0, 1, 1}));
+  EXPECT_EQ(blobs[1].bbox, (Rect{10, 4, 2, 1}));
+  EXPECT_EQ(blobs[2].bbox, (Rect{5, 7, 1, 2}));
+  EXPECT_EQ(blobs[3].bbox, (Rect{11, 8, 1, 1}));
+  EXPECT_DOUBLE_EQ(blobs[1].centroid_x, 10.5);
+  EXPECT_DOUBLE_EQ(blobs[1].centroid_y, 4.0);
+}
+
+TEST(Blobs, CentroidOfLShape) {
+  // L pentomino: pixels (2,2),(2,3),(2,4),(3,4),(4,4).
+  ImageU8 mask(8, 8, 0);
+  for (int y = 2; y <= 4; ++y) mask(2, y) = 255;
+  for (int x = 3; x <= 4; ++x) mask(x, 4) = 255;
+  const auto blobs = find_blobs(mask);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].bbox, (Rect{2, 2, 3, 3}));
+  EXPECT_EQ(blobs[0].area, 5);
+  EXPECT_DOUBLE_EQ(blobs[0].centroid_x, (2 + 2 + 2 + 3 + 4) / 5.0);
+  EXPECT_DOUBLE_EQ(blobs[0].centroid_y, (2 + 3 + 4 + 4 + 4) / 5.0);
+  EXPECT_NEAR(blobs[0].extent(), 5.0 / 9.0, 1e-12);
+}
+
 // Property sweep: the sum of blob areas equals the number of set pixels for
 // any min_area of 1, for several pseudo-random densities.
 class BlobConservation : public ::testing::TestWithParam<int> {};

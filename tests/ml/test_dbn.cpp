@@ -161,6 +161,59 @@ TEST(Dbn, LoadBadHeaderThrows) {
   EXPECT_THROW(Dbn::load(ss), std::runtime_error);
 }
 
+TEST(Dbn, PosteriorBatchBitEqualsPerWindowPosterior) {
+  const QuadrantData train = quadrant_data(60, 55);
+  Dbn dbn({16, 8, 5}, 4, 13);
+  dbn.train(train.inputs, train.labels, fast_params());
+
+  for (const int batch : {1, 2, 7, 60}) {
+    std::vector<float> xs;
+    for (int r = 0; r < batch; ++r)
+      xs.insert(xs.end(), train.inputs[r].begin(), train.inputs[r].end());
+    const std::vector<float> out = dbn.posterior_batch(xs, batch);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(batch) * 4);
+    for (int r = 0; r < batch; ++r) {
+      const auto want = dbn.posterior(train.inputs[r]);
+      for (std::size_t c = 0; c < want.size(); ++c)
+        EXPECT_EQ(out[r * 4 + c], want[c])
+            << "batch " << batch << " row " << r << " class " << c;
+    }
+  }
+}
+
+TEST(Dbn, PosteriorBatchScratchReuseAcrossBatchSizes) {
+  const Dbn dbn({16, 6, 4}, 4, 3);
+  DbnBatchScratch scratch;
+  for (const int batch : {5, 1, 9}) {  // shrink and grow the same scratch
+    const std::vector<float> xs(static_cast<std::size_t>(batch) * 16, 0.25f);
+    std::vector<float> out(static_cast<std::size_t>(batch) * 4);
+    dbn.posterior_batch(xs, batch, scratch, out);
+    const auto want = dbn.posterior(std::vector<float>(16, 0.25f));
+    for (int r = 0; r < batch; ++r)
+      for (std::size_t c = 0; c < want.size(); ++c)
+        EXPECT_EQ(out[r * 4 + c], want[c]);
+  }
+}
+
+TEST(Dbn, PosteriorBatchValidatesSizes) {
+  const Dbn dbn({16, 6, 4}, 4);
+  DbnBatchScratch scratch;
+  std::vector<float> out(8);
+  const std::vector<float> xs(32, 0.0f);
+  EXPECT_THROW(dbn.posterior_batch(xs, -1, scratch, out),
+               std::invalid_argument);
+  EXPECT_THROW(dbn.posterior_batch(std::span<const float>(xs).first(31), 2,
+                                   scratch, out),
+               std::invalid_argument);
+  EXPECT_THROW(dbn.posterior_batch(xs, 2, scratch,
+                                   std::span<float>(out).first(7)),
+               std::invalid_argument);
+  // Zero rows is a valid no-op.
+  std::vector<float> empty_out;
+  dbn.posterior_batch({}, 0, scratch, empty_out);
+  EXPECT_TRUE(dbn.posterior_batch({}, 0).empty());
+}
+
 TEST(Dbn, PaperShapedNetworkTrains) {
   // The exact architecture of §III-B: 81 -> 20 -> 8 -> 4.
   Dbn dbn({81, 20, 8}, 4, 7);

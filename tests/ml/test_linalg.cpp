@@ -1,0 +1,125 @@
+#include "avd/ml/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace avd::ml {
+namespace {
+
+// Deterministic pseudo-random fill (xorshift) so the GEMM tests exercise
+// irregular values without depending on ml::Rng.
+std::vector<float> random_values(std::size_t n, std::uint64_t seed) {
+  std::vector<float> v(n);
+  std::uint64_t s = seed * 2654435761u + 1;
+  for (auto& x : v) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    x = static_cast<float>(static_cast<double>(s % 20001) / 10000.0 - 1.0);
+  }
+  return v;
+}
+
+void expect_gemm_matches_reference(std::size_t m, std::size_t k,
+                                   std::size_t n, bool with_bias) {
+  const std::vector<float> a = random_values(m * k, 11 + m);
+  const std::vector<float> b = random_values(n * k, 23 + n);
+  const std::vector<float> bias =
+      with_bias ? random_values(n, 37 + k) : std::vector<float>{};
+  std::vector<float> want(m * n, -123.0f), got(m * n, 321.0f);
+  gemm_reference(a, m, k, b, n, bias, want);
+  gemm(a, m, k, b, n, bias, got);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    // Bit-for-bit, not approximately: the blocked kernel must preserve the
+    // reference op sequence per element.
+    EXPECT_EQ(want[i], got[i]) << "element " << i << " of " << m << "x" << k
+                               << "x" << n;
+  }
+}
+
+TEST(Gemm, ReferenceComputesBiasPlusRowDots) {
+  // 2x3 times (2x3)^T: hand-checkable.
+  const std::vector<float> a{1, 2, 3, 4, 5, 6};
+  const std::vector<float> b{1, 0, 1, 0, 1, 0};
+  const std::vector<float> bias{10, 20};
+  std::vector<float> c(4);
+  gemm_reference(a, 2, 3, b, 2, bias, c);
+  EXPECT_FLOAT_EQ(c[0], 10 + 1 + 3);  // bias[0] + a0.b0
+  EXPECT_FLOAT_EQ(c[1], 20 + 2);      // bias[1] + a0.b1
+  EXPECT_FLOAT_EQ(c[2], 10 + 4 + 6);
+  EXPECT_FLOAT_EQ(c[3], 20 + 5);
+}
+
+TEST(Gemm, EmptyBiasMeansZero) {
+  const std::vector<float> a{2, 3};
+  const std::vector<float> b{4, 5};
+  std::vector<float> c(1, 99.0f);
+  gemm(a, 1, 2, b, 1, {}, c);
+  EXPECT_FLOAT_EQ(c[0], 2 * 4 + 3 * 5);
+}
+
+TEST(Gemm, BitIdenticalToReferenceAcrossShapes) {
+  // Shapes straddling the tile boundaries (kMc/kNc = 64, kKc = 256):
+  // smaller, exact multiples, and ragged remainders in every dimension.
+  expect_gemm_matches_reference(1, 1, 1, true);
+  expect_gemm_matches_reference(3, 81, 20, true);    // dark-scan layer 0 shape
+  expect_gemm_matches_reference(64, 64, 64, true);   // exact tiles
+  expect_gemm_matches_reference(65, 257, 66, true);  // ragged in all dims
+  expect_gemm_matches_reference(7, 300, 5, false);   // k spans two panels
+  expect_gemm_matches_reference(130, 19, 3, true);   // many row tiles
+}
+
+TEST(Gemm, SizeMismatchThrows) {
+  std::vector<float> a(6), b(6), bias(2), c(4);
+  EXPECT_THROW(gemm(std::span<const float>(a).subspan(1), 2, 3, b, 2, bias, c),
+               std::invalid_argument);
+  EXPECT_THROW(gemm(a, 2, 3, std::span<const float>(b).first(5), 2, bias, c),
+               std::invalid_argument);
+  EXPECT_THROW(gemm(a, 2, 3, b, 2, std::span<const float>(bias).first(1), c),
+               std::invalid_argument);
+  EXPECT_THROW(gemm(a, 2, 3, b, 2, bias, std::span<float>(c).first(3)),
+               std::invalid_argument);
+  EXPECT_THROW(gemm_reference(a, 2, 3, b, 2, bias,
+                              std::span<float>(c).first(3)),
+               std::invalid_argument);
+}
+
+TEST(SigmoidInplace, MatchesScalarSigmoid) {
+  std::vector<float> v = random_values(100, 5);
+  const std::vector<float> orig = v;
+  sigmoid_inplace(v);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(v[i], sigmoidf(orig[i]));
+  std::vector<float> empty;
+  sigmoid_inplace(empty);  // no-op, no crash
+}
+
+TEST(SoftmaxRows, MatchesPerRowSoftmax) {
+  std::vector<float> batch = random_values(6 * 4, 9);
+  std::vector<float> rows = batch;
+  softmax_rows(batch, 4);
+  for (std::size_t r = 0; r < 6; ++r) {
+    std::span<float> row(rows.data() + r * 4, 4);
+    softmax(row);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(batch[r * 4 + c], row[c]);
+      sum += batch[r * 4 + c];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxRows, ValidatesShape) {
+  std::vector<float> v(7);
+  EXPECT_THROW(softmax_rows(v, 0), std::invalid_argument);
+  EXPECT_THROW(softmax_rows(v, 4), std::invalid_argument);  // 7 % 4 != 0
+  std::vector<float> empty;
+  softmax_rows(empty, 3);  // zero rows is fine
+}
+
+}  // namespace
+}  // namespace avd::ml
