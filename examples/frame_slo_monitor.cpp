@@ -136,8 +136,11 @@ int main(int argc, char** argv) {
   if (const std::optional<avd::obs::json::Value> doc =
           avd::obs::json::parse(last)) {
     if (const avd::obs::json::Value* counters = doc->find("counters")) {
+      // Per-stream series carry a stream label; the telemetry thread rolls
+      // labeled series up into the fleet-wide base name before sampling.
       for (const char* key :
-           {"runtime.stream0.frames", "runtime.stream0.deadline_miss"}) {
+           {"runtime.frames{stream=\"0\"}",
+            "runtime.deadline_miss{stream=\"0\"}", "runtime.frames"}) {
         const avd::obs::json::Value* v = counters->find(key);
         std::printf("  final %s = %.0f\n", key, v != nullptr ? v->number : 0.0);
         if (v == nullptr) fail("final telemetry window missing SLO counter");

@@ -14,6 +14,7 @@
 // runs it as a smoke test.
 //
 //   build/examples/profile_pipeline [trace.json]
+#include <chrono>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -157,6 +158,84 @@ int main(int argc, char** argv) {
               flow_finishes);
   if (flow_starts < frames) fail("exported trace is missing frame flow arcs");
   if (flow_starts != flow_finishes) fail("unbalanced flow start/finish events");
+
+  // --- Flight recorder: force a breach, validate the dumped bundle. ---
+  // A tiny second serve with an impossible frame budget trips the SLO
+  // monitor to UNHEALTHY; the server dumps its flight bundle next to the
+  // trace (CI uploads both). The bundle must parse, carry the transition,
+  // and hold the breaching frames' connected chains.
+  {
+    const std::size_t slash = trace_path.rfind('/');
+    avd::runtime::StreamServerConfig fc;
+    fc.detect_workers = 2;
+    fc.simulated_accel_ms = 1.0;
+    fc.slo.enabled = true;
+    fc.slo.frame_budget_ms = 1e-4;  // 100 ns: every frame breaches
+    fc.slo.telemetry_period = std::chrono::milliseconds(1);
+    fc.slo.hysteresis.breaches_to_worsen = 1;
+    fc.slo.hysteresis.clears_to_recover = 1000;
+    fc.slo.flight_dump_dir =
+        slash == std::string::npos ? "." : trace_path.substr(0, slash);
+    avd::runtime::StreamServer breach_server(system, fc);
+
+    std::vector<avd::data::DriveSequence> short_streams;
+    avd::data::SequenceSpec spec =
+        avd::data::DriveSequence::canonical_drive({320, 180}, 6);
+    spec.seed = 77;
+    short_streams.emplace_back(spec);
+
+    tracer.clear();
+    tracer.set_enabled(true);
+    breach_server.serve_sequences(short_streams);
+    tracer.set_enabled(false);
+    tracer.clear();
+
+    const std::string& bundle_path = breach_server.last_flight_bundle_path();
+    if (bundle_path.empty()) {
+      fail("forced SLO breach produced no flight bundle");
+    } else {
+      std::FILE* f = std::fopen(bundle_path.c_str(), "rb");
+      std::string text;
+      if (f != nullptr) {
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+          text.append(buf, n);
+        std::fclose(f);
+      }
+      const std::optional<avd::obs::json::Value> bundle =
+          avd::obs::json::parse(text);
+      if (!bundle.has_value()) {
+        fail("flight bundle is not valid JSON");
+      } else {
+        const avd::obs::json::Value* transitions =
+            bundle->find("slo_transitions");
+        if (transitions == nullptr || transitions->array.empty())
+          fail("flight bundle carries no SLO transitions");
+        std::size_t bundled_chains = 0;
+        if (const avd::obs::json::Value* bstreams = bundle->find("streams")) {
+          for (const auto& [id, entry] : bstreams->object) {
+            const avd::obs::json::Value* bframes = entry.find("frames");
+            if (bframes == nullptr) continue;
+            for (const avd::obs::json::Value& frame : bframes->array) {
+              const avd::obs::json::Value* connected =
+                  frame.find("connected");
+              if (connected == nullptr || !connected->boolean)
+                fail("flight bundle frame chain not connected");
+              const avd::obs::json::Value* fspans = frame.find("spans");
+              if (fspans != nullptr && !fspans->array.empty())
+                ++bundled_chains;
+            }
+          }
+        }
+        if (bundled_chains == 0)
+          fail("flight bundle holds no frame chains");
+        std::printf("flight bundle: %s (%zu chains, %zu transitions)\n",
+                    bundle_path.c_str(), bundled_chains,
+                    transitions != nullptr ? transitions->array.size() : 0);
+      }
+    }
+  }
 
   std::printf("\nself-check: %s\n", ok ? "ok" : "FAILED");
   return ok ? 0 : 1;

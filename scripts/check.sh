@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo check: the tier-1 build + test gate, then a ThreadSanitizer build of
-# the concurrency-bearing tests (avd::runtime, avd::obs, the shared
-# EventLog), then a profiling smoke test that fails on an empty or invalid
-# merged trace.
+# the concurrency-bearing tests (avd::runtime, avd::obs — including the
+# labeled registry, trace sampler and flight recorder suites — and the
+# shared EventLog), then a profiling smoke test that fails on an empty or
+# invalid merged trace or a missing flight bundle.
 #
 #   scripts/check.sh            # full tier-1 + TSan + profiling smoke
 #   scripts/check.sh --tsan-only
@@ -43,14 +44,19 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 echo "== smoke: profile_pipeline =="
 # The example traces a full serving run and exits non-zero itself if the
 # merged Chrome trace is empty, invalid JSON, missing a layer's spans, or
-# missing the per-frame flow arcs / connected frame-trace chains.
+# missing the per-frame flow arcs / connected frame-trace chains. It also
+# forces an SLO breach and validates the flight-recorder bundle the server
+# dumps next to the trace.
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target profile_pipeline frame_slo_monitor
-SMOKE_TRACE="$(mktemp -t avd_profile_XXXX.json)"
-SMOKE_JSONL="$(mktemp -t avd_slo_XXXX.jsonl)"
-trap 'rm -f "$SMOKE_TRACE" "$SMOKE_JSONL"' EXIT
+SMOKE_DIR="$(mktemp -d -t avd_smoke_XXXX)"
+SMOKE_TRACE="$SMOKE_DIR/pipeline_profile.json"
+SMOKE_JSONL="$SMOKE_DIR/frame_slo_telemetry.jsonl"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
 ./build/examples/profile_pipeline "$SMOKE_TRACE" >/dev/null
 [[ -s "$SMOKE_TRACE" ]] || { echo "smoke: trace file empty"; exit 1; }
+ls "$SMOKE_DIR"/flight_bundle_*.json >/dev/null 2>&1 \
+  || { echo "smoke: no flight bundle dumped"; exit 1; }
 
 echo "== smoke: frame_slo_monitor =="
 # Exits non-zero itself if health states or the telemetry JSONL sink are
@@ -68,7 +74,7 @@ if [[ "$TSAN_ONLY" -eq 0 && "${AVD_SKIP_BENCH_DIFF:-0}" -ne 1 ]]; then
   cmake --build build -j "$JOBS" --target \
     scan_throughput dark_scan_throughput runtime_scaling obs_overhead
   BENCH_OUT="$(mktemp -d -t avd_bench_XXXX)"
-  trap 'rm -f "$SMOKE_TRACE" "$SMOKE_JSONL"; rm -rf "$BENCH_OUT"' EXIT
+  trap 'rm -rf "$SMOKE_DIR" "$BENCH_OUT"' EXIT
   for b in scan_throughput dark_scan_throughput runtime_scaling obs_overhead; do
     AVD_BENCH_DIR="$BENCH_OUT" "./build/bench/$b" >/dev/null
   done

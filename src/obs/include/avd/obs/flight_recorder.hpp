@@ -1,0 +1,86 @@
+// Black-box flight recorder: the last N frames of evidence, dumped on
+// breach.
+//
+// At fleet scale nobody is watching one stream's dashboards when it goes
+// unhealthy; by the time a human looks, the interesting frames have been
+// overwritten in the tracer rings and the telemetry window has moved on.
+// FlightRecorder keeps a bounded ring of recent evidence per stream —
+// assembled frame chains, telemetry rows, SLO health transitions and the
+// serving configuration — and dump() emits all of it as one self-contained
+// JSON bundle that obs::json parses and a human can debug from, with no
+// access to the process that produced it.
+//
+// The runtime wires it to the existing health-callback path: a transition to
+// Unhealthy requests a dump, which StreamServer finalises once writers have
+// quiesced (so the breaching frame's chain is complete in the bundle).
+//
+// Thread safety: every member takes one internal mutex; record_* calls may
+// race each other and dump().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "avd/obs/frame_trace.hpp"
+#include "avd/obs/slo.hpp"
+
+namespace avd::obs {
+
+struct FlightRecorderConfig {
+  /// Frame chains kept per stream id (oldest evicted).
+  std::size_t max_frames_per_stream = 32;
+  /// Telemetry rows kept (oldest evicted).
+  std::size_t max_telemetry_rows = 64;
+  /// SLO transitions kept (oldest evicted).
+  std::size_t max_transitions = 128;
+};
+
+/// Bounded rings of recent frames/telemetry/transitions, dumpable as one
+/// JSON bundle. See file comment for the wiring.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config = {})
+      : config_(config) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Serving configuration to embed in bundles, as a JSON object. Embedded
+  /// verbatim when it parses; otherwise embedded as an escaped string so
+  /// the bundle stays parseable regardless.
+  void set_config_json(std::string config_json);
+
+  /// Remember one assembled chain, keyed by its stream id (-1 when the
+  /// chain carried no stream arg).
+  void record_frame(const FrameTrace& frame);
+
+  /// Remember one telemetry JSONL row (one JSON object, no newline).
+  void record_telemetry_row(std::string row_json);
+
+  /// Remember one SLO health transition.
+  void record_transition(const HealthTransition& transition);
+
+  /// The whole ring as one JSON bundle:
+  /// {"reason":...,"config":...,"streams":{"<id>":{"frames":[...]}},
+  ///  "telemetry":[...],"slo_transitions":[...]}
+  [[nodiscard]] std::string dump(std::string_view reason) const;
+
+  /// dump() straight to a file; false when the file cannot be written.
+  bool dump_to_file(const std::string& path, std::string_view reason) const;
+
+  [[nodiscard]] std::uint64_t frames_recorded() const;
+
+ private:
+  const FlightRecorderConfig config_;
+  mutable std::mutex mutex_;
+  std::string config_json_;
+  std::map<std::int64_t, std::deque<FrameTrace>> frames_;  ///< by stream id
+  std::deque<std::string> telemetry_;
+  std::deque<HealthTransition> transitions_;
+  std::uint64_t frames_recorded_ = 0;
+};
+
+}  // namespace avd::obs

@@ -54,4 +54,12 @@ struct FrameTrace {
 [[nodiscard]] std::vector<FrameTrace> assemble_frame_traces(
     std::span<const SpanRecord> spans);
 
+/// One span as a JSON object (name, source, timestamps, link ids, args);
+/// parses with obs::json. Used by the flight recorder's bundles.
+[[nodiscard]] std::string to_json(const SpanRecord& span);
+
+/// One chain as a JSON object: identity, derived shape (critical path,
+/// connectedness) and the full span list.
+[[nodiscard]] std::string to_json(const FrameTrace& trace);
+
 }  // namespace avd::obs

@@ -39,4 +39,10 @@ struct Value {
   return parse(text).has_value();
 }
 
+/// Escape `s` for use inside a JSON string literal (quotes not included):
+/// the emitters' shared counterpart of parse(). Control characters become
+/// \uXXXX, quote/backslash and the common whitespace escapes their short
+/// forms.
+[[nodiscard]] std::string escape(std::string_view s);
+
 }  // namespace avd::obs::json

@@ -3,6 +3,12 @@
 // the runtime's per-stage StageMetrics (which keeps its API and publishes
 // into a registry) and the simulation's ARM-performance-counter reads.
 //
+// Series can carry a label dimension (stream=<id>, later shard=<id>):
+// labels flatten into the registry name via labeled_name(), each labeled
+// series is an ordinary lock-free metric, and an explicit rollup() folds
+// every label family into the unlabeled series of the same base name so
+// per-stream and fleet views export side by side at O(series) cost.
+//
 // Thread safety: every mutator is a relaxed atomic operation, safe and cheap
 // from any thread. Registry lookups (counter()/gauge()/histogram()) take a
 // mutex — resolve them once and keep the returned reference; entries are
@@ -22,12 +28,41 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 namespace avd::obs {
+
+/// One label dimension of a metric series, as sorted key/value pairs
+/// (`{{"stream", "3"}}`; later `{{"shard", "1"}, {"stream", "3"}}`). Labels
+/// are flattened into the series' registry name by labeled_name(), so a
+/// labeled series costs exactly what an unlabeled one does after the
+/// one-time lookup: resolve the reference once, mutate relaxed atomics.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical flat rendering of a labeled series: `name{k="v",...}` with keys
+/// sorted and sanitised to [a-zA-Z0-9_] and values escaped (\\ \" \n). This
+/// string is simultaneously the registry key, the JSON object key and — via
+/// parse_labeled_name — the Prometheus series identity, so every view of a
+/// labeled metric agrees on what it is. Braces in `name` itself are mapped
+/// to '_' to keep the rendering unambiguous. Empty labels return `name`
+/// unchanged.
+[[nodiscard]] std::string labeled_name(std::string_view name, Labels labels);
+
+/// A flat series name split back into base name + unescaped labels.
+struct ParsedSeriesName {
+  std::string base;
+  Labels labels;
+};
+
+/// Inverse of labeled_name: nullopt when `flat` is not a strict labeled
+/// rendering (no '{', bad key syntax, bad escape, trailing characters) — in
+/// which case it is a plain unlabeled name.
+[[nodiscard]] std::optional<ParsedSeriesName> parse_labeled_name(
+    std::string_view flat);
 
 /// Monotonically increasing event count.
 class Counter {
@@ -36,6 +71,10 @@ class Counter {
   [[nodiscard]] std::uint64_t value() const {
     return v_.load(std::memory_order_relaxed);
   }
+  /// Overwrite the value. Not for instrumentation (counters are monotone to
+  /// their writers) — this is how rollup() folds labeled children into the
+  /// base series.
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
   void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -122,6 +161,10 @@ class Histogram {
 
   [[nodiscard]] HistogramSummary summary() const;
 
+  /// Add every bin/count/sum of `other` into this histogram (max is joined).
+  /// Relaxed adds, so concurrent readers see the usual approximate state.
+  void merge_from(const Histogram& other);
+
   void reset();
 
   [[nodiscard]] static int bin_index(std::uint64_t ns);
@@ -180,6 +223,25 @@ class MetricsRegistry {
   [[nodiscard]] Gauge& gauge(const std::string& name);
   [[nodiscard]] Histogram& histogram(const std::string& name);
 
+  /// Labeled lookups: find-or-create the series labeled_name(name, labels).
+  /// Same contract as the unlabeled forms — resolve once (the lookup takes
+  /// the registry mutex and builds the flat name), then mutate the returned
+  /// reference lock-free from any thread.
+  [[nodiscard]] Counter& counter(const std::string& name, const Labels& labels);
+  [[nodiscard]] Gauge& gauge(const std::string& name, const Labels& labels);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     const Labels& labels);
+
+  /// Fold every labeled series into the unlabeled series of its base name:
+  /// `runtime.frames{stream="0"}` + `runtime.frames{stream="1"}` overwrite
+  /// `runtime.frames` (counters and gauges sum; histograms merge bins), so
+  /// exports carry the per-stream and the fleet view side by side. The base
+  /// series is created on demand and *overwritten* on every rollup — do not
+  /// mix direct writes to a base name with labeled children of the same
+  /// name. O(series) under the registry mutex; labeled writers are never
+  /// blocked (their references bypass the map).
+  void rollup();
+
   /// Zero every value. Registrations (and therefore references handed out
   /// by counter()/gauge()/histogram()) survive.
   void reset_values();
@@ -193,12 +255,16 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
 
   /// Prometheus text exposition format: counters and gauges as-is,
-  /// histograms as summaries (quantile series + _sum + _count). Names are
-  /// sanitised to [a-zA-Z0-9_:] with other characters mapped to '_'; when
-  /// two raw names sanitise to the same series name, later ones get a
-  /// numeric suffix (_2, _3, ...) instead of silently colliding. Every
-  /// series carries # HELP (the raw name, so the sanitisation stays
-  /// reversible by a human) and # TYPE lines.
+  /// histograms as summaries (quantile series + _sum + _count). Labeled
+  /// series (labeled_name renderings) are split back into base name +
+  /// label set: the base is sanitised, the label values re-escaped for the
+  /// exposition (\\ \" \n), and every series of one family (same raw base,
+  /// any labels) shares one sanitised name, one # HELP and one # TYPE
+  /// line. Base names are sanitised to [a-zA-Z0-9_:] with other characters
+  /// mapped to '_'; when two raw bases sanitise to the same family name,
+  /// later ones get a numeric suffix (_2, _3, ...) instead of silently
+  /// colliding. # HELP carries the raw base name, so the sanitisation
+  /// stays reversible by a human.
   [[nodiscard]] std::string to_prometheus() const;
 
  private:

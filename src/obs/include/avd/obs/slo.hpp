@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -115,5 +116,18 @@ class SloMonitor {
     const std::string& prefix, double deadline_miss_degraded = 0.05,
     double deadline_miss_unhealthy = 0.25, double drop_rate_degraded = 0.01,
     double drop_rate_unhealthy = 0.10);
+
+/// Same rules over the labeled series `runtime.frames{stream="<id>"}` etc. —
+/// the form the StreamServer publishes since per-stream metrics moved from
+/// name prefixes to a label dimension.
+[[nodiscard]] std::vector<SloRule> standard_stream_rules_labeled(
+    std::int64_t stream_id, double deadline_miss_degraded = 0.05,
+    double deadline_miss_unhealthy = 0.25, double drop_rate_degraded = 0.01,
+    double drop_rate_unhealthy = 0.10);
+
+/// Fleet rollup of per-stream health: the worst state present (Healthy when
+/// `states` is empty). One saturated stream therefore surfaces in the fleet
+/// view no matter how many healthy neighbours it has.
+[[nodiscard]] HealthState worst_of(std::span<const HealthState> states);
 
 }  // namespace avd::obs

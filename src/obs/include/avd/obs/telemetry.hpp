@@ -15,7 +15,10 @@
 // so telemetry rows line up with trace spans in post-processing.
 //
 // JSONL schema, one sample per line (parses with obs::json):
-//   {"t_ns":<u64>,"counters":{...},"gauges":{...},"histograms":{...}}
+//   {"t_ns":<u64>,"seq":<u64>,"counters":{...},"gauges":{...},
+//    "histograms":{...}}
+// `seq` increases by exactly 1 per row: a consumer can detect reordering or
+// duplication in transport even after the in-memory ring has evicted rows.
 #pragma once
 
 #include <chrono>
@@ -36,6 +39,7 @@ namespace avd::obs {
 /// One row of the telemetry time series.
 struct TelemetrySample {
   std::uint64_t t_ns = 0;  ///< Tracer::global().now_ns() at snapshot time
+  std::uint64_t seq = 0;   ///< 0-based sample index, gapless per exporter
   MetricsSnapshot metrics;
 };
 
@@ -50,6 +54,10 @@ struct TelemetryConfig {
   std::size_t ring_capacity = 512;
   /// Append-only JSONL sink; empty = in-memory only.
   std::string jsonl_path;
+  /// Fold labeled series into their base names (MetricsRegistry::rollup())
+  /// right before each snapshot, so every row carries the per-stream and the
+  /// fleet view. O(series) on the exporter thread, zero on the hot path.
+  bool rollup_before_sample = false;
   /// Invoked on the exporter thread after each sample lands, with the
   /// previous sample (nullptr on the first) and the new one — the hook the
   /// SLO monitor evaluates windows from. Keep it cheap; it blocks sampling.

@@ -1,0 +1,128 @@
+// Tail-based trace sampling: keep the frames that matter, aggregate the
+// rest.
+//
+// The tracer records every span into per-thread rings; at fleet scale
+// (hundreds of streams) exporting every frame's chain is unbounded in both
+// memory and export volume. TraceSampler sits between the rings and any
+// export: assembled frame chains (obs::assemble_frame_traces) are *retained*
+// only when
+//
+//  * the chain was marked interesting (the runtime marks deadline misses and
+//    SLO breaches by trace id, before or after ingest),
+//  * its critical path exceeded the configured deadline, or
+//  * it falls on the head-sample grid (every Nth frame), keeping a baseline
+//    of healthy frames for comparison.
+//
+// Every span of every frame — retained or not — feeds per-span-name
+// SpanStats aggregates, so the sampler's steady-state footprint is O(span
+// names), not O(frames), while still accounting for 100% of frames.
+//
+// Thread safety: all members take one internal mutex. mark_interesting() is
+// cheap and safe from collector threads mid-run; ingest() expects chains
+// assembled from quiesced tracer rings (the usual drain()/snapshot()
+// contract) but may itself run concurrently with marking.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "avd/obs/frame_trace.hpp"
+
+namespace avd::obs {
+
+/// Latency/count aggregate over every observed span of one name.
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+
+  [[nodiscard]] double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) / static_cast<double>(count);
+  }
+};
+
+/// Why one frame chain was retained.
+enum class RetainReason {
+  Marked,      ///< mark_interesting(trace_id) — deadline miss / SLO breach
+  SlowChain,   ///< critical_path_ns() > deadline_ns
+  HeadSample,  ///< on the every-Nth baseline grid
+};
+
+[[nodiscard]] const char* to_string(RetainReason r);
+
+/// One retained chain plus its retention cause.
+struct RetainedFrame {
+  FrameTrace trace;
+  RetainReason reason = RetainReason::Marked;
+};
+
+struct TraceSamplerConfig {
+  /// Retain chains whose critical path exceeds this (0 disables the rule).
+  std::uint64_t deadline_ns = 0;
+  /// Retain every Nth ingested frame as a healthy baseline (0 disables).
+  std::uint64_t head_sample_every = 0;
+  /// Bounded FIFO of retained chains; the oldest is evicted when full.
+  std::size_t max_retained = 256;
+};
+
+class TraceSampler {
+ public:
+  // Both out of line: NameAgg is incomplete here.
+  explicit TraceSampler(TraceSamplerConfig config = {});
+  ~TraceSampler();
+  TraceSampler(const TraceSampler&) = delete;
+  TraceSampler& operator=(const TraceSampler&) = delete;
+
+  /// Flag one chain for retention regardless of latency — the runtime calls
+  /// this when a frame misses its deadline or trips an SLO rule. Marks must
+  /// precede the chain's ingest (the runtime marks mid-run as frames
+  /// complete and ingests once writers quiesce, so this holds naturally); a
+  /// chain already ingested unretained has had its spans folded into
+  /// SpanStats and cannot be resurrected.
+  void mark_interesting(std::uint64_t trace_id);
+
+  /// Account every frame into SpanStats and retain the interesting ones.
+  /// Chains come from assemble_frame_traces over quiesced rings.
+  void ingest(std::span<const FrameTrace> frames);
+
+  /// Retained chains, oldest first.
+  [[nodiscard]] std::vector<RetainedFrame> retained() const;
+  /// Aggregates, sorted by span name.
+  [[nodiscard]] std::vector<SpanStats> stats() const;
+
+  [[nodiscard]] std::uint64_t frames_seen() const;
+  [[nodiscard]] std::uint64_t frames_retained() const;
+  [[nodiscard]] std::uint64_t spans_seen() const;
+  /// Retained chains evicted because the FIFO was full.
+  [[nodiscard]] std::uint64_t retained_evicted() const;
+
+  [[nodiscard]] TraceSamplerConfig config() const { return config_; }
+
+ private:
+  struct NameAgg;  // span-name aggregate (histogram-backed)
+
+  void retain_locked(const FrameTrace& frame, RetainReason reason);
+
+  const TraceSamplerConfig config_;
+  mutable std::mutex mutex_;
+  std::set<std::uint64_t> marked_;  ///< ids flagged, consumed at ingest
+  std::deque<RetainedFrame> retained_;
+  std::vector<std::unique_ptr<NameAgg>> aggs_;  ///< sorted by span name
+  std::uint64_t frames_seen_ = 0;
+  std::uint64_t frames_retained_ = 0;
+  std::uint64_t spans_seen_ = 0;
+  std::uint64_t retained_evicted_ = 0;
+};
+
+}  // namespace avd::obs

@@ -1,0 +1,100 @@
+#include "avd/obs/flight_recorder.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "avd/obs/json.hpp"
+
+namespace avd::obs {
+
+void FlightRecorder::set_config_json(std::string config_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_json_ = std::move(config_json);
+}
+
+void FlightRecorder::record_frame(const FrameTrace& frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& ring = frames_[frame.stream];
+  ring.push_back(frame);
+  while (ring.size() > config_.max_frames_per_stream) ring.pop_front();
+  ++frames_recorded_;
+}
+
+void FlightRecorder::record_telemetry_row(std::string row_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  telemetry_.push_back(std::move(row_json));
+  while (telemetry_.size() > config_.max_telemetry_rows)
+    telemetry_.pop_front();
+}
+
+void FlightRecorder::record_transition(const HealthTransition& transition) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  transitions_.push_back(transition);
+  while (transitions_.size() > config_.max_transitions)
+    transitions_.pop_front();
+}
+
+std::string FlightRecorder::dump(std::string_view reason) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"reason\":\"" << json::escape(reason) << "\",\"config\":";
+  // Embed verbatim only when it really is JSON; never let a caller's typo
+  // make the whole bundle unparseable.
+  if (!config_json_.empty() && json::valid(config_json_))
+    os << config_json_;
+  else if (config_json_.empty())
+    os << "null";
+  else
+    os << '"' << json::escape(config_json_) << '"';
+  os << ",\"streams\":{";
+  bool first_stream = true;
+  for (const auto& [stream, ring] : frames_) {
+    if (!first_stream) os << ',';
+    first_stream = false;
+    os << '"' << stream << "\":{\"frames\":[";
+    bool first = true;
+    for (const FrameTrace& f : ring) {
+      if (!first) os << ',';
+      first = false;
+      os << to_json(f);
+    }
+    os << "]}";
+  }
+  os << "},\"telemetry\":[";
+  bool first = true;
+  for (const std::string& row : telemetry_) {
+    if (!first) os << ',';
+    first = false;
+    if (json::valid(row))
+      os << row;
+    else
+      os << '"' << json::escape(row) << '"';
+  }
+  os << "],\"slo_transitions\":[";
+  first = true;
+  for (const HealthTransition& t : transitions_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"entity\":\"" << json::escape(t.entity) << "\",\"from\":\""
+       << to_string(t.from) << "\",\"to\":\"" << to_string(t.to)
+       << "\",\"t_ns\":" << t.t_ns << ",\"reason\":\""
+       << json::escape(t.reason) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path,
+                                  std::string_view reason) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << dump(reason) << '\n';
+  return out.good();
+}
+
+std::uint64_t FlightRecorder::frames_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_recorded_;
+}
+
+}  // namespace avd::obs

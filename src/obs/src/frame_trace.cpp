@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 #include <unordered_map>
+
+#include "avd/obs/json.hpp"
 
 namespace avd::obs {
 
@@ -54,6 +57,43 @@ std::vector<FrameTrace> assemble_frame_traces(
                                     : a.trace_id < b.trace_id;
   });
   return out;
+}
+
+std::string to_json(const SpanRecord& span) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json::escape(span.name != nullptr ? span.name : "")
+     << "\",\"source\":\""
+     << json::escape(span.source != nullptr ? span.source : "")
+     << "\",\"begin_ns\":" << span.begin_ns << ",\"end_ns\":" << span.end_ns
+     << ",\"thread\":" << span.thread << ",\"trace_id\":" << span.trace_id
+     << ",\"span_id\":" << span.span_id
+     << ",\"parent_span_id\":" << span.parent_span_id << ",\"args\":{";
+  for (int i = 0; i < span.arg_count; ++i) {
+    if (i != 0) os << ',';
+    const SpanArg& a = span.args[i];
+    os << '"' << json::escape(a.name != nullptr ? a.name : "")
+       << "\":" << a.value;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string to_json(const FrameTrace& trace) {
+  std::ostringstream os;
+  os << "{\"trace_id\":" << trace.trace_id << ",\"stream\":" << trace.stream
+     << ",\"frame\":" << trace.frame << ",\"begin_ns\":" << trace.begin_ns
+     << ",\"end_ns\":" << trace.end_ns
+     << ",\"critical_path_ns\":" << trace.critical_path_ns()
+     << ",\"connected\":" << (trace.connected() ? "true" : "false")
+     << ",\"spans\":[";
+  bool first = true;
+  for (const SpanRecord& s : trace.spans) {
+    if (!first) os << ',';
+    first = false;
+    os << to_json(s);
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace avd::obs

@@ -1,5 +1,6 @@
 #include "avd/obs/json.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace avd::obs::json {
@@ -212,6 +213,29 @@ const Value* Value::find(std::string_view key) const {
 
 std::optional<Value> parse(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  char buf[8];
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace avd::obs::json

@@ -1,11 +1,13 @@
 #include "avd/obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cctype>
-#include <cstdio>
 #include <limits>
 #include <set>
 #include <sstream>
+
+#include "avd/obs/json.hpp"
 
 namespace avd::obs {
 namespace {
@@ -21,25 +23,24 @@ void append_double(std::ostringstream& os, double v) {
 
 // Metric names are user-supplied strings and may contain anything; escape
 // them like any other JSON string value.
-std::string json_escape(const std::string& s) {
+std::string json_escape(const std::string& s) { return json::escape(s); }
+
+bool label_key_char_ok(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_';
+  return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+}
+
+// Label values use the Prometheus escape set, which labeled_name() shares:
+// backslash, double-quote and newline. Everything else passes through.
+std::string escape_label_value(std::string_view v) {
   std::string out;
-  out.reserve(s.size() + 8);
-  char buf[8];
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
   }
   return out;
 }
@@ -89,6 +90,62 @@ class PrometheusNamer {
   std::set<std::string> taken_;
 };
 
+// Every series of one family — same raw base name within one section
+// (counter/gauge/histogram), any label set — shares one exposition name,
+// claimed once on first sight. Sections are distinct keys so a counter and a
+// gauge with the same raw base still diverge (x / x_2), exactly as before
+// labels existed.
+class FamilyNamer {
+ public:
+  const std::string& family(int section, const std::string& raw_base,
+                            bool reserve_summary_suffixes) {
+    const auto key = std::make_pair(section, raw_base);
+    auto it = families_.find(key);
+    if (it == families_.end())
+      it = families_
+               .emplace(key, namer_.unique(raw_base, reserve_summary_suffixes))
+               .first;
+    return it->second;
+  }
+
+ private:
+  PrometheusNamer namer_;
+  std::map<std::pair<int, std::string>, std::string> families_;
+};
+
+// A flat registry name resolved for exposition: the family's sanitised name
+// plus the inner label block ('stream="0"', no braces; empty when the series
+// is unlabeled), with label values re-escaped for the exposition format.
+struct ResolvedSeries {
+  std::string family;
+  std::string raw_base;  // pre-sanitisation name, for # HELP
+  std::string label_block;
+};
+
+ResolvedSeries resolve_series(FamilyNamer& namer, int section,
+                              const std::string& flat_name,
+                              bool reserve_summary_suffixes) {
+  ResolvedSeries out;
+  if (auto parsed = parse_labeled_name(flat_name)) {
+    out.family =
+        namer.family(section, parsed->base, reserve_summary_suffixes);
+    out.raw_base = std::move(parsed->base);
+    bool first = true;
+    for (const auto& [k, v] : parsed->labels) {
+      if (!first) out.label_block += ',';
+      first = false;
+      out.label_block += k;
+      out.label_block += "=\"";
+      out.label_block += escape_label_value(v);
+      out.label_block += '"';
+    }
+  } else {
+    out.family = namer.family(section, flat_name, reserve_summary_suffixes);
+    out.raw_base = flat_name;
+  }
+  return out;
+}
+
 // # HELP values may not contain raw newlines or backslashes.
 std::string prometheus_help(const std::string& raw) {
   std::string out;
@@ -110,6 +167,81 @@ void append_histogram_json(std::ostringstream& os, const HistogramSummary& s) {
 }
 
 }  // namespace
+
+std::string labeled_name(std::string_view name, Labels labels) {
+  std::string base(name);
+  for (char& c : base)
+    if (c == '{' || c == '}') c = '_';
+  if (labels.empty()) return base;
+  for (auto& [k, v] : labels) {
+    if (k.empty()) k = "_";
+    for (std::size_t i = 0; i < k.size(); ++i)
+      if (!label_key_char_ok(k[i], i == 0)) k[i] = '_';
+  }
+  std::sort(labels.begin(), labels.end());
+  std::string out = std::move(base);
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::optional<ParsedSeriesName> parse_labeled_name(std::string_view flat) {
+  const std::size_t open = flat.find('{');
+  if (open == std::string_view::npos) return std::nullopt;
+  if (flat.back() != '}') return std::nullopt;
+  ParsedSeriesName out;
+  out.base.assign(flat.substr(0, open));
+  if (out.base.find('}') != std::string::npos) return std::nullopt;
+  const std::string_view body = flat.substr(open + 1, flat.size() - open - 2);
+  if (body.empty()) return std::nullopt;  // labeled_name never emits "{}"
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t key_start = pos;
+    if (pos >= body.size() || !label_key_char_ok(body[pos], true))
+      return std::nullopt;
+    ++pos;
+    while (pos < body.size() && label_key_char_ok(body[pos], false)) ++pos;
+    std::string key(body.substr(key_start, pos - key_start));
+    if (pos + 1 >= body.size() || body[pos] != '=' || body[pos + 1] != '"')
+      return std::nullopt;
+    pos += 2;
+    std::string value;
+    bool closed = false;
+    while (pos < body.size()) {
+      const char c = body[pos++];
+      if (c == '"') {
+        closed = true;
+        break;
+      }
+      if (c == '\\') {
+        if (pos >= body.size()) return std::nullopt;
+        const char esc = body[pos++];
+        if (esc == '\\') value += '\\';
+        else if (esc == '"') value += '"';
+        else if (esc == 'n') value += '\n';
+        else return std::nullopt;
+      } else {
+        value += c;
+      }
+    }
+    if (!closed) return std::nullopt;
+    out.labels.emplace_back(std::move(key), std::move(value));
+    if (pos == body.size()) break;
+    if (body[pos] != ',') return std::nullopt;
+    ++pos;
+    if (pos == body.size()) return std::nullopt;  // trailing comma
+  }
+  return out;
+}
 
 int Histogram::bin_index(std::uint64_t ns) {
   if (ns < kLinearBins) return static_cast<int>(ns);
@@ -168,6 +300,17 @@ HistogramSummary Histogram::summary() const {
   return s;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  for (int i = 0; i < kBins; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint64_t n = other.bins_[idx].load(std::memory_order_relaxed);
+    if (n != 0) bins_[idx].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_ns_.fetch_add(other.sum_ns(), std::memory_order_relaxed);
+  update_max(max_ns_, other.max_ns());
+}
+
 void Histogram::reset() {
   for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -199,6 +342,63 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return counter(labeled_name(name, labels));
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return gauge(labeled_name(name, labels));
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels) {
+  return histogram(labeled_name(name, labels));
+}
+
+void MetricsRegistry::rollup() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Two passes per section: collect the fold from the labeled children
+  // first, then find-or-create the base entries. Inserting bases while
+  // iterating would both invalidate nothing (std::map) and double-count
+  // nothing (bases never parse as labeled), but the separation keeps the
+  // overwrite semantics obvious.
+  {
+    std::map<std::string, std::uint64_t> sums;
+    for (const auto& [name, c] : counters_)
+      if (auto parsed = parse_labeled_name(name))
+        sums[parsed->base] += c->value();
+    for (const auto& [base, sum] : sums) {
+      auto& slot = counters_[base];
+      if (!slot) slot = std::make_unique<Counter>();
+      slot->set(sum);
+    }
+  }
+  {
+    std::map<std::string, double> sums;
+    for (const auto& [name, g] : gauges_)
+      if (auto parsed = parse_labeled_name(name))
+        sums[parsed->base] += g->value();
+    for (const auto& [base, sum] : sums) {
+      auto& slot = gauges_[base];
+      if (!slot) slot = std::make_unique<Gauge>();
+      slot->set(sum);
+    }
+  }
+  {
+    std::map<std::string, std::vector<const Histogram*>> children;
+    for (const auto& [name, h] : histograms_)
+      if (auto parsed = parse_labeled_name(name))
+        children[parsed->base].push_back(h.get());
+    for (const auto& [base, kids] : children) {
+      auto& slot = histograms_[base];
+      if (!slot) slot = std::make_unique<Histogram>();
+      slot->reset();
+      for (const Histogram* kid : kids) slot->merge_from(*kid);
+    }
+  }
 }
 
 void MetricsRegistry::reset_values() {
@@ -277,28 +477,45 @@ std::string MetricsRegistry::to_json() const {
 std::string MetricsRegistry::to_prometheus() const {
   const MetricsSnapshot snap = snapshot();
   std::ostringstream os;
-  PrometheusNamer namer;
+  FamilyNamer namer;
+  std::set<std::string> described;  // family names with # HELP/# TYPE out
+  const auto describe = [&](const ResolvedSeries& r, const char* type) {
+    if (!described.insert(r.family).second) return;
+    os << "# HELP " << r.family << ' ' << prometheus_help(r.raw_base) << '\n';
+    os << "# TYPE " << r.family << ' ' << type << '\n';
+  };
   for (const auto& [name, v] : snap.counters) {
-    const std::string n = namer.unique(name, false);
-    os << "# HELP " << n << ' ' << prometheus_help(name) << '\n';
-    os << "# TYPE " << n << " counter\n" << n << ' ' << v << '\n';
+    const ResolvedSeries r = resolve_series(namer, 0, name, false);
+    describe(r, "counter");
+    os << r.family;
+    if (!r.label_block.empty()) os << '{' << r.label_block << '}';
+    os << ' ' << v << '\n';
   }
   for (const auto& [name, v] : snap.gauges) {
-    const std::string n = namer.unique(name, false);
-    os << "# HELP " << n << ' ' << prometheus_help(name) << '\n';
-    os << "# TYPE " << n << " gauge\n" << n << ' ';
+    const ResolvedSeries r = resolve_series(namer, 1, name, false);
+    describe(r, "gauge");
+    os << r.family;
+    if (!r.label_block.empty()) os << '{' << r.label_block << '}';
+    os << ' ';
     append_double(os, v);
     os << '\n';
   }
   for (const auto& [name, s] : snap.histograms) {
-    const std::string n = namer.unique(name, true);
-    os << "# HELP " << n << ' ' << prometheus_help(name) << '\n';
-    os << "# TYPE " << n << " summary\n";
-    os << n << "{quantile=\"0.5\"} " << s.p50_ns << '\n';
-    os << n << "{quantile=\"0.95\"} " << s.p95_ns << '\n';
-    os << n << "{quantile=\"0.99\"} " << s.p99_ns << '\n';
-    os << n << "_sum " << s.sum_ns << '\n';
-    os << n << "_count " << s.count << '\n';
+    const ResolvedSeries r = resolve_series(namer, 2, name, true);
+    describe(r, "summary");
+    // The quantile label joins the series' own labels in one block.
+    const std::string prefix =
+        r.label_block.empty() ? std::string{} : r.label_block + ',';
+    const std::string suffix =
+        r.label_block.empty() ? std::string{} : '{' + r.label_block + '}';
+    os << r.family << '{' << prefix << "quantile=\"0.5\"} " << s.p50_ns
+       << '\n';
+    os << r.family << '{' << prefix << "quantile=\"0.95\"} " << s.p95_ns
+       << '\n';
+    os << r.family << '{' << prefix << "quantile=\"0.99\"} " << s.p99_ns
+       << '\n';
+    os << r.family << "_sum" << suffix << ' ' << s.sum_ns << '\n';
+    os << r.family << "_count" << suffix << ' ' << s.count << '\n';
   }
   return os.str();
 }

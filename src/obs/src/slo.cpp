@@ -179,4 +179,26 @@ std::vector<SloRule> standard_stream_rules(const std::string& prefix,
   return rules;
 }
 
+std::vector<SloRule> standard_stream_rules_labeled(
+    std::int64_t stream_id, double deadline_miss_degraded,
+    double deadline_miss_unhealthy, double drop_rate_degraded,
+    double drop_rate_unhealthy) {
+  const Labels labels{{"stream", std::to_string(stream_id)}};
+  std::vector<SloRule> rules =
+      standard_stream_rules("runtime", deadline_miss_degraded,
+                            deadline_miss_unhealthy, drop_rate_degraded,
+                            drop_rate_unhealthy);
+  for (SloRule& r : rules) {
+    r.bad_counter = labeled_name(r.bad_counter, labels);
+    r.total_counter = labeled_name(r.total_counter, labels);
+  }
+  return rules;
+}
+
+HealthState worst_of(std::span<const HealthState> states) {
+  HealthState out = HealthState::Healthy;
+  for (const HealthState s : states) out = worse(out, s);
+  return out;
+}
+
 }  // namespace avd::obs

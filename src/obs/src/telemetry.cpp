@@ -12,7 +12,8 @@ std::string to_json(const TelemetrySample& sample) {
   std::ostringstream os;
   // Splice the metrics object into the sample object: both are '{...}'.
   const std::string metrics = to_json(sample.metrics);
-  os << "{\"t_ns\":" << sample.t_ns << ',' << metrics.substr(1);
+  os << "{\"t_ns\":" << sample.t_ns << ",\"seq\":" << sample.seq << ','
+     << metrics.substr(1);
   return os.str();
 }
 
@@ -99,6 +100,7 @@ void TelemetryExporter::run_loop() {
 }
 
 void TelemetryExporter::take_sample() {
+  if (config_.rollup_before_sample) registry_->rollup();
   TelemetrySample sample;
   sample.t_ns = Tracer::global().now_ns();
   sample.metrics = registry_->snapshot();
@@ -107,6 +109,9 @@ void TelemetryExporter::take_sample() {
   bool has_prev = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // seq is assigned under the ring mutex, so rows are gapless and ordered
+    // even when sample_now() races the background thread.
+    sample.seq = total_samples_;
     if (!ring_.empty()) {
       prev = ring_.back();
       has_prev = true;

@@ -1,0 +1,125 @@
+#include "avd/obs/trace_sampler.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "avd/obs/metrics.hpp"
+
+namespace avd::obs {
+
+// Aggregation is histogram-backed so stats() can answer quantiles, not just
+// mean/max. ~10 span names in the full pipeline, so the 4 KB-per-name cost
+// is irrelevant next to the rings it replaces.
+struct TraceSampler::NameAgg {
+  std::string name;
+  Histogram hist;
+};
+
+TraceSampler::TraceSampler(TraceSamplerConfig config) : config_(config) {}
+
+TraceSampler::~TraceSampler() = default;
+
+const char* to_string(RetainReason r) {
+  switch (r) {
+    case RetainReason::Marked: return "marked";
+    case RetainReason::SlowChain: return "slow_chain";
+    case RetainReason::HeadSample: return "head_sample";
+  }
+  return "unknown";
+}
+
+void TraceSampler::mark_interesting(std::uint64_t trace_id) {
+  if (trace_id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  marked_.insert(trace_id);
+}
+
+void TraceSampler::retain_locked(const FrameTrace& frame,
+                                 RetainReason reason) {
+  ++frames_retained_;
+  retained_.push_back({frame, reason});
+  while (retained_.size() > config_.max_retained) {
+    retained_.pop_front();
+    ++retained_evicted_;
+  }
+}
+
+void TraceSampler::ingest(std::span<const FrameTrace> frames) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const FrameTrace& frame : frames) {
+    const std::uint64_t index = frames_seen_++;
+    for (const SpanRecord& span : frame.spans) {
+      ++spans_seen_;
+      if (span.name == nullptr) continue;
+      // Binary search by name keeps stats() trivially sorted and ingest at
+      // O(log names) per span.
+      auto it = std::lower_bound(
+          aggs_.begin(), aggs_.end(), span.name,
+          [](const std::unique_ptr<NameAgg>& a, const char* n) {
+            return std::strcmp(a->name.c_str(), n) < 0;
+          });
+      if (it == aggs_.end() || (*it)->name != span.name) {
+        auto agg = std::make_unique<NameAgg>();
+        agg->name = span.name;
+        it = aggs_.insert(it, std::move(agg));
+      }
+      (*it)->hist.record_ns(span.end_ns - span.begin_ns);
+    }
+    if (const auto marked = marked_.find(frame.trace_id);
+        marked != marked_.end()) {
+      marked_.erase(marked);
+      retain_locked(frame, RetainReason::Marked);
+    } else if (config_.deadline_ns != 0 &&
+               frame.critical_path_ns() > config_.deadline_ns) {
+      retain_locked(frame, RetainReason::SlowChain);
+    } else if (config_.head_sample_every != 0 &&
+               index % config_.head_sample_every == 0) {
+      retain_locked(frame, RetainReason::HeadSample);
+    }
+  }
+}
+
+std::vector<RetainedFrame> TraceSampler::retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {retained_.begin(), retained_.end()};
+}
+
+std::vector<SpanStats> TraceSampler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanStats> out;
+  out.reserve(aggs_.size());
+  for (const auto& agg : aggs_) {
+    SpanStats s;
+    s.name = agg->name;
+    s.count = agg->hist.count();
+    s.sum_ns = agg->hist.sum_ns();
+    s.max_ns = agg->hist.max_ns();
+    s.p50_ns = agg->hist.percentile_ns(0.50);
+    s.p95_ns = agg->hist.percentile_ns(0.95);
+    s.p99_ns = agg->hist.percentile_ns(0.99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::uint64_t TraceSampler::frames_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_seen_;
+}
+
+std::uint64_t TraceSampler::frames_retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_retained_;
+}
+
+std::uint64_t TraceSampler::spans_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_seen_;
+}
+
+std::uint64_t TraceSampler::retained_evicted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_evicted_;
+}
+
+}  // namespace avd::obs

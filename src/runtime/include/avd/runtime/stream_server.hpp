@@ -39,7 +39,9 @@
 #include <vector>
 
 #include "avd/core/adaptive_system.hpp"
+#include "avd/obs/flight_recorder.hpp"
 #include "avd/obs/slo.hpp"
+#include "avd/obs/trace_sampler.hpp"
 #include "avd/runtime/bounded_queue.hpp"
 #include "avd/runtime/frame_source.hpp"
 #include "avd/runtime/stage_metrics.hpp"
@@ -71,6 +73,21 @@ struct StreamSloConfig {
   double deadline_miss_unhealthy = 0.25;
   double drop_rate_degraded = 0.01;
   double drop_rate_unhealthy = 0.10;
+  /// Tail-based trace sampling (active whenever the tracer was enabled
+  /// during serve(), independent of `enabled` above): every Nth frame chain
+  /// is retained as a healthy baseline (0 = none), deadline misses and
+  /// backpressure drops are always retained, everything else folds into
+  /// per-span-name SpanStats.
+  std::uint64_t trace_head_sample_every = 64;
+  /// Bound of the sampler's retained-chain FIFO.
+  std::size_t trace_max_retained = 256;
+  /// Flight recorder: frame chains remembered per stream.
+  std::size_t flight_frames_per_stream = 32;
+  /// Directory for automatic flight-recorder bundles, written at the end of
+  /// a serve() during which some stream transitioned to UNHEALTHY. Empty:
+  /// the AVD_FLIGHT_DIR environment variable is consulted, and when that is
+  /// unset too the bundle stays in memory (flight_recorder()->dump()).
+  std::string flight_dump_dir;
 };
 
 struct StreamServerConfig {
@@ -150,6 +167,26 @@ class StreamServer {
   [[nodiscard]] const std::vector<obs::HealthState>& stream_health() const {
     return stream_health_;
   }
+  /// Worst-of rollup of stream_health(): one saturated stream is visible
+  /// here no matter how many healthy neighbours it has.
+  [[nodiscard]] obs::HealthState fleet_health() const { return fleet_health_; }
+
+  /// Tail sampler fed by the most recent serve() (nullptr before any).
+  /// Retained chains and SpanStats cover that serve's frames.
+  [[nodiscard]] obs::TraceSampler* trace_sampler() const {
+    return sampler_.get();
+  }
+  /// Flight recorder fed by the most recent serve() (nullptr before any):
+  /// last-N frame chains per stream, telemetry rows and SLO transitions,
+  /// dumpable on demand via obs::FlightRecorder::dump().
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+  /// Path of the bundle the most recent serve() wrote on an UNHEALTHY
+  /// transition; empty when none was written.
+  [[nodiscard]] const std::string& last_flight_bundle_path() const {
+    return last_flight_bundle_path_;
+  }
 
  private:
   const core::AdaptiveSystem* system_;
@@ -158,6 +195,11 @@ class StreamServer {
   soc::EventLog log_;
   HealthCallback health_callback_;
   std::vector<obs::HealthState> stream_health_;
+  obs::HealthState fleet_health_ = obs::HealthState::Healthy;
+  std::unique_ptr<obs::TraceSampler> sampler_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::string last_flight_bundle_path_;
+  std::uint64_t serve_count_ = 0;  ///< distinguishes bundle filenames
 };
 
 }  // namespace avd::runtime

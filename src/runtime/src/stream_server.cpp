@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "avd/obs/frame_trace.hpp"
 #include "avd/obs/metrics.hpp"
 #include "avd/obs/telemetry.hpp"
 #include "avd/obs/trace.hpp"
@@ -53,18 +55,20 @@ struct StreamState {
   std::atomic<int> frames_ingested{0};
 };
 
-/// The per-stream counters the SLO rules read (obs::standard_stream_rules
-/// with the same prefix). Resolved once per serve(); collector-thread only.
+/// The per-stream labeled series the SLO rules read
+/// (obs::standard_stream_rules_labeled with the same stream id). Resolved
+/// once per serve(); collector-thread only.
 struct StreamCounters {
   obs::Counter* frames = nullptr;
   obs::Counter* deadline_miss = nullptr;
   obs::Counter* backpressure_drops = nullptr;
   obs::Counter* reconfig_drops = nullptr;
   obs::Counter* reconfigs = nullptr;
+  obs::Histogram* latency = nullptr;  ///< runtime.frame.latency_ns{stream=N}
 };
 
-std::string stream_prefix(int stream) {
-  return "runtime.stream" + std::to_string(stream);
+std::string stream_entity(int stream) {
+  return "stream" + std::to_string(stream);
 }
 
 }  // namespace
@@ -107,21 +111,54 @@ std::vector<StreamResult> StreamServer::serve(
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   const std::uint64_t deadline_ns = static_cast<std::uint64_t>(
       std::max(0.0, config_.slo.frame_budget_ms) * 1e6);
-  obs::Histogram& frame_latency = registry.histogram("runtime.frame.latency_ns");
 
+  // Per-stream metrics are labeled series (stream=<id>); the fleet view
+  // under the plain base names ("runtime.frames", "runtime.frame.latency_ns")
+  // is produced by MetricsRegistry::rollup() — per telemetry sample while
+  // serving and unconditionally before serve() returns.
   std::vector<std::unique_ptr<StreamState>> streams;
   std::vector<StreamCounters> counters(sources.size());
   streams.reserve(sources.size());
   for (int s = 0; s < n_streams; ++s) {
     streams.push_back(std::make_unique<StreamState>(*system_));
-    const std::string prefix = stream_prefix(s);
+    const obs::Labels labels{{"stream", std::to_string(s)}};
     StreamCounters& c = counters[static_cast<std::size_t>(s)];
-    c.frames = &registry.counter(prefix + ".frames");
-    c.deadline_miss = &registry.counter(prefix + ".deadline_miss");
-    c.backpressure_drops = &registry.counter(prefix + ".backpressure_drops");
-    c.reconfig_drops = &registry.counter(prefix + ".reconfig_drops");
-    c.reconfigs = &registry.counter(prefix + ".reconfigs");
+    c.frames = &registry.counter("runtime.frames", labels);
+    c.deadline_miss = &registry.counter("runtime.deadline_miss", labels);
+    c.backpressure_drops =
+        &registry.counter("runtime.backpressure_drops", labels);
+    c.reconfig_drops = &registry.counter("runtime.reconfig_drops", labels);
+    c.reconfigs = &registry.counter("runtime.reconfigs", labels);
+    c.latency = &registry.histogram("runtime.frame.latency_ns", labels);
   }
+
+  // --- tail sampler + flight recorder ----------------------------------
+  // Fresh per serve() so their contents describe exactly this run. The
+  // sampler is marked from the collector mid-run and ingests assembled
+  // chains once writers have quiesced; the recorder additionally collects
+  // telemetry rows and SLO transitions as they happen.
+  {
+    obs::TraceSamplerConfig sc;
+    sc.deadline_ns = deadline_ns;
+    sc.head_sample_every = config_.slo.trace_head_sample_every;
+    sc.max_retained = config_.slo.trace_max_retained;
+    sampler_ = std::make_unique<obs::TraceSampler>(sc);
+    obs::FlightRecorderConfig fc;
+    fc.max_frames_per_stream = config_.slo.flight_frames_per_stream;
+    recorder_ = std::make_unique<obs::FlightRecorder>(fc);
+    std::ostringstream cfg;
+    cfg << "{\"streams\":" << n_streams
+        << ",\"ingest_workers\":" << config_.ingest_workers
+        << ",\"control_workers\":" << config_.control_workers
+        << ",\"detect_workers\":" << config_.detect_workers
+        << ",\"queue_capacity\":" << config_.queue_capacity
+        << ",\"detect_policy\":\"" << to_string(config_.detect_policy)
+        << "\",\"frame_budget_ms\":" << config_.slo.frame_budget_ms << '}';
+    recorder_->set_config_json(cfg.str());
+  }
+  last_flight_bundle_path_.clear();
+  ++serve_count_;
+  std::atomic<bool> flight_dump_requested{false};
 
   // --- SLO health monitoring (optional) --------------------------------
   // One monitor per stream over the standard rule set, driven by an
@@ -134,27 +171,39 @@ std::vector<StreamResult> StreamServer::serve(
     monitors.reserve(sources.size());
     for (int s = 0; s < n_streams; ++s) {
       auto monitor = std::make_unique<obs::SloMonitor>(
-          stream_prefix(s),
-          obs::standard_stream_rules(stream_prefix(s),
-                                     config_.slo.deadline_miss_degraded,
-                                     config_.slo.deadline_miss_unhealthy,
-                                     config_.slo.drop_rate_degraded,
-                                     config_.slo.drop_rate_unhealthy),
+          stream_entity(s),
+          obs::standard_stream_rules_labeled(
+              s, config_.slo.deadline_miss_degraded,
+              config_.slo.deadline_miss_unhealthy,
+              config_.slo.drop_rate_degraded,
+              config_.slo.drop_rate_unhealthy),
           config_.slo.hysteresis);
-      if (health_callback_) {
-        const int stream = s;
-        HealthCallback cb = health_callback_;
-        monitor->set_callback([stream, cb](const obs::HealthTransition& t) {
-          cb(stream, t);
-        });
-      }
+      // Every transition feeds the flight recorder; a transition to
+      // UNHEALTHY requests a bundle dump, finalised once writers have
+      // quiesced (so the breaching frames' chains are complete in it). The
+      // user's callback chains after.
+      const int stream = s;
+      HealthCallback cb = health_callback_;
+      obs::FlightRecorder* recorder = recorder_.get();
+      auto* dump_requested = &flight_dump_requested;
+      monitor->set_callback(
+          [stream, cb, recorder, dump_requested](
+              const obs::HealthTransition& t) {
+            recorder->record_transition(t);
+            if (t.to == obs::HealthState::Unhealthy)
+              dump_requested->store(true, std::memory_order_relaxed);
+            if (cb) cb(stream, t);
+          });
       monitors.push_back(std::move(monitor));
     }
     obs::TelemetryConfig tc;
     tc.period = config_.slo.telemetry_period;
     tc.jsonl_path = config_.slo.telemetry_jsonl;
-    tc.on_sample = [&monitors](const obs::TelemetrySample* prev,
-                               const obs::TelemetrySample& cur) {
+    tc.rollup_before_sample = true;  // rows carry per-stream AND fleet view
+    obs::FlightRecorder* recorder = recorder_.get();
+    tc.on_sample = [&monitors, recorder](const obs::TelemetrySample* prev,
+                                         const obs::TelemetrySample& cur) {
+      recorder->record_telemetry_row(obs::to_json(cur));
       if (prev == nullptr) return;  // a window needs two samples
       for (auto& m : monitors) m->observe(*prev, cur);
     };
@@ -346,15 +395,21 @@ std::vector<StreamResult> StreamServer::serve(
       const std::uint64_t now_ns = tracer.now_ns();
       const std::uint64_t latency_ns =
           now_ns >= task->ingest_ns ? now_ns - task->ingest_ns : 0;
-      frame_latency.record_ns(latency_ns);
       span.arg("latency_us", static_cast<std::int64_t>(latency_ns / 1000u));
       StreamCounters& c = counters[us];
+      c.latency->record_ns(latency_ns);
       c.frames->inc();
       if (deadline_ns > 0 && latency_ns > deadline_ns) {
         c.deadline_miss->inc();
         streams[us]->deadline_misses.fetch_add(1);
+        // Tail sampling: a deadline miss makes this frame's chain worth
+        // keeping verbatim when the rings are ingested after the run.
+        sampler_->mark_interesting(task->trace.trace_id);
       }
-      if (task->backpressure_dropped) c.backpressure_drops->inc();
+      if (task->backpressure_dropped) {
+        c.backpressure_drops->inc();
+        sampler_->mark_interesting(task->trace.trace_id);
+      }
       if (!task->report.vehicle_processed && !task->backpressure_dropped)
         c.reconfig_drops->inc();
       if (task->report.reconfig_triggered) c.reconfigs->inc();
@@ -393,9 +448,46 @@ std::vector<StreamResult> StreamServer::serve(
   workers.emplace_back(collect_loop);
   for (std::thread& t : workers) t.join();
 
+  // Fold the labeled per-stream series into the fleet base names — even
+  // with monitoring disabled, direct post-serve readers of e.g.
+  // "runtime.frame.latency_ns" see the fleet aggregate.
+  registry.rollup();
+
   // One final telemetry window catches counters the last periodic sample
   // missed, then the monitors' verdicts become part of the results.
   if (telemetry) telemetry->stop();
+
+  // Writers have quiesced: feed the tail sampler and the flight recorder
+  // from the tracer rings. snapshot() (not drain()) leaves the spans in
+  // place for callers that export their own traces after serve().
+  if (tracer.enabled()) {
+    const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+    const std::vector<obs::FrameTrace> chains =
+        obs::assemble_frame_traces(spans);
+    sampler_->ingest(chains);
+    for (const obs::FrameTrace& chain : chains) recorder_->record_frame(chain);
+    registry.gauge("obs.sampler.frames_seen")
+        .set(static_cast<double>(sampler_->frames_seen()));
+    registry.gauge("obs.sampler.frames_retained")
+        .set(static_cast<double>(sampler_->frames_retained()));
+    registry.gauge("obs.sampler.spans_seen")
+        .set(static_cast<double>(sampler_->spans_seen()));
+  }
+
+  // Finalise a dump requested by an UNHEALTHY transition, now that the
+  // breaching frames' chains are in the recorder.
+  if (flight_dump_requested.load(std::memory_order_relaxed)) {
+    std::string dir = config_.slo.flight_dump_dir;
+    if (dir.empty()) {
+      if (const char* env = std::getenv("AVD_FLIGHT_DIR")) dir = env;
+    }
+    if (!dir.empty()) {
+      const std::string path = dir + "/flight_bundle_serve" +
+                               std::to_string(serve_count_) + ".json";
+      if (recorder_->dump_to_file(path, "health transition to UNHEALTHY"))
+        last_flight_bundle_path_ = path;
+    }
+  }
 
   // Queue-depth high-water marks become stage attributes.
   metrics_.control.update_queue_high_water(control_q.stats().high_water);
@@ -435,6 +527,7 @@ std::vector<StreamResult> StreamServer::serve(
       os << ", health " << obs::to_string(result.health);
     log_.record(now_tp(), "runtime/server", os.str());
   }
+  fleet_health_ = obs::worst_of(stream_health_);
   return results;
 }
 

@@ -1,0 +1,155 @@
+// FlightRecorder: bounded per-stream rings, always-parseable JSON bundles
+// (config/telemetry embedded verbatim only when valid), and file dumps.
+#include "avd/obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "avd/obs/json.hpp"
+
+namespace avd::obs {
+namespace {
+
+FrameTrace make_frame(std::uint64_t trace_id, std::int64_t stream) {
+  FrameTrace f;
+  f.trace_id = trace_id;
+  f.stream = stream;
+  f.begin_ns = trace_id * 100;
+  f.end_ns = trace_id * 100 + 50;
+  SpanRecord span;
+  span.name = "ingest_frame";
+  span.trace_id = trace_id;
+  span.begin_ns = f.begin_ns;
+  span.end_ns = f.end_ns;
+  f.spans = {span};
+  return f;
+}
+
+HealthTransition make_transition(std::uint64_t t_ns) {
+  HealthTransition t;
+  t.entity = "stream0";
+  t.from = HealthState::Healthy;
+  t.to = HealthState::Unhealthy;
+  t.t_ns = t_ns;
+  t.reason = "frame_deadline=0.80";
+  return t;
+}
+
+TEST(FlightRecorder, DumpIsOneParseableBundleGroupedByStream) {
+  FlightRecorder recorder;
+  recorder.set_config_json("{\"streams\":2,\"workers\":4}");
+  recorder.record_frame(make_frame(1, 0));
+  recorder.record_frame(make_frame(2, 1));
+  recorder.record_frame(make_frame(3, 0));
+  recorder.record_telemetry_row("{\"t_ns\":10,\"seq\":0}");
+  recorder.record_transition(make_transition(42));
+
+  const std::string bundle = recorder.dump("unhealthy: stream0");
+  const std::optional<json::Value> doc = json::parse(bundle);
+  ASSERT_TRUE(doc.has_value()) << bundle;
+  EXPECT_EQ(doc->find("reason")->string, "unhealthy: stream0");
+  // Config was valid JSON: embedded verbatim as an object.
+  const json::Value* config = doc->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->type, json::Value::Type::Object);
+  EXPECT_DOUBLE_EQ(config->find("workers")->number, 4.0);
+  // Frames grouped by stream id.
+  const json::Value* streams = doc->find("streams");
+  ASSERT_NE(streams, nullptr);
+  const json::Value* s0 = streams->find("0");
+  const json::Value* s1 = streams->find("1");
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s0->find("frames")->array.size(), 2u);
+  EXPECT_EQ(s1->find("frames")->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      s0->find("frames")->array[0].find("trace_id")->number, 1.0);
+  // Telemetry row embedded verbatim; transition carries the full record.
+  ASSERT_EQ(doc->find("telemetry")->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(doc->find("telemetry")->array[0].find("seq")->number, 0.0);
+  const json::Value& t = doc->find("slo_transitions")->array[0];
+  EXPECT_EQ(t.find("entity")->string, "stream0");
+  EXPECT_EQ(t.find("from")->string, "HEALTHY");
+  EXPECT_EQ(t.find("to")->string, "UNHEALTHY");
+  EXPECT_DOUBLE_EQ(t.find("t_ns")->number, 42.0);
+  EXPECT_EQ(recorder.frames_recorded(), 3u);
+}
+
+TEST(FlightRecorder, InvalidConfigAndRowsAreEmbeddedAsStrings) {
+  FlightRecorder recorder;
+  recorder.set_config_json("streams: 2, not json {");
+  recorder.record_telemetry_row("also } not { json");
+  const std::string bundle = recorder.dump("manual");
+  const std::optional<json::Value> doc = json::parse(bundle);
+  // A caller's typo never makes the bundle itself unparseable.
+  ASSERT_TRUE(doc.has_value()) << bundle;
+  EXPECT_EQ(doc->find("config")->type, json::Value::Type::String);
+  EXPECT_EQ(doc->find("config")->string, "streams: 2, not json {");
+  EXPECT_EQ(doc->find("telemetry")->array[0].string, "also } not { json");
+}
+
+TEST(FlightRecorder, EmptyRecorderStillDumpsValidBundle) {
+  FlightRecorder recorder;
+  const std::optional<json::Value> doc = json::parse(recorder.dump("manual"));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("config")->type, json::Value::Type::Null);
+  EXPECT_TRUE(doc->find("streams")->object.empty());
+  EXPECT_TRUE(doc->find("telemetry")->array.empty());
+  EXPECT_TRUE(doc->find("slo_transitions")->array.empty());
+}
+
+TEST(FlightRecorder, RingsEvictOldestPerStream) {
+  FlightRecorderConfig config;
+  config.max_frames_per_stream = 3;
+  config.max_telemetry_rows = 2;
+  config.max_transitions = 2;
+  FlightRecorder recorder(config);
+  for (std::uint64_t i = 1; i <= 6; ++i) recorder.record_frame(make_frame(i, 0));
+  recorder.record_frame(make_frame(100, 1));  // other stream: own ring
+  for (int i = 0; i < 5; ++i)
+    recorder.record_telemetry_row("{\"seq\":" + std::to_string(i) + "}");
+  for (std::uint64_t i = 0; i < 5; ++i)
+    recorder.record_transition(make_transition(i));
+
+  const std::optional<json::Value> doc = json::parse(recorder.dump("manual"));
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* frames = doc->find("streams")->find("0")->find("frames");
+  ASSERT_EQ(frames->array.size(), 3u);
+  // Newest three survive: trace ids 4, 5, 6.
+  EXPECT_DOUBLE_EQ(frames->array[0].find("trace_id")->number, 4.0);
+  EXPECT_DOUBLE_EQ(frames->array[2].find("trace_id")->number, 6.0);
+  EXPECT_EQ(doc->find("streams")->find("1")->find("frames")->array.size(), 1u);
+  ASSERT_EQ(doc->find("telemetry")->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc->find("telemetry")->array[1].find("seq")->number, 4.0);
+  ASSERT_EQ(doc->find("slo_transitions")->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc->find("slo_transitions")->array[1].find("t_ns")->number,
+                   4.0);
+  // frames_recorded counts everything ever seen, not just survivors.
+  EXPECT_EQ(recorder.frames_recorded(), 7u);
+}
+
+TEST(FlightRecorder, DumpToFileWritesTheBundleOrReportsFailure) {
+  FlightRecorder recorder;
+  recorder.record_frame(make_frame(1, 0));
+  const std::string path = testing::TempDir() + "flight_bundle_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(recorder.dump_to_file(path, "manual"));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const std::optional<json::Value> doc = json::parse(contents);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("reason")->string, "manual");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(recorder.dump_to_file("/nonexistent-dir/bundle.json", "x"));
+}
+
+}  // namespace
+}  // namespace avd::obs

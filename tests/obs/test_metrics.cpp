@@ -264,6 +264,152 @@ TEST(MetricsRegistry, PrometheusCollisionSpansSections) {
   EXPECT_NE(text.find("\nlat_sum 9\n"), std::string::npos) << text;
 }
 
+TEST(LabeledName, RendersSortedSanitisedAndEscaped) {
+  EXPECT_EQ(labeled_name("runtime.frames", {{"stream", "3"}}),
+            "runtime.frames{stream=\"3\"}");
+  // Keys sort, so label order never creates a second series.
+  EXPECT_EQ(labeled_name("m", {{"stream", "1"}, {"shard", "2"}}),
+            labeled_name("m", {{"shard", "2"}, {"stream", "1"}}));
+  // Keys sanitise to identifier characters; values escape like Prometheus.
+  EXPECT_EQ(labeled_name("m", {{"bad key", "a\"b\\c\nd"}}),
+            "m{bad_key=\"a\\\"b\\\\c\\nd\"}");
+  // Braces in the base cannot fake a label block.
+  EXPECT_EQ(labeled_name("a{b}c", {{"k", "v"}}), "a_b_c{k=\"v\"}");
+  EXPECT_EQ(labeled_name("plain", {}), "plain");
+}
+
+TEST(LabeledName, ParseIsStrictInverse) {
+  const Labels labels{{"shard", "2"}, {"stream", "1"}};
+  const std::string flat = labeled_name("runtime.frames", labels);
+  const std::optional<ParsedSeriesName> parsed = parse_labeled_name(flat);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->base, "runtime.frames");
+  EXPECT_EQ(parsed->labels, labels);
+
+  // Escaped values round-trip.
+  const std::string tricky = labeled_name("m", {{"k", "a\"b\\c\nd"}});
+  const std::optional<ParsedSeriesName> t = parse_labeled_name(tricky);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->labels[0].second, "a\"b\\c\nd");
+
+  // Plain names and malformed renderings are not labeled series.
+  EXPECT_FALSE(parse_labeled_name("plain").has_value());
+  EXPECT_FALSE(parse_labeled_name("m{").has_value());
+  EXPECT_FALSE(parse_labeled_name("m{}").has_value());
+  EXPECT_FALSE(parse_labeled_name("m{k=\"v\"} ").has_value());
+  EXPECT_FALSE(parse_labeled_name("m{k=v}").has_value());
+  EXPECT_FALSE(parse_labeled_name("m{k=\"v\",}").has_value());
+  EXPECT_FALSE(parse_labeled_name("m{k=\"\\x\"}").has_value());
+  EXPECT_FALSE(parse_labeled_name("m{1k=\"v\"}").has_value());
+}
+
+TEST(MetricsRegistry, LabeledLookupIsFindOrCreateBySeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("frames", {{"stream", "0"}});
+  Counter& b = reg.counter("frames", {{"stream", "0"}});
+  Counter& other = reg.counter("frames", {{"stream", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  // The labeled series IS the flat-named series.
+  a.inc(3);
+  EXPECT_EQ(reg.counter("frames{stream=\"0\"}").value(), 3u);
+}
+
+TEST(MetricsRegistry, RollupFoldsLabeledSeriesIntoBase) {
+  MetricsRegistry reg;
+  reg.counter("frames", {{"stream", "0"}}).inc(4);
+  reg.counter("frames", {{"stream", "1"}}).inc(6);
+  reg.gauge("depth", {{"stream", "0"}}).set(1.5);
+  reg.gauge("depth", {{"stream", "1"}}).set(2.0);
+  reg.histogram("lat", {{"stream", "0"}}).record_ns(100);
+  reg.histogram("lat", {{"stream", "1"}}).record_ns(300);
+
+  reg.rollup();
+  EXPECT_EQ(reg.counter("frames").value(), 10u);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 3.5);
+  EXPECT_EQ(reg.histogram("lat").count(), 2u);
+  EXPECT_EQ(reg.histogram("lat").sum_ns(), 400u);
+  EXPECT_EQ(reg.histogram("lat").max_ns(), 300u);
+
+  // rollup() overwrites, not accumulates: calling it again (after more
+  // labeled growth) re-derives the base from the children.
+  reg.counter("frames", {{"stream", "0"}}).inc(1);
+  reg.rollup();
+  reg.rollup();
+  EXPECT_EQ(reg.counter("frames").value(), 11u);
+  EXPECT_EQ(reg.histogram("lat").count(), 2u);
+}
+
+TEST(Histogram, MergeFromAddsBinsCountsAndMax) {
+  Histogram a;
+  Histogram b;
+  a.record_ns(100);
+  b.record_ns(200);
+  b.record_ns(300);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum_ns(), 600u);
+  EXPECT_EQ(a.max_ns(), 300u);
+  // Percentiles see the merged distribution.
+  EXPECT_GE(a.percentile_ns(0.99), a.percentile_ns(0.01));
+}
+
+TEST(MetricsRegistry, PrometheusLabeledSeriesShareOneFamily) {
+  MetricsRegistry reg;
+  reg.counter("runtime.frames", {{"stream", "0"}}).inc(4);
+  reg.counter("runtime.frames", {{"stream", "1"}}).inc(6);
+  reg.rollup();
+  const std::string text = reg.to_prometheus();
+  // One HELP and one TYPE for the whole family (base + both children)...
+  EXPECT_EQ(text.find("# HELP runtime_frames runtime.frames\n"),
+            text.rfind("# HELP runtime_frames runtime.frames\n"));
+  EXPECT_EQ(text.find("# TYPE runtime_frames counter\n"),
+            text.rfind("# TYPE runtime_frames counter\n"));
+  // ...and three sample lines: the rollup plus the two labeled children.
+  EXPECT_NE(text.find("\nruntime_frames 10\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\nruntime_frames{stream=\"0\"} 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\nruntime_frames{stream=\"1\"} 6\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistry, PrometheusLabeledHistogramMergesQuantileLabel) {
+  MetricsRegistry reg;
+  reg.histogram("lat", {{"stream", "0"}}).record_ns(500);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("lat{stream=\"0\",quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_sum{stream=\"0\"} 500"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_count{stream=\"0\"} 1"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistry, PrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("m", {{"path", "a\\b \"q\"\nend"}}).inc(1);
+  const std::string text = reg.to_prometheus();
+  // The exposition re-escapes backslash, quote and newline in label values.
+  EXPECT_NE(text.find("m{path=\"a\\\\b \\\"q\\\"\\nend\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistry, PrometheusLabeledFamiliesKeepCollisionSuffixes) {
+  MetricsRegistry reg;
+  // Two distinct raw bases that sanitise identically: the labeled children
+  // follow their family's suffixed name.
+  reg.counter("a.b", {{"stream", "0"}}).inc(1);
+  reg.counter("a_b", {{"stream", "0"}}).inc(2);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("\na_b{stream=\"0\"} 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\na_b_2{stream=\"0\"} 2\n"), std::string::npos)
+      << text;
+}
+
 TEST(MetricsSnapshot, LookupsAndJson) {
   MetricsRegistry reg;
   reg.counter("c").inc(3);

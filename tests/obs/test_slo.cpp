@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "avd/obs/metrics.hpp"
+
 namespace avd::obs {
 namespace {
 
@@ -194,6 +196,49 @@ TEST(StandardStreamRules, CoverDeadlineDropsAndReconfigLoss) {
                 sample_at(1, {{"runtime.stream2.reconfig_drops", 2},
                               {"runtime.stream2.reconfigs", 1}})),
             HealthState::Degraded);
+}
+
+TEST(StandardStreamRules, LabeledFormTargetsTheStreamSeries) {
+  const std::vector<SloRule> rules = standard_stream_rules_labeled(2);
+  const std::vector<SloRule> prefixed = standard_stream_rules("runtime");
+  ASSERT_EQ(rules.size(), prefixed.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].name, prefixed[i].name);
+    // Each counter is the prefix rule's counter with the stream label
+    // appended — exactly what the StreamServer publishes per stream.
+    EXPECT_EQ(rules[i].bad_counter,
+              labeled_name(prefixed[i].bad_counter, {{"stream", "2"}}));
+    if (prefixed[i].total_counter.empty()) {
+      EXPECT_TRUE(rules[i].total_counter.empty());
+    } else {
+      EXPECT_EQ(rules[i].total_counter,
+                labeled_name(prefixed[i].total_counter, {{"stream", "2"}}));
+    }
+  }
+  // And a monitor over them only reacts to that stream's series.
+  SloConfig fast;
+  fast.breaches_to_worsen = 1;
+  SloMonitor monitor("stream2", {rules[0]}, fast);
+  EXPECT_EQ(
+      monitor.observe(
+          sample_at(0, {{"runtime.deadline_miss{stream=\"2\"}", 0},
+                        {"runtime.frames{stream=\"2\"}", 0}}),
+          sample_at(1, {{"runtime.deadline_miss{stream=\"2\"}", 80},
+                        {"runtime.frames{stream=\"2\"}", 100}})),
+      HealthState::Unhealthy);
+}
+
+TEST(HealthState, WorstOfIsFleetRollup) {
+  const HealthState h = HealthState::Healthy;
+  const HealthState d = HealthState::Degraded;
+  const HealthState u = HealthState::Unhealthy;
+  EXPECT_EQ(worst_of({}), HealthState::Healthy);
+  const std::vector<HealthState> all_healthy{h, h, h};
+  EXPECT_EQ(worst_of(all_healthy), HealthState::Healthy);
+  const std::vector<HealthState> one_degraded{h, d, h};
+  EXPECT_EQ(worst_of(one_degraded), HealthState::Degraded);
+  const std::vector<HealthState> one_unhealthy{h, d, u, h};
+  EXPECT_EQ(worst_of(one_unhealthy), HealthState::Unhealthy);
 }
 
 TEST(HealthState, ToStringNames) {

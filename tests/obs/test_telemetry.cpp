@@ -166,13 +166,92 @@ TEST(TelemetrySample, ToJsonParsesAndCarriesTimestamp) {
   reg.counter("x").inc(3);
   TelemetrySample sample;
   sample.t_ns = 12345;
+  sample.seq = 7;
   sample.metrics = reg.snapshot();
   const std::string text = to_json(sample);
   const std::optional<json::Value> doc = json::parse(text);
   ASSERT_TRUE(doc.has_value()) << text;
   ASSERT_NE(doc->find("t_ns"), nullptr);
   EXPECT_DOUBLE_EQ(doc->find("t_ns")->number, 12345.0);
+  ASSERT_NE(doc->find("seq"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->find("seq")->number, 7.0);
   EXPECT_DOUBLE_EQ(doc->find("counters")->find("x")->number, 3.0);
+}
+
+TEST(TelemetryExporter, SeqIsGaplessAcrossRingEviction) {
+  // Ring eviction discards old in-memory samples but must never reorder or
+  // duplicate what went to the sink: the JSONL rows' seq values are exactly
+  // 0..N-1 in file order, and the surviving ring is the newest suffix.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("tick");
+  const std::string path = temp_path("telemetry_seq.jsonl");
+  std::remove(path.c_str());
+
+  TelemetryConfig config;
+  config.ring_capacity = 3;  // much smaller than the row count
+  config.period = std::chrono::milliseconds(500);  // only explicit samples
+  config.jsonl_path = path;
+  constexpr int kRows = 12;
+  {
+    TelemetryExporter exporter(reg, config);
+    exporter.start();
+    for (int i = 0; i < kRows; ++i) {
+      c.inc();
+      exporter.sample_now();
+    }
+    exporter.stop();  // appends one final row (seq == kRows)
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::uint64_t expected_seq = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    const std::optional<json::Value> doc = json::parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    const json::Value* seq = doc->find("seq");
+    ASSERT_NE(seq, nullptr);
+    EXPECT_DOUBLE_EQ(seq->number, static_cast<double>(expected_seq));
+    ++expected_seq;
+  }
+  // At least the explicit rows plus stop()'s final one; a slow machine may
+  // add periodic rows, which must still land gaplessly in order (asserted
+  // above for every row).
+  EXPECT_GE(expected_seq, static_cast<std::uint64_t>(kRows) + 1);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryExporter, RingSurvivorsStayOrderedBySeq) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("tick");
+  TelemetryConfig config;
+  config.ring_capacity = 4;
+  TelemetryExporter exporter(reg, config);
+  for (int i = 0; i < 11; ++i) {
+    c.inc();
+    exporter.sample_now();
+  }
+  const std::vector<TelemetrySample> samples = exporter.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Newest 4 of 11 samples: seq 7..10, strictly increasing, no duplicates.
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    EXPECT_EQ(samples[i].seq, 7u + i);
+}
+
+TEST(TelemetryExporter, RollupBeforeSampleFoldsLabeledSeries) {
+  MetricsRegistry reg;
+  reg.counter("frames", {{"stream", "0"}}).inc(4);
+  reg.counter("frames", {{"stream", "1"}}).inc(6);
+  TelemetryConfig config;
+  config.rollup_before_sample = true;
+  TelemetryExporter exporter(reg, config);
+  exporter.sample_now();
+  const std::vector<TelemetrySample> samples = exporter.samples();
+  ASSERT_EQ(samples.size(), 1u);
+  // The row carries the per-stream series AND the folded fleet view.
+  EXPECT_EQ(samples[0].metrics.counter("frames{stream=\"0\"}"), 4u);
+  EXPECT_EQ(samples[0].metrics.counter("frames{stream=\"1\"}"), 6u);
+  EXPECT_EQ(samples[0].metrics.counter("frames"), 10u);
 }
 
 }  // namespace

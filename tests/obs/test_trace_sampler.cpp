@@ -1,0 +1,182 @@
+// TraceSampler: tail-based retention (marked / slow-chain / head-sample),
+// bounded retained FIFO, and span-name aggregation accounting for 100% of
+// ingested frames. Includes the fleet-scale acceptance check: at 64 streams
+// the retained raw spans are O(breaching + head-sampled frames) while
+// SpanStats still cover every frame.
+#include "avd/obs/trace_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace avd::obs {
+namespace {
+
+// Synthetic chain: one ingest + one detect span, with a controllable
+// critical path. Span names are string literals, matching the tracer's
+// static-string contract.
+FrameTrace make_frame(std::uint64_t trace_id, std::int64_t stream,
+                      std::uint64_t begin_ns, std::uint64_t latency_ns) {
+  FrameTrace f;
+  f.trace_id = trace_id;
+  f.stream = stream;
+  f.begin_ns = begin_ns;
+  f.end_ns = begin_ns + latency_ns;
+  SpanRecord ingest;
+  ingest.name = "ingest_frame";
+  ingest.trace_id = trace_id;
+  ingest.begin_ns = begin_ns;
+  ingest.end_ns = begin_ns + latency_ns / 4;
+  SpanRecord detect;
+  detect.name = "detect";
+  detect.trace_id = trace_id;
+  detect.begin_ns = begin_ns + latency_ns / 4;
+  detect.end_ns = begin_ns + latency_ns;
+  f.spans = {ingest, detect};
+  return f;
+}
+
+TEST(TraceSampler, RetainsMarkedChainsAndConsumesTheMark) {
+  TraceSampler sampler;  // no deadline, no head sampling
+  sampler.mark_interesting(7);
+  std::vector<FrameTrace> frames{make_frame(5, 0, 0, 100),
+                                 make_frame(7, 0, 100, 100)};
+  sampler.ingest(frames);
+  const std::vector<RetainedFrame> retained = sampler.retained();
+  ASSERT_EQ(retained.size(), 1u);
+  EXPECT_EQ(retained[0].trace.trace_id, 7u);
+  EXPECT_EQ(retained[0].reason, RetainReason::Marked);
+  // The mark was consumed: the same id ingested again is not retained.
+  std::vector<FrameTrace> again{make_frame(7, 0, 200, 100)};
+  sampler.ingest(again);
+  EXPECT_EQ(sampler.retained().size(), 1u);
+  // Marking id 0 is a no-op (0 = "not part of a frame trace").
+  sampler.mark_interesting(0);
+  EXPECT_EQ(sampler.frames_retained(), 1u);
+}
+
+TEST(TraceSampler, RetainsSlowChainsPastTheDeadline) {
+  TraceSamplerConfig config;
+  config.deadline_ns = 1000;
+  TraceSampler sampler(config);
+  std::vector<FrameTrace> frames{make_frame(1, 0, 0, 500),
+                                 make_frame(2, 0, 500, 1500),
+                                 make_frame(3, 0, 2000, 1000)};  // == is fine
+  sampler.ingest(frames);
+  const std::vector<RetainedFrame> retained = sampler.retained();
+  ASSERT_EQ(retained.size(), 1u);
+  EXPECT_EQ(retained[0].trace.trace_id, 2u);
+  EXPECT_EQ(retained[0].reason, RetainReason::SlowChain);
+}
+
+TEST(TraceSampler, HeadSamplesEveryNth) {
+  TraceSamplerConfig config;
+  config.head_sample_every = 4;
+  TraceSampler sampler(config);
+  std::vector<FrameTrace> frames;
+  for (std::uint64_t i = 0; i < 10; ++i)
+    frames.push_back(make_frame(i + 1, 0, i * 100, 50));
+  sampler.ingest(frames);
+  const std::vector<RetainedFrame> retained = sampler.retained();
+  // Frames at ingest index 0, 4, 8.
+  ASSERT_EQ(retained.size(), 3u);
+  for (const RetainedFrame& r : retained)
+    EXPECT_EQ(r.reason, RetainReason::HeadSample);
+  EXPECT_EQ(retained[0].trace.trace_id, 1u);
+  EXPECT_EQ(retained[1].trace.trace_id, 5u);
+  EXPECT_EQ(retained[2].trace.trace_id, 9u);
+}
+
+TEST(TraceSampler, RetainedFifoIsBoundedAndCountsEvictions) {
+  TraceSamplerConfig config;
+  config.head_sample_every = 1;  // retain everything
+  config.max_retained = 4;
+  TraceSampler sampler(config);
+  std::vector<FrameTrace> frames;
+  for (std::uint64_t i = 0; i < 10; ++i)
+    frames.push_back(make_frame(i + 1, 0, i * 100, 50));
+  sampler.ingest(frames);
+  const std::vector<RetainedFrame> retained = sampler.retained();
+  ASSERT_EQ(retained.size(), 4u);
+  // Oldest evicted, newest survive: ids 7..10.
+  EXPECT_EQ(retained.front().trace.trace_id, 7u);
+  EXPECT_EQ(retained.back().trace.trace_id, 10u);
+  EXPECT_EQ(sampler.retained_evicted(), 6u);
+  EXPECT_EQ(sampler.frames_retained(), 10u);
+}
+
+TEST(TraceSampler, StatsAggregateEverySpanSortedByName) {
+  TraceSampler sampler;
+  std::vector<FrameTrace> frames{make_frame(1, 0, 0, 400),
+                                 make_frame(2, 0, 400, 800)};
+  sampler.ingest(frames);
+  // Nothing retained (no rules armed) — but stats still saw every span.
+  EXPECT_TRUE(sampler.retained().empty());
+  const std::vector<SpanStats> stats = sampler.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "detect");  // sorted by name
+  EXPECT_EQ(stats[1].name, "ingest_frame");
+  EXPECT_EQ(stats[0].count, 2u);
+  EXPECT_EQ(stats[0].sum_ns, 300u + 600u);
+  EXPECT_EQ(stats[0].max_ns, 600u);
+  EXPECT_DOUBLE_EQ(stats[0].mean_ns(), 450.0);
+  EXPECT_GE(stats[0].p99_ns, stats[0].p50_ns);
+  EXPECT_EQ(stats[1].count, 2u);
+  EXPECT_EQ(sampler.spans_seen(), 4u);
+}
+
+TEST(TraceSampler, FleetScaleRetainsOnlyBreachingAndBaselineFrames) {
+  // The PR's acceptance shape: 64 streams, 128 frames each. A handful of
+  // frames breach the deadline; head sampling keeps a sparse baseline. The
+  // sampler must hold raw spans for only breaching + head-sampled frames
+  // (plus nothing else), while SpanStats account for 100% of frames.
+  constexpr int kStreams = 64;
+  constexpr int kFramesPerStream = 128;
+  constexpr std::uint64_t kDeadlineNs = 1'000'000;
+  TraceSamplerConfig config;
+  config.deadline_ns = kDeadlineNs;
+  config.head_sample_every = 512;
+  config.max_retained = 4096;  // large enough that nothing evicts here
+  TraceSampler sampler(config);
+
+  std::uint64_t breaching = 0;
+  std::vector<FrameTrace> frames;
+  frames.reserve(static_cast<std::size_t>(kStreams) * kFramesPerStream);
+  std::uint64_t next_id = 1;
+  for (int s = 0; s < kStreams; ++s) {
+    for (int i = 0; i < kFramesPerStream; ++i) {
+      // Stream 13 breaches on every 32nd frame; everyone else is healthy.
+      const bool breach = (s == 13 && i % 32 == 0);
+      if (breach) ++breaching;
+      frames.push_back(make_frame(next_id++, s,
+                                  static_cast<std::uint64_t>(i) * 10'000,
+                                  breach ? 2 * kDeadlineNs : kDeadlineNs / 2));
+    }
+  }
+  sampler.ingest(frames);
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kStreams) * kFramesPerStream;
+  const std::uint64_t head_samples =
+      (total + config.head_sample_every - 1) / config.head_sample_every;
+  // Retention is exactly the breaching set plus the head-sample grid — the
+  // O(breaching + head-sample) bound, enforced as an equality. (No frame is
+  // both here: stream 13's breaches never land on the 512 grid.)
+  EXPECT_EQ(sampler.frames_seen(), total);
+  EXPECT_EQ(sampler.frames_retained(), breaching + head_samples);
+  EXPECT_LT(sampler.frames_retained(), total / 100);  // ~0.2% of the fleet
+  std::uint64_t slow = 0;
+  for (const RetainedFrame& r : sampler.retained())
+    if (r.reason == RetainReason::SlowChain) ++slow;
+  EXPECT_EQ(slow, breaching);
+
+  // ...while the aggregates still account for every frame's every span.
+  EXPECT_EQ(sampler.spans_seen(), 2 * total);
+  std::uint64_t agg_count = 0;
+  for (const SpanStats& s : sampler.stats()) agg_count += s.count;
+  EXPECT_EQ(agg_count, 2 * total);
+}
+
+}  // namespace
+}  // namespace avd::obs
