@@ -7,11 +7,16 @@
 //   * writes a merged Chrome trace — wall-clock spans from every
 //     instrumented layer plus the simulated-time event log — for
 //     chrome://tracing or ui.perfetto.dev,
+//   * runs the span-sampling profiler across the serve and writes the
+//     aggregate as flamegraph.pl collapsed stacks (<trace stem>.collapsed —
+//     CI uploads it as an artifact),
 //   * prints the metrics registry as JSON and Prometheus text.
 //
 // Self-validating: exits non-zero if the trace is empty, is not valid JSON,
-// or lacks spans from any of the four instrumented layers. scripts/check.sh
-// runs it as a smoke test.
+// lacks spans from any of the four instrumented layers, or if the sampled
+// profile fails to attribute a plurality of stage samples to the detect
+// stage (the heavy stage by construction). scripts/check.sh runs it as a
+// smoke test.
 //
 //   build/examples/profile_pipeline [trace.json]
 #include <chrono>
@@ -23,6 +28,7 @@
 #include "avd/obs/frame_trace.hpp"
 #include "avd/obs/json.hpp"
 #include "avd/obs/metrics.hpp"
+#include "avd/obs/sample_profiler.hpp"
 #include "avd/obs/trace.hpp"
 #include "avd/runtime/stream_server.hpp"
 #include "avd/soc/trace_export.hpp"
@@ -64,8 +70,14 @@ int main(int argc, char** argv) {
   avd::runtime::StreamServer server(system, sc);
   std::printf("serving %zu streams (%d frames each), tracing enabled...\n",
               streams.size(), streams[0].frame_count());
+  // The span-sampling profiler runs across the whole serve: at 97 Hz it
+  // snapshots every worker's open span stack; the aggregate becomes the
+  // .collapsed artifact below.
+  avd::obs::SampleProfiler profiler;
+  profiler.start();
   const std::vector<avd::runtime::StreamResult> results =
       server.serve_sequences(streams);
+  const avd::obs::ProfileReport profile = profiler.stop();
   tracer.set_enabled(false);
 
   std::size_t frames = 0;
@@ -80,6 +92,28 @@ int main(int argc, char** argv) {
               "%llu dropped)\n",
               trace_path.c_str(), spans.size(), server_log.size(),
               static_cast<unsigned long long>(tracer.dropped()));
+
+  // --- Collapsed-stack profile (flamegraph.pl input; CI artifact). -------
+  const std::string collapsed_path =
+      (trace_path.size() > 5 &&
+       trace_path.compare(trace_path.size() - 5, 5, ".json") == 0
+           ? trace_path.substr(0, trace_path.size() - 5)
+           : trace_path) +
+      ".collapsed";
+  const std::string collapsed = profile.to_collapsed();
+  {
+    std::FILE* f = std::fopen(collapsed_path.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(collapsed.data(), 1, collapsed.size(), f);
+      std::fclose(f);
+    }
+  }
+  std::printf("wrote collapsed profile to %s (%llu ticks, %llu samples, "
+              "%zu unique stacks)\n",
+              collapsed_path.c_str(),
+              static_cast<unsigned long long>(profile.ticks),
+              static_cast<unsigned long long>(profile.samples),
+              profile.stacks.size());
 
   // --- Metrics: stage gauges pushed into the registry, then both dumps. ---
   avd::runtime::publish_runtime_metrics(server.metrics(), registry);
@@ -121,6 +155,32 @@ int main(int argc, char** argv) {
   const std::optional<avd::obs::json::Value> doc = avd::obs::json::parse(trace);
   if (!doc.has_value()) fail("trace is not valid JSON");
   if (!avd::obs::json::valid(metrics_json)) fail("metrics JSON invalid");
+
+  // Sampled profile: non-empty, JSON form parseable, and a plurality of the
+  // stage-rooted samples must land under detect_frame — the pipeline's heavy
+  // stage runs both pixel-level detectors while ingest/control/report are
+  // bookkeeping.
+  if (profile.samples == 0) fail("profiler collected no samples");
+  if (collapsed.empty()) fail("collapsed profile is empty");
+  if (!avd::obs::json::valid(profile.to_json()))
+    fail("profile JSON invalid");
+  std::uint64_t by_stage[4] = {0, 0, 0, 0};  // ingest, control, detect, report
+  const char* stage_names[4] = {"ingest_frame", "control_frame",
+                                "detect_frame", "collect_report"};
+  for (const avd::obs::ProfileStack& s : profile.stacks) {
+    if (s.frames.empty()) continue;
+    for (int i = 0; i < 4; ++i)
+      if (s.frames.front() == stage_names[i]) by_stage[i] += s.samples;
+  }
+  std::printf("profile stage attribution:");
+  for (int i = 0; i < 4; ++i)
+    std::printf(" %s=%llu", stage_names[i],
+                static_cast<unsigned long long>(by_stage[i]));
+  std::printf("\n");
+  if (by_stage[2] == 0) fail("profiler attributed no samples to detect");
+  for (int i = 0; i < 4; ++i)
+    if (i != 2 && by_stage[i] > by_stage[2])
+      fail("detect is not the plurality stage in the sampled profile");
 
   // Causal linkage: every reported frame must assemble into one connected,
   // cross-thread span chain, and the exported trace must draw its flow arc.

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repo check: the tier-1 build + test gate, then a ThreadSanitizer build of
 # the concurrency-bearing tests (avd::runtime, avd::obs — including the
-# labeled registry, trace sampler and flight recorder suites — and the
-# shared EventLog), then a profiling smoke test that fails on an empty or
-# invalid merged trace or a missing flight bundle.
+# labeled registry, trace sampler, flight recorder, ops server and sample
+# profiler suites — and the shared EventLog), then a profiling smoke test
+# that fails on an empty or invalid merged trace, a missing flight bundle,
+# or a missing collapsed profile, then a curl sweep of every live ops
+# endpoint against a serving process.
 #
 #   scripts/check.sh            # full tier-1 + TSan + profiling smoke
 #   scripts/check.sh --tsan-only
@@ -52,17 +54,66 @@ cmake --build build -j "$JOBS" --target profile_pipeline frame_slo_monitor
 SMOKE_DIR="$(mktemp -d -t avd_smoke_XXXX)"
 SMOKE_TRACE="$SMOKE_DIR/pipeline_profile.json"
 SMOKE_JSONL="$SMOKE_DIR/frame_slo_telemetry.jsonl"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+trap 'kill "${OPS_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
 ./build/examples/profile_pipeline "$SMOKE_TRACE" >/dev/null
 [[ -s "$SMOKE_TRACE" ]] || { echo "smoke: trace file empty"; exit 1; }
 ls "$SMOKE_DIR"/flight_bundle_*.json >/dev/null 2>&1 \
   || { echo "smoke: no flight bundle dumped"; exit 1; }
+[[ -s "$SMOKE_DIR/pipeline_profile.collapsed" ]] \
+  || { echo "smoke: no collapsed profile written"; exit 1; }
 
 echo "== smoke: frame_slo_monitor =="
 # Exits non-zero itself if health states or the telemetry JSONL sink are
 # wrong; quick end-to-end coverage of the SLO monitoring path.
 ./build/examples/frame_slo_monitor "$SMOKE_JSONL" >/dev/null
 [[ -s "$SMOKE_JSONL" ]] || { echo "smoke: telemetry sink empty"; exit 1; }
+
+echo "== smoke: live introspection (curl sweep) =="
+# live_introspection validates every ops endpoint in-process (strict JSON
+# parsing, the /healthz 200 -> 503 flip, detect stacks in /profilez) and
+# lingers so an EXTERNAL scraper sees the same payloads over the wire.
+# While it serves, curl each endpoint; afterwards re-validate the curl
+# captures with the example's own --parse / --parse-collapsed linters.
+cmake --build build -j "$JOBS" --target live_introspection
+OPS_PORT_FILE="$SMOKE_DIR/ops_port"
+./build/examples/live_introspection \
+  --port-file "$OPS_PORT_FILE" --linger-seconds 20 \
+  >"$SMOKE_DIR/live_introspection.log" 2>&1 &
+OPS_PID=$!
+for _ in $(seq 1 200); do
+  [[ -s "$OPS_PORT_FILE" ]] && break
+  sleep 0.1
+done
+[[ -s "$OPS_PORT_FILE" ]] || { echo "smoke: ops port file never appeared"
+                               cat "$SMOKE_DIR/live_introspection.log"
+                               kill "$OPS_PID" 2>/dev/null; exit 1; }
+OPS_PORT="$(cat "$OPS_PORT_FILE")"
+OPS_URL="http://127.0.0.1:$OPS_PORT"
+curl -fsS -D "$SMOKE_DIR/metricsz.head" -o "$SMOKE_DIR/metricsz.txt" \
+  "$OPS_URL/metricsz"
+grep -qi '^content-type: text/plain; version=0.0.4' "$SMOKE_DIR/metricsz.head" \
+  || { echo "smoke: /metricsz content type is not the Prometheus exposition"
+       cat "$SMOKE_DIR/metricsz.head"; exit 1; }
+grep -q '^process_uptime_seconds ' "$SMOKE_DIR/metricsz.txt" \
+  || { echo "smoke: /metricsz lacks process_uptime_seconds"; exit 1; }
+curl -fsS -o "$SMOKE_DIR/metricsz.json"  "$OPS_URL/metricsz.json"
+curl -fsS -o "$SMOKE_DIR/healthz.json"   "$OPS_URL/healthz"
+curl -fsS -o "$SMOKE_DIR/tracez.json"    "$OPS_URL/tracez"
+curl -fsS -o "$SMOKE_DIR/flightz.json"   "$OPS_URL/flightz"
+curl -fsS -o "$SMOKE_DIR/statusz.json"   "$OPS_URL/statusz"
+curl -fsS -o "$SMOKE_DIR/profilez.collapsed" "$OPS_URL/profilez?seconds=1.0"
+curl -fsS -o "$SMOKE_DIR/profilez.json" \
+  "$OPS_URL/profilez?seconds=0.3&format=json"
+wait "$OPS_PID" || { echo "smoke: live_introspection self-check failed"
+                     cat "$SMOKE_DIR/live_introspection.log"; exit 1; }
+for payload in metricsz.json healthz.json tracez.json flightz.json \
+               statusz.json profilez.json; do
+  ./build/examples/live_introspection --parse "$SMOKE_DIR/$payload" \
+    || { echo "smoke: curl capture $payload failed the strict parser"; exit 1; }
+done
+./build/examples/live_introspection \
+  --parse-collapsed "$SMOKE_DIR/profilez.collapsed" \
+  || { echo "smoke: curled /profilez stacks invalid or empty"; exit 1; }
 
 if [[ "$TSAN_ONLY" -eq 0 && "${AVD_SKIP_BENCH_DIFF:-0}" -ne 1 ]]; then
   echo "== bench_diff: headline perf vs checked-in BENCH/ baseline =="
@@ -74,7 +125,7 @@ if [[ "$TSAN_ONLY" -eq 0 && "${AVD_SKIP_BENCH_DIFF:-0}" -ne 1 ]]; then
   cmake --build build -j "$JOBS" --target \
     scan_throughput dark_scan_throughput runtime_scaling obs_overhead
   BENCH_OUT="$(mktemp -d -t avd_bench_XXXX)"
-  trap 'rm -rf "$SMOKE_DIR" "$BENCH_OUT"' EXIT
+  trap 'kill "${OPS_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR" "$BENCH_OUT"' EXIT
   for b in scan_throughput dark_scan_throughput runtime_scaling obs_overhead; do
     AVD_BENCH_DIR="$BENCH_OUT" "./build/bench/$b" >/dev/null
   done

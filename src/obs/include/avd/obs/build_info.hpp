@@ -1,0 +1,38 @@
+// Process identity: who is this binary and how long has it been up?
+//
+// A fleet of shards is only debuggable when every scrape target answers
+// "which build, which mode, since when" the same way everywhere — the
+// Prometheus exposition, /statusz and the flight bundles must agree.
+// The answers live in two default registry series:
+//
+//   process.uptime_seconds          gauge, refreshed on every publish call
+//   build.info{mode=,version=}      info-style gauge pinned to 1 (the value
+//                                   is meaningless; the labels carry the
+//                                   identity, Prometheus-idiomatically)
+//
+// MetricsRegistry::global() publishes both once at creation so they exist
+// from the first snapshot; every /metricsz and /statusz request republishes
+// so uptime is current at scrape time.
+#pragma once
+
+namespace avd::obs {
+
+class MetricsRegistry;
+
+/// Version baked in by CMake (AVD_BUILD_VERSION compile definition);
+/// "dev" when built without it.
+[[nodiscard]] const char* build_version();
+
+/// Build mode baked in by CMake (AVD_BUILD_MODE, normally CMAKE_BUILD_TYPE);
+/// "unspecified" when built without it.
+[[nodiscard]] const char* build_mode();
+
+/// Seconds since this process first touched the obs layer (steady clock,
+/// anchored on first call — MetricsRegistry::global() anchors it early).
+[[nodiscard]] double process_uptime_seconds();
+
+/// Write the default identity series described above into `registry`.
+/// Idempotent; cheap enough to call per scrape.
+void publish_process_metrics(MetricsRegistry& registry);
+
+}  // namespace avd::obs

@@ -36,6 +36,12 @@
 
 namespace avd::obs {
 
+/// The exact Content-Type the text exposition format must be served under —
+/// Prometheus negotiates on the version parameter, so ad-hoc "text/plain"
+/// responses are not conformant. Used by OpsServer's /metricsz.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
 /// One label dimension of a metric series, as sorted key/value pairs
 /// (`{{"stream", "3"}}`; later `{{"shard", "1"}, {"stream", "3"}}`). Labels
 /// are flattened into the series' registry name by labeled_name(), so a
@@ -264,7 +270,9 @@ class MetricsRegistry {
   /// mapped to '_'; when two raw bases sanitise to the same family name,
   /// later ones get a numeric suffix (_2, _3, ...) instead of silently
   /// colliding. # HELP carries the raw base name, so the sanitisation
-  /// stays reversible by a human.
+  /// stays reversible by a human. Wire conformance: gauge specials render
+  /// +Inf/-Inf/NaN and every emitted line (hence the body) ends in '\n' —
+  /// serve it under kPrometheusContentType.
   [[nodiscard]] std::string to_prometheus() const;
 
  private:

@@ -1,0 +1,121 @@
+// On-demand span-stack sampling profiler: what is the pipeline doing *right
+// now*?
+//
+// The tracer's per-thread rings answer "what happened" once writers
+// quiesce; they cannot answer a live operator asking why p99 is climbing
+// mid-serve. SampleProfiler is the pprof-style complement: a timer thread
+// wakes at `hz` (default 97 Hz — deliberately prime and off the 50 fps /
+// 20 ms frame grid, so samples cannot phase-lock with frame boundaries),
+// snapshots every registered thread's *open span stack* (the lock-free
+// shadow stack armed ScopedSpans maintain — Tracer::sample_open_stacks) and
+// accumulates one unit of weight per (thread-)stack per tick. The aggregate
+// renders as flamegraph.pl-compatible collapsed text ("outer;inner N") and
+// as JSON — the payloads behind OpsServer's /profilez?seconds=N.
+//
+// Bounds and lifecycle:
+//  * Memory is bounded: at most max_unique_stacks distinct stacks are ever
+//    held; samples landing on new stacks beyond that are counted in
+//    dropped_stacks, never allocated.
+//  * start()/stop() are clean and idempotent; stop() returns the report and
+//    resets, so consecutive profiles don't bleed into each other.
+//  * run_for() serialises concurrent callers (two /profilez requests queue
+//    rather than interleave), each getting its own window's report.
+//
+// Stacks populate only while the tracer is enabled — unarmed spans do not
+// maintain the shadow stack — so profiling a quiet or untraced process
+// yields idle ticks, not garbage.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "avd/obs/trace.hpp"
+
+namespace avd::obs {
+
+struct SampleProfilerConfig {
+  /// Sampling frequency. Keep it prime-ish and off the frame rate.
+  double hz = 97.0;
+  /// Hard cap on distinct stacks held; excess samples are dropped+counted.
+  std::size_t max_unique_stacks = 4096;
+};
+
+/// One unique open-span stack and its accumulated sample weight.
+struct ProfileStack {
+  std::vector<std::string> frames;  ///< outermost first
+  std::uint64_t samples = 0;
+};
+
+/// Everything one profiling window produced.
+struct ProfileReport {
+  std::uint64_t ticks = 0;           ///< timer wakeups in the window
+  std::uint64_t samples = 0;         ///< thread-stacks accumulated
+  std::uint64_t idle_ticks = 0;      ///< wakeups that found no open span
+  std::uint64_t dropped_samples = 0; ///< lost to the unique-stack cap
+  std::uint64_t duration_ns = 0;
+  double hz = 0.0;
+  std::vector<ProfileStack> stacks;  ///< samples-descending
+
+  /// flamegraph.pl collapsed format: "outer;inner <count>\n" per stack
+  /// (spaces/semicolons in frame names mapped to '_'). Empty string when no
+  /// samples landed.
+  [[nodiscard]] std::string to_collapsed() const;
+  /// {"hz":...,"ticks":...,"stacks":[{"frames":[...],"samples":N},...]};
+  /// parses with obs::json.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class SampleProfiler {
+ public:
+  explicit SampleProfiler(SampleProfilerConfig config = {},
+                          Tracer& tracer = Tracer::global());
+  ~SampleProfiler();  ///< stops a running window
+  SampleProfiler(const SampleProfiler&) = delete;
+  SampleProfiler& operator=(const SampleProfiler&) = delete;
+
+  /// Launch the timer thread (no-op when already running).
+  void start();
+  /// Stop the timer thread, return the window's report, reset state.
+  /// Idempotent: stopping a stopped profiler returns an empty report.
+  ProfileReport stop();
+  [[nodiscard]] bool running() const;
+
+  /// start(), sleep `duration`, stop() — the /profilez request body.
+  /// Concurrent callers serialise; each gets its own window.
+  ProfileReport run_for(std::chrono::milliseconds duration);
+
+  [[nodiscard]] const SampleProfilerConfig& config() const { return config_; }
+
+ private:
+  void loop();
+  void tick();
+
+  const SampleProfilerConfig config_;
+  Tracer* tracer_;
+
+  std::mutex run_mutex_;  ///< serialises run_for() windows
+
+  mutable std::mutex data_mutex_;  ///< guards everything below
+  // Keyed by the frame-pointer vector: span names are immortal literals, so
+  // pointer identity is name identity and sampling never copies strings.
+  std::map<std::vector<const char*>, std::uint64_t> counts_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t idle_ticks_ = 0;
+  std::uint64_t dropped_samples_ = 0;
+  std::chrono::steady_clock::time_point window_begin_;
+
+  mutable std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace avd::obs

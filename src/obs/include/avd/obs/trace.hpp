@@ -33,6 +33,7 @@
 // chains and critical-path latency offline.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -89,6 +90,10 @@ class Tracer {
  public:
   /// Spans kept per thread; a full ring overwrites its oldest entries.
   static constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+  /// Open-span shadow-stack depth exposed per thread; deeper nesting still
+  /// balances (the depth counter keeps counting) but only the outermost
+  /// kMaxOpenDepth names are visible to samplers.
+  static constexpr int kMaxOpenDepth = 32;
 
   Tracer();
   Tracer(const Tracer&) = delete;
@@ -135,6 +140,28 @@ class Tracer {
   /// Threads that have recorded at least one span since construction.
   [[nodiscard]] std::size_t thread_count() const;
 
+  /// One thread's open (begun, not yet ended) span stack at sampling time,
+  /// outermost first. `frames` entries are the same static strings span
+  /// names are.
+  struct OpenStack {
+    int thread = 0;
+    int depth = 0;  ///< valid frames; clamped to kMaxOpenDepth
+    std::array<const char*, kMaxOpenDepth> frames{};
+  };
+
+  /// Maintain the calling thread's open-span shadow stack. Called by armed
+  /// ScopedSpans on entry/exit: a relaxed slot store plus a release depth
+  /// store, so the stack is readable from other threads without locks.
+  void push_open_span(const char* name);
+  void pop_open_span();
+
+  /// Every registered thread's current open-span stack (threads with no
+  /// span open are omitted). Safe against live writers: a sample races
+  /// pushes/pops by design and may be one frame stale — sampling noise, not
+  /// corruption, since names are immortal string literals. This is the
+  /// read side SampleProfiler drives at ~100 Hz.
+  [[nodiscard]] std::vector<OpenStack> sample_open_stacks() const;
+
  private:
   friend class TraceScope;
 
@@ -144,6 +171,10 @@ class Tracer {
     int index = 0;                       ///< per-tracer thread index
     Counter* dropped_per_thread = nullptr;  ///< obs.trace.dropped_spans.t<N>
     Counter* dropped_total = nullptr;       ///< obs.trace.dropped_spans
+    /// Open-span shadow stack: written only by the owning thread, read by
+    /// sampling threads (see sample_open_stacks).
+    std::atomic<int> open_depth{0};
+    std::array<std::atomic<const char*>, kMaxOpenDepth> open_stack{};
   };
 
   ThreadBuffer& local_buffer();
@@ -200,12 +231,14 @@ class ScopedSpan {
     span_.span_id = Tracer::new_span_id();
     prev_context_ = parent;
     install_context({parent.trace_id, span_.span_id});
+    tracer.push_open_span(name);
     span_.begin_ns = tracer.now_ns();
   }
 
   ~ScopedSpan() {
     if (tracer_ == nullptr) return;
     span_.end_ns = tracer_->now_ns();
+    tracer_->pop_open_span();
     install_context(prev_context_);
     tracer_->record(span_);
   }

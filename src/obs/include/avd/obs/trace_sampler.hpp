@@ -67,6 +67,14 @@ struct RetainedFrame {
   RetainReason reason = RetainReason::Marked;
 };
 
+/// {"name":...,"count":...,"sum_ns":...,"mean_ns":...,"max_ns":...,
+///  "p50_ns":...,"p95_ns":...,"p99_ns":...}; parses with obs::json.
+[[nodiscard]] std::string to_json(const SpanStats& stats);
+
+/// {"reason":"slow_chain","trace":<to_json(FrameTrace)>} — the /tracez
+/// rendering of one retained chain.
+[[nodiscard]] std::string to_json(const RetainedFrame& frame);
+
 struct TraceSamplerConfig {
   /// Retain chains whose critical path exceeds this (0 disables the rule).
   std::uint64_t deadline_ns = 0;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cctype>
+#include <cmath>
 #include <limits>
 #include <set>
 #include <sstream>
 
+#include "avd/obs/build_info.hpp"
 #include "avd/obs/json.hpp"
 
 namespace avd::obs {
@@ -19,6 +21,18 @@ void append_double(std::ostringstream& os, double v) {
   os.precision(std::numeric_limits<double>::max_digits10);
   os << v;
   os.precision(saved);
+}
+
+// The text exposition spells special values `+Inf`/`-Inf`/`NaN`; iostreams
+// would print `inf`/`nan`, which Prometheus rejects at scrape time.
+void append_prometheus_value(std::ostringstream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0.0 ? "+Inf" : "-Inf");
+  } else {
+    append_double(os, v);
+  }
 }
 
 // Metric names are user-supplied strings and may contain anything; escape
@@ -319,7 +333,14 @@ void Histogram::reset() {
 }
 
 MetricsRegistry& MetricsRegistry::global() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  // The default process-identity series (process.uptime_seconds,
+  // build.info{mode=,version=}) exist from the very first snapshot; ops
+  // scrapes republish to keep uptime current. Leaked like the tracer.
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    publish_process_metrics(*r);
+    return r;
+  }();
   return *registry;
 }
 
@@ -497,7 +518,7 @@ std::string MetricsRegistry::to_prometheus() const {
     os << r.family;
     if (!r.label_block.empty()) os << '{' << r.label_block << '}';
     os << ' ';
-    append_double(os, v);
+    append_prometheus_value(os, v);
     os << '\n';
   }
   for (const auto& [name, s] : snap.histograms) {

@@ -1,0 +1,178 @@
+#include "avd/obs/sample_profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "avd/obs/json.hpp"
+
+namespace avd::obs {
+namespace {
+
+// Collapsed frames may not contain the separators flamegraph.pl splits on.
+std::string collapsed_frame(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (c == ';' || c == ' ' || c == '\n') c = '_';
+  return out;
+}
+
+}  // namespace
+
+std::string ProfileReport::to_collapsed() const {
+  std::ostringstream os;
+  for (const ProfileStack& s : stacks) {
+    bool first = true;
+    for (const std::string& f : s.frames) {
+      if (!first) os << ';';
+      first = false;
+      os << collapsed_frame(f);
+    }
+    os << ' ' << s.samples << '\n';
+  }
+  return os.str();
+}
+
+std::string ProfileReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"hz\":" << hz << ",\"duration_ns\":" << duration_ns
+     << ",\"ticks\":" << ticks << ",\"samples\":" << samples
+     << ",\"idle_ticks\":" << idle_ticks
+     << ",\"dropped_samples\":" << dropped_samples << ",\"stacks\":[";
+  bool first_stack = true;
+  for (const ProfileStack& s : stacks) {
+    if (!first_stack) os << ',';
+    first_stack = false;
+    os << "{\"frames\":[";
+    bool first_frame = true;
+    for (const std::string& f : s.frames) {
+      if (!first_frame) os << ',';
+      first_frame = false;
+      os << '"' << json::escape(f) << '"';
+    }
+    os << "],\"samples\":" << s.samples << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+SampleProfiler::SampleProfiler(SampleProfilerConfig config, Tracer& tracer)
+    : config_([&config] {
+        if (!(config.hz > 0.0)) config.hz = 97.0;
+        if (config.hz > 1000.0) config.hz = 1000.0;
+        if (config.max_unique_stacks == 0) config.max_unique_stacks = 1;
+        return config;
+      }()),
+      tracer_(&tracer) {}
+
+SampleProfiler::~SampleProfiler() { stop(); }
+
+void SampleProfiler::start() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (running_) return;
+    stop_requested_ = false;
+    running_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(data_mutex_);
+    window_begin_ = std::chrono::steady_clock::now();
+  }
+  thread_ = std::thread(&SampleProfiler::loop, this);
+}
+
+bool SampleProfiler::running() const {
+  std::lock_guard<std::mutex> lock(wake_mutex_);
+  return running_;
+}
+
+ProfileReport SampleProfiler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (running_) {
+      stop_requested_ = true;
+      wake_.notify_all();
+    }
+  }
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    running_ = false;
+  }
+
+  ProfileReport report;
+  std::lock_guard<std::mutex> lock(data_mutex_);
+  report.hz = config_.hz;
+  report.ticks = ticks_;
+  report.samples = samples_;
+  report.idle_ticks = idle_ticks_;
+  report.dropped_samples = dropped_samples_;
+  if (ticks_ > 0)
+    report.duration_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - window_begin_)
+            .count());
+  report.stacks.reserve(counts_.size());
+  for (const auto& [frames, n] : counts_) {
+    ProfileStack s;
+    s.samples = n;
+    s.frames.reserve(frames.size());
+    for (const char* f : frames) s.frames.emplace_back(f);
+    report.stacks.push_back(std::move(s));
+  }
+  std::sort(report.stacks.begin(), report.stacks.end(),
+            [](const ProfileStack& a, const ProfileStack& b) {
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return a.frames < b.frames;  // deterministic ties
+            });
+  counts_.clear();
+  ticks_ = samples_ = idle_ticks_ = dropped_samples_ = 0;
+  return report;
+}
+
+ProfileReport SampleProfiler::run_for(std::chrono::milliseconds duration) {
+  std::lock_guard<std::mutex> serial(run_mutex_);
+  start();
+  std::this_thread::sleep_for(duration);
+  return stop();
+}
+
+void SampleProfiler::loop() {
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / config_.hz));
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  auto next = std::chrono::steady_clock::now() + period;
+  while (!stop_requested_) {
+    wake_.wait_until(lock, next, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    next += period;
+    lock.unlock();
+    tick();
+    lock.lock();
+  }
+}
+
+void SampleProfiler::tick() {
+  const std::vector<Tracer::OpenStack> open = tracer_->sample_open_stacks();
+  std::lock_guard<std::mutex> lock(data_mutex_);
+  ++ticks_;
+  bool any = false;
+  std::vector<const char*> key;
+  for (const Tracer::OpenStack& s : open) {
+    key.assign(s.frames.begin(), s.frames.begin() + s.depth);
+    auto it = counts_.find(key);
+    if (it == counts_.end()) {
+      if (counts_.size() >= config_.max_unique_stacks) {
+        ++dropped_samples_;
+        continue;
+      }
+      it = counts_.emplace(key, 0).first;
+    }
+    ++it->second;
+    ++samples_;
+    any = true;
+  }
+  if (!any) ++idle_ticks_;
+}
+
+}  // namespace avd::obs

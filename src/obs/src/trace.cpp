@@ -107,6 +107,45 @@ void Tracer::record(SpanRecord span) {
   tb.head.store(head + 1, std::memory_order_release);
 }
 
+void Tracer::push_open_span(const char* name) {
+  ThreadBuffer& tb = local_buffer();
+  const int d = tb.open_depth.load(std::memory_order_relaxed);
+  if (d >= 0 && d < kMaxOpenDepth)
+    tb.open_stack[static_cast<std::size_t>(d)].store(
+        name, std::memory_order_relaxed);
+  // Publish the slot before the new depth so a sampler that observes d+1
+  // also observes the name written above.
+  tb.open_depth.store(d + 1, std::memory_order_release);
+}
+
+void Tracer::pop_open_span() {
+  ThreadBuffer& tb = local_buffer();
+  const int d = tb.open_depth.load(std::memory_order_relaxed);
+  if (d > 0) tb.open_depth.store(d - 1, std::memory_order_release);
+}
+
+std::vector<Tracer::OpenStack> Tracer::sample_open_stacks() const {
+  std::vector<OpenStack> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& tb : buffers_) {
+    int d = tb->open_depth.load(std::memory_order_acquire);
+    if (d <= 0) continue;
+    if (d > kMaxOpenDepth) d = kMaxOpenDepth;
+    OpenStack s;
+    s.thread = tb->index;
+    for (int i = 0; i < d; ++i) {
+      // A pop/push racing this read can leave a just-replaced name in a
+      // slot; every value ever stored is an immortal literal, so the worst
+      // case is one sample attributed to the neighbouring span.
+      const char* f = tb->open_stack[static_cast<std::size_t>(i)].load(
+          std::memory_order_relaxed);
+      if (f != nullptr) s.frames[static_cast<std::size_t>(s.depth++)] = f;
+    }
+    if (s.depth > 0) out.push_back(s);
+  }
+  return out;
+}
+
 std::vector<SpanRecord> Tracer::snapshot() const {
   std::vector<SpanRecord> out;
   std::lock_guard<std::mutex> lock(mutex_);

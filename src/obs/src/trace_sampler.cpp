@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
+#include "avd/obs/json.hpp"
 #include "avd/obs/metrics.hpp"
 
 namespace avd::obs {
@@ -26,6 +28,24 @@ const char* to_string(RetainReason r) {
     case RetainReason::HeadSample: return "head_sample";
   }
   return "unknown";
+}
+
+std::string to_json(const SpanStats& stats) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json::escape(stats.name)
+     << "\",\"count\":" << stats.count << ",\"sum_ns\":" << stats.sum_ns
+     << ",\"mean_ns\":" << static_cast<std::uint64_t>(stats.mean_ns())
+     << ",\"max_ns\":" << stats.max_ns << ",\"p50_ns\":" << stats.p50_ns
+     << ",\"p95_ns\":" << stats.p95_ns << ",\"p99_ns\":" << stats.p99_ns
+     << '}';
+  return os.str();
+}
+
+std::string to_json(const RetainedFrame& frame) {
+  std::ostringstream os;
+  os << "{\"reason\":\"" << to_string(frame.reason)
+     << "\",\"trace\":" << to_json(frame.trace) << '}';
+  return os.str();
 }
 
 void TraceSampler::mark_interesting(std::uint64_t trace_id) {

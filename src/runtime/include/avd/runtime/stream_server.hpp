@@ -31,15 +31,19 @@
 // the paper's reconfiguration frame drop.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "avd/core/adaptive_system.hpp"
 #include "avd/obs/flight_recorder.hpp"
+#include "avd/obs/ops_server.hpp"
+#include "avd/obs/sample_profiler.hpp"
 #include "avd/obs/slo.hpp"
 #include "avd/obs/trace_sampler.hpp"
 #include "avd/runtime/bounded_queue.hpp"
@@ -90,6 +94,32 @@ struct StreamSloConfig {
   std::string flight_dump_dir;
 };
 
+/// The live introspection plane: an embedded obs::OpsServer owned by the
+/// StreamServer for its whole lifetime (not per serve()), so a fleet
+/// operator can scrape metrics, read health, pull traces and profile the
+/// pipeline *while it serves*. Endpoints installed:
+///
+///   /metricsz       Prometheus text exposition (rollup() first)
+///   /metricsz.json  registry snapshot as JSON
+///   /healthz        fleet + per-stream SLO states; 503 when UNHEALTHY
+///   /tracez         tail-sampler retained chains + per-span-name stats
+///   /flightz        flight-recorder bundle, on demand
+///   /statusz        uptime, build identity, serving configuration
+///   /profilez       span-sampling profile over ?seconds=N (collapsed text;
+///                   ?format=json for the structured report)
+struct StreamOpsConfig {
+  /// Off by default: the ops plane costs a listener socket plus
+  /// 1 + handler_threads background threads.
+  bool enabled = false;
+  /// Listener shape. Default binds 127.0.0.1 on an ephemeral port — read it
+  /// back via StreamServer::ops_server()->port().
+  obs::OpsServerConfig server;
+  /// Sampling shape of the /profilez profiler.
+  obs::SampleProfilerConfig profiler;
+  /// Upper bound on one /profilez window; larger ?seconds= values clamp.
+  double max_profile_seconds = 10.0;
+};
+
 struct StreamServerConfig {
   /// Workers pumping sources into the control queue. More than one only
   /// helps when several streams are served (a source is never shared).
@@ -120,6 +150,8 @@ struct StreamServerConfig {
   ThreadPool* scan_pool = nullptr;
   /// Telemetry + SLO health monitoring for this server's serve() calls.
   StreamSloConfig slo;
+  /// Embedded ops server + on-demand profiler (see StreamOpsConfig).
+  StreamOpsConfig ops;
 };
 
 /// Everything one stream produced.
@@ -139,8 +171,16 @@ struct StreamResult {
 
 class StreamServer {
  public:
+  /// Throws std::runtime_error when config.ops.enabled and the ops listener
+  /// cannot bind (port taken, bad address) — a server that silently serves
+  /// without its introspection plane is worse than one that fails fast.
   explicit StreamServer(const core::AdaptiveSystem& system,
                         StreamServerConfig config = {});
+  /// Stops the ops server (first — its handler threads read members) and
+  /// the profiler.
+  ~StreamServer();
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
 
   /// Serve every source to completion; results are indexed like `sources`.
   [[nodiscard]] std::vector<StreamResult> serve(
@@ -188,18 +228,39 @@ class StreamServer {
     return last_flight_bundle_path_;
   }
 
+  /// The embedded ops listener (nullptr unless config().ops.enabled).
+  /// Running from construction to destruction; its port() is where
+  /// /metricsz etc. answer.
+  [[nodiscard]] obs::OpsServer* ops_server() const { return ops_.get(); }
+  /// The /profilez profiler (nullptr unless config().ops.enabled). Usable
+  /// directly too: profiler()->run_for(...) during a serve() on another
+  /// thread.
+  [[nodiscard]] obs::SampleProfiler* profiler() const {
+    return profiler_.get();
+  }
+
  private:
+  void install_ops_endpoints();
+
   const core::AdaptiveSystem* system_;
   StreamServerConfig config_;
   RuntimeMetrics metrics_;
   soc::EventLog log_;
   HealthCallback health_callback_;
+  /// Guards the swap of the per-serve observability objects (sampler_,
+  /// recorder_, monitors_, stream_health_, fleet_health_) between serve()
+  /// and the ops handler threads. The objects themselves are internally
+  /// thread-safe; only the pointers/containers need the lock.
+  mutable std::mutex obs_mutex_;
   std::vector<obs::HealthState> stream_health_;
   obs::HealthState fleet_health_ = obs::HealthState::Healthy;
   std::unique_ptr<obs::TraceSampler> sampler_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::vector<std::unique_ptr<obs::SloMonitor>> monitors_;
+  std::unique_ptr<obs::SampleProfiler> profiler_;
+  std::unique_ptr<obs::OpsServer> ops_;
   std::string last_flight_bundle_path_;
-  std::uint64_t serve_count_ = 0;  ///< distinguishes bundle filenames
+  std::atomic<std::uint64_t> serve_count_{0};  ///< bundle names + /statusz
 };
 
 }  // namespace avd::runtime

@@ -10,7 +10,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "avd/obs/build_info.hpp"
 #include "avd/obs/frame_trace.hpp"
+#include "avd/obs/json.hpp"
 #include "avd/obs/metrics.hpp"
 #include "avd/obs/telemetry.hpp"
 #include "avd/obs/trace.hpp"
@@ -80,6 +82,26 @@ StreamServer::StreamServer(const core::AdaptiveSystem& system,
   config_.control_workers = std::max(1, config_.control_workers);
   config_.detect_workers = std::max(1, config_.detect_workers);
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.ops.enabled) {
+    if (!(config_.ops.max_profile_seconds > 0.0))
+      config_.ops.max_profile_seconds = 10.0;
+    profiler_ = std::make_unique<obs::SampleProfiler>(config_.ops.profiler);
+    ops_ = std::make_unique<obs::OpsServer>(config_.ops.server);
+    install_ops_endpoints();
+    if (!ops_->start())
+      throw std::runtime_error(
+          "StreamServer: ops server failed to bind " +
+          config_.ops.server.bind_address + ":" +
+          std::to_string(config_.ops.server.port));
+  }
+}
+
+StreamServer::~StreamServer() {
+  // Ops handler threads read the members below; take them down first. The
+  // profiler's timer thread only touches the (global) tracer, but a window
+  // left running would outlive its owner.
+  if (ops_) ops_->stop();
+  if (profiler_) profiler_->stop();
 }
 
 std::vector<StreamResult> StreamServer::serve_sequences(
@@ -96,7 +118,11 @@ std::vector<StreamResult> StreamServer::serve(
   std::vector<StreamResult> results(sources.size());
   for (int s = 0; s < n_streams; ++s)
     results[static_cast<std::size_t>(s)].stream = s;
-  stream_health_.assign(sources.size(), obs::HealthState::Healthy);
+  {
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    stream_health_.assign(sources.size(), obs::HealthState::Healthy);
+    fleet_health_ = obs::HealthState::Healthy;
+  }
   if (n_streams == 0) return results;
 
   const Clock::time_point epoch = Clock::now();
@@ -142,10 +168,10 @@ std::vector<StreamResult> StreamServer::serve(
     sc.deadline_ns = deadline_ns;
     sc.head_sample_every = config_.slo.trace_head_sample_every;
     sc.max_retained = config_.slo.trace_max_retained;
-    sampler_ = std::make_unique<obs::TraceSampler>(sc);
+    auto sampler = std::make_unique<obs::TraceSampler>(sc);
     obs::FlightRecorderConfig fc;
     fc.max_frames_per_stream = config_.slo.flight_frames_per_stream;
-    recorder_ = std::make_unique<obs::FlightRecorder>(fc);
+    auto recorder = std::make_unique<obs::FlightRecorder>(fc);
     std::ostringstream cfg;
     cfg << "{\"streams\":" << n_streams
         << ",\"ingest_workers\":" << config_.ingest_workers
@@ -154,10 +180,15 @@ std::vector<StreamResult> StreamServer::serve(
         << ",\"queue_capacity\":" << config_.queue_capacity
         << ",\"detect_policy\":\"" << to_string(config_.detect_policy)
         << "\",\"frame_budget_ms\":" << config_.slo.frame_budget_ms << '}';
-    recorder_->set_config_json(cfg.str());
+    recorder->set_config_json(cfg.str());
+    // Swap under the obs lock: ops handler threads may hold the previous
+    // serve's sampler/recorder pointers mid-request otherwise.
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    sampler_ = std::move(sampler);
+    recorder_ = std::move(recorder);
   }
   last_flight_bundle_path_.clear();
-  ++serve_count_;
+  const std::uint64_t serve_id = serve_count_.fetch_add(1) + 1;
   std::atomic<bool> flight_dump_requested{false};
 
   // --- SLO health monitoring (optional) --------------------------------
@@ -168,7 +199,7 @@ std::vector<StreamResult> StreamServer::serve(
   std::vector<std::unique_ptr<obs::SloMonitor>> monitors;
   std::unique_ptr<obs::TelemetryExporter> telemetry;
   if (config_.slo.enabled) {
-    monitors.reserve(sources.size());
+    monitors.reserve(sources.size());  // moved into monitors_ once built
     for (int s = 0; s < n_streams; ++s) {
       auto monitor = std::make_unique<obs::SloMonitor>(
           stream_entity(s),
@@ -201,14 +232,25 @@ std::vector<StreamResult> StreamServer::serve(
     tc.jsonl_path = config_.slo.telemetry_jsonl;
     tc.rollup_before_sample = true;  // rows carry per-stream AND fleet view
     obs::FlightRecorder* recorder = recorder_.get();
-    tc.on_sample = [&monitors, recorder](const obs::TelemetrySample* prev,
-                                         const obs::TelemetrySample& cur) {
+    // Raw pointers by value: the monitors move into monitors_ below and
+    // outlive the exporter (stopped before the next serve() replaces them).
+    std::vector<obs::SloMonitor*> monitor_ptrs;
+    monitor_ptrs.reserve(monitors.size());
+    for (auto& m : monitors) monitor_ptrs.push_back(m.get());
+    tc.on_sample = [monitor_ptrs, recorder](const obs::TelemetrySample* prev,
+                                            const obs::TelemetrySample& cur) {
       recorder->record_telemetry_row(obs::to_json(cur));
       if (prev == nullptr) return;  // a window needs two samples
-      for (auto& m : monitors) m->observe(*prev, cur);
+      for (obs::SloMonitor* m : monitor_ptrs) m->observe(*prev, cur);
     };
     telemetry = std::make_unique<obs::TelemetryExporter>(registry, tc);
     telemetry->start();
+  }
+  {
+    // Publish this serve's monitors to the ops plane (/healthz reads live
+    // states from them mid-run); empty when monitoring is disabled.
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    monitors_ = std::move(monitors);
   }
 
   BoundedQueue<FrameTask> control_q(config_.queue_capacity,
@@ -483,7 +525,7 @@ std::vector<StreamResult> StreamServer::serve(
     }
     if (!dir.empty()) {
       const std::string path = dir + "/flight_bundle_serve" +
-                               std::to_string(serve_count_) + ".json";
+                               std::to_string(serve_id) + ".json";
       if (recorder_->dump_to_file(path, "health transition to UNHEALTHY"))
         last_flight_bundle_path_ = path;
     }
@@ -515,8 +557,9 @@ std::vector<StreamResult> StreamServer::serve(
     result.backpressure_drops = state.backpressure_drops.load();
     result.deadline_misses = state.deadline_misses.load();
     if (config_.slo.enabled) {
-      result.health = monitors[us]->state();
-      result.health_transitions = monitors[us]->transitions();
+      result.health = monitors_[us]->state();
+      result.health_transitions = monitors_[us]->transitions();
+      std::lock_guard<std::mutex> lock(obs_mutex_);
       stream_health_[us] = result.health;
     }
     std::ostringstream os;
@@ -527,8 +570,144 @@ std::vector<StreamResult> StreamServer::serve(
       os << ", health " << obs::to_string(result.health);
     log_.record(now_tp(), "runtime/server", os.str());
   }
-  fleet_health_ = obs::worst_of(stream_health_);
+  {
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    fleet_health_ = obs::worst_of(stream_health_);
+  }
   return results;
+}
+
+// The standard introspection surface (see StreamOpsConfig). Handlers run on
+// the ops server's pool threads, concurrently with serve(): everything they
+// read is either internally thread-safe (registry, sampler, recorder,
+// monitors, profiler) or swapped under obs_mutex_.
+void StreamServer::install_ops_endpoints() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+
+  ops_->handle("/metricsz", [&registry](const obs::HttpRequest&) {
+    return obs::prometheus_response(registry);
+  });
+  ops_->handle("/metricsz.json", [&registry](const obs::HttpRequest&) {
+    return obs::metrics_json_response(registry);
+  });
+
+  // Live health: mid-serve the monitors answer with their current state
+  // machine position; between serves (or with monitoring disabled) the last
+  // serve's verdicts answer. 503 on an UNHEALTHY fleet makes this directly
+  // usable as a load-balancer / orchestrator readiness probe.
+  ops_->handle("/healthz", [this](const obs::HttpRequest&) {
+    std::vector<obs::HealthState> states;
+    {
+      std::lock_guard<std::mutex> lock(obs_mutex_);
+      if (!monitors_.empty()) {
+        states.reserve(monitors_.size());
+        for (const auto& m : monitors_) states.push_back(m->state());
+      } else {
+        states = stream_health_;
+      }
+    }
+    const obs::HealthState fleet = obs::worst_of(states);
+    std::ostringstream os;
+    os << "{\"fleet\":\"" << obs::to_string(fleet) << "\",\"streams\":[";
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      if (s != 0) os << ',';
+      os << "{\"stream\":" << s << ",\"state\":\""
+         << obs::to_string(states[s]) << "\"}";
+    }
+    os << "]}";
+    obs::HttpResponse res;
+    res.status = fleet == obs::HealthState::Unhealthy ? 503 : 200;
+    res.content_type = "application/json";
+    res.body = os.str();
+    return res;
+  });
+
+  ops_->handle("/tracez", [this](const obs::HttpRequest&) {
+    std::vector<obs::RetainedFrame> retained;
+    std::vector<obs::SpanStats> stats;
+    std::uint64_t frames_seen = 0, frames_retained = 0, spans_seen = 0,
+                  evicted = 0;
+    {
+      std::lock_guard<std::mutex> lock(obs_mutex_);
+      if (sampler_) {
+        retained = sampler_->retained();
+        stats = sampler_->stats();
+        frames_seen = sampler_->frames_seen();
+        frames_retained = sampler_->frames_retained();
+        spans_seen = sampler_->spans_seen();
+        evicted = sampler_->retained_evicted();
+      }
+    }
+    std::ostringstream os;
+    os << "{\"frames_seen\":" << frames_seen
+       << ",\"frames_retained\":" << frames_retained
+       << ",\"spans_seen\":" << spans_seen
+       << ",\"retained_evicted\":" << evicted << ",\"span_stats\":[";
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      if (i != 0) os << ',';
+      os << obs::to_json(stats[i]);
+    }
+    os << "],\"retained\":[";
+    for (std::size_t i = 0; i < retained.size(); ++i) {
+      if (i != 0) os << ',';
+      os << obs::to_json(retained[i]);
+    }
+    os << "]}";
+    return obs::HttpResponse{200, "application/json", os.str()};
+  });
+
+  ops_->handle("/flightz", [this](const obs::HttpRequest&) {
+    std::string body;
+    {
+      std::lock_guard<std::mutex> lock(obs_mutex_);
+      if (recorder_) body = recorder_->dump("ops /flightz request");
+    }
+    if (body.empty())
+      body =
+          "{\"reason\":\"no serve has run yet\",\"streams\":{},"
+          "\"telemetry\":[],\"slo_transitions\":[]}";
+    return obs::HttpResponse{200, "application/json", std::move(body)};
+  });
+
+  ops_->handle("/statusz", [this, &registry](const obs::HttpRequest&) {
+    obs::publish_process_metrics(registry);  // keep /statusz and /metricsz in sync
+    std::ostringstream os;
+    os << "{\"build\":{\"version\":\"" << obs::json::escape(obs::build_version())
+       << "\",\"mode\":\"" << obs::json::escape(obs::build_mode())
+       << "\"},\"uptime_seconds\":" << obs::process_uptime_seconds()
+       << ",\"serves\":" << serve_count_.load()
+       << ",\"ops_requests\":" << ops_->requests_served()
+       << ",\"config\":{\"ingest_workers\":" << config_.ingest_workers
+       << ",\"control_workers\":" << config_.control_workers
+       << ",\"detect_workers\":" << config_.detect_workers
+       << ",\"queue_capacity\":" << config_.queue_capacity
+       << ",\"detect_policy\":\"" << to_string(config_.detect_policy)
+       << "\",\"slo_enabled\":" << (config_.slo.enabled ? "true" : "false")
+       << ",\"frame_budget_ms\":" << config_.slo.frame_budget_ms
+       << ",\"ops_port\":" << ops_->port()
+       << ",\"profiler_hz\":" << profiler_->config().hz
+       << ",\"max_profile_seconds\":" << config_.ops.max_profile_seconds
+       << "}}";
+    return obs::HttpResponse{200, "application/json", os.str()};
+  });
+
+  // On-demand profile: blocks its handler thread for the window (clamped to
+  // max_profile_seconds); concurrent requests serialise inside run_for().
+  ops_->handle("/profilez", [this](const obs::HttpRequest& req) {
+    const std::string secs = req.query_value("seconds", "1");
+    char* end = nullptr;
+    double seconds = std::strtod(secs.c_str(), &end);
+    if (end == secs.c_str() || *end != '\0' || !(seconds > 0.0))
+      return obs::HttpResponse{400, "text/plain; charset=utf-8",
+                               "bad seconds value: " + secs + "\n"};
+    seconds = std::min(seconds, config_.ops.max_profile_seconds);
+    const obs::ProfileReport report = profiler_->run_for(
+        std::chrono::milliseconds(static_cast<long>(seconds * 1000.0)));
+    if (req.query_value("format") == "json")
+      return obs::HttpResponse{200, "application/json", report.to_json()};
+    return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                             report.to_collapsed()};
+  });
 }
 
 }  // namespace avd::runtime

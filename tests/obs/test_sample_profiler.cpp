@@ -1,0 +1,206 @@
+// SampleProfiler: idle windows, nested-stack capture from live worker
+// threads, the unique-stack memory bound, shadow-stack depth overflow, and
+// run_for() serialisation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "avd/obs/json.hpp"
+#include "avd/obs/sample_profiler.hpp"
+#include "avd/obs/trace.hpp"
+
+namespace avd::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Tracing on for the test body, off + cleared after (the global tracer is
+/// shared across the whole test binary).
+class SampleProfilerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(SampleProfilerTest, IdleWindowCountsIdleTicksOnly) {
+  Tracer::global().set_enabled(false);  // nothing arms, nothing opens
+  SampleProfilerConfig config;
+  config.hz = 500.0;
+  SampleProfiler profiler(config);
+  const ProfileReport report = profiler.run_for(100ms);
+
+  EXPECT_GT(report.ticks, 0u);
+  EXPECT_EQ(report.samples, 0u);
+  EXPECT_EQ(report.idle_ticks, report.ticks);
+  EXPECT_TRUE(report.stacks.empty());
+  EXPECT_TRUE(report.to_collapsed().empty());
+  // The JSON report stays a valid document even when empty.
+  EXPECT_TRUE(json::valid(report.to_json()));
+  EXPECT_GT(report.duration_ns, 0u);
+}
+
+TEST_F(SampleProfilerTest, CapturesNestedStackFromWorkerThread) {
+  std::atomic<bool> ready{false};
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    ScopedSpan outer("outer_work", "test/profiler");
+    ScopedSpan inner("inner_work", "test/profiler");
+    ready.store(true);
+    while (!done.load()) std::this_thread::sleep_for(1ms);
+  });
+  while (!ready.load()) std::this_thread::sleep_for(1ms);
+
+  SampleProfilerConfig config;
+  config.hz = 500.0;
+  SampleProfiler profiler(config);
+  const ProfileReport report = profiler.run_for(200ms);
+  done.store(true);
+  worker.join();
+
+  ASSERT_GT(report.samples, 0u);
+  bool saw_nested = false;
+  for (const ProfileStack& s : report.stacks) {
+    if (s.frames == std::vector<std::string>{"outer_work", "inner_work"})
+      saw_nested = true;
+  }
+  EXPECT_TRUE(saw_nested) << report.to_collapsed();
+
+  // Collapsed rendering: "outer_work;inner_work <count>".
+  const std::string collapsed = report.to_collapsed();
+  EXPECT_NE(collapsed.find("outer_work;inner_work "), std::string::npos);
+
+  // JSON rendering parses strictly and carries the same stack.
+  const std::optional<json::Value> doc = json::parse(report.to_json());
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* stacks = doc->find("stacks");
+  ASSERT_NE(stacks, nullptr);
+  EXPECT_EQ(stacks->array.size(), report.stacks.size());
+
+  // The report reset on stop(): a fresh window starts from zero.
+  const ProfileReport second = profiler.run_for(20ms);
+  EXPECT_LT(second.ticks, report.ticks);
+}
+
+TEST_F(SampleProfilerTest, UniqueStackCapBoundsMemory) {
+  // Two threads holding two distinct stacks; a cap of 1 keeps exactly one
+  // and counts the rest as dropped instead of allocating.
+  std::atomic<bool> done{false};
+  std::atomic<int> ready{0};
+  const auto hold = [&](const char* name) {
+    return std::thread([&, name] {
+      ScopedSpan span(name, "test/profiler");
+      ready.fetch_add(1);
+      while (!done.load()) std::this_thread::sleep_for(1ms);
+    });
+  };
+  std::thread t1 = hold("stack_one");
+  std::thread t2 = hold("stack_two");
+  while (ready.load() < 2) std::this_thread::sleep_for(1ms);
+
+  SampleProfilerConfig config;
+  config.hz = 500.0;
+  config.max_unique_stacks = 1;
+  SampleProfiler profiler(config);
+  const ProfileReport report = profiler.run_for(150ms);
+  done.store(true);
+  t1.join();
+  t2.join();
+
+  EXPECT_LE(report.stacks.size(), 1u);
+  EXPECT_GT(report.samples, 0u);
+  EXPECT_GT(report.dropped_samples, 0u);
+}
+
+TEST_F(SampleProfilerTest, DepthOverflowClampsAndRebalances) {
+  // Nest far past kMaxOpenDepth: the sampler sees at most kMaxOpenDepth
+  // frames, and the shadow stack still balances on unwind.
+  constexpr int kDepth = Tracer::kMaxOpenDepth + 8;
+  std::atomic<bool> deep{false};
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    std::vector<std::unique_ptr<ScopedSpan>> spans;
+    spans.reserve(kDepth);
+    for (int i = 0; i < kDepth; ++i)
+      spans.push_back(
+          std::make_unique<ScopedSpan>("deep_span", "test/profiler"));
+    deep.store(true);
+    while (!done.load()) std::this_thread::sleep_for(1ms);
+    while (!spans.empty()) spans.pop_back();  // unwind fully
+  });
+  while (!deep.load()) std::this_thread::sleep_for(1ms);
+
+  const std::vector<Tracer::OpenStack> open =
+      Tracer::global().sample_open_stacks();
+  bool saw_clamped = false;
+  for (const Tracer::OpenStack& s : open)
+    if (s.depth == Tracer::kMaxOpenDepth) saw_clamped = true;
+  EXPECT_TRUE(saw_clamped);
+
+  SampleProfilerConfig config;
+  config.hz = 500.0;
+  SampleProfiler profiler(config);
+  const ProfileReport report = profiler.run_for(100ms);
+  done.store(true);
+  worker.join();
+  for (const ProfileStack& s : report.stacks)
+    EXPECT_LE(s.frames.size(),
+              static_cast<std::size_t>(Tracer::kMaxOpenDepth));
+
+  // After full unwind the thread has no open spans.
+  for (const Tracer::OpenStack& s : Tracer::global().sample_open_stacks())
+    EXPECT_GT(s.depth, 0);
+}
+
+TEST_F(SampleProfilerTest, LifecycleIsIdempotent) {
+  SampleProfiler profiler;
+  // stop() without start(): an empty report, no crash.
+  const ProfileReport empty = profiler.stop();
+  EXPECT_EQ(empty.ticks, 0u);
+  EXPECT_FALSE(profiler.running());
+
+  profiler.start();
+  profiler.start();  // no-op
+  EXPECT_TRUE(profiler.running());
+  std::this_thread::sleep_for(30ms);
+  (void)profiler.stop();
+  EXPECT_FALSE(profiler.running());
+}
+
+TEST_F(SampleProfilerTest, ConcurrentRunForCallsSerialise) {
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    ScopedSpan span("held_span", "test/profiler");
+    while (!done.load()) std::this_thread::sleep_for(1ms);
+  });
+
+  SampleProfilerConfig config;
+  config.hz = 500.0;
+  SampleProfiler profiler(config);
+  ProfileReport a, b;
+  std::thread ra([&] { a = profiler.run_for(80ms); });
+  std::thread rb([&] { b = profiler.run_for(80ms); });
+  ra.join();
+  rb.join();
+  done.store(true);
+  worker.join();
+
+  // Each caller got its own complete window — ticks in both, no bleed-over
+  // (the second window cannot reuse the first's thread or counts).
+  EXPECT_GT(a.ticks, 0u);
+  EXPECT_GT(b.ticks, 0u);
+  EXPECT_FALSE(profiler.running());
+}
+
+}  // namespace
+}  // namespace avd::obs
