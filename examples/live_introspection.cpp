@@ -172,6 +172,9 @@ int main(int argc, char** argv) {
   sc.slo.enabled = true;
   sc.slo.frame_budget_ms = 1e6;  // this server stays healthy
   sc.slo.telemetry_period = std::chrono::milliseconds(5);
+  // Admission plane on (bucket off, ladder idle on a healthy server) so the
+  // sweep validates the overload fields /healthz and /statusz export.
+  sc.admission.enabled = true;
   sc.ops.enabled = true;
   sc.ops.server.handler_threads = 3;
   avd::runtime::StreamServer server(system, sc);
@@ -249,11 +252,37 @@ int main(int argc, char** argv) {
   if (metrics_json.find("counters") == nullptr)
     fail("/metricsz.json lacks counters");
 
-  const auto healthz = expect_json("/healthz", 200);
+  auto healthz = expect_json("/healthz", 200);
+  // The per-stream rows (and the admission controller) appear once the
+  // first serve() is underway; poll briefly instead of racing it.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const auto* streams = healthz.find("streams");
+    const auto* adm = healthz.find("admission");
+    if (streams != nullptr && !streams->array.empty() && adm != nullptr &&
+        adm->boolean)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (const auto res = get("/healthz"); res.has_value())
+      if (auto doc = avd::obs::json::parse(res->body); doc.has_value())
+        healthz = *doc;
+  }
   if (const auto* fleet = healthz.find("fleet"); fleet == nullptr)
     fail("/healthz lacks fleet state");
   else
     std::printf("  fleet health: %s\n", fleet->string.c_str());
+  if (const auto* adm = healthz.find("admission");
+      adm == nullptr || !adm->boolean)
+    fail("/healthz does not report the admission plane as live");
+  if (const auto* streams = healthz.find("streams");
+      streams == nullptr || streams->array.empty()) {
+    fail("/healthz lacks streams");
+  } else {
+    const auto& row = streams->array.front();
+    for (const char* key :
+         {"degrade_level", "admitted", "shed", "coasted", "degraded_scans"})
+      if (row.find(key) == nullptr)
+        fail(std::string("/healthz stream row lacks ") + key);
+  }
 
   const auto tracez = expect_json("/tracez", 200);
   if (tracez.find("span_stats") == nullptr || tracez.find("retained") == nullptr)
@@ -265,6 +294,18 @@ int main(int argc, char** argv) {
   const auto statusz = expect_json("/statusz", 200);
   if (statusz.find("build") == nullptr || statusz.find("config") == nullptr)
     fail("/statusz lacks build/config");
+  if (const auto* conf = statusz.find("config");
+      conf != nullptr && (conf->find("admission_enabled") == nullptr ||
+                          !conf->find("admission_enabled")->boolean))
+    fail("/statusz config does not show admission_enabled");
+  if (const auto* adm = statusz.find("admission"); adm == nullptr) {
+    fail("/statusz lacks the admission aggregate");
+  } else {
+    for (const char* key : {"live", "max_degrade_level", "admitted", "shed",
+                            "shed_by_bucket", "coasted", "degraded_scans"})
+      if (adm->find(key) == nullptr)
+        fail(std::string("/statusz admission aggregate lacks ") + key);
+  }
 
   const auto profile = get("/profilez?seconds=0.5");
   if (!profile.has_value() || profile->status != 200) {

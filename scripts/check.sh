@@ -9,6 +9,8 @@
 #
 #   scripts/check.sh            # full tier-1 + TSan + profiling smoke
 #   scripts/check.sh --tsan-only
+#   scripts/check.sh --chaos-only   # just the chaos lane (fault injection +
+#                                   # admission + overload suites under TSan)
 #
 # The TSan pass builds into build-tsan/ (kept out of git by .gitignore) with
 # -DAVD_SANITIZE=thread and runs only the test binaries whose code runs
@@ -18,7 +20,30 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 TSAN_ONLY=0
+CHAOS_ONLY=0
 [[ "${1:-}" == "--tsan-only" ]] && TSAN_ONLY=1
+[[ "${1:-}" == "--chaos-only" ]] && CHAOS_ONLY=1
+
+# The chaos lane: every fault-injection, admission and overload-path test,
+# under ThreadSanitizer. Deliberately its own lane (and its own CI job) —
+# these suites drive the StreamServer through source stalls/errors/garbage,
+# queue saturation, watchdog fires and ladder transitions, which is exactly
+# where a concurrency bug would hide.
+CHAOS_FILTER='FaultInjectionTest.*:Admission.*'
+run_chaos_lane() {
+  echo "== TSan: chaos lane (fault injection + admission) =="
+  ./build-tsan/tests/test_runtime --gtest_filter="$CHAOS_FILTER"
+}
+
+if [[ "$CHAOS_ONLY" -eq 1 ]]; then
+  echo "== chaos: configure + build (build-tsan/) =="
+  cmake -B build-tsan -S . -DAVD_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_runtime
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  run_chaos_lane
+  echo "== chaos lane passed =="
+  exit 0
+fi
 
 if [[ "$TSAN_ONLY" -eq 0 ]]; then
   echo "== tier-1: build =="
@@ -35,7 +60,8 @@ cmake --build build-tsan -j "$JOBS" --target test_runtime test_soc test_obs test
 echo "== TSan: runtime tests =="
 # halt_on_error: any data race fails the run (and hence this script).
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-./build-tsan/tests/test_runtime
+./build-tsan/tests/test_runtime --gtest_filter="-$CHAOS_FILTER"
+run_chaos_lane
 ./build-tsan/tests/test_soc --gtest_filter='EventLog.*'
 ./build-tsan/tests/test_obs
 # The pooled scanners: block-grid levels/bands and the batched dark scan on
@@ -80,14 +106,29 @@ OPS_PORT_FILE="$SMOKE_DIR/ops_port"
   --port-file "$OPS_PORT_FILE" --linger-seconds 20 \
   >"$SMOKE_DIR/live_introspection.log" 2>&1 &
 OPS_PID=$!
+# Fail fast and loud on port-file problems: the sweep is useless without a
+# live listener, and the two failure shapes need different fixes — a dead
+# process (ops listener failed to bind, example crashed) vs a live process
+# that never published its port (port-file plumbing broke).
 for _ in $(seq 1 200); do
   [[ -s "$OPS_PORT_FILE" ]] && break
+  if ! kill -0 "$OPS_PID" 2>/dev/null; then
+    echo "smoke: live_introspection exited before publishing its ops port" \
+         "(ops listener bind failure or startup crash — log follows)"
+    cat "$SMOKE_DIR/live_introspection.log"
+    exit 1
+  fi
   sleep 0.1
 done
-[[ -s "$OPS_PORT_FILE" ]] || { echo "smoke: ops port file never appeared"
-                               cat "$SMOKE_DIR/live_introspection.log"
-                               kill "$OPS_PID" 2>/dev/null; exit 1; }
+[[ -s "$OPS_PORT_FILE" ]] || {
+  echo "smoke: live_introspection is running but $OPS_PORT_FILE never" \
+       "appeared within 20s (port-file plumbing broke — log follows)"
+  cat "$SMOKE_DIR/live_introspection.log"
+  kill "$OPS_PID" 2>/dev/null; exit 1; }
 OPS_PORT="$(cat "$OPS_PORT_FILE")"
+[[ "$OPS_PORT" =~ ^[0-9]+$ ]] || {
+  echo "smoke: ops port file holds '$OPS_PORT', not a port number"
+  kill "$OPS_PID" 2>/dev/null; exit 1; }
 OPS_URL="http://127.0.0.1:$OPS_PORT"
 curl -fsS -D "$SMOKE_DIR/metricsz.head" -o "$SMOKE_DIR/metricsz.txt" \
   "$OPS_URL/metricsz"
@@ -123,10 +164,12 @@ if [[ "$TSAN_ONLY" -eq 0 && "${AVD_SKIP_BENCH_DIFF:-0}" -ne 1 ]]; then
   # with AVD_SKIP_BENCH_DIFF=1; re-baseline intentional perf changes with
   #   scripts/bench_diff BENCH "$dir" --update
   cmake --build build -j "$JOBS" --target \
-    scan_throughput dark_scan_throughput runtime_scaling obs_overhead
+    scan_throughput dark_scan_throughput runtime_scaling obs_overhead \
+    overload_soak
   BENCH_OUT="$(mktemp -d -t avd_bench_XXXX)"
   trap 'kill "${OPS_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR" "$BENCH_OUT"' EXIT
-  for b in scan_throughput dark_scan_throughput runtime_scaling obs_overhead; do
+  for b in scan_throughput dark_scan_throughput runtime_scaling obs_overhead \
+           overload_soak; do
     AVD_BENCH_DIR="$BENCH_OUT" "./build/bench/$b" >/dev/null
   done
   scripts/bench_diff BENCH "$BENCH_OUT"

@@ -68,6 +68,12 @@ struct AdaptiveFrameReport {
   det::MatchResult vehicle_match;  ///< only populated when run_detectors
   int animals_truth = 0;
   det::MatchResult animal_match;   ///< populated under "countryside"
+  /// Degradation-ladder level the serving runtime applied to this frame
+  /// (runtime::DegradeLevel as int; 0 = full fidelity, always 0 from run()).
+  int degrade_level = 0;
+  /// True when the frame's vehicle detections came from tracker coasting
+  /// (ladder level 2) rather than a pixel-level scan.
+  bool detect_coasted = false;
 };
 
 /// Aggregate over the frames of one sensed lighting condition.
@@ -157,11 +163,32 @@ class AdaptiveSystem {
   /// run() call).
   [[nodiscard]] StepSession begin_session() const { return StepSession(*this); }
 
+  /// Degraded-fidelity knobs for evaluate_frame, used by the serving
+  /// runtime's degradation ladder. Defaults reproduce the plain overload.
+  struct EvaluateOptions {
+    /// Scan with these sliding-window params instead of config().sliding
+    /// (the ladder's coarser pyramid). The dark detector's internal scan is
+    /// unaffected. Not owned; may be null.
+    const det::SlidingWindowParams* sliding_override = nullptr;
+    /// Skip the pixel-level scan and use these vehicle detections instead
+    /// (the ladder's tracker-coast path) — the frame is never rendered.
+    /// Not owned; may be null.
+    const std::vector<det::Detection>* provided_detections = nullptr;
+    /// When non-null, receives the vehicle detections the frame produced
+    /// (post-NMS, pre-matching) so the caller can feed its tracker.
+    std::vector<det::Detection>* out_detections = nullptr;
+  };
+
   /// Pixel-level pass for one frame given its control outcome. Const and
   /// thread-safe: a pure function of the trained models, so the runtime's
   /// detect workers may call it concurrently.
   [[nodiscard]] AdaptiveFrameReport evaluate_frame(
       const ControlStep& step, const data::SequenceFrame& meta) const;
+
+  /// Same, with degraded-fidelity options (see EvaluateOptions).
+  [[nodiscard]] AdaptiveFrameReport evaluate_frame(
+      const ControlStep& step, const data::SequenceFrame& meta,
+      const EvaluateOptions& options) const;
 
   /// Drive a scripted sequence through the system (sequentially; the
   /// concurrent equivalent is runtime::StreamServer).

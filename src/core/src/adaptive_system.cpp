@@ -167,6 +167,12 @@ ControlStep AdaptiveSystem::StepSession::control_step(
 
 AdaptiveFrameReport AdaptiveSystem::evaluate_frame(
     const ControlStep& step, const data::SequenceFrame& meta) const {
+  return evaluate_frame(step, meta, EvaluateOptions{});
+}
+
+AdaptiveFrameReport AdaptiveSystem::evaluate_frame(
+    const ControlStep& step, const data::SequenceFrame& meta,
+    const EvaluateOptions& options) const {
   const obs::ScopedSpan span("evaluate_frame", "core/detect");
   AdaptiveFrameReport fr;
   fr.index = step.index;
@@ -181,41 +187,53 @@ AdaptiveFrameReport AdaptiveSystem::evaluate_frame(
   fr.animals_truth = static_cast<int>(meta.scene.animals.size());
 
   if (config_.run_detectors && fr.vehicle_processed) {
-    // The detector that actually runs is determined by the *loaded*
-    // configuration, not by the sensed condition: frames between a
-    // condition change and the end of the reconfiguration still run the
-    // previous pipeline.
-    const img::RgbImage frame = data::render_scene(meta.scene);
+    const det::SlidingWindowParams& sliding =
+        options.sliding_override != nullptr ? *options.sliding_override
+                                            : config_.sliding;
     std::vector<det::Detection> dets;
-    if (fr.active_config == "dark") {
-      dets = models_.dark.detect(frame);
-    } else if (fr.active_config == "countryside" &&
-               models_.has_animal_model()) {
-      // The countryside configuration runs both classifiers behind one
-      // shared HOG front end — the software mirror of the hardware block
-      // sharing in soc::countryside_blocks().
-      const img::ImageU8 gray = img::rgb_to_gray(frame);
-      const det::HogSvmModel* shared_models[] = {
-          &models_.vehicle_model_for(fr.sensed), &models_.animal};
-      const auto all =
-          det::detect_multiscale_multi(gray, shared_models, config_.sliding);
-      std::vector<det::Detection> animal_dets;
-      for (const det::Detection& d : all) {
-        if (d.class_id == det::kClassAnimal)
-          animal_dets.push_back(d);
-        else
-          dets.push_back(d);
-      }
-      std::vector<img::Rect> animal_truth;
-      for (const data::AnimalSpec& a : meta.scene.animals)
-        animal_truth.push_back(a.body);
-      fr.animal_match =
-          det::match_detections(animal_dets, animal_truth, config_.match_iou);
+    if (options.provided_detections != nullptr) {
+      // Tracker-coast path: the caller already has this frame's boxes; the
+      // frame is never rendered, which is the whole point of the ladder's
+      // skip level.
+      dets = *options.provided_detections;
+      fr.detect_coasted = true;
     } else {
-      const img::ImageU8 gray = img::rgb_to_gray(frame);
-      dets = det::detect_multiscale(gray, models_.vehicle_model_for(fr.sensed),
-                                    config_.sliding);
+      // The detector that actually runs is determined by the *loaded*
+      // configuration, not by the sensed condition: frames between a
+      // condition change and the end of the reconfiguration still run the
+      // previous pipeline.
+      const img::RgbImage frame = data::render_scene(meta.scene);
+      if (fr.active_config == "dark") {
+        dets = models_.dark.detect(frame);
+      } else if (fr.active_config == "countryside" &&
+                 models_.has_animal_model()) {
+        // The countryside configuration runs both classifiers behind one
+        // shared HOG front end — the software mirror of the hardware block
+        // sharing in soc::countryside_blocks().
+        const img::ImageU8 gray = img::rgb_to_gray(frame);
+        const det::HogSvmModel* shared_models[] = {
+            &models_.vehicle_model_for(fr.sensed), &models_.animal};
+        const auto all =
+            det::detect_multiscale_multi(gray, shared_models, sliding);
+        std::vector<det::Detection> animal_dets;
+        for (const det::Detection& d : all) {
+          if (d.class_id == det::kClassAnimal)
+            animal_dets.push_back(d);
+          else
+            dets.push_back(d);
+        }
+        std::vector<img::Rect> animal_truth;
+        for (const data::AnimalSpec& a : meta.scene.animals)
+          animal_truth.push_back(a.body);
+        fr.animal_match =
+            det::match_detections(animal_dets, animal_truth, config_.match_iou);
+      } else {
+        const img::ImageU8 gray = img::rgb_to_gray(frame);
+        dets = det::detect_multiscale(gray, models_.vehicle_model_for(fr.sensed),
+                                      sliding);
+      }
     }
+    if (options.out_detections != nullptr) *options.out_detections = dets;
     std::vector<img::Rect> truth;
     for (const data::VehicleSpec& v : meta.scene.vehicles)
       truth.push_back(v.body);

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <chrono>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -313,6 +314,12 @@ HttpResponse metrics_json_response(MetricsRegistry& registry) {
 std::optional<HttpResponse> http_get(std::uint16_t port,
                                      const std::string& target,
                                      int timeout_ms) {
+  // `timeout_ms` is an OVERALL deadline for the whole call, not a per-recv
+  // allowance: a stalled or trickling handler (one byte every timeout-epsilon)
+  // must not be able to hold the caller past it. The socket timeouts below
+  // only bound connect/send; the receive loop polls against the deadline.
+  const std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
 
@@ -343,10 +350,24 @@ std::optional<HttpResponse> http_get(std::uint16_t port,
   std::string raw;
   char buf[4096];
   for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      ::close(fd);
+      return std::nullopt;  // overall deadline exceeded
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready <= 0) {
+      ::close(fd);
+      return std::nullopt;  // deadline hit (0) or poll error (<0)
+    }
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n < 0) {
       ::close(fd);
-      return std::nullopt;  // timeout or transport error mid-response
+      return std::nullopt;  // transport error mid-response
     }
     if (n == 0) break;
     raw.append(buf, static_cast<std::size_t>(n));

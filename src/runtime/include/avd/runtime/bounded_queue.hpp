@@ -39,12 +39,22 @@ enum class OverflowPolicy : std::uint8_t { Block = 0, DropOldest, DropNewest };
   return "?";
 }
 
-/// Outcome of one push() call.
+/// Outcome of one push() call. Exactly one of these is returned per push;
+/// the value is enqueued iff the outcome is Accepted or Evicted.
+///
+/// Closed deserves care: it is returned both when the queue was already
+/// closed at push() entry AND when a Block-policy producer was parked in
+/// the not-full wait and close() woke it — in either case the pushed value
+/// is destroyed (it is NOT handed back through `displaced`, which only ever
+/// carries policy-displaced items). Producers racing a shutdown must treat
+/// Closed as "this item was dropped", not "retry later"; the StreamServer's
+/// stage loops account the frame before giving up on it.
 enum class PushOutcome : std::uint8_t {
   Accepted = 0,  ///< enqueued, nothing displaced
   Evicted,       ///< enqueued after evicting the oldest item (DropOldest)
   Rejected,      ///< not enqueued, queue full (DropNewest)
-  Closed,        ///< not enqueued, queue closed
+  Closed,        ///< not enqueued, value dropped, queue closed (possibly
+                 ///< mid-wait: close() wakes blocked Block-policy pushers)
 };
 
 /// Counters maintained under the queue lock; snapshot via stats().

@@ -46,13 +46,25 @@
 #include "avd/obs/sample_profiler.hpp"
 #include "avd/obs/slo.hpp"
 #include "avd/obs/trace_sampler.hpp"
+#include "avd/runtime/admission.hpp"
 #include "avd/runtime/bounded_queue.hpp"
 #include "avd/runtime/frame_source.hpp"
 #include "avd/runtime/stage_metrics.hpp"
 
 namespace avd::runtime {
 
-class ThreadPool;  // avd/runtime/thread_pool.hpp
+class ThreadPool;      // avd/runtime/thread_pool.hpp
+class FaultInjector;   // avd/runtime/fault_injection.hpp
+
+/// Retry policy for transient source failures: a source throwing
+/// TransientSourceError is retried with exponential backoff; past
+/// max_attempts total tries the stream ends there (StreamResult::source_failed)
+/// instead of wedging the serve.
+struct SourceRetryConfig {
+  int max_attempts = 3;
+  std::chrono::milliseconds backoff{1};
+  double backoff_multiplier = 2.0;
+};
 
 /// Health monitoring attached to a serve() call: an always-on
 /// obs::TelemetryExporter samples the global MetricsRegistry for the run's
@@ -152,6 +164,30 @@ struct StreamServerConfig {
   StreamSloConfig slo;
   /// Embedded ops server + on-demand profiler (see StreamOpsConfig).
   StreamOpsConfig ops;
+  /// The overload-control plane (see avd/runtime/admission.hpp): per-stream
+  /// token-bucket admission and the SloMonitor-driven degradation ladder.
+  /// admission.enabled is the master switch for health-driven level changes
+  /// and the bucket; the ladder machinery itself also engages when the
+  /// watchdog or a fault injector is installed (their forced levels need it).
+  AdmissionConfig admission;
+  /// Per-stream liveness watchdog: a stream making no pipeline progress for
+  /// watchdog.timeout is pinned to DegradeLevel::Shed and its source is
+  /// abandoned at the next ingest opportunity — a wedged stream becomes a
+  /// degrade-level-3 event with StreamResult accounting, not a hung serve.
+  /// (A source blocked *inside* next() forever can only be reaped once that
+  /// call returns; the watchdog cannot cancel foreign blocking calls.)
+  WatchdogConfig watchdog;
+  /// Retry-with-backoff for sources throwing TransientSourceError.
+  SourceRetryConfig source_retry;
+  /// Refuse frames whose light level is non-finite at ingest (before an
+  /// index is assigned, so the control plane's frame numbering stays dense);
+  /// refused frames are counted per stream as garbage_frames.
+  bool validate_frames = true;
+  /// Deterministic fault plans for this server's serves (not owned; use one
+  /// injector per serve — its counters and retry bookkeeping accumulate).
+  /// Sources are wrapped with the plan's source faults, detect workers apply
+  /// its slowdowns, and ForceDegrade specs pin the ladder per frame.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Everything one stream produced.
@@ -167,6 +203,27 @@ struct StreamResult {
   /// monitoring was disabled) and every transition it went through.
   obs::HealthState health = obs::HealthState::Healthy;
   std::vector<obs::HealthTransition> health_transitions;
+  /// Overload-control accounting (all zero when the ladder never engaged).
+  /// Shed frames are still present in report.frames with
+  /// vehicle_processed = false and degrade_level = 3.
+  std::uint64_t shed_frames = 0;
+  /// Level-2 frames served from the tracker instead of a scan.
+  std::uint64_t coasted_frames = 0;
+  /// Scans run at reduced fidelity (level 1, or the level-2 scan frames).
+  std::uint64_t degraded_scans = 0;
+  /// Frames refused at ingest validation (non-finite light level); they
+  /// never received a frame index and are absent from report.frames.
+  std::uint64_t garbage_frames = 0;
+  /// Transient source failures that were retried successfully.
+  std::uint64_t source_retries = 0;
+  /// True when the source failed permanently (retries exhausted or a
+  /// non-transient exception); the stream is truncated at that frame.
+  bool source_failed = false;
+  /// True when the liveness watchdog pinned this stream to Shed.
+  bool watchdog_fired = false;
+  /// Ladder level at the end of the serve and every transition taken.
+  DegradeLevel degrade_level = DegradeLevel::Full;
+  std::vector<DegradeTransition> degrade_transitions;
 };
 
 class StreamServer {
@@ -228,6 +285,13 @@ class StreamServer {
     return last_flight_bundle_path_;
   }
 
+  /// The admission controller of the most recent serve() (nullptr before
+  /// any, or when the ladder never engaged). Live during a serve: /healthz
+  /// and /statusz read current levels and stats from it.
+  [[nodiscard]] AdmissionController* admission() const {
+    return admission_.get();
+  }
+
   /// The embedded ops listener (nullptr unless config().ops.enabled).
   /// Running from construction to destruction; its port() is where
   /// /metricsz etc. answer.
@@ -254,6 +318,7 @@ class StreamServer {
   mutable std::mutex obs_mutex_;
   std::vector<obs::HealthState> stream_health_;
   obs::HealthState fleet_health_ = obs::HealthState::Healthy;
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<obs::TraceSampler> sampler_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::vector<std::unique_ptr<obs::SloMonitor>> monitors_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -16,6 +18,7 @@
 #include "avd/obs/metrics.hpp"
 #include "avd/obs/telemetry.hpp"
 #include "avd/obs/trace.hpp"
+#include "avd/runtime/fault_injection.hpp"
 #include "avd/runtime/thread_pool.hpp"
 
 namespace avd::runtime {
@@ -30,6 +33,7 @@ struct DetectTask {
   data::SequenceFrame meta;
   obs::TraceContext trace;      ///< parented on the control span
   std::uint64_t ingest_ns = 0;  ///< carried from the FrameTask
+  AdmissionDecision decision;   ///< ladder verdict (defaults: full fidelity)
 };
 
 /// A finished per-frame report heading to the collector.
@@ -39,14 +43,23 @@ struct ReportTask {
   obs::TraceContext trace;      ///< parented on the detect span
   std::uint64_t ingest_ns = 0;  ///< frame entry time (latency measures here)
   bool backpressure_dropped = false;
+  bool shed = false;            ///< refused by admission (never ran detect)
+};
+
+/// One frame's entry in the coast ledger (below): either the detections a
+/// scan produced, or a placeholder for a frame the tracker must coast.
+struct CoastEntry {
+  bool coast = false;
+  std::vector<det::Detection> dets;  ///< scan output (coast = false)
 };
 
 /// Mutable per-stream state: the sequential control-plane session plus the
 /// reorder buffer that serialises MPMC-scheduled frames back into index
 /// order. Guarded by its own mutex; different streams never contend.
 struct StreamState {
-  explicit StreamState(const core::AdaptiveSystem& system)
-      : session(system.begin_session()) {}
+  StreamState(const core::AdaptiveSystem& system,
+              const det::TrackerConfig& tracker_config)
+      : session(system.begin_session()), tracker(tracker_config) {}
 
   std::mutex mutex;
   core::AdaptiveSystem::StepSession session;
@@ -55,6 +68,32 @@ struct StreamState {
   std::atomic<std::uint64_t> backpressure_drops{0};
   std::atomic<std::uint64_t> deadline_misses{0};
   std::atomic<int> frames_ingested{0};
+  // Fault / overload accounting (see StreamResult).
+  std::atomic<std::uint64_t> garbage_frames{0};
+  std::atomic<std::uint64_t> source_retries{0};
+  std::atomic<bool> source_failed{false};
+  std::atomic<bool> watchdog_fired{false};
+  // Liveness watchdog inputs: tracer-ns of the last pipeline progress on
+  // this stream, and completion markers so a finished stream is never fired.
+  std::atomic<std::uint64_t> last_progress_ns{0};
+  std::atomic<bool> ingest_started{false};
+  std::atomic<bool> ingest_done{false};
+  std::atomic<int> collected{0};
+  // --- the coast ledger (ladder level 2) -------------------------------
+  // The IouTracker must see every frame of the stream exactly once, in
+  // index order, with the frame's scan detections (or an empty update for
+  // coasted/shed/dropped frames). Detect workers finish frames out of
+  // order, so entries park in `coast_pending` until the frontier
+  // (`coast_done`) reaches them; advancing the frontier feeds the tracker
+  // and materialises coast_results for coast frames. coast_mutex is a leaf
+  // lock: nothing is acquired while holding it, so the control-stage edge
+  // state.mutex -> coast_mutex (of any stream) cannot deadlock.
+  std::mutex coast_mutex;
+  std::condition_variable coast_cv;
+  int coast_done = -1;  ///< highest frame index fed to the tracker
+  std::map<int, CoastEntry> coast_pending;
+  std::map<int, std::vector<det::Detection>> coast_results;
+  det::IouTracker tracker;
 };
 
 /// The per-stream labeled series the SLO rules read
@@ -67,6 +106,13 @@ struct StreamCounters {
   obs::Counter* reconfig_drops = nullptr;
   obs::Counter* reconfigs = nullptr;
   obs::Histogram* latency = nullptr;  ///< runtime.frame.latency_ns{stream=N}
+  // Overload-control series (incremented only when the ladder is active).
+  obs::Counter* shed = nullptr;
+  obs::Counter* coasted = nullptr;
+  obs::Counter* degraded_scans = nullptr;
+  obs::Counter* garbage = nullptr;
+  obs::Counter* source_retries = nullptr;
+  obs::Gauge* degrade_level = nullptr;  ///< runtime.degrade.level{stream=N}
 };
 
 std::string stream_entity(int stream) {
@@ -142,11 +188,29 @@ std::vector<StreamResult> StreamServer::serve(
   // under the plain base names ("runtime.frames", "runtime.frame.latency_ns")
   // is produced by MetricsRegistry::rollup() — per telemetry sample while
   // serving and unconditionally before serve() returns.
+  // --- the overload-control plane --------------------------------------
+  // Ladder machinery engages when admission control is on, when the
+  // watchdog needs a lever to pull, or when a fault plan may pin levels.
+  // When inactive (the default) every ladder branch below is skipped and
+  // the pipeline is byte-for-byte the pre-ladder one.
+  FaultInjector* injector = config_.fault_injector;
+  const bool ladder_active =
+      config_.admission.enabled || config_.watchdog.enabled ||
+      injector != nullptr;
+  if (injector != nullptr)
+    for (int s = 0; s < n_streams; ++s)
+      sources[static_cast<std::size_t>(s)] = injector->wrap(
+          s, std::move(sources[static_cast<std::size_t>(s)]));
+
   std::vector<std::unique_ptr<StreamState>> streams;
   std::vector<StreamCounters> counters(sources.size());
   streams.reserve(sources.size());
+  const std::uint64_t serve_start_ns = tracer.now_ns();
   for (int s = 0; s < n_streams; ++s) {
-    streams.push_back(std::make_unique<StreamState>(*system_));
+    streams.push_back(std::make_unique<StreamState>(
+        *system_, config_.admission.ladder.coast_tracker));
+    streams.back()->last_progress_ns.store(serve_start_ns,
+                                           std::memory_order_relaxed);
     const obs::Labels labels{{"stream", std::to_string(s)}};
     StreamCounters& c = counters[static_cast<std::size_t>(s)];
     c.frames = &registry.counter("runtime.frames", labels);
@@ -156,6 +220,42 @@ std::vector<StreamResult> StreamServer::serve(
     c.reconfig_drops = &registry.counter("runtime.reconfig_drops", labels);
     c.reconfigs = &registry.counter("runtime.reconfigs", labels);
     c.latency = &registry.histogram("runtime.frame.latency_ns", labels);
+    if (ladder_active) {
+      c.shed = &registry.counter("runtime.shed", labels);
+      c.coasted = &registry.counter("runtime.coasted", labels);
+      c.degraded_scans = &registry.counter("runtime.degraded_scans", labels);
+      c.garbage = &registry.counter("runtime.garbage_frames", labels);
+      c.source_retries = &registry.counter("runtime.source_retries", labels);
+      c.degrade_level = &registry.gauge("runtime.degrade.level", labels);
+      c.degrade_level->set(0.0);
+    }
+  }
+  // Latency of admitted (non-shed) frames only — the number the overload
+  // SLO protects: shedding keeps THIS under the budget.
+  obs::Histogram& admitted_latency =
+      registry.histogram("runtime.frame.admitted_latency_ns");
+
+  // Level-1/2 scans use a coarser pyramid derived from the system's params.
+  det::SlidingWindowParams degraded_sliding = system_->config().sliding;
+  degraded_sliding.stride_cells =
+      std::max(1, degraded_sliding.stride_cells) *
+      std::max(1, config_.admission.ladder.coarse_stride_multiplier);
+  degraded_sliding.max_levels =
+      std::min(degraded_sliding.max_levels,
+               std::max(1, config_.admission.ladder.coarse_max_levels));
+
+  AdmissionController* admission = nullptr;
+  if (ladder_active) {
+    auto controller = std::make_unique<AdmissionController>(
+        n_streams, config_.admission);
+    admission = controller.get();
+    // Publish to the ops plane before workers start: /healthz and /statusz
+    // read levels and stats from it live.
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    admission_ = std::move(controller);
+  } else {
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    admission_.reset();
   }
 
   // --- tail sampler + flight recorder ----------------------------------
@@ -190,6 +290,36 @@ std::vector<StreamResult> StreamServer::serve(
   last_flight_bundle_path_.clear();
   const std::uint64_t serve_id = serve_count_.fetch_add(1) + 1;
   std::atomic<bool> flight_dump_requested{false};
+
+  if (admission != nullptr) {
+    // Every ladder transition becomes a labeled gauge move, an instant span
+    // on the tracer (so retained chains show WHY fidelity changed), and a
+    // flight-recorder transition row (reusing the HealthTransition record
+    // with a "/degrade" entity suffix).
+    obs::FlightRecorder* recorder = recorder_.get();
+    std::vector<StreamCounters>* counter_ptr = &counters;
+    admission->set_transition_callback(
+        [recorder, counter_ptr](const DegradeTransition& t) {
+          const auto us = static_cast<std::size_t>(t.stream);
+          if (us < counter_ptr->size() &&
+              (*counter_ptr)[us].degrade_level != nullptr)
+            (*counter_ptr)[us].degrade_level->set(
+                static_cast<double>(static_cast<int>(t.to)));
+          obs::ScopedSpan span("degrade_transition", "runtime/admission",
+                               {{"stream", t.stream},
+                                {"from", static_cast<std::int64_t>(t.from)},
+                                {"to", static_cast<std::int64_t>(t.to)}});
+          obs::HealthTransition h;
+          h.entity = stream_entity(t.stream) + "/degrade";
+          h.from = obs::HealthState::Healthy;
+          h.to = t.to == DegradeLevel::Full ? obs::HealthState::Healthy
+                                            : obs::HealthState::Degraded;
+          h.t_ns = t.t_ns;
+          h.reason = std::string(to_string(t.from)) + " -> " +
+                     to_string(t.to) + " (" + t.reason + ")";
+          recorder->record_transition(h);
+        });
+  }
 
   // --- SLO health monitoring (optional) --------------------------------
   // One monitor per stream over the standard rule set, driven by an
@@ -237,11 +367,23 @@ std::vector<StreamResult> StreamServer::serve(
     std::vector<obs::SloMonitor*> monitor_ptrs;
     monitor_ptrs.reserve(monitors.size());
     for (auto& m : monitors) monitor_ptrs.push_back(m.get());
-    tc.on_sample = [monitor_ptrs, recorder](const obs::TelemetrySample* prev,
-                                            const obs::TelemetrySample& cur) {
+    // Health-driven ladder movement: after the monitors digest a window,
+    // their states feed the admission controller (when admission control is
+    // on — the watchdog/fault-plan levers work without it).
+    AdmissionController* ladder =
+        config_.admission.enabled ? admission : nullptr;
+    tc.on_sample = [monitor_ptrs, recorder, ladder](
+                       const obs::TelemetrySample* prev,
+                       const obs::TelemetrySample& cur) {
       recorder->record_telemetry_row(obs::to_json(cur));
       if (prev == nullptr) return;  // a window needs two samples
       for (obs::SloMonitor* m : monitor_ptrs) m->observe(*prev, cur);
+      if (ladder != nullptr) {
+        std::vector<obs::HealthState> states;
+        states.reserve(monitor_ptrs.size());
+        for (obs::SloMonitor* m : monitor_ptrs) states.push_back(m->state());
+        ladder->on_health_windows(states);
+      }
     };
     telemetry = std::make_unique<obs::TelemetryExporter>(registry, tc);
     telemetry->start();
@@ -281,17 +423,59 @@ std::vector<StreamResult> StreamServer::serve(
       if (s >= sources.size()) break;
       FrameSource& src = *sources[s];
       StreamState& state = *streams[s];
+      state.ingest_started.store(true, std::memory_order_relaxed);
+      state.last_progress_ns.store(tracer.now_ns(), std::memory_order_relaxed);
       int index = 0;
       for (;;) {
+        // A watchdog-fired stream is abandoned at the next opportunity: its
+        // remaining frames would only be shed anyway, and an intermittently
+        // stalling source stops occupying this worker.
+        if (state.watchdog_fired.load(std::memory_order_relaxed)) break;
         const obs::TraceScope root(
             {tracer.enabled() ? obs::Tracer::new_trace_id() : 0, 0});
         obs::ScopedSpan span("ingest_frame", "runtime/ingest",
                              {{"stream", static_cast<std::int64_t>(s)},
                               {"frame", index}});
         const Clock::time_point t0 = Clock::now();
-        std::optional<data::SequenceFrame> meta = src.next();
+        // Transient source failures retry with exponential backoff; past
+        // max_attempts (or on a non-transient exception) the stream is
+        // truncated here rather than wedging the serve.
+        std::optional<data::SequenceFrame> meta;
+        int attempts = 0;
+        double backoff_ms =
+            static_cast<double>(config_.source_retry.backoff.count());
+        for (;;) {
+          try {
+            meta = src.next();
+            break;
+          } catch (const TransientSourceError&) {
+            if (++attempts >= std::max(1, config_.source_retry.max_attempts)) {
+              state.source_failed.store(true, std::memory_order_relaxed);
+              break;
+            }
+            state.source_retries.fetch_add(1);
+            const auto us = static_cast<std::size_t>(s);
+            if (counters[us].source_retries != nullptr)
+              counters[us].source_retries->inc();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff_ms));
+            backoff_ms *= std::max(1.0, config_.source_retry.backoff_multiplier);
+          } catch (const std::exception&) {
+            state.source_failed.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
         if (!meta) break;
         metrics_.ingest.record_latency(Clock::now() - t0);
+        if (config_.validate_frames && !std::isfinite(meta->light_level)) {
+          // Garbage in, nothing out: refused BEFORE an index is assigned,
+          // so the control plane's frame numbering stays dense and healthy
+          // streams are unaffected bit for bit.
+          state.garbage_frames.fetch_add(1);
+          const auto us = static_cast<std::size_t>(s);
+          if (counters[us].garbage != nullptr) counters[us].garbage->inc();
+          continue;
+        }
         FrameTask task;
         task.stream = static_cast<int>(s);
         task.index = index++;
@@ -299,21 +483,81 @@ std::vector<StreamResult> StreamServer::serve(
         task.trace = span.context();
         task.ingest_ns = tracer.now_ns();
         control_q.push(std::move(task));
+        state.last_progress_ns.store(tracer.now_ns(),
+                                     std::memory_order_relaxed);
         metrics_.ingest.add_processed();
       }
       state.frames_ingested.store(index);
+      state.ingest_done.store(true, std::memory_order_relaxed);
     }
     if (live_ingest.fetch_sub(1) == 1) control_q.close();
     log_.record(now_tp(), "runtime/ingest",
                 "worker " + std::to_string(worker) + " done");
   };
 
+  // --- coast ledger operations (ladder level 2; no-ops when inactive) ---
+  // Feed one frame's entry to the stream's tracker ledger and advance the
+  // in-order frontier as far as it goes. coast_mutex is a leaf lock.
+  const auto publish_entry = [&](StreamState& st, int index,
+                                 CoastEntry entry) {
+    if (!ladder_active) return;
+    bool advanced = false;
+    {
+      std::lock_guard<std::mutex> lock(st.coast_mutex);
+      st.coast_pending.emplace(index, std::move(entry));
+      for (auto it = st.coast_pending.find(st.coast_done + 1);
+           it != st.coast_pending.end();
+           it = st.coast_pending.find(st.coast_done + 1)) {
+        CoastEntry& e = it->second;
+        if (e.coast) {
+          // No fresh detections: the tracker coasts every live box forward
+          // by its last motion; confirmed tracks become the frame's output.
+          std::vector<det::Track> tracks = st.tracker.update({});
+          std::vector<det::Detection> dets;
+          dets.reserve(tracks.size());
+          for (const det::Track& t : tracks) {
+            det::Detection d;
+            d.box = t.box;
+            d.score = t.last_score;
+            d.class_id = t.class_id;
+            dets.push_back(d);
+          }
+          st.coast_results.emplace(it->first, std::move(dets));
+        } else {
+          st.tracker.update(e.dets);
+        }
+        ++st.coast_done;
+        st.coast_pending.erase(it);
+        advanced = true;
+      }
+    }
+    if (advanced) st.coast_cv.notify_all();
+  };
+  // A frame that never reaches the detect scan (shed / backpressure-drop)
+  // still advances the tracker frontier — as an empty update, exactly what
+  // the tracker's miss-coasting is for.
+  const auto publish_gap = [&](StreamState& st, int index) {
+    publish_entry(st, index, CoastEntry{});
+  };
+  // Wait for the frontier to cross `index`, then take its coasted boxes.
+  // Safe: the detect queue is FIFO, so every smaller index of this stream
+  // already left it, and every leaving path publishes an entry; waits are
+  // only ever on smaller indices, so no cycles.
+  const auto take_coast = [&](StreamState& st, int index) {
+    std::unique_lock<std::mutex> lock(st.coast_mutex);
+    st.coast_cv.wait(lock, [&] { return st.coast_done >= index; });
+    const auto it = st.coast_results.find(index);
+    std::vector<det::Detection> dets = std::move(it->second);
+    st.coast_results.erase(it);
+    return dets;
+  };
+
   // A frame that overflowed the detect queue still produces a report — the
   // serving-layer twin of the paper's reconfiguration drop: the vehicle
   // engine misses the frame, the static pedestrian partition does not.
   const auto emit_dropped = [&](DetectTask&& task) {
-    streams[static_cast<std::size_t>(task.stream)]
-        ->backpressure_drops.fetch_add(1);
+    StreamState& st = *streams[static_cast<std::size_t>(task.stream)];
+    st.backpressure_drops.fetch_add(1);
     metrics_.detect.add_dropped();
     const obs::TraceScope scope(task.trace);
     obs::ScopedSpan span("drop_frame", "runtime/detect",
@@ -324,9 +568,39 @@ std::vector<StreamResult> StreamServer::serve(
     ReportTask out;
     out.stream = task.stream;
     out.report = system_->evaluate_frame(step, task.meta);
+    out.report.degrade_level = static_cast<int>(task.decision.level);
     out.trace = span.context();
     out.ingest_ns = task.ingest_ns;
     out.backpressure_dropped = true;
+    publish_gap(st, task.step.index);
+    report_q.push(std::move(out));
+  };
+
+  // A frame refused by admission: an explicit shed report (the ladder's
+  // level 3 / token-bucket verdict), never a silent loss. Control-thread
+  // side so the frame skips the detect queue entirely — that is the point.
+  const auto emit_shed = [&](int stream, const core::ControlStep& ctrl,
+                             data::SequenceFrame meta,
+                             const obs::TraceContext& parent,
+                             std::uint64_t ingest_ns,
+                             const AdmissionDecision& decision) {
+    StreamState& st = *streams[static_cast<std::size_t>(stream)];
+    const obs::TraceScope scope(parent);
+    obs::ScopedSpan span(
+        "shed_frame", "runtime/control",
+        {{"stream", stream},
+         {"frame", ctrl.index},
+         {"level", static_cast<std::int64_t>(decision.level)}});
+    core::ControlStep step = ctrl;
+    step.record.vehicle_processed = false;
+    ReportTask out;
+    out.stream = stream;
+    out.report = system_->evaluate_frame(step, meta);
+    out.report.degrade_level = static_cast<int>(decision.level);
+    out.trace = span.context();
+    out.ingest_ns = ingest_ns;
+    out.shed = true;
+    publish_gap(st, ctrl.index);
     report_q.push(std::move(out));
   };
 
@@ -358,18 +632,38 @@ std::vector<StreamResult> StreamServer::serve(
         metrics_.control.record_latency(Clock::now() - t0);
         metrics_.control.add_processed();
         ++state.next_index;
+        state.last_progress_ns.store(tracer.now_ns(),
+                                     std::memory_order_relaxed);
 
-        DetectTask dt;
-        dt.stream = current.stream;
-        dt.step = step;
-        dt.meta = std::move(current.meta);
-        dt.trace = span.context();
-        dt.ingest_ns = current.ingest_ns;
-        // The queue hands any dropped task back (the stale one under
-        // DropOldest, this one under DropNewest) so no frame vanishes.
-        std::optional<DetectTask> displaced;
-        detect_q.push(std::move(dt), &displaced);
-        if (displaced) emit_dropped(std::move(*displaced));
+        // The admission verdict is taken here — per-stream sequential, so
+        // a forced level (fault plan) keyed on the frame index yields a
+        // deterministic transition sequence.
+        AdmissionDecision decision;
+        if (ladder_active) {
+          const std::optional<int> forced =
+              injector != nullptr
+                  ? injector->forced_degrade_level(current.stream, step.index)
+                  : std::nullopt;
+          decision = admission->decide(current.stream, step.index,
+                                       tracer.now_ns(), forced);
+        }
+        if (!decision.admit) {
+          emit_shed(current.stream, step, std::move(current.meta),
+                    span.context(), current.ingest_ns, decision);
+        } else {
+          DetectTask dt;
+          dt.stream = current.stream;
+          dt.step = step;
+          dt.meta = std::move(current.meta);
+          dt.trace = span.context();
+          dt.ingest_ns = current.ingest_ns;
+          dt.decision = decision;
+          // The queue hands any dropped task back (the stale one under
+          // DropOldest, this one under DropNewest) so no frame vanishes.
+          std::optional<DetectTask> displaced;
+          detect_q.push(std::move(dt), &displaced);
+          if (displaced) emit_dropped(std::move(*displaced));
+        }
 
         const auto it = state.pending.find(state.next_index);
         if (it == state.pending.end()) break;
@@ -394,16 +688,59 @@ std::vector<StreamResult> StreamServer::serve(
                             {"mode", static_cast<std::int64_t>(
                                          task->step.sensed)}});
       const Clock::time_point t0 = Clock::now();
+      StreamState& st = *streams[static_cast<std::size_t>(task->stream)];
+      const DegradeLevel level = task->decision.level;
       ReportTask out;
       out.stream = task->stream;
-      out.report = system_->evaluate_frame(task->step, task->meta);
       out.trace = span.context();
       out.ingest_ns = task->ingest_ns;
-      if (config_.simulated_accel_ms > 0.0 &&
-          task->step.record.vehicle_processed) {
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-            config_.simulated_accel_ms));
+      if (ladder_active && task->decision.coast) {
+        // Level-2 coast: no render, no scan, no simulated accelerator —
+        // the frame's boxes come from the tracker once every earlier frame
+        // of the stream has fed it (see the coast ledger).
+        span.arg("coast", 1);
+        publish_entry(st, task->step.index, CoastEntry{true, {}});
+        const std::vector<det::Detection> dets =
+            take_coast(st, task->step.index);
+        core::AdaptiveSystem::EvaluateOptions opts;
+        opts.provided_detections = &dets;
+        out.report = system_->evaluate_frame(task->step, task->meta, opts);
+        out.report.degrade_level = static_cast<int>(level);
+        out.report.detect_coasted = true;
+      } else if (ladder_active) {
+        core::AdaptiveSystem::EvaluateOptions opts;
+        if (level == DegradeLevel::CoarseScan ||
+            level == DegradeLevel::SkipCoast)
+          opts.sliding_override = &degraded_sliding;
+        std::vector<det::Detection> dets;
+        opts.out_detections = &dets;
+        out.report = system_->evaluate_frame(task->step, task->meta, opts);
+        out.report.degrade_level = static_cast<int>(level);
+        if (config_.simulated_accel_ms > 0.0 &&
+            task->step.record.vehicle_processed) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  config_.simulated_accel_ms));
+        }
+        publish_entry(st, task->step.index,
+                      CoastEntry{false, std::move(dets)});
+      } else {
+        out.report = system_->evaluate_frame(task->step, task->meta);
+        if (config_.simulated_accel_ms > 0.0 &&
+            task->step.record.vehicle_processed) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  config_.simulated_accel_ms));
+        }
       }
+      if (injector != nullptr) {
+        const double slow_ms =
+            injector->detect_slowdown_ms(task->stream, task->step.index);
+        if (slow_ms > 0.0)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(slow_ms));
+      }
+      st.last_progress_ns.store(tracer.now_ns(), std::memory_order_relaxed);
       metrics_.detect.record_latency(Clock::now() - t0);
       metrics_.detect.add_processed();
       report_q.push(std::move(out));
@@ -440,6 +777,7 @@ std::vector<StreamResult> StreamServer::serve(
       span.arg("latency_us", static_cast<std::int64_t>(latency_ns / 1000u));
       StreamCounters& c = counters[us];
       c.latency->record_ns(latency_ns);
+      if (!task->shed) admitted_latency.record_ns(latency_ns);
       c.frames->inc();
       if (deadline_ns > 0 && latency_ns > deadline_ns) {
         c.deadline_miss->inc();
@@ -452,16 +790,72 @@ std::vector<StreamResult> StreamServer::serve(
         c.backpressure_drops->inc();
         sampler_->mark_interesting(task->trace.trace_id);
       }
-      if (!task->report.vehicle_processed && !task->backpressure_dropped)
+      if (task->shed) {
+        if (c.shed != nullptr) c.shed->inc();
+        sampler_->mark_interesting(task->trace.trace_id);
+      } else if (task->report.detect_coasted) {
+        if (c.coasted != nullptr) c.coasted->inc();
+      } else if (task->report.degrade_level > 0 &&
+                 !task->backpressure_dropped) {
+        if (c.degraded_scans != nullptr) c.degraded_scans->inc();
+      }
+      // Shed frames are an explicit admission verdict, not a reconfig cost;
+      // keep them out of the reconfiguration-loss SLO rule.
+      if (!task->report.vehicle_processed && !task->backpressure_dropped &&
+          !task->shed)
         c.reconfig_drops->inc();
       if (task->report.reconfig_triggered) c.reconfigs->inc();
       stream_slots[index] = std::move(task->report);
       stream_filled[index] = true;
+      streams[us]->collected.fetch_add(1, std::memory_order_relaxed);
+      streams[us]->last_progress_ns.store(now_ns, std::memory_order_relaxed);
       metrics_.report.record_latency(Clock::now() - t0);
       metrics_.report.add_processed();
     }
     log_.record(now_tp(), "runtime/report", "collector done");
   };
+
+  // --- liveness watchdog -----------------------------------------------
+  // Polls per-stream progress timestamps; a stream that is started,
+  // incomplete and silent past the timeout is pinned to Shed (degrade
+  // level 3) and its source abandoned — the wedge becomes an accounted
+  // event instead of a hung serve.
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog_thread;
+  if (config_.watchdog.enabled && ladder_active) {
+    const std::uint64_t timeout_ns = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, config_.watchdog.timeout.count())) *
+        1000000ull;
+    watchdog_thread = std::thread([&, timeout_ns] {
+      while (!watchdog_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(config_.watchdog.poll);
+        const std::uint64_t now = tracer.now_ns();
+        for (int s = 0; s < n_streams; ++s) {
+          StreamState& st = *streams[static_cast<std::size_t>(s)];
+          if (st.watchdog_fired.load(std::memory_order_relaxed)) continue;
+          if (!st.ingest_started.load(std::memory_order_relaxed)) continue;
+          const bool complete =
+              st.ingest_done.load(std::memory_order_relaxed) &&
+              st.collected.load(std::memory_order_relaxed) ==
+                  st.frames_ingested.load();
+          if (complete) continue;
+          const std::uint64_t last =
+              st.last_progress_ns.load(std::memory_order_relaxed);
+          if (now > last && now - last > timeout_ns) {
+            st.watchdog_fired.store(true, std::memory_order_relaxed);
+            admission->force_level(s, DegradeLevel::Shed, "watchdog");
+            registry
+                .counter("runtime.watchdog_fired",
+                         {{"stream", std::to_string(s)}})
+                .inc();
+            log_.record(now_tp(), "runtime/watchdog",
+                        "stream " + std::to_string(s) +
+                            " wedged; forcing degrade level 3");
+          }
+        }
+      }
+    });
+  }
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(config_.ingest_workers +
@@ -489,6 +883,10 @@ std::vector<StreamResult> StreamServer::serve(
   }
   workers.emplace_back(collect_loop);
   for (std::thread& t : workers) t.join();
+  if (watchdog_thread.joinable()) {
+    watchdog_stop.store(true, std::memory_order_relaxed);
+    watchdog_thread.join();
+  }
 
   // Fold the labeled per-stream series into the fleet base names — even
   // with monitoring disabled, direct post-serve readers of e.g.
@@ -556,6 +954,18 @@ std::vector<StreamResult> StreamServer::serve(
     result.report.log = state.session.log();
     result.backpressure_drops = state.backpressure_drops.load();
     result.deadline_misses = state.deadline_misses.load();
+    result.garbage_frames = state.garbage_frames.load();
+    result.source_retries = state.source_retries.load();
+    result.source_failed = state.source_failed.load();
+    result.watchdog_fired = state.watchdog_fired.load();
+    if (admission != nullptr) {
+      const AdmissionStats stats = admission->stats(s);
+      result.shed_frames = stats.shed;
+      result.coasted_frames = stats.coasted;
+      result.degraded_scans = stats.degraded_scans;
+      result.degrade_level = admission->level(s);
+      result.degrade_transitions = admission->transitions(s);
+    }
     if (config_.slo.enabled) {
       result.health = monitors_[us]->state();
       result.health_transitions = monitors_[us]->transitions();
@@ -566,6 +976,10 @@ std::vector<StreamResult> StreamServer::serve(
     os << "stream " << s << " complete: " << result.report.frames.size()
        << " frames, " << result.report.reconfigs.size() << " reconfigs, "
        << result.backpressure_drops << " backpressure drops";
+    if (admission != nullptr)
+      os << ", " << result.shed_frames << " shed, " << result.coasted_frames
+         << " coasted, degrade level "
+         << static_cast<int>(result.degrade_level);
     if (config_.slo.enabled)
       os << ", health " << obs::to_string(result.health);
     log_.record(now_tp(), "runtime/server", os.str());
@@ -597,6 +1011,12 @@ void StreamServer::install_ops_endpoints() {
   // usable as a load-balancer / orchestrator readiness probe.
   ops_->handle("/healthz", [this](const obs::HttpRequest&) {
     std::vector<obs::HealthState> states;
+    struct OverloadRow {
+      DegradeLevel level = DegradeLevel::Full;
+      AdmissionStats stats;
+    };
+    std::vector<OverloadRow> overload;
+    bool admission_on = false;
     {
       std::lock_guard<std::mutex> lock(obs_mutex_);
       if (!monitors_.empty()) {
@@ -605,14 +1025,32 @@ void StreamServer::install_ops_endpoints() {
       } else {
         states = stream_health_;
       }
+      if (admission_) {
+        admission_on = true;
+        overload.resize(states.size());
+        for (std::size_t s = 0; s < states.size(); ++s) {
+          overload[s].level = admission_->level(static_cast<int>(s));
+          overload[s].stats = admission_->stats(static_cast<int>(s));
+        }
+      }
     }
     const obs::HealthState fleet = obs::worst_of(states);
     std::ostringstream os;
-    os << "{\"fleet\":\"" << obs::to_string(fleet) << "\",\"streams\":[";
+    os << "{\"fleet\":\"" << obs::to_string(fleet) << "\",\"admission\":"
+       << (admission_on ? "true" : "false") << ",\"streams\":[";
     for (std::size_t s = 0; s < states.size(); ++s) {
       if (s != 0) os << ',';
       os << "{\"stream\":" << s << ",\"state\":\""
-         << obs::to_string(states[s]) << "\"}";
+         << obs::to_string(states[s]) << "\"";
+      if (s < overload.size()) {
+        const OverloadRow& row = overload[s];
+        os << ",\"degrade_level\":" << static_cast<int>(row.level)
+           << ",\"admitted\":" << row.stats.admitted
+           << ",\"shed\":" << row.stats.shed
+           << ",\"coasted\":" << row.stats.coasted
+           << ",\"degraded_scans\":" << row.stats.degraded_scans;
+      }
+      os << "}";
     }
     os << "]}";
     obs::HttpResponse res;
@@ -671,6 +1109,30 @@ void StreamServer::install_ops_endpoints() {
 
   ops_->handle("/statusz", [this, &registry](const obs::HttpRequest&) {
     obs::publish_process_metrics(registry);  // keep /statusz and /metricsz in sync
+    // Aggregate overload accounting across streams (zero when admission is
+    // off — the fields are always present so parsers stay simple).
+    AdmissionStats totals;
+    int max_level = 0;
+    bool admission_live = false;
+    {
+      std::lock_guard<std::mutex> lock(obs_mutex_);
+      if (admission_) {
+        admission_live = true;
+        const std::size_t n =
+            monitors_.empty() ? stream_health_.size() : monitors_.size();
+        for (std::size_t s = 0; s < n; ++s) {
+          const AdmissionStats st = admission_->stats(static_cast<int>(s));
+          totals.admitted += st.admitted;
+          totals.shed += st.shed;
+          totals.shed_by_bucket += st.shed_by_bucket;
+          totals.coasted += st.coasted;
+          totals.degraded_scans += st.degraded_scans;
+          max_level = std::max(
+              max_level,
+              static_cast<int>(admission_->level(static_cast<int>(s))));
+        }
+      }
+    }
     std::ostringstream os;
     os << "{\"build\":{\"version\":\"" << obs::json::escape(obs::build_version())
        << "\",\"mode\":\"" << obs::json::escape(obs::build_mode())
@@ -684,10 +1146,22 @@ void StreamServer::install_ops_endpoints() {
        << ",\"detect_policy\":\"" << to_string(config_.detect_policy)
        << "\",\"slo_enabled\":" << (config_.slo.enabled ? "true" : "false")
        << ",\"frame_budget_ms\":" << config_.slo.frame_budget_ms
+       << ",\"admission_enabled\":"
+       << (config_.admission.enabled ? "true" : "false")
+       << ",\"watchdog_enabled\":"
+       << (config_.watchdog.enabled ? "true" : "false")
+       << ",\"fault_injection\":"
+       << (config_.fault_injector != nullptr ? "true" : "false")
        << ",\"ops_port\":" << ops_->port()
        << ",\"profiler_hz\":" << profiler_->config().hz
        << ",\"max_profile_seconds\":" << config_.ops.max_profile_seconds
-       << "}}";
+       << "},\"admission\":{\"live\":" << (admission_live ? "true" : "false")
+       << ",\"max_degrade_level\":" << max_level
+       << ",\"admitted\":" << totals.admitted
+       << ",\"shed\":" << totals.shed
+       << ",\"shed_by_bucket\":" << totals.shed_by_bucket
+       << ",\"coasted\":" << totals.coasted
+       << ",\"degraded_scans\":" << totals.degraded_scans << "}}";
     return obs::HttpResponse{200, "application/json", os.str()};
   });
 

@@ -181,6 +181,41 @@ TEST(OpsServer, ConcurrentRequestsAllAnswer) {
   server.stop();
 }
 
+// http_get's timeout is an overall deadline, not a per-recv allowance: a
+// handler that never answers must fail the client at ~timeout_ms, not hold
+// it for the server's (much larger) recv timeout or forever.
+TEST(OpsServer, HttpGetDeadlineBoundsAStalledHandler) {
+  OpsServerConfig config;
+  config.handler_threads = 2;  // the stalled handler must not wedge others
+  OpsServer server(config);
+  std::atomic<bool> release{false};
+  server.handle("/stall", [&release](const HttpRequest&) {
+    for (int i = 0; i < 300 && !release.load(); ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return HttpResponse{200, "text/plain; charset=utf-8", "finally"};
+  });
+  server.handle("/ok", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok"};
+  });
+  ASSERT_TRUE(server.start());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = http_get(server.port(), "/stall", /*timeout_ms=*/300);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_FALSE(res.has_value());      // gave up, did not wait out the stall
+  EXPECT_GE(elapsed.count(), 250);    // ...but did honour the deadline
+  EXPECT_LT(elapsed.count(), 1500);   // nowhere near the 3 s handler stall
+
+  // The second pool thread still answers while the first is stalled.
+  const auto ok = http_get(server.port(), "/ok", /*timeout_ms=*/2000);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->body, "ok");
+
+  release.store(true);  // let the handler finish so stop() joins promptly
+  server.stop();
+}
+
 TEST(OpsServer, PrometheusWireConformanceOverRealSocket) {
   // A registry exercising the exposition's edge cases: special double
   // values, a labeled family, and a base name whose HELP line needs \\ and

@@ -140,6 +140,50 @@ TEST(BoundedQueue, ConcurrentStressConservesItems) {
   EXPECT_LE(stats.high_water, 7u);
 }
 
+// close() must wake producers parked in the Block-policy not-full wait, and
+// each woken push must report Closed (value dropped, not enqueued). Stress
+// it: many producers keep a tiny queue saturated so most are mid-wait when
+// close() lands, then check conservation — every push resolved, and
+// everything Accepted was either popped before close or still queued after.
+TEST(BoundedQueue, CloseWhileProducersBlockedInPush) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(2, OverflowPolicy::Block);
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        switch (q.push(i)) {
+          case PushOutcome::Accepted: accepted.fetch_add(1); break;
+          case PushOutcome::Closed: closed.fetch_add(1); break;
+          default: FAIL() << "Block policy must never evict or reject";
+        }
+      }
+    });
+  }
+
+  // Drain a little so producers make progress and repopulate the wait set,
+  // then close with the queue saturated and producers blocked.
+  std::uint64_t popped = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (q.pop().has_value()) ++popped;
+  }
+  q.close();
+  for (std::thread& t : producers) t.join();
+
+  // Drain the survivors (pop() keeps returning queued items after close).
+  while (q.pop().has_value()) ++popped;
+
+  EXPECT_EQ(accepted.load() + closed.load(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(accepted.load(), popped);  // no Accepted item vanished
+  EXPECT_GT(closed.load(), 0u);        // close really interrupted pushes
+  EXPECT_EQ(q.stats().dropped, 0u);    // Closed is not a policy drop
+}
+
 // Under DropOldest nothing is lost silently: accepted+displaced accounts
 // for every push, and survivors preserve FIFO order.
 TEST(BoundedQueue, DropOldestAccountsForEveryItem) {

@@ -1,0 +1,430 @@
+// The fault-injection harness against a live StreamServer: one test per
+// fault class (stall, garbage, transient error, slow worker + saturation,
+// wedge -> watchdog), plus the two determinism guarantees the overload plane
+// must not break — unaffected streams stay bit-identical to the no-fault
+// run, and a ForceDegrade plan reproduces its transitions and detections
+// exactly across serves.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "avd/runtime/fault_injection.hpp"
+#include "avd/runtime/stream_server.hpp"
+
+namespace avd::runtime {
+namespace {
+
+// ThreadSanitizer slows real frame work ~5-15x, so wall-clock thresholds
+// (watchdog timeouts vs per-frame cost on a *healthy* stream) need headroom
+// under the chaos lane or a legitimately slow frame reads as a wedge.
+#if defined(__SANITIZE_THREAD__)
+constexpr int kTimingScale = 10;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr int kTimingScale = 10;
+#else
+constexpr int kTimingScale = 1;
+#endif
+#else
+constexpr int kTimingScale = 1;
+#endif
+
+core::TrainingBudget tiny() {
+  core::TrainingBudget b;
+  b.vehicle_pos = b.vehicle_neg = 30;
+  b.pedestrian_pos = b.pedestrian_neg = 20;
+  b.dbn_windows_per_class = 40;
+  b.pairing_scenes = 20;
+  return b;
+}
+
+/// Day->Dark drives, `2 * frames_per_segment` frames each; different seeds
+/// per stream so cross-stream mixups would be visible.
+std::vector<data::DriveSequence> make_streams(int n_streams,
+                                              int frames_per_segment) {
+  std::vector<data::DriveSequence> seqs;
+  for (int i = 0; i < n_streams; ++i) {
+    data::SequenceSpec spec;
+    spec.frame_size = {240, 136};
+    spec.segments = {{data::LightingCondition::Day, frames_per_segment},
+                     {data::LightingCondition::Dark, frames_per_segment}};
+    spec.seed = 515 + static_cast<std::uint64_t>(i);
+    seqs.emplace_back(spec);
+  }
+  return seqs;
+}
+
+void expect_frames_identical(const core::AdaptiveFrameReport& a,
+                             const core::AdaptiveFrameReport& b,
+                             const std::string& where) {
+  EXPECT_EQ(a.index, b.index) << where;
+  EXPECT_EQ(a.light_level, b.light_level) << where;  // bit-exact double
+  EXPECT_EQ(a.sensed, b.sensed) << where;
+  EXPECT_EQ(a.active_config, b.active_config) << where;
+  EXPECT_EQ(a.vehicle_processed, b.vehicle_processed) << where;
+  EXPECT_EQ(a.pedestrian_processed, b.pedestrian_processed) << where;
+  EXPECT_EQ(a.reconfig_triggered, b.reconfig_triggered) << where;
+  EXPECT_EQ(a.vehicles_truth, b.vehicles_truth) << where;
+  EXPECT_EQ(a.vehicle_match.true_positives, b.vehicle_match.true_positives)
+      << where;
+  EXPECT_EQ(a.vehicle_match.false_negatives, b.vehicle_match.false_negatives)
+      << where;
+  EXPECT_EQ(a.vehicle_match.false_positives, b.vehicle_match.false_positives)
+      << where;
+  EXPECT_EQ(a.degrade_level, b.degrade_level) << where;
+  EXPECT_EQ(a.detect_coasted, b.detect_coasted) << where;
+}
+
+void expect_reports_identical(const core::AdaptiveRunReport& a,
+                              const core::AdaptiveRunReport& b,
+                              const std::string& where) {
+  ASSERT_EQ(a.frames.size(), b.frames.size()) << where;
+  for (std::size_t i = 0; i < a.frames.size(); ++i)
+    expect_frames_identical(a.frames[i], b.frames[i],
+                            where + " frame " + std::to_string(i));
+  ASSERT_EQ(a.reconfigs.size(), b.reconfigs.size()) << where;
+  for (std::size_t i = 0; i < a.reconfigs.size(); ++i) {
+    EXPECT_EQ(a.reconfigs[i].config_name, b.reconfigs[i].config_name) << where;
+    EXPECT_EQ(a.reconfigs[i].start.ps, b.reconfigs[i].start.ps) << where;
+    EXPECT_EQ(a.reconfigs[i].end.ps, b.reconfigs[i].end.ps) << where;
+  }
+}
+
+/// Transition equality up to wall-clock: everything but t_ns.
+void expect_transitions_identical(const std::vector<DegradeTransition>& a,
+                                  const std::vector<DegradeTransition>& b,
+                                  const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stream, b[i].stream) << where << " #" << i;
+    EXPECT_EQ(a[i].from, b[i].from) << where << " #" << i;
+    EXPECT_EQ(a[i].to, b[i].to) << where << " #" << i;
+    EXPECT_EQ(a[i].frame, b[i].frame) << where << " #" << i;
+    EXPECT_EQ(a[i].reason, b[i].reason) << where << " #" << i;
+  }
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::AdaptiveSystemConfig cfg;
+    cfg.run_detectors = true;
+    system_ = new core::AdaptiveSystem(core::build_system_models(tiny()), cfg);
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static core::AdaptiveSystem* system_;
+};
+
+core::AdaptiveSystem* FaultInjectionTest::system_ = nullptr;
+
+TEST_F(FaultInjectionTest, ChaosPlanIsDeterministic) {
+  const FaultPlan a = FaultPlan::chaos(7, 8, 20);
+  const FaultPlan b = FaultPlan::chaos(7, 8, 20);
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].kind, b.faults[i].kind);
+    EXPECT_EQ(a.faults[i].stream, b.faults[i].stream);
+    EXPECT_EQ(a.faults[i].from_frame, b.faults[i].from_frame);
+    EXPECT_EQ(a.faults[i].count, b.faults[i].count);
+    EXPECT_EQ(a.faults[i].magnitude, b.faults[i].magnitude);
+  }
+  EXPECT_FALSE(a.faults.empty());  // seed 7 must actually produce faults
+  const FaultPlan c = FaultPlan::chaos(8, 8, 20);
+  bool differs = c.faults.size() != a.faults.size();
+  for (std::size_t i = 0; !differs && i < a.faults.size(); ++i)
+    differs = c.faults[i].kind != a.faults[i].kind ||
+              c.faults[i].stream != a.faults[i].stream;
+  EXPECT_TRUE(differs);  // different seed, different plan
+}
+
+// A stalling source only delays frames; per-stream results — including the
+// stalled stream's — must be bit-identical to the sequential run. This also
+// proves the ladder-active detect path (out_detections capture, coast
+// ledger bookkeeping) does not perturb full-fidelity results.
+TEST_F(FaultInjectionTest, SourceStallDelaysButNeverChangesResults) {
+  const std::vector<data::DriveSequence> streams = make_streams(2, 3);
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::SourceStall, 0, 1, 3, 2.0});
+  FaultInjector injector(plan);
+
+  StreamServerConfig sc;
+  sc.detect_workers = 2;
+  sc.fault_injector = &injector;
+  StreamServer server(*system_, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  EXPECT_EQ(injector.counters().stalls, 3u);
+  ASSERT_EQ(results.size(), 2u);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    expect_reports_identical(results[s].report, system_->run(streams[s]),
+                             "stream " + std::to_string(s));
+    EXPECT_EQ(results[s].shed_frames, 0u);
+    EXPECT_FALSE(results[s].source_failed);
+    EXPECT_EQ(results[s].degrade_level, DegradeLevel::Full);
+  }
+}
+
+TEST_F(FaultInjectionTest, GarbageFramesAreRefusedAtIngest) {
+  const std::vector<data::DriveSequence> streams = make_streams(2, 3);
+  const int n = streams[0].frame_count();
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.faults.push_back({FaultKind::GarbageFrame, 0, 2, 2, 0.0});
+  FaultInjector injector(plan);
+
+  StreamServerConfig sc;
+  sc.fault_injector = &injector;
+  StreamServer server(*system_, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  EXPECT_EQ(injector.counters().garbage, 2u);
+  EXPECT_EQ(results[0].garbage_frames, 2u);
+  // Refused before index assignment: the surviving frames are densely
+  // numbered 0..n-3 — no holes for the control plane to trip on.
+  ASSERT_EQ(results[0].report.frames.size(), static_cast<std::size_t>(n - 2));
+  for (int i = 0; i < n - 2; ++i)
+    EXPECT_EQ(results[0].report.frames[static_cast<std::size_t>(i)].index, i);
+  // The untargeted stream is untouched, bit for bit.
+  EXPECT_EQ(results[1].garbage_frames, 0u);
+  expect_reports_identical(results[1].report, system_->run(streams[1]),
+                           "stream 1");
+}
+
+TEST_F(FaultInjectionTest, TransientSourceErrorsRetryToSuccess) {
+  const std::vector<data::DriveSequence> streams = make_streams(1, 3);
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::SourceError, 0, 2, /*count=*/2, 0.0});
+  FaultInjector injector(plan);
+
+  StreamServerConfig sc;
+  sc.fault_injector = &injector;
+  sc.source_retry.max_attempts = 3;  // 2 failures + 1 success
+  StreamServer server(*system_, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  EXPECT_EQ(injector.counters().errors, 2u);
+  EXPECT_EQ(results[0].source_retries, 2u);
+  EXPECT_FALSE(results[0].source_failed);
+  // Retries recovered every frame: the stream is complete and identical.
+  expect_reports_identical(results[0].report, system_->run(streams[0]),
+                           "retried stream");
+}
+
+TEST_F(FaultInjectionTest, ExhaustedRetriesTruncateTheStream) {
+  const std::vector<data::DriveSequence> streams = make_streams(1, 3);
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::SourceError, 0, 2, /*count=*/10, 0.0});
+  FaultInjector injector(plan);
+
+  StreamServerConfig sc;
+  sc.fault_injector = &injector;
+  sc.source_retry.max_attempts = 3;
+  StreamServer server(*system_, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  EXPECT_EQ(injector.counters().errors, 3u);  // one per attempt
+  EXPECT_TRUE(results[0].source_failed);
+  EXPECT_EQ(results[0].source_retries, 2u);  // attempts 2 and 3 were retries
+  // Truncated exactly at the failing position; what came before is intact.
+  ASSERT_EQ(results[0].report.frames.size(), 2u);
+  const core::AdaptiveRunReport full = system_->run(streams[0]);
+  for (std::size_t i = 0; i < 2; ++i)
+    expect_frames_identical(results[0].report.frames[i], full.frames[i],
+                            "surviving frame " + std::to_string(i));
+}
+
+// Slow detect workers + a tiny DropOldest queue: the saturation story. The
+// serve must complete with every frame accounted — processed, dropped or
+// shed — never lost.
+TEST_F(FaultInjectionTest, DetectSlowdownSaturatesQueueWithoutLosingFrames) {
+  const std::vector<data::DriveSequence> streams = make_streams(2, 3);
+  const int n = streams[0].frame_count();
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::DetectSlowdown, -1, 0, n, 3.0});
+  FaultInjector injector(plan);
+
+  StreamServerConfig sc;
+  sc.detect_workers = 1;
+  sc.queue_capacity = 2;
+  sc.detect_policy = OverflowPolicy::DropOldest;
+  sc.fault_injector = &injector;
+  StreamServer server(*system_, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  EXPECT_GT(injector.counters().slowdown_frames, 0u);
+  for (const StreamResult& r : results) {
+    // Every frame surfaced as a report; drops are explicit, not silent.
+    EXPECT_EQ(r.report.frames.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(r.report.frames[static_cast<std::size_t>(i)].index, i);
+    EXPECT_EQ(r.shed_frames, 0u);  // saturation drops are not admission sheds
+  }
+}
+
+// The ladder-determinism guarantee: a ForceDegrade plan keyed on frame
+// indices produces the same transitions AND the same per-frame reports on
+// every serve, because the pin is applied at the per-stream-sequential
+// control stage — wall clock never enters the decision.
+TEST_F(FaultInjectionTest, ForceDegradePlanIsDeterministicAcrossServes) {
+  const std::vector<data::DriveSequence> streams = make_streams(2, 4);
+  const int n = streams[0].frame_count();  // 8 frames
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::ForceDegrade, 0, 2, 2, 1.0});  // coarse
+  plan.faults.push_back({FaultKind::ForceDegrade, 0, 5, 3, 2.0});  // skip-coast
+
+  const auto serve_once = [&] {
+    FaultInjector injector(plan);
+    StreamServerConfig sc;
+    sc.detect_workers = 3;
+    sc.fault_injector = &injector;
+    StreamServer server(*system_, sc);
+    return server.serve_sequences(streams);
+  };
+  const std::vector<StreamResult> first = serve_once();
+  const std::vector<StreamResult> second = serve_once();
+
+  // Bit-identical reports and identical transition sequences, twice over.
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    expect_reports_identical(first[s].report, second[s].report,
+                             "serve/serve stream " + std::to_string(s));
+    expect_transitions_identical(first[s].degrade_transitions,
+                                 second[s].degrade_transitions,
+                                 "stream " + std::to_string(s));
+  }
+  // The pinned levels landed on exactly the planned frames.
+  const auto& frames = first[0].report.frames;
+  ASSERT_EQ(frames.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const core::AdaptiveFrameReport& f = frames[static_cast<std::size_t>(i)];
+    const int expected = (i >= 2 && i < 4) ? 1 : (i >= 5 ? 2 : 0);
+    EXPECT_EQ(f.degrade_level, expected) << "frame " << i;
+    // Level 2 coasts every frame whose index is not a multiple of the
+    // skip modulus (default 3).
+    EXPECT_EQ(f.detect_coasted, expected == 2 && i % 3 != 0) << "frame " << i;
+  }
+  // Levels: frames 2,3 coarse; frames 5..7 skip-coast, of which 6 scans
+  // (6 % 3 == 0) and 5,7 coast.
+  EXPECT_EQ(first[0].coasted_frames, 2u);
+  EXPECT_EQ(first[0].degraded_scans, 3u);
+  EXPECT_EQ(second[0].coasted_frames, 2u);
+  // The untargeted stream never leaves Full and matches sequential.
+  EXPECT_TRUE(first[1].degrade_transitions.empty());
+  expect_reports_identical(first[1].report, system_->run(streams[1]),
+                           "stream 1 vs sequential");
+}
+
+// ForceDegrade to level 3: frames are shed with full accounting — present
+// in the report with vehicle_processed=false and degrade_level 3, counted
+// in shed_frames, and the pedestrian partition (static) keeps running.
+TEST_F(FaultInjectionTest, ForcedShedProducesAccountedReports) {
+  const std::vector<data::DriveSequence> streams = make_streams(1, 3);
+  const int n = streams[0].frame_count();
+  FaultPlan plan;
+  plan.faults.push_back({FaultKind::ForceDegrade, 0, 2, 2, 3.0});
+  FaultInjector injector(plan);
+
+  StreamServerConfig sc;
+  sc.fault_injector = &injector;
+  StreamServer server(*system_, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  EXPECT_EQ(results[0].shed_frames, 2u);
+  ASSERT_EQ(results[0].report.frames.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& f = results[0].report.frames[static_cast<std::size_t>(i)];
+    if (i >= 2 && i < 4) {
+      EXPECT_FALSE(f.vehicle_processed) << "frame " << i;
+      EXPECT_EQ(f.degrade_level, 3) << "frame " << i;
+      EXPECT_TRUE(f.pedestrian_processed) << "frame " << i;
+    } else {
+      EXPECT_EQ(f.degrade_level, 0) << "frame " << i;
+    }
+  }
+}
+
+// A wedged source (stalls far past the watchdog timeout) is converted into
+// a degrade-level-3 event: watchdog_fired, the stream truncated and shed,
+// the serve over in bounded time — and the healthy stream untouched.
+TEST_F(FaultInjectionTest, WatchdogConvertsWedgedStreamIntoShed) {
+  const std::vector<data::DriveSequence> streams = make_streams(2, 3);
+  FaultPlan plan;
+  plan.faults.push_back(
+      {FaultKind::SourceStall, 0, 1, 100, 400.0 * kTimingScale});
+  FaultInjector injector(plan);
+
+  StreamServerConfig sc;
+  sc.ingest_workers = 2;  // the healthy stream must not wait behind the wedge
+  sc.fault_injector = &injector;
+  sc.watchdog.enabled = true;
+  sc.watchdog.timeout = std::chrono::milliseconds(100 * kTimingScale);
+  sc.watchdog.poll = std::chrono::milliseconds(20);
+  StreamServer server(*system_, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  EXPECT_TRUE(results[0].watchdog_fired);
+  EXPECT_EQ(results[0].degrade_level, DegradeLevel::Shed);
+  bool watchdog_reason = false;
+  for (const DegradeTransition& t : results[0].degrade_transitions)
+    if (t.reason == "watchdog") watchdog_reason = true;
+  EXPECT_TRUE(watchdog_reason);
+  // Truncated: the source was abandoned after the wedge was detected.
+  EXPECT_LT(results[0].report.frames.size(),
+            static_cast<std::size_t>(streams[0].frame_count()));
+  EXPECT_FALSE(results[1].watchdog_fired);
+  expect_reports_identical(results[1].report, system_->run(streams[1]),
+                           "healthy stream");
+}
+
+// Admission control switched on but with a healthy fleet (no SLO pressure,
+// no bucket) must remain bit-identical to the sequential path: the plane's
+// cost when idle is bookkeeping, never behaviour.
+TEST_F(FaultInjectionTest, IdleAdmissionPlaneIsBitIdentical) {
+  const std::vector<data::DriveSequence> streams = make_streams(2, 3);
+  StreamServerConfig sc;
+  sc.admission.enabled = true;
+  sc.detect_workers = 2;
+  StreamServer server(*system_, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    expect_reports_identical(results[s].report, system_->run(streams[s]),
+                             "stream " + std::to_string(s));
+    EXPECT_EQ(results[s].degrade_level, DegradeLevel::Full);
+    EXPECT_TRUE(results[s].degrade_transitions.empty());
+    EXPECT_EQ(results[s].shed_frames, 0u);
+    EXPECT_EQ(results[s].coasted_frames, 0u);
+  }
+}
+
+// The whole chaos diet at once: a seeded plan across 4 streams must leave
+// the serve complete, accounted and reproducible in its plan.
+TEST_F(FaultInjectionTest, ChaosServeCompletesWithFullAccounting) {
+  const std::vector<data::DriveSequence> streams = make_streams(4, 3);
+  const int n = streams[0].frame_count();
+  FaultInjector injector(FaultPlan::chaos(42, 4, n));
+  ASSERT_FALSE(injector.plan().faults.empty());
+
+  StreamServerConfig sc;
+  sc.ingest_workers = 2;
+  sc.control_workers = 2;
+  sc.detect_workers = 3;
+  sc.fault_injector = &injector;
+  StreamServer server(*system_, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  ASSERT_EQ(results.size(), 4u);
+  for (const StreamResult& r : results) {
+    // Whatever the plan did, every ingested frame surfaced exactly once.
+    EXPECT_LE(r.report.frames.size(), static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < r.report.frames.size(); ++i)
+      EXPECT_EQ(r.report.frames[i].index, static_cast<int>(i));
+    EXPECT_GE(static_cast<int>(r.degrade_level), 0);
+    EXPECT_LE(static_cast<int>(r.degrade_level), 3);
+  }
+}
+
+}  // namespace
+}  // namespace avd::runtime
