@@ -165,11 +165,14 @@ if [[ "$TSAN_ONLY" -eq 0 && "${AVD_SKIP_BENCH_DIFF:-0}" -ne 1 ]]; then
   #   scripts/bench_diff BENCH "$dir" --update
   cmake --build build -j "$JOBS" --target \
     scan_throughput dark_scan_throughput runtime_scaling obs_overhead \
-    overload_soak
+    overload_soak many_stream_soak
   BENCH_OUT="$(mktemp -d -t avd_bench_XXXX)"
   trap 'kill "${OPS_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR" "$BENCH_OUT"' EXIT
+  # many_stream_soak must run at its default 256 streams here: the checked-in
+  # baseline was recorded at that scale and admitted_fps scales with stream
+  # count (the reduced-stream CI lane is a separate job with no baseline).
   for b in scan_throughput dark_scan_throughput runtime_scaling obs_overhead \
-           overload_soak; do
+           overload_soak many_stream_soak; do
     AVD_BENCH_DIR="$BENCH_OUT" "./build/bench/$b" >/dev/null
   done
   scripts/bench_diff BENCH "$BENCH_OUT"

@@ -43,7 +43,8 @@ inline constexpr const char* kPrometheusContentType =
     "text/plain; version=0.0.4; charset=utf-8";
 
 /// One label dimension of a metric series, as sorted key/value pairs
-/// (`{{"stream", "3"}}`; later `{{"shard", "1"}, {"stream", "3"}}`). Labels
+/// (`{{"stream", "3"}}`, or `{{"shard", "1"}, {"stream", "3"}}` from the
+/// sharded front door). Labels
 /// are flattened into the series' registry name by labeled_name(), so a
 /// labeled series costs exactly what an unlabeled one does after the
 /// one-time lookup: resolve the reference once, mutate relaxed atomics.
@@ -238,14 +239,21 @@ class MetricsRegistry {
   [[nodiscard]] Histogram& histogram(const std::string& name,
                                      const Labels& labels);
 
-  /// Fold every labeled series into the unlabeled series of its base name:
-  /// `runtime.frames{stream="0"}` + `runtime.frames{stream="1"}` overwrite
-  /// `runtime.frames` (counters and gauges sum; histograms merge bins), so
-  /// exports carry the per-stream and the fleet view side by side. The base
-  /// series is created on demand and *overwritten* on every rollup — do not
-  /// mix direct writes to a base name with labeled children of the same
-  /// name. O(series) under the registry mutex; labeled writers are never
-  /// blocked (their references bypass the map).
+  /// Fold every labeled *leaf* series into the unlabeled series of its base
+  /// name: `runtime.frames{stream="0"}` + `runtime.frames{stream="1"}`
+  /// overwrite `runtime.frames` (counters and gauges sum; histograms merge
+  /// bins), so exports carry the per-stream and the fleet view side by side.
+  /// Leaves with two or more labels additionally fold into their *parent*
+  /// marginal — the series with the last sorted label dropped — so a sharded
+  /// fleet's `runtime.frames{shard="0",stream="3"}` leaves also produce
+  /// per-shard `runtime.frames{shard="0"}` series. Fold targets (bases and
+  /// marginals) are created on demand, *overwritten* on every rollup, and
+  /// never treated as fold sources themselves — rollup() is idempotent, so
+  /// a /metricsz scrape racing an end-of-serve fold cannot double-count.
+  /// Do not mix direct writes to a fold target with labeled children of the
+  /// same name (a base, or a parent of a deeper-labeled series): rollup
+  /// overwrites them. O(series) under the registry mutex; labeled writers
+  /// are never blocked (their references bypass the map).
   void rollup();
 
   /// Zero every value. Registrations (and therefore references handed out

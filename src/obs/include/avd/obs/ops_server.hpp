@@ -42,6 +42,10 @@ class MetricsRegistry;
 struct HttpRequest {
   std::string method;
   std::string path;  ///< request target before '?'
+  /// Decoded query parameters. Duplicate keys are first-wins: the first
+  /// occurrence in the raw query string is kept and later repeats are
+  /// ignored, so `?seconds=1&seconds=999` yields `seconds=1` and a repeated
+  /// param can never override an earlier clamp-relevant value.
   std::map<std::string, std::string> query;
 
   /// Value of one query parameter, or `fallback` when absent.

@@ -125,6 +125,14 @@ class SloMonitor {
     double deadline_miss_unhealthy = 0.25, double drop_rate_degraded = 0.01,
     double drop_rate_unhealthy = 0.10);
 
+/// Same rules over an arbitrary label set — the sharded front door publishes
+/// per-stream series as `runtime.frames{shard="2",stream="s3"}`, and its
+/// monitors must read exactly those flat names.
+[[nodiscard]] std::vector<SloRule> standard_stream_rules_labeled(
+    const Labels& labels, double deadline_miss_degraded = 0.05,
+    double deadline_miss_unhealthy = 0.25, double drop_rate_degraded = 0.01,
+    double drop_rate_unhealthy = 0.10);
+
 /// Fleet rollup of per-stream health: the worst state present (Healthy when
 /// `states` is empty). One saturated stream therefore surfaces in the fleet
 /// view no matter how many healthy neighbours it has.

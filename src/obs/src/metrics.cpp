@@ -379,18 +379,55 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return histogram(labeled_name(name, labels));
 }
 
+namespace {
+
+// The flat name of a labeled series with its last (sorted) label dropped —
+// the series' rollup parent ("runtime.frames{shard="0",stream="3"}" ->
+// "runtime.frames{shard="0"}"). Empty labels have no parent (their fold
+// target is the base name).
+std::string parent_name(const ParsedSeriesName& parsed) {
+  Labels parent(parsed.labels.begin(), parsed.labels.end() - 1);
+  return labeled_name(parsed.base, std::move(parent));
+}
+
+// The rollup fold must be idempotent: /metricsz scrapes and end-of-serve
+// both call rollup(), and a marginal produced by one fold must never be
+// re-summed into the base by the next (the shard=xstream= double-count).
+// Products are recognised structurally, with no stored state: a labeled
+// series is a *product* (and therefore not a source) exactly when some
+// other series of the same section has it as its parent. Leaves — series no
+// one folds into — are the only sources; each leaf contributes to its base
+// and, when it carries >= 2 labels, to its one-label-shorter parent.
+// Consequence (documented on rollup()): do not write directly to a series
+// that is another series' parent, e.g. `x{shard="0"}` next to
+// `x{shard="0",stream="1"}` — rollup overwrites the parent from its leaves.
+template <typename Map>
+std::set<std::string> rollup_products(const Map& section) {
+  std::set<std::string> products;
+  for (const auto& [name, _] : section)
+    if (auto parsed = parse_labeled_name(name))
+      if (parsed->labels.size() >= 2) products.insert(parent_name(*parsed));
+  return products;
+}
+
+}  // namespace
+
 void MetricsRegistry::rollup() {
   std::lock_guard<std::mutex> lock(mutex_);
-  // Two passes per section: collect the fold from the labeled children
-  // first, then find-or-create the base entries. Inserting bases while
+  // Two passes per section: collect the fold from the labeled leaves first,
+  // then find-or-create the target entries. Inserting targets while
   // iterating would both invalidate nothing (std::map) and double-count
-  // nothing (bases never parse as labeled), but the separation keeps the
-  // overwrite semantics obvious.
+  // nothing (bases never parse as labeled, marginal products are excluded
+  // as sources), but the separation keeps the overwrite semantics obvious.
   {
+    const std::set<std::string> products = rollup_products(counters_);
     std::map<std::string, std::uint64_t> sums;
     for (const auto& [name, c] : counters_)
-      if (auto parsed = parse_labeled_name(name))
+      if (auto parsed = parse_labeled_name(name)) {
+        if (products.contains(name)) continue;  // a prior fold's marginal
         sums[parsed->base] += c->value();
+        if (parsed->labels.size() >= 2) sums[parent_name(*parsed)] += c->value();
+      }
     for (const auto& [base, sum] : sums) {
       auto& slot = counters_[base];
       if (!slot) slot = std::make_unique<Counter>();
@@ -398,10 +435,14 @@ void MetricsRegistry::rollup() {
     }
   }
   {
+    const std::set<std::string> products = rollup_products(gauges_);
     std::map<std::string, double> sums;
     for (const auto& [name, g] : gauges_)
-      if (auto parsed = parse_labeled_name(name))
+      if (auto parsed = parse_labeled_name(name)) {
+        if (products.contains(name)) continue;
         sums[parsed->base] += g->value();
+        if (parsed->labels.size() >= 2) sums[parent_name(*parsed)] += g->value();
+      }
     for (const auto& [base, sum] : sums) {
       auto& slot = gauges_[base];
       if (!slot) slot = std::make_unique<Gauge>();
@@ -409,10 +450,15 @@ void MetricsRegistry::rollup() {
     }
   }
   {
+    const std::set<std::string> products = rollup_products(histograms_);
     std::map<std::string, std::vector<const Histogram*>> children;
     for (const auto& [name, h] : histograms_)
-      if (auto parsed = parse_labeled_name(name))
+      if (auto parsed = parse_labeled_name(name)) {
+        if (products.contains(name)) continue;
         children[parsed->base].push_back(h.get());
+        if (parsed->labels.size() >= 2)
+          children[parent_name(*parsed)].push_back(h.get());
+      }
     for (const auto& [base, kids] : children) {
       auto& slot = histograms_[base];
       if (!slot) slot = std::make_unique<Histogram>();

@@ -63,6 +63,9 @@ std::string url_decode(std::string_view s) {
   return out;
 }
 
+// Duplicate keys are first-wins: a clamp-relevant value set early in the
+// query string (`?seconds=1&seconds=999`) cannot be overridden by a later
+// repeat. `std::map::emplace` is a no-op when the key already exists.
 void parse_query(std::string_view raw, std::map<std::string, std::string>& out) {
   std::size_t pos = 0;
   while (pos < raw.size()) {
@@ -72,9 +75,10 @@ void parse_query(std::string_view raw, std::map<std::string, std::string>& out) 
     if (!pair.empty()) {
       const std::size_t eq = pair.find('=');
       if (eq == std::string_view::npos) {
-        out[url_decode(pair)] = "";
+        out.emplace(url_decode(pair), "");
       } else {
-        out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+        out.emplace(url_decode(pair.substr(0, eq)),
+                    url_decode(pair.substr(eq + 1)));
       }
     }
     pos = amp + 1;

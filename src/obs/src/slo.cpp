@@ -183,7 +183,15 @@ std::vector<SloRule> standard_stream_rules_labeled(
     std::int64_t stream_id, double deadline_miss_degraded,
     double deadline_miss_unhealthy, double drop_rate_degraded,
     double drop_rate_unhealthy) {
-  const Labels labels{{"stream", std::to_string(stream_id)}};
+  return standard_stream_rules_labeled(
+      Labels{{"stream", std::to_string(stream_id)}}, deadline_miss_degraded,
+      deadline_miss_unhealthy, drop_rate_degraded, drop_rate_unhealthy);
+}
+
+std::vector<SloRule> standard_stream_rules_labeled(
+    const Labels& labels, double deadline_miss_degraded,
+    double deadline_miss_unhealthy, double drop_rate_degraded,
+    double drop_rate_unhealthy) {
   std::vector<SloRule> rules =
       standard_stream_rules("runtime", deadline_miss_degraded,
                             deadline_miss_unhealthy, drop_rate_degraded,

@@ -166,6 +166,14 @@ class AdmissionController {
   /// advances the ladder per the rules in the file comment.
   void on_health_windows(const std::vector<obs::HealthState>& states);
 
+  /// External (cross-shard) fleet-pressure signal: while set, escalation
+  /// skips the per-stream dwell exactly as if `fleet_escalate_fraction` of
+  /// THIS controller's streams were degraded — the sharded front door raises
+  /// it when enough of the whole fleet is degraded, so one drowning shard's
+  /// neighbours tighten up before their own local fraction trips. OR-ed with
+  /// the internal fraction; applies from the next on_health_windows().
+  void set_fleet_pressure(bool pressure);
+
   /// Pin `stream` to `level`, permanently (health windows and fault plans
   /// no longer move it). The watchdog's wedged-stream conversion.
   void force_level(int stream, DegradeLevel level, const std::string& reason);
@@ -206,6 +214,7 @@ class AdmissionController {
   mutable std::mutex mutex_;
   std::vector<StreamSlot> streams_;
   TransitionCallback callback_;
+  bool external_fleet_pressure_ = false;  ///< set_fleet_pressure(); mutex_
 };
 
 }  // namespace avd::runtime

@@ -160,6 +160,29 @@ struct StreamServerConfig {
   /// throughput never drops below one worker even on a zero-thread pool;
   /// per-stream results stay bit-identical either way. Not owned.
   ThreadPool* scan_pool = nullptr;
+  /// Cross-stream detect batching: each detect worker gathers up to
+  /// detect_batch_max queued frames from ALL streams and runs them as one
+  /// indexed batch on `scan_pool`, so a sparse stream never strands detect
+  /// cores behind a busy neighbour. Requires scan_pool (silently off
+  /// without one). Per-stream results stay bit-identical to the sequential
+  /// run (test-enforced): detection is a const per-frame evaluation, and
+  /// coast-ledger tracker updates are serialised by frame index regardless
+  /// of batch completion order. Level-2 coast frames are excluded from
+  /// batches (they block on the ledger frontier) and handled in canonical
+  /// (stream, index) order after the batch.
+  bool cross_stream_batching = false;
+  /// Largest detect batch one worker gathers (>= 1).
+  int detect_batch_max = 8;
+  /// Extra labels appended to every per-stream labeled series this server
+  /// publishes — the sharded front door passes {{"shard","<m>"}} so one
+  /// registry holds shard= x stream= leaves that rollup() folds into
+  /// per-shard marginals and the fleet base. The stream= label is always
+  /// added on top of these.
+  obs::Labels metric_labels;
+  /// Fleet-global values for the stream= label, indexed like the sources
+  /// passed to serve(). Streams beyond the vector (or when it is empty)
+  /// fall back to the local index rendered in decimal.
+  std::vector<std::string> stream_names;
   /// Telemetry + SLO health monitoring for this server's serve() calls.
   StreamSloConfig slo;
   /// Embedded ops server + on-demand profiler (see StreamOpsConfig).
@@ -264,6 +287,12 @@ class StreamServer {
   [[nodiscard]] const std::vector<obs::HealthState>& stream_health() const {
     return stream_health_;
   }
+  /// Live per-stream health: mid-serve the SLO monitors answer with their
+  /// current state-machine position; between serves (or with monitoring
+  /// disabled) the last serve's verdicts answer. This is what /healthz
+  /// renders, exposed directly so a fronting aggregator (the sharded
+  /// server) can fold shard health without an HTTP hop.
+  [[nodiscard]] std::vector<obs::HealthState> live_stream_health() const;
   /// Worst-of rollup of stream_health(): one saturated stream is visible
   /// here no matter how many healthy neighbours it has.
   [[nodiscard]] obs::HealthState fleet_health() const { return fleet_health_; }

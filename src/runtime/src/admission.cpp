@@ -147,9 +147,11 @@ void AdmissionController::on_health_windows(
     std::lock_guard<std::mutex> lock(mutex_);
     const std::size_t n = std::min(states.size(), streams_.size());
     // Fleet pressure: enough of the fleet degraded at once and escalation
-    // skips the per-stream dwell.
-    bool fleet_pressure = false;
-    if (config_.ladder.fleet_escalate_fraction > 0.0 && n > 0) {
+    // skips the per-stream dwell. The external flag carries the same signal
+    // from across shards (set by the sharded front door).
+    bool fleet_pressure = external_fleet_pressure_;
+    if (!fleet_pressure && config_.ladder.fleet_escalate_fraction > 0.0 &&
+        n > 0) {
       std::size_t hot = 0;
       for (std::size_t s = 0; s < n; ++s)
         if (states[s] != obs::HealthState::Healthy) ++hot;
@@ -204,6 +206,11 @@ void AdmissionController::on_health_windows(
   }
   if (callback)
     for (const DegradeTransition& t : fired) callback(t);
+}
+
+void AdmissionController::set_fleet_pressure(bool pressure) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  external_fleet_pressure_ = pressure;
 }
 
 void AdmissionController::force_level(int stream, DegradeLevel level,

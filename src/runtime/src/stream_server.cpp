@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -202,6 +203,19 @@ std::vector<StreamResult> StreamServer::serve(
       sources[static_cast<std::size_t>(s)] = injector->wrap(
           s, std::move(sources[static_cast<std::size_t>(s)]));
 
+  // Label set of stream s: the configured extra labels (shard= from the
+  // sharded front door) plus stream=<global name> (the local index unless
+  // stream_names says otherwise). labeled_name() sorts keys, so insertion
+  // order here is irrelevant.
+  const auto stream_labels = [this](int s) {
+    obs::Labels labels = config_.metric_labels;
+    const auto us = static_cast<std::size_t>(s);
+    labels.emplace_back("stream", us < config_.stream_names.size()
+                                      ? config_.stream_names[us]
+                                      : std::to_string(s));
+    return labels;
+  };
+
   std::vector<std::unique_ptr<StreamState>> streams;
   std::vector<StreamCounters> counters(sources.size());
   streams.reserve(sources.size());
@@ -211,7 +225,7 @@ std::vector<StreamResult> StreamServer::serve(
         *system_, config_.admission.ladder.coast_tracker));
     streams.back()->last_progress_ns.store(serve_start_ns,
                                            std::memory_order_relaxed);
-    const obs::Labels labels{{"stream", std::to_string(s)}};
+    const obs::Labels labels = stream_labels(s);
     StreamCounters& c = counters[static_cast<std::size_t>(s)];
     c.frames = &registry.counter("runtime.frames", labels);
     c.deadline_miss = &registry.counter("runtime.deadline_miss", labels);
@@ -231,9 +245,14 @@ std::vector<StreamResult> StreamServer::serve(
     }
   }
   // Latency of admitted (non-shed) frames only — the number the overload
-  // SLO protects: shedding keeps THIS under the budget.
+  // SLO protects: shedding keeps THIS under the budget. A shard server
+  // (metric_labels set) records the labeled series instead and rollup()
+  // derives the fleet base; a standalone server writes the base directly.
   obs::Histogram& admitted_latency =
-      registry.histogram("runtime.frame.admitted_latency_ns");
+      config_.metric_labels.empty()
+          ? registry.histogram("runtime.frame.admitted_latency_ns")
+          : registry.histogram("runtime.frame.admitted_latency_ns",
+                               config_.metric_labels);
 
   // Level-1/2 scans use a coarser pyramid derived from the system's params.
   det::SlidingWindowParams degraded_sliding = system_->config().sliding;
@@ -334,7 +353,7 @@ std::vector<StreamResult> StreamServer::serve(
       auto monitor = std::make_unique<obs::SloMonitor>(
           stream_entity(s),
           obs::standard_stream_rules_labeled(
-              s, config_.slo.deadline_miss_degraded,
+              stream_labels(s), config_.slo.deadline_miss_degraded,
               config_.slo.deadline_miss_unhealthy,
               config_.slo.drop_rate_degraded,
               config_.slo.drop_rate_unhealthy),
@@ -677,73 +696,134 @@ std::vector<StreamResult> StreamServer::serve(
   };
 
   // --- stage 3: detect (parallel, const) -------------------------------
+  // One frame's pixel-level evaluation — the body of a detect worker's
+  // loop, also runnable as one task of a cross-stream batch on the scan
+  // pool (everything it touches is const, per-stream-synchronised, or an
+  // MPMC queue). `coast_prepublished` skips the ledger publish for coast
+  // frames whose entries the batched loop already published (see below).
+  const auto detect_one = [&](DetectTask& task, bool coast_prepublished) {
+    const obs::TraceScope scope(task.trace);
+    obs::ScopedSpan span("detect_frame", "runtime/detect",
+                         {{"stream", task.stream},
+                          {"frame", task.step.index},
+                          {"mode", static_cast<std::int64_t>(
+                                       task.step.sensed)}});
+    const Clock::time_point t0 = Clock::now();
+    StreamState& st = *streams[static_cast<std::size_t>(task.stream)];
+    const DegradeLevel level = task.decision.level;
+    ReportTask out;
+    out.stream = task.stream;
+    out.trace = span.context();
+    out.ingest_ns = task.ingest_ns;
+    if (ladder_active && task.decision.coast) {
+      // Level-2 coast: no render, no scan, no simulated accelerator —
+      // the frame's boxes come from the tracker once every earlier frame
+      // of the stream has fed it (see the coast ledger).
+      span.arg("coast", 1);
+      if (!coast_prepublished)
+        publish_entry(st, task.step.index, CoastEntry{true, {}});
+      const std::vector<det::Detection> dets =
+          take_coast(st, task.step.index);
+      core::AdaptiveSystem::EvaluateOptions opts;
+      opts.provided_detections = &dets;
+      out.report = system_->evaluate_frame(task.step, task.meta, opts);
+      out.report.degrade_level = static_cast<int>(level);
+      out.report.detect_coasted = true;
+    } else if (ladder_active) {
+      core::AdaptiveSystem::EvaluateOptions opts;
+      if (level == DegradeLevel::CoarseScan ||
+          level == DegradeLevel::SkipCoast)
+        opts.sliding_override = &degraded_sliding;
+      std::vector<det::Detection> dets;
+      opts.out_detections = &dets;
+      out.report = system_->evaluate_frame(task.step, task.meta, opts);
+      out.report.degrade_level = static_cast<int>(level);
+      if (config_.simulated_accel_ms > 0.0 &&
+          task.step.record.vehicle_processed) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                config_.simulated_accel_ms));
+      }
+      publish_entry(st, task.step.index,
+                    CoastEntry{false, std::move(dets)});
+    } else {
+      out.report = system_->evaluate_frame(task.step, task.meta);
+      if (config_.simulated_accel_ms > 0.0 &&
+          task.step.record.vehicle_processed) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                config_.simulated_accel_ms));
+      }
+    }
+    if (injector != nullptr) {
+      const double slow_ms =
+          injector->detect_slowdown_ms(task.stream, task.step.index);
+      if (slow_ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(slow_ms));
+    }
+    st.last_progress_ns.store(tracer.now_ns(), std::memory_order_relaxed);
+    metrics_.detect.record_latency(Clock::now() - t0);
+    metrics_.detect.add_processed();
+    report_q.push(std::move(out));
+  };
+
+  // Cross-stream batching needs the shared pool to fan a gather onto.
+  const bool batching = config_.cross_stream_batching &&
+                        config_.scan_pool != nullptr &&
+                        config_.detect_batch_max > 1;
   const auto detect_loop = [&](int worker) {
     log_.record(now_tp(), "runtime/detect",
                 "worker " + std::to_string(worker) + " start");
-    while (std::optional<DetectTask> task = detect_q.pop()) {
-      const obs::TraceScope scope(task->trace);
-      obs::ScopedSpan span("detect_frame", "runtime/detect",
-                           {{"stream", task->stream},
-                            {"frame", task->step.index},
-                            {"mode", static_cast<std::int64_t>(
-                                         task->step.sensed)}});
-      const Clock::time_point t0 = Clock::now();
-      StreamState& st = *streams[static_cast<std::size_t>(task->stream)];
-      const DegradeLevel level = task->decision.level;
-      ReportTask out;
-      out.stream = task->stream;
-      out.trace = span.context();
-      out.ingest_ns = task->ingest_ns;
-      if (ladder_active && task->decision.coast) {
-        // Level-2 coast: no render, no scan, no simulated accelerator —
-        // the frame's boxes come from the tracker once every earlier frame
-        // of the stream has fed it (see the coast ledger).
-        span.arg("coast", 1);
-        publish_entry(st, task->step.index, CoastEntry{true, {}});
-        const std::vector<det::Detection> dets =
-            take_coast(st, task->step.index);
-        core::AdaptiveSystem::EvaluateOptions opts;
-        opts.provided_detections = &dets;
-        out.report = system_->evaluate_frame(task->step, task->meta, opts);
-        out.report.degrade_level = static_cast<int>(level);
-        out.report.detect_coasted = true;
-      } else if (ladder_active) {
-        core::AdaptiveSystem::EvaluateOptions opts;
-        if (level == DegradeLevel::CoarseScan ||
-            level == DegradeLevel::SkipCoast)
-          opts.sliding_override = &degraded_sliding;
-        std::vector<det::Detection> dets;
-        opts.out_detections = &dets;
-        out.report = system_->evaluate_frame(task->step, task->meta, opts);
-        out.report.degrade_level = static_cast<int>(level);
-        if (config_.simulated_accel_ms > 0.0 &&
-            task->step.record.vehicle_processed) {
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(
-                  config_.simulated_accel_ms));
-        }
-        publish_entry(st, task->step.index,
-                      CoastEntry{false, std::move(dets)});
-      } else {
-        out.report = system_->evaluate_frame(task->step, task->meta);
-        if (config_.simulated_accel_ms > 0.0 &&
-            task->step.record.vehicle_processed) {
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(
-                  config_.simulated_accel_ms));
-        }
+    while (std::optional<DetectTask> first = detect_q.pop()) {
+      if (!batching) {
+        detect_one(*first, false);
+        continue;
       }
-      if (injector != nullptr) {
-        const double slow_ms =
-            injector->detect_slowdown_ms(task->stream, task->step.index);
-        if (slow_ms > 0.0)
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(slow_ms));
+      // Gather: one blocking pop (above) plus opportunistic try_pops, so a
+      // sparse queue costs nothing — the batch is whatever is ALREADY
+      // queued, across every stream on this server.
+      std::vector<DetectTask> scans;
+      std::vector<DetectTask> coasts;
+      const auto stash = [&](DetectTask&& t) {
+        (ladder_active && t.decision.coast ? coasts : scans)
+            .push_back(std::move(t));
+      };
+      stash(std::move(*first));
+      DetectTask extra;
+      while (static_cast<int>(scans.size() + coasts.size()) <
+                 config_.detect_batch_max &&
+             detect_q.try_pop(extra))
+        stash(std::move(extra));
+      // Coast-ledger discipline: publish EVERY gathered coast entry before
+      // anything in this gather may block in take_coast. A worker that
+      // blocked while still holding unpublished entries could deadlock
+      // against another worker doing the same with the interleaved indices
+      // of the opposite stream; publishing first keeps the global
+      // invariant that every popped frame is published without waiting.
+      for (DetectTask& t : coasts)
+        publish_entry(*streams[static_cast<std::size_t>(t.stream)],
+                      t.step.index, CoastEntry{true, {}});
+      // Scan frames are independent const evaluations: one indexed batch
+      // on the shared pool, whatever stream each frame belongs to.
+      if (scans.size() == 1) {
+        detect_one(scans.front(), false);
+      } else if (!scans.empty()) {
+        config_.scan_pool->run_indexed(
+            static_cast<int>(scans.size()), [&scans, &detect_one](int i) {
+              detect_one(scans[static_cast<std::size_t>(i)], false);
+            });
       }
-      st.last_progress_ns.store(tracer.now_ns(), std::memory_order_relaxed);
-      metrics_.detect.record_latency(Clock::now() - t0);
-      metrics_.detect.add_processed();
-      report_q.push(std::move(out));
+      // Scatter coast frames in canonical (stream, index) order — a coast
+      // frame's same-stream predecessors in this gather are consumed
+      // before it waits, and its report lands via the same order-
+      // insensitive collector as everything else.
+      std::sort(coasts.begin(), coasts.end(),
+                [](const DetectTask& a, const DetectTask& b) {
+                  return a.stream != b.stream ? a.stream < b.stream
+                                              : a.step.index < b.step.index;
+                });
+      for (DetectTask& t : coasts) detect_one(t, true);
     }
     if (live_detect.fetch_sub(1) == 1) report_q.close();
     log_.record(now_tp(), "runtime/detect",
@@ -844,9 +924,7 @@ std::vector<StreamResult> StreamServer::serve(
           if (now > last && now - last > timeout_ns) {
             st.watchdog_fired.store(true, std::memory_order_relaxed);
             admission->force_level(s, DegradeLevel::Shed, "watchdog");
-            registry
-                .counter("runtime.watchdog_fired",
-                         {{"stream", std::to_string(s)}})
+            registry.counter("runtime.watchdog_fired", stream_labels(s))
                 .inc();
             log_.record(now_tp(), "runtime/watchdog",
                         "stream " + std::to_string(s) +
@@ -866,7 +944,7 @@ std::vector<StreamResult> StreamServer::serve(
     workers.emplace_back(ingest_loop, i);
   for (int i = 0; i < config_.control_workers; ++i)
     workers.emplace_back(control_loop, i);
-  if (config_.scan_pool != nullptr) {
+  if (config_.scan_pool != nullptr && !batching) {
     // Shared-pool mode: one launcher thread publishes the detect loops as an
     // indexed batch on the scanner's pool and helps run them. Ingest,
     // control and the collector stay dedicated threads, so the queues always
@@ -874,6 +952,12 @@ std::vector<StreamResult> StreamServer::serve(
     // thread is parked in detect_q.pop(). Nested scans inside a pooled
     // detect worker (sliding.pool == scan_pool) self-help, so sharing one
     // pool cannot deadlock.
+    //
+    // With cross-stream batching the roles invert: detect workers stay
+    // dedicated threads acting as batch coordinators (gather from the
+    // queue, fan the batch onto the pool, help run it), so every pool
+    // thread is available to execute frames instead of being parked in
+    // detect_q.pop().
     workers.emplace_back([this, &detect_loop] {
       config_.scan_pool->run_indexed(config_.detect_workers, detect_loop);
     });
@@ -991,6 +1075,17 @@ std::vector<StreamResult> StreamServer::serve(
   return results;
 }
 
+std::vector<obs::HealthState> StreamServer::live_stream_health() const {
+  std::lock_guard<std::mutex> lock(obs_mutex_);
+  if (!monitors_.empty()) {
+    std::vector<obs::HealthState> states;
+    states.reserve(monitors_.size());
+    for (const auto& m : monitors_) states.push_back(m->state());
+    return states;
+  }
+  return stream_health_;
+}
+
 // The standard introspection surface (see StreamOpsConfig). Handlers run on
 // the ops server's pool threads, concurrently with serve(): everything they
 // read is either internally thread-safe (registry, sampler, recorder,
@@ -1010,7 +1105,7 @@ void StreamServer::install_ops_endpoints() {
   // serve's verdicts answer. 503 on an UNHEALTHY fleet makes this directly
   // usable as a load-balancer / orchestrator readiness probe.
   ops_->handle("/healthz", [this](const obs::HttpRequest&) {
-    std::vector<obs::HealthState> states;
+    std::vector<obs::HealthState> states = live_stream_health();
     struct OverloadRow {
       DegradeLevel level = DegradeLevel::Full;
       AdmissionStats stats;
@@ -1019,12 +1114,6 @@ void StreamServer::install_ops_endpoints() {
     bool admission_on = false;
     {
       std::lock_guard<std::mutex> lock(obs_mutex_);
-      if (!monitors_.empty()) {
-        states.reserve(monitors_.size());
-        for (const auto& m : monitors_) states.push_back(m->state());
-      } else {
-        states = stream_health_;
-      }
       if (admission_) {
         admission_on = true;
         overload.resize(states.size());
@@ -1168,10 +1257,15 @@ void StreamServer::install_ops_endpoints() {
   // On-demand profile: blocks its handler thread for the window (clamped to
   // max_profile_seconds); concurrent requests serialise inside run_for().
   ops_->handle("/profilez", [this](const obs::HttpRequest& req) {
+    // std::from_chars is locale-independent: "1,5" is rejected outright
+    // instead of silently parsing as 1 (or as 1.5 under a comma-decimal
+    // locale), and must consume the whole value.
     const std::string secs = req.query_value("seconds", "1");
-    char* end = nullptr;
-    double seconds = std::strtod(secs.c_str(), &end);
-    if (end == secs.c_str() || *end != '\0' || !(seconds > 0.0))
+    double seconds = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(secs.data(), secs.data() + secs.size(), seconds);
+    if (ec != std::errc{} || ptr != secs.data() + secs.size() ||
+        !(seconds > 0.0))
       return obs::HttpResponse{400, "text/plain; charset=utf-8",
                                "bad seconds value: " + secs + "\n"};
     seconds = std::min(seconds, config_.ops.max_profile_seconds);

@@ -340,6 +340,105 @@ TEST(MetricsRegistry, RollupFoldsLabeledSeriesIntoBase) {
   EXPECT_EQ(reg.histogram("lat").count(), 2u);
 }
 
+TEST(LabeledName, TwoLabelsSortEscapeAndRoundTrip) {
+  // Keys render sorted whatever order the caller passes them in.
+  EXPECT_EQ(labeled_name("runtime.frames",
+                         {{"stream", "s3"}, {"shard", "0"}}),
+            "runtime.frames{shard=\"0\",stream=\"s3\"}");
+  // Escaping applies per value, independent of the other label.
+  EXPECT_EQ(labeled_name("m", {{"stream", "a\"b"}, {"shard", "c\\d\ne"}}),
+            "m{shard=\"c\\\\d\\ne\",stream=\"a\\\"b\"}");
+  // Strict inverse with both labels, including escaped values.
+  const Labels labels{{"shard", "0"}, {"stream", "s\"3\\x"}};
+  const std::optional<ParsedSeriesName> parsed =
+      parse_labeled_name(labeled_name("runtime.frames", labels));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->base, "runtime.frames");
+  ASSERT_EQ(parsed->labels.size(), 2u);
+  EXPECT_EQ(parsed->labels[0].first, "shard");
+  EXPECT_EQ(parsed->labels[0].second, "0");
+  EXPECT_EQ(parsed->labels[1].first, "stream");
+  EXPECT_EQ(parsed->labels[1].second, "s\"3\\x");
+}
+
+TEST(MetricsRegistry, PrometheusRoundTripsTwoLabelSeries) {
+  MetricsRegistry reg;
+  reg.counter("name", {{"shard", "0"}, {"stream", "s3"}}).inc(7);
+  const std::string text = reg.to_prometheus();
+  // The exposition line carries exactly the canonical flat rendering, so
+  // the flat registry key IS the Prometheus series identity.
+  EXPECT_NE(text.find("name{shard=\"0\",stream=\"s3\"} 7\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, RollupProducesShardMarginalsAndStaysIdempotent) {
+  MetricsRegistry reg;
+  // shard= x stream= leaves, the sharded front door's shape.
+  reg.counter("frames", {{"shard", "0"}, {"stream", "0"}}).inc(3);
+  reg.counter("frames", {{"shard", "0"}, {"stream", "1"}}).inc(4);
+  reg.counter("frames", {{"shard", "1"}, {"stream", "2"}}).inc(5);
+  reg.gauge("depth", {{"shard", "0"}, {"stream", "0"}}).set(1.0);
+  reg.gauge("depth", {{"shard", "1"}, {"stream", "1"}}).set(2.5);
+  reg.histogram("lat", {{"shard", "0"}, {"stream", "0"}}).record_ns(100);
+  reg.histogram("lat", {{"shard", "1"}, {"stream", "1"}}).record_ns(300);
+
+  reg.rollup();
+  // Per-shard marginals (last sorted label dropped)...
+  EXPECT_EQ(reg.counter("frames", {{"shard", "0"}}).value(), 7u);
+  EXPECT_EQ(reg.counter("frames", {{"shard", "1"}}).value(), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth", {{"shard", "0"}}).value(), 1.0);
+  EXPECT_EQ(reg.histogram("lat", {{"shard", "0"}}).count(), 1u);
+  // ...and the base equals the sum of the leaves, not leaves + marginals.
+  EXPECT_EQ(reg.counter("frames").value(), 12u);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 3.5);
+  EXPECT_EQ(reg.histogram("lat").count(), 2u);
+  EXPECT_EQ(reg.histogram("lat").sum_ns(), 400u);
+
+  // Idempotence: the /metricsz handler and end-of-serve both fold; a second
+  // (and third) rollup must not re-sum the shard marginals into the base.
+  reg.rollup();
+  reg.rollup();
+  EXPECT_EQ(reg.counter("frames").value(), 12u);
+  EXPECT_EQ(reg.counter("frames", {{"shard", "0"}}).value(), 7u);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 3.5);
+  EXPECT_EQ(reg.histogram("lat").count(), 2u);
+
+  // New leaf growth re-derives marginals and base alike.
+  reg.counter("frames", {{"shard", "0"}, {"stream", "1"}}).inc(1);
+  reg.rollup();
+  EXPECT_EQ(reg.counter("frames", {{"shard", "0"}}).value(), 8u);
+  EXPECT_EQ(reg.counter("frames").value(), 13u);
+}
+
+TEST(MetricsRegistry, RollupIdempotentUnderConcurrentScrapes) {
+  // Two scrape threads fold repeatedly while writers grow the leaves; after
+  // everyone quiesces, one final fold must land exactly on the leaf totals
+  // (a double-count would overshoot permanently).
+  MetricsRegistry reg;
+  Counter& a = reg.counter("rollup.race", {{"shard", "0"}, {"stream", "0"}});
+  Counter& b = reg.counter("rollup.race", {{"shard", "1"}, {"stream", "1"}});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t)
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 200; ++i) {
+        reg.rollup();
+        (void)reg.snapshot();
+      }
+    });
+  for (int t = 0; t < 2; ++t)
+    threads.emplace_back([&a, &b] {
+      for (int i = 0; i < 1000; ++i) {
+        a.inc();
+        b.inc();
+      }
+    });
+  for (std::thread& th : threads) th.join();
+  reg.rollup();
+  EXPECT_EQ(reg.counter("rollup.race").value(), 4000u);
+  EXPECT_EQ(reg.counter("rollup.race", {{"shard", "0"}}).value(), 2000u);
+  EXPECT_EQ(reg.counter("rollup.race", {{"shard", "1"}}).value(), 2000u);
+}
+
 TEST(Histogram, MergeFromAddsBinsCountsAndMax) {
   Histogram a;
   Histogram b;

@@ -112,6 +112,12 @@ TEST(OpsServer, RoutesQueryParsingAndStatusCodes) {
   ASSERT_TRUE(echo.has_value());
   EXPECT_EQ(echo->body, "1|hello big world|fallback");
 
+  // Duplicate keys are first-wins: a repeated param cannot override an
+  // earlier clamp-relevant value (even when the repeat is %-encoded).
+  const auto dup = http_get(server.port(), "/echo?a=1&a=999&b=x&%61=7");
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->body, "1|x|fallback");
+
   const auto missing = http_get(server.port(), "/nope");
   ASSERT_TRUE(missing.has_value());
   EXPECT_EQ(missing->status, 404);

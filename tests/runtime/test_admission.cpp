@@ -230,6 +230,30 @@ TEST(Admission, FleetPressureSkipsTheEscalationDwell) {
   EXPECT_TRUE(saw_fleet_reason);
 }
 
+TEST(Admission, ExternalFleetPressureSkipsTheDwellAndClears) {
+  // The cross-shard signal: no local fraction configured at all, yet a
+  // raised external flag escalates one rung per window just like internal
+  // fleet pressure — and dropping it restores the slow dwell.
+  AdmissionConfig slow = ladder_config(/*escalate=*/100);
+  AdmissionController ac(2, slow);
+  ac.set_fleet_pressure(true);
+  for (int i = 0; i < 3; ++i)
+    ac.on_health_windows({HealthState::Degraded, HealthState::Healthy});
+  EXPECT_EQ(ac.level(0), DegradeLevel::Shed);
+  EXPECT_EQ(ac.level(1), DegradeLevel::Full);  // healthy stream untouched
+  bool saw_fleet_reason = false;
+  for (const DegradeTransition& t : ac.transitions(0))
+    if (t.reason == "health:fleet-pressure") saw_fleet_reason = true;
+  EXPECT_TRUE(saw_fleet_reason);
+
+  AdmissionController calm(2, slow);
+  calm.set_fleet_pressure(true);
+  calm.set_fleet_pressure(false);  // cleared before any window: normal dwell
+  for (int i = 0; i < 4; ++i)
+    calm.on_health_windows({HealthState::Degraded, HealthState::Degraded});
+  EXPECT_EQ(calm.level(0), DegradeLevel::CoarseScan);
+}
+
 TEST(Admission, TransitionCallbackFiresOncePerTransition) {
   AdmissionController ac(1, ladder_config(/*escalate=*/1));
   std::vector<DegradeTransition> seen;

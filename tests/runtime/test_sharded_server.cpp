@@ -1,0 +1,278 @@
+// ShardedServer: deterministic placement, bit-identical per-stream results
+// through the sharded + batched data plane, shard-labeled telemetry whose
+// rollup marginals reconcile with the per-shard leaves, and the single
+// fleet ops surface on the front door.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "avd/obs/metrics.hpp"
+#include "avd/obs/ops_server.hpp"
+#include "avd/runtime/sharded_server.hpp"
+#include "avd/runtime/thread_pool.hpp"
+
+namespace avd::runtime {
+namespace {
+
+core::TrainingBudget tiny() {
+  core::TrainingBudget b;
+  b.vehicle_pos = b.vehicle_neg = 30;
+  b.pedestrian_pos = b.pedestrian_neg = 20;
+  b.dbn_windows_per_class = 40;
+  b.pairing_scenes = 20;
+  return b;
+}
+
+std::vector<data::DriveSequence> drives(int n, int frames_per_segment) {
+  std::vector<data::DriveSequence> seqs;
+  for (int i = 0; i < n; ++i) {
+    data::SequenceSpec spec =
+        data::DriveSequence::canonical_drive({240, 136}, frames_per_segment);
+    spec.seed = 4040 + static_cast<std::uint64_t>(i);
+    seqs.emplace_back(spec);
+  }
+  return seqs;
+}
+
+/// Sum of a prometheus scrape's values for one base name, split into the
+/// per-shard marginals (exactly one label, "shard") and the two-label
+/// shard x stream leaves, keyed by shard value.
+struct ShardSeries {
+  std::map<std::string, double> marginal;  ///< shard -> marginal value
+  std::map<std::string, double> leaf_sum;  ///< shard -> sum of its leaves
+};
+
+void fold_series(ShardSeries& out, const std::string& series,
+                 const std::string& base, double value) {
+  const auto parsed = obs::parse_labeled_name(series);
+  if (!parsed || parsed->base != base) return;
+  std::string shard, stream;
+  for (const auto& [k, v] : parsed->labels) {
+    if (k == "shard") shard = v;
+    if (k == "stream") stream = v;
+  }
+  if (shard.empty()) return;
+  if (parsed->labels.size() == 1)
+    out.marginal[shard] += value;
+  else if (parsed->labels.size() == 2 && !stream.empty())
+    out.leaf_sum[shard] += value;
+}
+
+/// Shard series of `base` (a raw dotted registry name) in a snapshot.
+ShardSeries collect_shard_series(const obs::MetricsSnapshot& snap,
+                                 const std::string& base) {
+  ShardSeries out;
+  for (const auto& [name, v] : snap.counters)
+    fold_series(out, name, base, static_cast<double>(v));
+  return out;
+}
+
+/// Shard series of `base` (the sanitized Prometheus family name, e.g.
+/// "runtime_frames") in a /metricsz scrape body.
+ShardSeries collect_shard_series(const std::string& prometheus,
+                                 const std::string& base) {
+  ShardSeries out;
+  std::istringstream lines(prometheus);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    fold_series(out, line.substr(0, space), base,
+                std::stod(line.substr(space + 1)));
+  }
+  return out;
+}
+
+TEST(ShardedServer, PlacementIsStableHashWithClampedOverrides) {
+  // The hash is a pure function of the bytes — pin two reference values so
+  // an accidental reseed/reorder of the FNV constants cannot slip through.
+  EXPECT_EQ(stable_stream_hash(""), 14695981039346656037ull);
+  EXPECT_EQ(stable_stream_hash("s0"), stable_stream_hash("s0"));
+  EXPECT_NE(stable_stream_hash("s0"), stable_stream_hash("s1"));
+
+  const core::SystemModels models = core::build_system_models(tiny());
+  core::AdaptiveSystem system(models, {});
+
+  ShardedServerConfig fc;
+  fc.shards = 4;
+  fc.assign_override = {{"pinned", 2}, {"wild", 99}, {"negative", -5}};
+  ShardedServer front(system, fc);
+
+  for (const std::string name : {"s0", "s1", "cam-front", "cam-rear"}) {
+    const int expected =
+        static_cast<int>(stable_stream_hash(name) % 4ull);
+    EXPECT_EQ(front.shard_of(name), expected) << name;
+  }
+  EXPECT_EQ(front.shard_of("pinned"), 2);
+  EXPECT_EQ(front.shard_of("wild"), 3);      // clamped into range
+  EXPECT_EQ(front.shard_of("negative"), 0);  // clamped into range
+
+  // A second front door with the same config places identically.
+  ShardedServer front2(system, fc);
+  for (const std::string name : {"s0", "s1", "pinned", "wild"})
+    EXPECT_EQ(front.shard_of(name), front2.shard_of(name)) << name;
+}
+
+// The tentpole guarantee extended across shards: every stream's report from
+// the sharded front door — with cross-stream batching inside each shard and
+// a shared scan pool — is bit-identical to the sequential run(), and the
+// scatter restores input order whatever the hash placed where.
+TEST(ShardedServer, ShardedBatchedServeMatchesSequentialExactly) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = true;
+  ThreadPool pool(4);
+  cfg.sliding.pool = &pool;
+  core::AdaptiveSystem system(models, cfg);
+
+  const std::vector<data::DriveSequence> streams = drives(4, 4);
+
+  ShardedServerConfig fc;
+  fc.shards = 2;
+  // Exercise both placement paths: one stream pinned, the rest hashed.
+  fc.assign_override = {{"s1", 0}};
+  fc.shard.detect_workers = 2;
+  fc.shard.queue_capacity = 4;
+  fc.shard.scan_pool = &pool;
+  fc.shard.cross_stream_batching = true;
+  fc.shard.detect_batch_max = 4;
+  ShardedServer front(system, fc);
+
+  const std::vector<StreamResult> results = front.serve_sequences(streams);
+  ASSERT_EQ(results.size(), streams.size());
+
+  const std::vector<int> assignment = front.last_assignment();
+  ASSERT_EQ(assignment.size(), streams.size());
+  EXPECT_EQ(assignment[1], 0);  // the override stuck
+  for (std::size_t s = 0; s < streams.size(); ++s)
+    EXPECT_EQ(assignment[s], front.shard_of("s" + std::to_string(s)));
+
+  core::AdaptiveSystemConfig seq_cfg = cfg;
+  seq_cfg.sliding.pool = nullptr;  // strictly single-threaded oracle
+  core::AdaptiveSystem sequential(models, seq_cfg);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    EXPECT_EQ(results[s].stream, static_cast<int>(s));
+    EXPECT_EQ(results[s].backpressure_drops, 0u);
+    const core::AdaptiveRunReport oracle = sequential.run(streams[s]);
+    ASSERT_EQ(results[s].report.frames.size(), oracle.frames.size());
+    for (std::size_t i = 0; i < oracle.frames.size(); ++i) {
+      const auto& a = results[s].report.frames[i];
+      const auto& b = oracle.frames[i];
+      EXPECT_EQ(a.index, b.index);
+      EXPECT_EQ(a.light_level, b.light_level);
+      EXPECT_EQ(a.active_config, b.active_config);
+      EXPECT_EQ(a.vehicle_match.true_positives, b.vehicle_match.true_positives)
+          << "stream " << s << " frame " << i;
+      EXPECT_EQ(a.vehicle_match.false_positives,
+                b.vehicle_match.false_positives)
+          << "stream " << s << " frame " << i;
+      EXPECT_EQ(a.vehicle_match.false_negatives,
+                b.vehicle_match.false_negatives)
+          << "stream " << s << " frame " << i;
+    }
+  }
+}
+
+// Telemetry reconciliation: after a sharded serve, rollup() has folded the
+// shard= x stream= leaves so that each per-shard marginal equals the sum of
+// that shard's own leaves. (Compared leaf-wise, not against the unlabeled
+// base: the base also folds stream=-only series from other tests sharing
+// the global registry.)
+TEST(ShardedServer, RollupShardMarginalsEqualLeafSums) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  core::AdaptiveSystem system(models, {});
+
+  ShardedServerConfig fc;
+  fc.shards = 3;
+  fc.shard.detect_workers = 1;
+  ShardedServer front(system, fc);
+  const std::vector<StreamResult> results =
+      front.serve_sequences(drives(6, 3));
+  ASSERT_EQ(results.size(), 6u);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const ShardSeries frames =
+      collect_shard_series(registry.snapshot(), "runtime.frames");
+  // Every shard that served streams has leaves, a marginal, and they agree.
+  ASSERT_FALSE(frames.leaf_sum.empty());
+  for (const auto& [shard, leaves] : frames.leaf_sum) {
+    const auto it = frames.marginal.find(shard);
+    ASSERT_NE(it, frames.marginal.end()) << "no marginal for shard " << shard;
+    EXPECT_DOUBLE_EQ(it->second, leaves) << "shard " << shard;
+  }
+  // And a second rollup must not double anything.
+  registry.rollup();
+  const ShardSeries again =
+      collect_shard_series(registry.snapshot(), "runtime.frames");
+  EXPECT_EQ(again.marginal, frames.marginal);
+  EXPECT_EQ(again.leaf_sum, frames.leaf_sum);
+}
+
+// The fleet ops surface: ONE front-door listener answers /metricsz with
+// shard=-labeled series whose marginals reconcile against the same scrape's
+// leaves, /healthz with the fleet worst-of, /statusz with the topology.
+TEST(ShardedServer, FrontDoorServesFleetMetricsHealthAndStatus) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  core::AdaptiveSystem system(models, {});
+
+  ShardedServerConfig fc;
+  fc.shards = 2;
+  fc.shard.detect_workers = 1;
+  fc.ops_enabled = true;
+  fc.ops.port = 0;  // ephemeral
+  ShardedServer front(system, fc);
+  ASSERT_NE(front.ops_server(), nullptr);
+  const std::uint16_t port = front.ops_server()->port();
+  ASSERT_NE(port, 0);
+
+  const std::vector<StreamResult> results =
+      front.serve_sequences(drives(4, 3));
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(front.fleet_health(), obs::HealthState::Healthy);
+
+  // /metricsz: the ISSUE acceptance check — shard= series are exported and
+  // the scrape's own rollup reconciles (marginal == sum of per-shard leaves).
+  const auto metrics = obs::http_get(port, "/metricsz");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(metrics->body.find("shard=\"1\""), std::string::npos);
+  const ShardSeries frames =
+      collect_shard_series(metrics->body, "runtime_frames");
+  ASSERT_FALSE(frames.leaf_sum.empty());
+  for (const auto& [shard, leaves] : frames.leaf_sum) {
+    const auto it = frames.marginal.find(shard);
+    ASSERT_NE(it, frames.marginal.end()) << "no marginal for shard " << shard;
+    EXPECT_DOUBLE_EQ(it->second, leaves) << "shard " << shard;
+  }
+
+  const auto metrics_json = obs::http_get(port, "/metricsz.json");
+  ASSERT_TRUE(metrics_json.has_value());
+  EXPECT_EQ(metrics_json->status, 200);
+  EXPECT_NE(metrics_json->body.find("runtime.frames"), std::string::npos);
+
+  // /healthz: healthy fleet -> 200, per-shard stream rows, fleet verdict.
+  const auto healthz = obs::http_get(port, "/healthz");
+  ASSERT_TRUE(healthz.has_value());
+  EXPECT_EQ(healthz->status, 200);
+  EXPECT_NE(healthz->body.find("\"fleet\":\"HEALTHY\""), std::string::npos);
+  EXPECT_NE(healthz->body.find("\"shard\":0"), std::string::npos);
+  EXPECT_NE(healthz->body.find("\"shard\":1"), std::string::npos);
+  EXPECT_NE(healthz->body.find("\"stream\":\"s0\""), std::string::npos);
+
+  // /statusz: topology + serve counter.
+  const auto statusz = obs::http_get(port, "/statusz");
+  ASSERT_TRUE(statusz.has_value());
+  EXPECT_EQ(statusz->status, 200);
+  EXPECT_NE(statusz->body.find("sharded-front-door"), std::string::npos);
+  EXPECT_NE(statusz->body.find("\"shards\":2"), std::string::npos);
+  EXPECT_NE(statusz->body.find("\"serves\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avd::runtime

@@ -182,6 +182,16 @@ TEST(StreamOps, EveryEndpointAnswersDuringLiveServe) {
   const auto bad = obs::http_get(port, "/profilez?seconds=banana");
   ASSERT_TRUE(bad.has_value());
   EXPECT_EQ(bad->status, 400);
+  // Regression: comma-decimal inputs ("1,5") must be rejected whole, not
+  // strtod-parsed as the locale-dependent prefix "1". Same for trailing
+  // junk and non-positive windows.
+  for (const char* q : {"/profilez?seconds=1,5", "/profilez?seconds=0.5x",
+                        "/profilez?seconds=0", "/profilez?seconds=-1",
+                        "/profilez?seconds=%20"}) {
+    const auto rejected = obs::http_get(port, q);
+    ASSERT_TRUE(rejected.has_value()) << q;
+    EXPECT_EQ(rejected->status, 400) << q;
+  }
   const auto missing = obs::http_get(port, "/does-not-exist");
   ASSERT_TRUE(missing.has_value());
   EXPECT_EQ(missing->status, 404);

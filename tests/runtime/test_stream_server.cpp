@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "avd/runtime/fault_injection.hpp"
 #include "avd/runtime/stream_server.hpp"
 #include "avd/runtime/thread_pool.hpp"
 
@@ -153,6 +154,90 @@ TEST(StreamServer, SharedScanPoolMatchesSequentialExactly) {
     expect_reports_identical(results[s].report, sequential.run(streams[s]),
                              "stream " + std::to_string(s));
   }
+}
+
+// Cross-stream detect batching: workers gather frames from every stream
+// into one indexed batch on the shared pool. The gather/scatter must be
+// invisible in the data plane — per-stream reports bit-identical to the
+// sequential oracle, no frame lost, no drops introduced.
+TEST(StreamServer, CrossStreamBatchingMatchesSequentialExactly) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  ThreadPool pool(4);
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = true;
+  cfg.sliding.pool = &pool;  // scan-level parallelism nests in batch tasks
+  core::AdaptiveSystem system(models, cfg);
+
+  const std::vector<data::DriveSequence> streams = four_streams(4);
+
+  StreamServerConfig sc;
+  sc.detect_workers = 2;  // two batch coordinators racing on the queue
+  sc.queue_capacity = 8;  // deep enough that gathers really batch
+  sc.scan_pool = &pool;
+  sc.cross_stream_batching = true;
+  sc.detect_batch_max = 6;
+  StreamServer server(system, sc);
+  const std::vector<StreamResult> results = server.serve_sequences(streams);
+
+  core::AdaptiveSystemConfig seq_cfg = cfg;
+  seq_cfg.sliding.pool = nullptr;  // fully sequential oracle
+  core::AdaptiveSystem sequential(models, seq_cfg);
+  ASSERT_EQ(results.size(), streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    EXPECT_EQ(results[s].backpressure_drops, 0u);
+    expect_reports_identical(results[s].report, sequential.run(streams[s]),
+                             "stream " + std::to_string(s));
+  }
+}
+
+// Batching under the degradation ladder: level-2 coast frames are excluded
+// from pool batches and scattered in canonical order behind them. The
+// serve must stay deadlock-free with a single coordinator gathering coast
+// and scan frames of interleaved streams, deterministic across serves, and
+// complete (every frame reported).
+TEST(StreamServer, CrossStreamBatchingWithCoastLadderIsDeterministic) {
+  const core::SystemModels models = core::build_system_models(tiny());
+  ThreadPool pool(3);
+  core::AdaptiveSystemConfig cfg;
+  cfg.run_detectors = true;
+  core::AdaptiveSystem system(models, cfg);
+
+  const std::vector<data::DriveSequence> streams = four_streams(4);
+  FaultPlan plan;
+  // Streams 0 and 2 pinned to SkipCoast from frame 2 on: their later
+  // frames alternate scan/coast inside the same gathers as streams 1/3.
+  plan.faults.push_back({FaultKind::ForceDegrade, 0, 2, 64, 2.0});
+  plan.faults.push_back({FaultKind::ForceDegrade, 2, 2, 64, 2.0});
+
+  const auto serve_once = [&] {
+    FaultInjector injector(plan);
+    StreamServerConfig sc;
+    sc.detect_workers = 1;  // one coordinator: worst case for the ledger
+    sc.queue_capacity = 8;
+    sc.scan_pool = &pool;
+    sc.cross_stream_batching = true;
+    sc.detect_batch_max = 8;
+    sc.fault_injector = &injector;
+    StreamServer server(system, sc);
+    return server.serve_sequences(streams);
+  };
+  const std::vector<StreamResult> first = serve_once();
+  const std::vector<StreamResult> second = serve_once();
+
+  ASSERT_EQ(first.size(), streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    ASSERT_EQ(static_cast<int>(first[s].report.frames.size()),
+              streams[s].frame_count());
+    expect_reports_identical(first[s].report, second[s].report,
+                             "serve/serve stream " + std::to_string(s));
+  }
+  EXPECT_GT(first[0].coasted_frames, 0u);
+  EXPECT_GT(first[2].coasted_frames, 0u);
+  // Untargeted streams never leave Full and still match the oracle.
+  expect_reports_identical(first[1].report, system.run(streams[1]),
+                           "stream 1 vs sequential");
+  expect_reports_identical(first[3].report, system.run(streams[3]),
+                           "stream 3 vs sequential");
 }
 
 // Running the server twice must give identical results (no scheduling
